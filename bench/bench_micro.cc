@@ -1,0 +1,115 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * event queue churn, internet checksum, SRAM message rings,
+ * interleave address math, and hardware TSO segmentation. These
+ * guard the simulator's own performance (a full Fig. 8(a) sweep
+ * pushes tens of millions of events).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mcn/sram_buffer.hh"
+#include "mem/interleave.hh"
+#include "net/checksum.hh"
+#include "net/ethernet.hh"
+#include "net/ipv4.hh"
+#include "net/tcp.hh"
+#include "netdev/nic.hh"
+#include "sim/event_queue.hh"
+
+using namespace mcnsim;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            q.schedule([&] { sink++; }, q.curTick() + 100 + i);
+        q.run();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_Checksum(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(state.range(0)), 0xa5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            net::checksum(data.data(), data.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_Checksum)->Arg(64)->Arg(1500)->Arg(9000)->Arg(65536);
+
+static void
+BM_MessageRingRoundTrip(benchmark::State &state)
+{
+    mcn::MessageRing ring(48 * 1024);
+    std::vector<std::uint8_t> msg(
+        static_cast<std::size_t>(state.range(0)), 7);
+    for (auto _ : state) {
+        ring.enqueue(msg.data(), msg.size());
+        benchmark::DoNotOptimize(ring.dequeue());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_MessageRingRoundTrip)->Arg(1500)->Arg(9000);
+
+static void
+BM_InterleaveMath(benchmark::State &state)
+{
+    mem::InterleaveMap map(4);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (std::uint64_t k = 0; k < 64; ++k)
+            sink += map.strideAddr(k & 3, 4096, k);
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_InterleaveMath);
+
+static void
+BM_TsoSegmentation(benchmark::State &state)
+{
+    using namespace net;
+    // Build a 40 KB TSO super-frame once per iteration batch.
+    auto make_frame = [] {
+        auto pkt = Packet::makePattern(40 * 1024);
+        pkt->tsoMss = 1460;
+        TcpHeader th;
+        th.srcPort = 1;
+        th.dstPort = 2;
+        th.push(*pkt, Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2),
+                true);
+        Ipv4Header ih;
+        ih.src = Ipv4Addr(1, 1, 1, 1);
+        ih.dst = Ipv4Addr(2, 2, 2, 2);
+        ih.totalLength = static_cast<std::uint16_t>(
+            pkt->size() + Ipv4Header::size);
+        ih.push(*pkt, true);
+        EthernetHeader eh;
+        eh.dst = MacAddr::fromId(2);
+        eh.src = MacAddr::fromId(1);
+        eh.push(*pkt);
+        return pkt;
+    };
+    auto frame = make_frame();
+    for (auto _ : state) {
+        auto segs = netdev::Nic::segmentTso(frame, true);
+        benchmark::DoNotOptimize(segs);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 40 * 1024);
+}
+BENCHMARK(BM_TsoSegmentation);
+
+BENCHMARK_MAIN();

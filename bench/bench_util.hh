@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the benchmark/reproduction binaries: simple
+ * fixed-width table printing and command-line knobs.
+ */
+
+#ifndef MCNSIM_BENCH_BENCH_UTIL_HH
+#define MCNSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mcnsim::bench {
+
+/** Column-aligned table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> width(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            width[c] = headers_[c].size();
+        for (const auto &r : rows_)
+            for (std::size_t c = 0;
+                 c < r.size() && c < width.size(); ++c)
+                width[c] = std::max(width[c], r[c].size());
+
+        auto line = [&](const std::vector<std::string> &cells) {
+            std::printf("|");
+            for (std::size_t c = 0; c < headers_.size(); ++c) {
+                const std::string &v =
+                    c < cells.size() ? cells[c] : "";
+                std::printf(" %-*s |",
+                            static_cast<int>(width[c]), v.c_str());
+            }
+            std::printf("\n");
+        };
+        line(headers_);
+        std::printf("|");
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            for (std::size_t i = 0; i < width[c] + 2; ++i)
+                std::printf("-");
+            std::printf("|");
+        }
+        std::printf("\n");
+        for (const auto &r : rows_)
+            line(r);
+        std::fflush(stdout);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style float formatting into std::string. */
+inline std::string
+fmt(const char *f, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+}
+
+/** True when --quick was passed (shorter windows for CI). */
+inline bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return true;
+    // Benches default to quick mode unless --full is given, so the
+    // whole suite stays runnable on a laptop.
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--full") == 0)
+            return false;
+    return true;
+}
+
+} // namespace mcnsim::bench
+
+#endif // MCNSIM_BENCH_BENCH_UTIL_HH

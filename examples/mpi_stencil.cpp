@@ -1,0 +1,114 @@
+/**
+ * @file
+ * MPI stencil: a hand-written 1-D heat-diffusion stencil over
+ * mini-MPI, run unchanged on a scale-up server and on an
+ * MCN-enabled server -- the paper's application-transparency
+ * pitch, with user-written MPI code rather than a canned workload
+ * model.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/system_builder.hh"
+#include "dist/mpi.hh"
+
+using namespace mcnsim;
+using namespace mcnsim::core;
+using namespace mcnsim::dist;
+
+namespace {
+
+/** One rank of the stencil: compute row block, exchange halos. */
+sim::Task<void>
+stencilRank(MpiRank &r, int iters, std::uint64_t halo_bytes,
+            std::uint64_t block_bytes)
+{
+    co_await r.barrier();
+    int n = r.size();
+    for (int it = 0; it < iters; ++it) {
+        // Sweep over the local block: memory bound.
+        co_await r.memStream(block_bytes, 8e9);
+        co_await r.compute(block_bytes / 16); // flops per byte
+
+        // Halo exchange with both neighbours (parity-ordered).
+        int left = (r.rank() - 1 + n) % n;
+        int right = (r.rank() + 1) % n;
+        if (r.rank() % 2 == 0) {
+            co_await r.send(right, halo_bytes);
+            co_await r.recv(left);
+            co_await r.send(left, halo_bytes);
+            co_await r.recv(right);
+        } else {
+            co_await r.recv(left);
+            co_await r.send(right, halo_bytes);
+            co_await r.recv(right);
+            co_await r.send(left, halo_bytes);
+        }
+        // Converged? A global residual reduction decides.
+        co_await r.allreduce(64);
+    }
+    co_await r.barrier();
+}
+
+double
+runOn(System &sys, sim::Simulation &s,
+      const std::vector<std::size_t> &placement)
+{
+    std::vector<NodeRef> nodes;
+    for (auto n : placement)
+        nodes.push_back(sys.node(n));
+
+    MpiWorld world(s, std::move(nodes));
+    world.launch([](MpiRank &r) {
+        return stencilRank(r, /*iters=*/5,
+                           /*halo=*/64 * 1024,
+                           /*block=*/8ull << 20);
+    });
+    sim::Tick start = s.curTick();
+    world.runToCompletion(s, start + 30 * sim::oneSec);
+    if (!world.done())
+        return -1.0;
+    return sim::ticksToSeconds(s.curTick() - start);
+}
+
+} // namespace
+
+int
+main()
+{
+    // 12 ranks on a 12-core scale-up server...
+    double scale_up;
+    {
+        sim::Simulation s;
+        ScaleUpSystem sys(s, 12);
+        scale_up = runOn(sys, s,
+                         std::vector<std::size_t>(12, 0));
+        std::printf("scale-up (12 cores, shared channels): "
+                    "%.2f ms\n",
+                    scale_up * 1e3);
+    }
+
+    // ...and the same 12 ranks on an MCN server: 4-core host + 2
+    // DIMMs x 4 cores, each DIMM with its own local channels.
+    {
+        sim::Simulation s;
+        McnSystemParams p;
+        p.numDimms = 2;
+        p.config = McnConfig::level(5);
+        p.host = hostKernelParams(2, 4);
+        McnSystem sys(s, p);
+        auto placement = allCoresPlacement(sys);
+        double mcn = runOn(sys, s, placement);
+        std::printf("MCN server (4+2x4 cores, isolated channels): "
+                    "%.2f ms\n",
+                    mcn * 1e3);
+        if (scale_up > 0 && mcn > 0)
+            std::printf("speedup from near-memory bandwidth: "
+                        "%.2fx -- same MPI source, zero code "
+                        "changes\n",
+                        scale_up / mcn);
+    }
+    return 0;
+}

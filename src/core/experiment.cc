@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Experiment harness implementation.
+ */
+
+#include "core/experiment.hh"
+
+#include <algorithm>
+
+#include "dist/mpi.hh"
+#include "net/icmp.hh"
+
+namespace mcnsim::core {
+
+sim::Tick
+runUntil(sim::Simulation &s, std::function<bool()> done,
+         sim::Tick deadline, sim::Tick slice)
+{
+    while (!done() && s.curTick() < deadline)
+        s.run(std::min(s.curTick() + slice, deadline));
+    return s.curTick();
+}
+
+IperfReport
+runIperf(sim::Simulation &s, System &sys, std::size_t server_node,
+         const std::vector<std::size_t> &client_nodes,
+         sim::Tick duration)
+{
+    auto stats = std::make_shared<dist::IperfStats>();
+    auto server = sys.node(server_node);
+    constexpr std::uint16_t port = 5201;
+
+    sim::spawnDetached(s.eventQueue(),
+                       dist::iperfServer(*server.stack, port,
+                                         stats));
+
+    sim::Tick until = s.curTick() + duration;
+    for (std::size_t c : client_nodes) {
+        auto client = sys.node(c);
+        sim::spawnDetached(
+            s.eventQueue(),
+            dist::iperfClient(*client.stack,
+                              {server.addr, port}, until));
+    }
+
+    // Run through the stream window plus drain time.
+    runUntil(
+        s, [&] { return false; }, until + 2 * sim::oneMs);
+
+    IperfReport r;
+    r.gbps = stats->gbps();
+    r.bytes = stats->bytesReceived;
+    r.connections = stats->connections;
+    return r;
+}
+
+std::vector<dist::PingPoint>
+runPingSweep(sim::Simulation &s, System &sys, std::size_t from,
+             std::size_t to, const std::vector<std::size_t> &sizes,
+             int count)
+{
+    std::vector<dist::PingPoint> out;
+    bool finished = false;
+    auto task = [&]() -> sim::Task<void> {
+        co_await dist::pingSweep(*sys.node(from).stack,
+                                 sys.node(to).addr, sizes, count,
+                                 out);
+        finished = true;
+    };
+    sim::spawnDetached(s.eventQueue(), task());
+    runUntil(
+        s, [&] { return finished; },
+        s.curTick() + 10 * sim::oneSec);
+    return out;
+}
+
+MpiRunReport
+runMpiWorkload(sim::Simulation &s, System &sys,
+               const dist::WorkloadSpec &spec,
+               const std::vector<std::size_t> &rank_nodes,
+               sim::Tick deadline, std::uint16_t base_port)
+{
+    std::vector<NodeRef> nodes;
+    nodes.reserve(rank_nodes.size());
+    for (std::size_t n : rank_nodes)
+        nodes.push_back(sys.node(n));
+
+    dist::MpiWorld world(s, std::move(nodes), base_port);
+    sim::Tick start = s.curTick();
+    world.launch([spec](dist::MpiRank &r) {
+        return dist::runWorkloadRank(r, spec);
+    });
+    world.runToCompletion(s, start + deadline);
+
+    MpiRunReport rep;
+    rep.completed = world.done();
+    // Measure from the end of MPI_Init (mesh establishment), as
+    // benchmark harnesses do.
+    sim::Tick from =
+        world.allReadyAt() ? world.allReadyAt() : start;
+    rep.makespan = s.curTick() - from;
+    rep.mpiBytes = world.bytesMoved();
+    return rep;
+}
+
+std::vector<std::size_t>
+allCoresPlacement(System &sys)
+{
+    std::vector<std::size_t> placement;
+    for (std::size_t n = 0; n < sys.nodeCount(); ++n) {
+        auto node = sys.node(n);
+        for (std::uint32_t c = 0; c < node.kernel->cpus().coreCount();
+             ++c)
+            placement.push_back(n);
+    }
+    return placement;
+}
+
+power::EnergyModel
+energyModelFor(McnSystem &sys)
+{
+    using power::McpatLite;
+    power::EnergyModel m;
+    m.addCores(sys.host().cpus(), McpatLite::hostCore());
+    m.addMem(sys.host().mem(), McpatLite::ddr4(),
+             8.0 * sys.host().mem().channelCount());
+    m.addUncore(McpatLite::hostUncore());
+    for (std::size_t i = 0; i < sys.dimmCount(); ++i) {
+        auto &d = sys.dimm(i);
+        m.addCores(d.kernel().cpus(), McpatLite::mcnCore());
+        m.addMem(d.kernel().mem(), McpatLite::lpddr4(),
+                 8.0); // 8 GB per MCN DIMM (Table II)
+        m.addUncore(McpatLite::mcnBufferDevice());
+    }
+    return m;
+}
+
+power::EnergyModel
+energyModelFor(ClusterSystem &sys)
+{
+    using power::McpatLite;
+    power::EnergyModel m;
+    for (std::size_t i = 0; i < sys.nodeCount(); ++i) {
+        auto n = sys.node(i);
+        m.addCores(n.kernel->cpus(), McpatLite::hostCore());
+        m.addMem(n.kernel->mem(), McpatLite::ddr4(),
+                 8.0 * n.kernel->mem().channelCount());
+        m.addUncore(McpatLite::hostUncore());
+        m.addNet(sys.nic(i), McpatLite::nic10g());
+        // One ToR port per node.
+        m.addSwitch(
+            [nic = &sys.nic(i)] {
+                return nic->txBytes() + nic->rxBytes();
+            },
+            McpatLite::switchPort());
+    }
+    return m;
+}
+
+} // namespace mcnsim::core

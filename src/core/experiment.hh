@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment harness: synchronous wrappers used by the benches and
+ * examples to run iperf, ping sweeps and MPI workloads on any
+ * built system and to assemble the matching energy models.
+ */
+
+#ifndef MCNSIM_CORE_EXPERIMENT_HH
+#define MCNSIM_CORE_EXPERIMENT_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/system_builder.hh"
+#include "dist/iperf.hh"
+#include "dist/ping.hh"
+#include "dist/workload.hh"
+#include "power/energy_model.hh"
+#include "sim/simulation.hh"
+
+namespace mcnsim::core {
+
+/**
+ * Run the simulation in slices until @p done returns true or
+ * @p deadline passes (periodic device timers keep the event queue
+ * non-empty, so a plain run() would never return).
+ */
+sim::Tick runUntil(sim::Simulation &s, std::function<bool()> done,
+                   sim::Tick deadline,
+                   sim::Tick slice = 100 * sim::oneUs);
+
+/** Result of one iperf experiment. */
+struct IperfReport
+{
+    double gbps = 0.0;
+    std::uint64_t bytes = 0;
+    int connections = 0;
+};
+
+/**
+ * iperf: server on @p server_node, one client per entry of
+ * @p client_nodes, streaming for @p duration of simulated time.
+ */
+IperfReport runIperf(sim::Simulation &s, System &sys,
+                     std::size_t server_node,
+                     const std::vector<std::size_t> &client_nodes,
+                     sim::Tick duration);
+
+/** Ping sweep from one node to another across payload sizes. */
+std::vector<dist::PingPoint>
+runPingSweep(sim::Simulation &s, System &sys, std::size_t from,
+             std::size_t to, const std::vector<std::size_t> &sizes,
+             int count = 5);
+
+/** Result of one MPI workload run. */
+struct MpiRunReport
+{
+    sim::Tick makespan = 0;
+    std::uint64_t mpiBytes = 0;
+    bool completed = false;
+};
+
+/**
+ * Run @p spec with one rank per entry of @p rank_nodes (node
+ * indices into @p sys). The spec should already be scaled to the
+ * rank count.
+ */
+MpiRunReport runMpiWorkload(sim::Simulation &s, System &sys,
+                            const dist::WorkloadSpec &spec,
+                            const std::vector<std::size_t> &rank_nodes,
+                            sim::Tick deadline = 30 * sim::oneSec,
+                            std::uint16_t base_port = 7000);
+
+/** Rank placement: fill every node's cores (cores ranks/node). */
+std::vector<std::size_t> allCoresPlacement(System &sys);
+
+/** Energy model covering an entire MCN server. */
+power::EnergyModel energyModelFor(McnSystem &sys);
+
+/** Energy model covering a cluster incl. NICs and switch ports. */
+power::EnergyModel energyModelFor(ClusterSystem &sys);
+
+} // namespace mcnsim::core
+
+#endif // MCNSIM_CORE_EXPERIMENT_HH

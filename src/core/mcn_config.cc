@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table I optimisation levels.
+ */
+
+#include "core/mcn_config.hh"
+
+#include "sim/logging.hh"
+
+namespace mcnsim::core {
+
+McnConfig
+McnConfig::level(int n)
+{
+    McnConfig c;
+    if (n < 0 || n > 5)
+        sim::fatal("McnConfig::level: valid levels are 0..5, got ",
+                   n);
+    if (n >= 1)
+        c.alertInterrupt = true;
+    if (n >= 2)
+        c.checksumBypass = true;
+    if (n >= 3)
+        c.mtu = 9000;
+    if (n >= 4)
+        c.tso = true;
+    if (n >= 5)
+        c.dma = true;
+    return c;
+}
+
+std::string
+McnConfig::describe() const
+{
+    std::string s = "mcn{poll=";
+    s += alertInterrupt ? "alert" : "hrtimer";
+    s += ",csum=";
+    s += checksumBypass ? "bypass" : "sw";
+    s += ",mtu=" + std::to_string(mtu);
+    s += tso ? ",tso" : "";
+    s += dma ? ",dma" : "";
+    s += "}";
+    return s;
+}
+
+} // namespace mcnsim::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * MCN optimisation-level configuration (paper Table I):
+ *
+ *   mcn0  baseline MCN with HR-timer polling
+ *   mcn1  mcn0 + MCN DIMM interrupt (ALERT_N repurposed)
+ *   mcn2  mcn1 + IPv4/TCP checksum bypassing
+ *   mcn3  mcn2 + MTU increased to 9KB
+ *   mcn4  mcn3 + TSO
+ *   mcn5  mcn4 + MCN-DMA engines
+ */
+
+#ifndef MCNSIM_CORE_MCN_CONFIG_HH
+#define MCNSIM_CORE_MCN_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace mcnsim::core {
+
+/** Feature switches for one MCN system instance. */
+struct McnConfig
+{
+    /** mcn1: ALERT_N interrupt instead of periodic polling. */
+    bool alertInterrupt = false;
+
+    /** mcn2: skip checksum generation/verification. */
+    bool checksumBypass = false;
+
+    /** mcn3: interface MTU (1500 default, 9000 jumbo). */
+    std::uint32_t mtu = 1500;
+
+    /** mcn4: TCP segmentation offload on the MCN interfaces. */
+    bool tso = false;
+
+    /** mcn5: memory-to-memory MCN-DMA engines do the copies. */
+    bool dma = false;
+
+    /** HR-timer polling period of the host-side polling agent. */
+    sim::Tick pollPeriod = 5 * sim::oneUs;
+
+    /** SRAM communication buffer size per MCN DIMM. */
+    std::size_t sramBytes = 96 * 1024;
+
+    /** The paper's named levels: mcnConfigLevel(0..5). */
+    static McnConfig level(int n);
+
+    std::string describe() const;
+};
+
+} // namespace mcnsim::core
+
+#endif // MCNSIM_CORE_MCN_CONFIG_HH

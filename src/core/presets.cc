@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table II presets.
+ */
+
+#include "core/presets.hh"
+
+namespace mcnsim::core {
+
+os::KernelParams
+hostKernelParams(std::uint32_t mem_channels, std::uint32_t cores)
+{
+    os::KernelParams p;
+    p.cores = cores;
+    p.coreFreqHz = 3.4e9;
+    p.memChannels = mem_channels;
+    p.dramTiming = mem::DramTiming::ddr4_3200();
+    return p;
+}
+
+os::KernelParams
+mcnKernelParams()
+{
+    os::KernelParams p;
+    p.cores = 4;
+    p.coreFreqHz = 2.45e9;
+    p.memChannels = 2;
+    p.dramTiming = mem::DramTiming::lpddr4_1866();
+    return p;
+}
+
+mcn::McnDimmParams
+mcnDimmParams(const McnConfig &config)
+{
+    mcn::McnDimmParams p;
+    p.kernel = mcnKernelParams();
+    p.config = config;
+    return p;
+}
+
+os::KernelParams
+niosKernelParams()
+{
+    os::KernelParams p;
+    p.cores = 1;
+    p.coreFreqHz = 266e6;
+    p.memChannels = 1;
+    p.dramTiming = mem::DramTiming::ddr3_1066();
+    return p;
+}
+
+} // namespace mcnsim::core

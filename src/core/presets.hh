@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table II system-configuration presets: the host processor, the
+ * MCN processor, and the baseline network parameters used across
+ * the evaluation.
+ */
+
+#ifndef MCNSIM_CORE_PRESETS_HH
+#define MCNSIM_CORE_PRESETS_HH
+
+#include "mcn/mcn_dimm.hh"
+#include "os/kernel.hh"
+#include "sim/types.hh"
+
+namespace mcnsim::core {
+
+/** Host processor: 8 cores @ 3.4 GHz, DDR4-3200 (Table II). */
+os::KernelParams hostKernelParams(std::uint32_t mem_channels = 2,
+                                  std::uint32_t cores = 8);
+
+/** MCN processor: 4 cores @ 2.45 GHz, LPDDR4 local channels. */
+os::KernelParams mcnKernelParams();
+
+/** MCN DIMM template built from the Table II MCN row. */
+mcn::McnDimmParams mcnDimmParams(const McnConfig &config);
+
+/** Baseline network: 10 GbE, 1 us link latency (Table II). */
+struct BaselineNetParams
+{
+    double linkBps = 10e9;
+    sim::Tick linkLatency = 1 * sim::oneUs;
+    std::uint32_t mtu = 1500;
+    bool nicTso = false;
+    bool nicChecksumOffload = false;
+};
+
+/**
+ * ConTutto proof-of-concept preset (Sec. VI-C): one MCN DIMM with
+ * a very slow NIOS-II-class soft core (266 MHz, single core) and
+ * DDR3-1066 DRAM, used by the feasibility-demo example.
+ */
+os::KernelParams niosKernelParams();
+
+} // namespace mcnsim::core
+
+#endif // MCNSIM_CORE_PRESETS_HH

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * System builders: address assignment, neighbour tables, wiring.
+ */
+
+#include "core/system_builder.hh"
+
+#include "sim/logging.hh"
+
+namespace mcnsim::core {
+
+// ---------------------------------------------------------------------
+// McnSystem
+// ---------------------------------------------------------------------
+
+McnSystem::McnSystem(sim::Simulation &s,
+                     const McnSystemParams &params)
+    : params_(params)
+{
+    const std::string pfx = params.namePrefix;
+    hostKernel_ = std::make_unique<os::Kernel>(s, pfx + "host", 0,
+                                               params.host);
+    hostStack_ = std::make_unique<net::NetStack>(
+        s, pfx + "host.net", *hostKernel_);
+    hostStack_->setChecksumBypass(params.config.checksumBypass);
+    driver_ = std::make_unique<mcn::McnHostDriver>(
+        s, pfx + "host.mcndrv", *hostKernel_, params.config);
+
+    hostAddr_ = net::Ipv4Addr(10, 0, params.subnet, 1);
+    hostStack_->setNodeAddress(hostAddr_);
+
+    // Create the DIMMs, spread round-robin over host channels
+    // ("we evenly distribute MCN DIMMs on the host memory
+    // channels", Sec. VI-B).
+    std::uint32_t channels = hostKernel_->mem().channelCount();
+    for (std::size_t i = 0; i < params.numDimms; ++i) {
+        mcn::McnDimmParams dp;
+        dp.kernel = params.dimmKernel;
+        dp.config = params.config;
+        auto dimm = std::make_unique<mcn::McnDimm>(
+            s, pfx + "mcn" + std::to_string(i),
+            static_cast<int>(i + 1), dp);
+        dimm->configureAddress(dimmAddr(i));
+
+        auto &host_if = driver_->addDimm(
+            *dimm, static_cast<std::uint32_t>(i % channels));
+
+        // Host-side: point-to-point /32 route keyed on the peer's
+        // address (Sec. III-B network organization).
+        hostStack_->addPointToPoint(host_if, dimmAddr(i));
+        hostStack_->addNeighbor(dimmAddr(i), dimm->mac());
+
+        dimms_.push_back(std::move(dimm));
+    }
+
+    // MCN-side neighbour tables: the host resolves to the
+    // corresponding host-side interface (F1); other MCN nodes
+    // resolve to their own MCN-side interface MAC (F3).
+    for (std::size_t i = 0; i < dimms_.size(); ++i) {
+        auto &st = dimms_[i]->stack();
+        st.addNeighbor(hostAddr_,
+                       driver_->hostInterface(i).mac());
+        // Anything beyond this server (multi-server MCN) also goes
+        // to the host, which forwards it (F1 + IP forwarding).
+        st.setDefaultNeighbor(driver_->hostInterface(i).mac());
+        for (std::size_t j = 0; j < dimms_.size(); ++j) {
+            if (j != i)
+                st.addNeighbor(dimmAddr(j), dimms_[j]->mac());
+        }
+    }
+}
+
+net::Ipv4Addr
+McnSystem::dimmAddr(std::size_t i) const
+{
+    return net::Ipv4Addr(10, 0, params_.subnet,
+                         static_cast<std::uint8_t>(2 + i));
+}
+
+NodeRef
+McnSystem::node(std::size_t i)
+{
+    NodeRef r;
+    if (i == 0) {
+        r.kernel = hostKernel_.get();
+        r.stack = hostStack_.get();
+        r.addr = hostAddr_;
+    } else {
+        r.kernel = &dimms_[i - 1]->kernel();
+        r.stack = &dimms_[i - 1]->stack();
+        r.addr = dimmAddr(i - 1);
+    }
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// ClusterSystem
+// ---------------------------------------------------------------------
+
+ClusterSystem::ClusterSystem(sim::Simulation &s,
+                             const ClusterSystemParams &params)
+    : params_(params)
+{
+    switch_ = std::make_unique<netdev::EthernetSwitch>(
+        s, "tor", static_cast<std::uint32_t>(params.numNodes));
+
+    for (std::size_t i = 0; i < params.numNodes; ++i) {
+        auto n = std::make_unique<Node>();
+        std::string nm = "node" + std::to_string(i);
+        n->kernel = std::make_unique<os::Kernel>(
+            s, nm, static_cast<int>(i), params.node);
+        n->stack = std::make_unique<net::NetStack>(s, nm + ".net",
+                                                   *n->kernel);
+        n->nic = std::make_unique<netdev::Nic>(
+            s, nm + ".nic",
+            net::MacAddr::fromId(
+                0x300000u + static_cast<std::uint32_t>(i)),
+            *n->kernel);
+        n->nic->setMtu(params.net.mtu);
+        n->nic->features().tso = params.net.nicTso;
+        n->nic->features().checksumOffload =
+            params.net.nicChecksumOffload;
+
+        n->link = std::make_unique<netdev::EthernetLink>(
+            s, nm + ".link", params.net.linkBps,
+            params.net.linkLatency);
+        n->nic->attachLink(*n->link);
+        switch_->attachLink(static_cast<std::uint32_t>(i),
+                            *n->link);
+
+        n->addr = net::Ipv4Addr(
+            192, 168, 1, static_cast<std::uint8_t>(1 + i));
+        // One /24-ish interface: match anything in 192.168.1.x.
+        n->stack->addInterface(*n->nic, n->addr,
+                               net::SubnetMask{0xffffff00});
+        nodes_.push_back(std::move(n));
+    }
+
+    // Static neighbour tables (no ARP, see DESIGN.md).
+    for (auto &a : nodes_)
+        for (auto &b : nodes_)
+            if (a != b)
+                a->stack->addNeighbor(b->addr, b->nic->mac());
+}
+
+net::Ipv4Addr
+ClusterSystem::addrOf(std::size_t i) const
+{
+    return nodes_[i]->addr;
+}
+
+NodeRef
+ClusterSystem::node(std::size_t i)
+{
+    NodeRef r;
+    r.kernel = nodes_[i]->kernel.get();
+    r.stack = nodes_[i]->stack.get();
+    r.addr = nodes_[i]->addr;
+    return r;
+}
+
+// ---------------------------------------------------------------------
+// McnMultiServer
+// ---------------------------------------------------------------------
+
+McnMultiServer::McnMultiServer(sim::Simulation &s,
+                               const McnMultiServerParams &params)
+    : params_(params)
+{
+    switch_ = std::make_unique<netdev::EthernetSwitch>(
+        s, "fabric",
+        static_cast<std::uint32_t>(params.numServers));
+
+    // Build the servers.
+    for (std::size_t sv = 0; sv < params.numServers; ++sv) {
+        McnSystemParams sp;
+        sp.numDimms = params.dimmsPerServer;
+        sp.config = params.config;
+        sp.subnet = static_cast<std::uint8_t>(sv);
+        sp.namePrefix = "srv" + std::to_string(sv) + ".";
+        servers_.push_back(std::make_unique<McnSystem>(s, sp));
+    }
+
+    // Give each host a conventional NIC into the fabric and the
+    // routes/neighbours to reach every other server's nodes.
+    for (std::size_t sv = 0; sv < params.numServers; ++sv) {
+        auto &host = servers_[sv]->host();
+        auto &stack = servers_[sv]->hostStack();
+        auto nic = std::make_unique<netdev::Nic>(
+            s, "srv" + std::to_string(sv) + ".nic",
+            net::MacAddr::fromId(
+                0x400000u + static_cast<std::uint32_t>(sv)),
+            host);
+        nic->setMtu(params.uplink.mtu);
+        auto link = std::make_unique<netdev::EthernetLink>(
+            s, "srv" + std::to_string(sv) + ".uplink",
+            params.uplink.linkBps, params.uplink.linkLatency);
+        nic->attachLink(*link);
+        switch_->attachLink(static_cast<std::uint32_t>(sv), *link);
+
+        net::Ipv4Addr uplink_addr(
+            192, 168, 0, static_cast<std::uint8_t>(1 + sv));
+        int nic_if = stack.addInterface(
+            *nic, uplink_addr, net::SubnetMask{0xffffff00});
+        stack.setIpForwarding(true);
+        servers_[sv]->driver().setUplink(nic.get());
+
+        // Routes + gateway MACs toward every other server.
+        for (std::size_t other = 0; other < params.numServers;
+             ++other) {
+            if (other == sv)
+                continue;
+            stack.addRoute(
+                nic_if,
+                net::Ipv4Addr(10, 0,
+                              static_cast<std::uint8_t>(other), 0),
+                net::SubnetMask{0xffffff00});
+            net::MacAddr gw = net::MacAddr::fromId(
+                0x400000u + static_cast<std::uint32_t>(other));
+            stack.addNeighbor(
+                net::Ipv4Addr(192, 168, 0,
+                              static_cast<std::uint8_t>(1 + other)),
+                gw);
+            // Remote host + remote DIMM addresses resolve to the
+            // remote host's NIC (it forwards internally).
+            stack.addNeighbor(
+                net::Ipv4Addr(10, 0,
+                              static_cast<std::uint8_t>(other), 1),
+                gw);
+            for (std::size_t d = 0; d < params.dimmsPerServer;
+                 ++d)
+                stack.addNeighbor(
+                    net::Ipv4Addr(
+                        10, 0, static_cast<std::uint8_t>(other),
+                        static_cast<std::uint8_t>(2 + d)),
+                    gw);
+        }
+        nics_.push_back(std::move(nic));
+        links_.push_back(std::move(link));
+    }
+}
+
+std::size_t
+McnMultiServer::nodeCount() const
+{
+    return params_.numServers * (1 + params_.dimmsPerServer);
+}
+
+NodeRef
+McnMultiServer::node(std::size_t i)
+{
+    std::size_t per = 1 + params_.dimmsPerServer;
+    return servers_[i / per]->node(i % per);
+}
+
+// ---------------------------------------------------------------------
+// ScaleUpSystem
+// ---------------------------------------------------------------------
+
+ScaleUpSystem::ScaleUpSystem(sim::Simulation &s, std::uint32_t cores,
+                             std::uint32_t mem_channels)
+{
+    kernel_ = std::make_unique<os::Kernel>(
+        s, "fatnode", 0, hostKernelParams(mem_channels, cores));
+    stack_ = std::make_unique<net::NetStack>(s, "fatnode.net",
+                                             *kernel_);
+    addr_ = net::Ipv4Addr(10, 1, 0, 1);
+    stack_->setNodeAddress(addr_);
+}
+
+NodeRef
+ScaleUpSystem::node(std::size_t i)
+{
+    MCNSIM_ASSERT(i == 0, "scale-up system has one node");
+    NodeRef r;
+    r.kernel = kernel_.get();
+    r.stack = stack_.get();
+    r.addr = addr_;
+    return r;
+}
+
+} // namespace mcnsim::core

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Core implementation.
+ */
+
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "sim/simulation.hh"
+
+namespace mcnsim::cpu {
+
+Core::Core(sim::Simulation &s, std::string name,
+           const sim::ClockDomain &clock)
+    : sim::SimObject(s, std::move(name)), clock_(clock)
+{
+    regStat(&statSlots_);
+    regStat(&statBusy_);
+    regStat(&statIrqSlots_);
+}
+
+void
+Core::execute(Cycles cycles, std::function<void(Tick)> done, bool irq)
+{
+    Slot slot{cycles, std::move(done)};
+    if (irq) {
+        statIrqSlots_ += 1;
+        queue_.push_front(std::move(slot));
+    } else {
+        queue_.push_back(std::move(slot));
+    }
+    if (!running_)
+        startNext();
+}
+
+sim::Task<void>
+Core::run(Cycles cycles)
+{
+    struct Awaiter
+    {
+        Core &core;
+        Cycles cycles;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            core.execute(cycles, [h](Tick) { h.resume(); });
+        }
+
+        void await_resume() {}
+    };
+    co_await Awaiter{*this, cycles};
+}
+
+Tick
+Core::backlogClearsAt() const
+{
+    Tick at = running_ ? currentEndsAt_ : curTick();
+    for (const auto &s : queue_)
+        at += clock_.cyclesToTicks(s.cycles);
+    return at;
+}
+
+double
+Core::utilisation(Tick since) const
+{
+    Tick window = curTick() - since;
+    if (window == 0)
+        return 0.0;
+    return std::min(1.0, static_cast<double>(busyTicks_) /
+                             static_cast<double>(window));
+}
+
+void
+Core::startNext()
+{
+    if (queue_.empty())
+        return;
+    Slot slot = std::move(queue_.front());
+    queue_.pop_front();
+
+    running_ = true;
+    statSlots_ += 1;
+    Tick duration = clock_.cyclesToTicks(slot.cycles);
+    busyTicks_ += duration;
+    statBusy_ += static_cast<double>(duration);
+    currentEndsAt_ = curTick() + duration;
+
+    eventQueue().schedule(
+        [this, done = std::move(slot.done)] {
+            Tick now = curTick();
+            running_ = false;
+            if (done)
+                done(now);
+            // The callback may have issued new work that is already
+            // running; only pull the next queued slot if still idle.
+            if (!running_ && !queue_.empty())
+                startNext();
+        },
+        currentEndsAt_, name() + ".slot");
+}
+
+} // namespace mcnsim::cpu

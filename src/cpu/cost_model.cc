@@ -1,0 +1,7 @@
+/**
+ * @file
+ * CostModel is header-only today; this TU anchors the module and
+ * keeps a home for future out-of-line calibration tables.
+ */
+
+#include "cpu/cost_model.hh"

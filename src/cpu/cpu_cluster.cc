@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CpuCluster implementation.
+ */
+
+#include "cpu/cpu_cluster.hh"
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace mcnsim::cpu {
+
+CpuCluster::CpuCluster(sim::Simulation &s, std::string name,
+                       std::uint32_t cores, double freq_hz,
+                       CostModel costs)
+    : sim::SimObject(s, std::move(name)),
+      clock_(this->name() + ".clk", freq_hz), costs_(costs)
+{
+    if (cores == 0)
+        sim::fatal(this->name(), ": need at least one core");
+    for (std::uint32_t i = 0; i < cores; ++i)
+        cores_.push_back(std::make_unique<Core>(
+            s, this->name() + ".core" + std::to_string(i), clock_));
+}
+
+Core &
+CpuCluster::leastLoaded()
+{
+    Core *best = cores_[0].get();
+    sim::Tick best_at = best->backlogClearsAt();
+    for (auto &c : cores_) {
+        sim::Tick at = c->backlogClearsAt();
+        if (at < best_at) {
+            best = c.get();
+            best_at = at;
+        }
+    }
+    return *best;
+}
+
+sim::Tick
+CpuCluster::totalBusyTicks() const
+{
+    sim::Tick sum = 0;
+    for (const auto &c : cores_)
+        sum += c->busyTicks();
+    return sum;
+}
+
+} // namespace mcnsim::cpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * BigDataBench workload models.
+ */
+
+#include "dist/bigdata.hh"
+
+namespace mcnsim::dist::bigdata {
+
+WorkloadSpec
+wordcount()
+{
+    WorkloadSpec s;
+    s.name = "wordcount";
+    s.iterations = 4;
+    s.computeCyclesPerIter = 4'000'000;
+    s.memBytesPerIter = 96ull << 20; // input scan dominates
+    s.comm = CommPattern::AllToAll;  // shuffle
+    s.commBytesPerIter = 512 * 1024;
+    return s;
+}
+
+WorkloadSpec
+sort()
+{
+    WorkloadSpec s;
+    s.name = "sort";
+    s.iterations = 4;
+    s.computeCyclesPerIter = 2'000'000;
+    s.memBytesPerIter = 48ull << 20;
+    s.comm = CommPattern::AllToAll; // full repartition
+    s.commBytesPerIter = 2ull << 20;
+    return s;
+}
+
+WorkloadSpec
+grep()
+{
+    WorkloadSpec s;
+    s.name = "grep";
+    s.iterations = 4;
+    s.computeCyclesPerIter = 1'000'000;
+    s.memBytesPerIter = 80ull << 20; // pure scan
+    s.comm = CommPattern::AllReduce;
+    s.commBytesPerIter = 4 * 1024;   // match counts
+    return s;
+}
+
+WorkloadSpec
+pagerank()
+{
+    WorkloadSpec s;
+    s.name = "pagerank";
+    s.iterations = 6;
+    s.computeCyclesPerIter = 3'000'000;
+    s.memBytesPerIter = 40ull << 20;
+    s.comm = CommPattern::AllReduce; // rank vector exchange
+    s.commBytesPerIter = 1ull << 20;
+    return s;
+}
+
+std::vector<WorkloadSpec>
+suite()
+{
+    return {grep(), pagerank(), sort(), wordcount()};
+}
+
+} // namespace mcnsim::dist::bigdata

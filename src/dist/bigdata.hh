@@ -1,0 +1,27 @@
+/**
+ * @file
+ * BigDataBench workload models (Sec. V): Spark/Hadoop-style
+ * data-analytics kernels expressed as scan + shuffle + reduce
+ * phases. WordCount, Sort, Grep and PageRank cover the map-heavy,
+ * shuffle-heavy, scan-heavy and iterate-heavy corners.
+ */
+
+#ifndef MCNSIM_DIST_BIGDATA_HH
+#define MCNSIM_DIST_BIGDATA_HH
+
+#include <vector>
+
+#include "dist/workload.hh"
+
+namespace mcnsim::dist::bigdata {
+
+WorkloadSpec wordcount();
+WorkloadSpec sort();
+WorkloadSpec grep();
+WorkloadSpec pagerank();
+
+std::vector<WorkloadSpec> suite();
+
+} // namespace mcnsim::dist::bigdata
+
+#endif // MCNSIM_DIST_BIGDATA_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CORAL workload models.
+ */
+
+#include "dist/coral.hh"
+
+namespace mcnsim::dist::coral {
+
+WorkloadSpec
+amg()
+{
+    WorkloadSpec s;
+    s.name = "amg";
+    s.iterations = 5;
+    s.computeCyclesPerIter = 1'500'000;
+    s.memBytesPerIter = 80ull << 20;
+    s.comm = CommPattern::AllReduce;
+    s.commBytesPerIter = 64 * 1024;
+    return s;
+}
+
+WorkloadSpec
+minife()
+{
+    WorkloadSpec s;
+    s.name = "minife";
+    s.iterations = 5;
+    s.computeCyclesPerIter = 2'500'000;
+    s.memBytesPerIter = 64ull << 20;
+    s.comm = CommPattern::NearestNeighbor;
+    s.commBytesPerIter = 384 * 1024;
+    return s;
+}
+
+WorkloadSpec
+lulesh()
+{
+    WorkloadSpec s;
+    s.name = "lulesh";
+    s.iterations = 5;
+    s.computeCyclesPerIter = 6'000'000;
+    s.memBytesPerIter = 40ull << 20;
+    s.comm = CommPattern::NearestNeighbor;
+    s.commBytesPerIter = 256 * 1024;
+    return s;
+}
+
+std::vector<WorkloadSpec>
+suite()
+{
+    return {amg(), minife(), lulesh()};
+}
+
+} // namespace mcnsim::dist::coral

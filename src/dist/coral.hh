@@ -1,0 +1,28 @@
+/**
+ * @file
+ * CORAL benchmark models (Sec. V). The paper evaluates
+ * communication-intensive members of the CORAL suite; we model the
+ * three whose behaviours bracket the suite: AMG (memory-bound
+ * multigrid solve with small global reductions), miniFE (memory-
+ * bound finite-element assembly with halo exchange) and LULESH
+ * (compute+memory hydro with neighbor exchange).
+ */
+
+#ifndef MCNSIM_DIST_CORAL_HH
+#define MCNSIM_DIST_CORAL_HH
+
+#include <vector>
+
+#include "dist/workload.hh"
+
+namespace mcnsim::dist::coral {
+
+WorkloadSpec amg();
+WorkloadSpec minife();
+WorkloadSpec lulesh();
+
+std::vector<WorkloadSpec> suite();
+
+} // namespace mcnsim::dist::coral
+
+#endif // MCNSIM_DIST_CORAL_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * iperf: the bandwidth measurement tool of the paper's Fig. 8(a).
+ * One server accepts any number of client connections; each client
+ * streams patterned bytes as fast as TCP allows for a fixed window
+ * of simulated time. The harness reports the server-side goodput.
+ */
+
+#ifndef MCNSIM_DIST_IPERF_HH
+#define MCNSIM_DIST_IPERF_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "net/net_stack.hh"
+#include "net/socket.hh"
+#include "sim/task.hh"
+
+namespace mcnsim::dist {
+
+/** Shared measurement state of one iperf run. */
+struct IperfStats
+{
+    std::uint64_t bytesReceived = 0;
+    sim::Tick firstByteAt = 0;
+    sim::Tick lastByteAt = 0;
+    int connections = 0;
+
+    /** Goodput over the receive window, Gbit/s. */
+    double gbps() const;
+};
+
+/**
+ * The iperf server: accepts connections forever, draining each and
+ * accounting into @p stats. Spawn detached; it never returns.
+ */
+sim::Task<void> iperfServer(net::NetStack &stack,
+                            std::uint16_t port,
+                            std::shared_ptr<IperfStats> stats);
+
+/**
+ * One iperf client: connect and stream until @p until (absolute
+ * tick), then close.
+ */
+sim::Task<void> iperfClient(net::NetStack &stack,
+                            net::SockAddr server, sim::Tick until,
+                            std::size_t chunk_bytes = 128 * 1024);
+
+} // namespace mcnsim::dist
+
+#endif // MCNSIM_DIST_IPERF_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Mini-MapReduce implementation over mini-MPI.
+ */
+
+#include "dist/mapreduce.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace mcnsim::dist {
+
+using sim::Task;
+using sim::Tick;
+
+namespace {
+
+/** Shared measurement state of one job. */
+struct JobState
+{
+    Tick mapDone = 0;
+    Tick shuffleDone = 0;
+    std::uint64_t shuffled = 0;
+};
+
+Task<void>
+workerBody(MpiRank &r, MapReduceJob job,
+           std::shared_ptr<JobState> st)
+{
+    int n = r.size();
+    co_await r.barrier();
+    Tick t0 = r.kernel().curTick();
+
+    // --- map: scan the split, emit per-reducer partitions --------
+    co_await r.memStream(job.inputBytesPerWorker, job.memStreamBps);
+    co_await r.compute(static_cast<sim::Cycles>(
+        job.mapCyclesPerByte *
+        static_cast<double>(job.inputBytesPerWorker)));
+
+    double sel = job.shuffleSelectivity;
+    if (job.combiner) {
+        // The combiner pre-aggregates map output: extra compute,
+        // much less shuffle volume.
+        co_await r.compute(static_cast<sim::Cycles>(
+            0.1 * static_cast<double>(job.inputBytesPerWorker)));
+        sel *= 0.25;
+    }
+
+    co_await r.barrier();
+    st->mapDone = std::max(st->mapDone,
+                           r.kernel().curTick() - t0);
+    Tick t1 = r.kernel().curTick();
+
+    // --- shuffle: every worker sends each reducer its partition --
+    std::uint64_t emitted = static_cast<std::uint64_t>(
+        sel * static_cast<double>(job.inputBytesPerWorker));
+    std::uint64_t per_peer =
+        std::max<std::uint64_t>(1, emitted /
+                                       static_cast<std::uint64_t>(
+                                           std::max(1, n)));
+    co_await r.alltoall(per_peer);
+    st->shuffled += emitted;
+
+    co_await r.barrier();
+    st->shuffleDone = std::max(st->shuffleDone,
+                               r.kernel().curTick() - t1);
+
+    // --- reduce: combine the received partitions ------------------
+    co_await r.memStream(emitted, job.memStreamBps);
+    co_await r.compute(static_cast<sim::Cycles>(
+        job.reduceCyclesPerByte * static_cast<double>(emitted)));
+
+    co_await r.barrier();
+}
+
+} // namespace
+
+MapReduceReport
+runMapReduce(sim::Simulation &s, core::System &sys,
+             const MapReduceJob &job,
+             const std::vector<std::size_t> &worker_nodes,
+             sim::Tick deadline, std::uint16_t base_port)
+{
+    std::vector<core::NodeRef> nodes;
+    nodes.reserve(worker_nodes.size());
+    for (std::size_t n : worker_nodes)
+        nodes.push_back(sys.node(n));
+
+    MpiWorld world(s, std::move(nodes), base_port);
+    auto st = std::make_shared<JobState>();
+    Tick start = s.curTick();
+    world.launch([job, st](MpiRank &r) {
+        return workerBody(r, job, st);
+    });
+    world.runToCompletion(s, start + deadline);
+
+    MapReduceReport rep;
+    rep.completed = world.done();
+    Tick from = world.allReadyAt() ? world.allReadyAt() : start;
+    rep.makespan = s.curTick() - from;
+    rep.mapPhase = st->mapDone;
+    rep.shufflePhase = st->shuffleDone;
+    rep.shuffledBytes = st->shuffled;
+    return rep;
+}
+
+MapReduceJob
+wordcountJob()
+{
+    MapReduceJob j;
+    j.name = "wordcount";
+    j.inputBytesPerWorker = 48ull << 20;
+    j.mapCyclesPerByte = 0.5;   // tokenising
+    j.shuffleSelectivity = 0.15;
+    j.reduceCyclesPerByte = 0.3;
+    j.combiner = true; // word counts pre-aggregate beautifully
+    return j;
+}
+
+MapReduceJob
+sortJob()
+{
+    MapReduceJob j;
+    j.name = "sort";
+    j.inputBytesPerWorker = 32ull << 20;
+    j.mapCyclesPerByte = 0.2;
+    j.shuffleSelectivity = 1.0; // everything moves
+    j.reduceCyclesPerByte = 0.6;
+    j.combiner = false;
+    return j;
+}
+
+MapReduceJob
+grepJob()
+{
+    MapReduceJob j;
+    j.name = "grep";
+    j.inputBytesPerWorker = 64ull << 20;
+    j.mapCyclesPerByte = 0.3;
+    j.shuffleSelectivity = 0.01; // rare matches
+    j.reduceCyclesPerByte = 0.1;
+    j.combiner = false;
+    return j;
+}
+
+} // namespace mcnsim::dist

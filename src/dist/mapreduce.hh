@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Mini-MapReduce: a second distributed-computing framework besides
+ * mini-MPI (the paper's intro motivates MCN with Hadoop/Spark-style
+ * frameworks). A job is map -> shuffle -> reduce:
+ *
+ *  - map: every worker scans its input split (memory streaming +
+ *    compute) and produces per-reducer partitions;
+ *  - shuffle: partitions travel to their reducer over TCP -- on an
+ *    MCN server that means over the memory channels;
+ *  - reduce: workers combine received partitions.
+ *
+ * Like mini-MPI, the framework is system-agnostic: the same job
+ * runs on a scale-up node, a 10GbE cluster, or an MCN server.
+ */
+
+#ifndef MCNSIM_DIST_MAPREDUCE_HH
+#define MCNSIM_DIST_MAPREDUCE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system_builder.hh"
+#include "dist/mpi.hh"
+#include "sim/task.hh"
+
+namespace mcnsim::dist {
+
+/** Description of one MapReduce job. */
+struct MapReduceJob
+{
+    std::string name = "job";
+
+    /** Input split size per worker (bytes scanned in map). */
+    std::uint64_t inputBytesPerWorker = 64ull << 20;
+
+    /** Map compute intensity, cycles per input byte. */
+    double mapCyclesPerByte = 0.25;
+
+    /** Shuffle selectivity: emitted bytes / input bytes. */
+    double shuffleSelectivity = 0.1;
+
+    /** Reduce compute intensity, cycles per shuffled byte. */
+    double reduceCyclesPerByte = 0.5;
+
+    /** Map-side combiner: shrinks shuffle volume further. */
+    bool combiner = false;
+
+    /** Memory streaming cap per worker (bytes/second). */
+    double memStreamBps = 12e9;
+};
+
+/** Outcome of a MapReduce run. */
+struct MapReduceReport
+{
+    bool completed = false;
+    sim::Tick makespan = 0;      ///< excluding framework startup
+    sim::Tick mapPhase = 0;      ///< slowest worker's map time
+    sim::Tick shufflePhase = 0;  ///< barrier-to-barrier shuffle
+    std::uint64_t shuffledBytes = 0;
+};
+
+/**
+ * Run @p job with one worker per entry of @p worker_nodes (indices
+ * into @p sys). Uses mini-MPI underneath for the shuffle and the
+ * phase barriers.
+ */
+MapReduceReport runMapReduce(sim::Simulation &s, core::System &sys,
+                             const MapReduceJob &job,
+                             const std::vector<std::size_t> &worker_nodes,
+                             sim::Tick deadline = 60 * sim::oneSec,
+                             std::uint16_t base_port = 7600);
+
+/** Canned jobs mirroring the BigDataBench kernels. */
+MapReduceJob wordcountJob();
+MapReduceJob sortJob();
+MapReduceJob grepJob();
+
+} // namespace mcnsim::dist
+
+#endif // MCNSIM_DIST_MAPREDUCE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * NPB workload models.
+ */
+
+#include "dist/npb.hh"
+
+namespace mcnsim::dist::npb {
+
+WorkloadSpec
+cg()
+{
+    WorkloadSpec s;
+    s.name = "cg";
+    s.iterations = 8;
+    s.computeCyclesPerIter = 2'000'000;
+    s.memBytesPerIter = 32ull << 20;
+    s.comm = CommPattern::IrregularP2P;
+    s.commBytesPerIter = 256 * 1024;
+    return s;
+}
+
+WorkloadSpec
+mg()
+{
+    WorkloadSpec s;
+    s.name = "mg";
+    s.iterations = 5;
+    s.computeCyclesPerIter = 1'000'000;
+    s.memBytesPerIter = 64ull << 20;
+    s.comm = CommPattern::NearestNeighbor;
+    s.commBytesPerIter = 512 * 1024;
+    return s;
+}
+
+WorkloadSpec
+ft()
+{
+    WorkloadSpec s;
+    s.name = "ft";
+    s.iterations = 4;
+    s.computeCyclesPerIter = 3'000'000;
+    s.memBytesPerIter = 48ull << 20;
+    s.comm = CommPattern::AllToAll;
+    s.commBytesPerIter = 1ull << 20; // per peer: transpose
+    return s;
+}
+
+WorkloadSpec
+is()
+{
+    WorkloadSpec s;
+    s.name = "is";
+    s.iterations = 5;
+    s.computeCyclesPerIter = 500'000;
+    s.memBytesPerIter = 24ull << 20;
+    s.comm = CommPattern::AllToAll;
+    s.commBytesPerIter = 512 * 1024; // bucket exchange
+    return s;
+}
+
+WorkloadSpec
+ep()
+{
+    WorkloadSpec s;
+    s.name = "ep";
+    s.iterations = 10;
+    s.computeCyclesPerIter = 20'000'000;
+    s.memBytesPerIter = 256 * 1024; // effectively cache resident
+    s.comm = CommPattern::AllReduce;
+    s.commBytesPerIter = 64; // final statistics only
+    return s;
+}
+
+WorkloadSpec
+lu()
+{
+    WorkloadSpec s;
+    s.name = "lu";
+    s.iterations = 8;
+    s.computeCyclesPerIter = 2'000'000;
+    s.memBytesPerIter = 24ull << 20;
+    s.comm = CommPattern::WavefrontP2P;
+    s.commBytesPerIter = 128 * 1024;
+    return s;
+}
+
+std::vector<WorkloadSpec>
+suite()
+{
+    return {cg(), ep(), ft(), is(), lu(), mg()};
+}
+
+} // namespace mcnsim::dist::npb

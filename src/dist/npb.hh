@@ -1,0 +1,35 @@
+/**
+ * @file
+ * NAS Parallel Benchmark models (Sec. V: NPB is the paper's main
+ * MPI workload suite, Fig. 11). Each factory returns the reference
+ * 4-rank spec; use WorkloadSpec::scaledTo(n) for other rank counts.
+ *
+ * The (compute, memory, communication) mixes follow the well-known
+ * characterisation of the suite: ep is compute-only, cg does
+ * irregular point-to-point with modest bandwidth, mg is
+ * memory-bound with halo exchanges, ft/is are all-to-all heavy,
+ * lu pipelines many small wavefront messages.
+ */
+
+#ifndef MCNSIM_DIST_NPB_HH
+#define MCNSIM_DIST_NPB_HH
+
+#include <vector>
+
+#include "dist/workload.hh"
+
+namespace mcnsim::dist::npb {
+
+WorkloadSpec cg();
+WorkloadSpec mg();
+WorkloadSpec ft();
+WorkloadSpec is();
+WorkloadSpec ep();
+WorkloadSpec lu();
+
+/** The suite in the paper's Fig. 11 order. */
+std::vector<WorkloadSpec> suite();
+
+} // namespace mcnsim::dist::npb
+
+#endif // MCNSIM_DIST_NPB_HH

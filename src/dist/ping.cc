@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ping sweep implementation.
+ */
+
+#include "dist/ping.hh"
+
+#include <algorithm>
+
+#include "net/icmp.hh"
+
+namespace mcnsim::dist {
+
+sim::Task<void>
+pingSweep(net::NetStack &from, net::Ipv4Addr dst,
+          std::vector<std::size_t> sizes, int count,
+          std::vector<PingPoint> &out)
+{
+    for (std::size_t size : sizes) {
+        PingPoint pt;
+        pt.payloadBytes = size;
+        pt.minRtt = sim::maxTick;
+        sim::Tick sum = 0;
+        int ok = 0;
+        for (int i = 0; i < count; ++i) {
+            sim::Tick rtt = co_await from.icmp().ping(dst, size);
+            if (rtt == sim::maxTick) {
+                pt.lost++;
+                continue;
+            }
+            ok++;
+            sum += rtt;
+            pt.minRtt = std::min(pt.minRtt, rtt);
+            pt.maxRtt = std::max(pt.maxRtt, rtt);
+            // Small gap between probes, as ping does.
+            co_await sim::delayFor(from.eventQueue(),
+                                   20 * sim::oneUs);
+        }
+        pt.avgRtt = ok ? sum / static_cast<sim::Tick>(ok) : 0;
+        out.push_back(pt);
+    }
+}
+
+} // namespace mcnsim::dist

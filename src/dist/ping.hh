@@ -1,0 +1,38 @@
+/**
+ * @file
+ * ping sweeps: the measurement behind Fig. 8(b)/(c). Sends a train
+ * of ICMP echos per payload size and reports the average RTT.
+ */
+
+#ifndef MCNSIM_DIST_PING_HH
+#define MCNSIM_DIST_PING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "net/net_stack.hh"
+#include "sim/task.hh"
+
+namespace mcnsim::dist {
+
+/** RTT result for one payload size. */
+struct PingPoint
+{
+    std::size_t payloadBytes = 0;
+    sim::Tick avgRtt = 0;
+    sim::Tick minRtt = 0;
+    sim::Tick maxRtt = 0;
+    int lost = 0;
+};
+
+/**
+ * Ping @p dst once per payload size in @p sizes, @p count times
+ * each; results land in @p out (one PingPoint per size).
+ */
+sim::Task<void> pingSweep(net::NetStack &from, net::Ipv4Addr dst,
+                          std::vector<std::size_t> sizes, int count,
+                          std::vector<PingPoint> &out);
+
+} // namespace mcnsim::dist
+
+#endif // MCNSIM_DIST_PING_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Workload model implementation.
+ */
+
+#include "dist/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcnsim::dist {
+
+using sim::Task;
+
+const char *
+to_string(CommPattern p)
+{
+    switch (p) {
+      case CommPattern::None:
+        return "none";
+      case CommPattern::NearestNeighbor:
+        return "nearest-neighbor";
+      case CommPattern::AllToAll:
+        return "all-to-all";
+      case CommPattern::AllReduce:
+        return "all-reduce";
+      case CommPattern::IrregularP2P:
+        return "irregular-p2p";
+      case CommPattern::WavefrontP2P:
+        return "wavefront-p2p";
+    }
+    return "?";
+}
+
+WorkloadSpec
+WorkloadSpec::scaledTo(int n) const
+{
+    WorkloadSpec s = *this;
+    double f = 4.0 / static_cast<double>(n);
+    s.computeCyclesPerIter = static_cast<std::uint64_t>(
+        static_cast<double>(computeCyclesPerIter) * f);
+    s.memBytesPerIter = static_cast<std::uint64_t>(
+        static_cast<double>(memBytesPerIter) * f);
+    if (comm == CommPattern::AllToAll) {
+        // Personalised all-to-all: per-peer volume is
+        // rank_data / peers, and rank_data itself shrinks 1/n, so
+        // per-peer bytes scale with (4/n)^2 (total per rank ~1/n).
+        s.commBytesPerIter = static_cast<std::uint64_t>(
+            static_cast<double>(commBytesPerIter) * f * f);
+    } else {
+        // Halo/boundary exchange: surface scaling.
+        s.commBytesPerIter = static_cast<std::uint64_t>(
+            static_cast<double>(commBytesPerIter) /
+            std::max(1.0,
+                     std::sqrt(static_cast<double>(n) / 4.0)));
+    }
+    s.commBytesPerIter = std::max<std::uint64_t>(
+        s.commBytesPerIter, 64);
+    return s;
+}
+
+namespace {
+
+Task<void>
+communicate(MpiRank &r, const WorkloadSpec &spec, int iter)
+{
+    int n = r.size();
+    if (n < 2)
+        co_return;
+
+    switch (spec.comm) {
+      case CommPattern::None:
+        break;
+
+      case CommPattern::NearestNeighbor: {
+        // Ring halo exchange; pair-up by parity to avoid deadlock.
+        int right = (r.rank() + 1) % n;
+        int left = (r.rank() - 1 + n) % n;
+        if (r.rank() % 2 == 0) {
+            co_await r.send(right, spec.commBytesPerIter);
+            co_await r.recv(left);
+            co_await r.send(left, spec.commBytesPerIter);
+            co_await r.recv(right);
+        } else {
+            co_await r.recv(left);
+            co_await r.send(right, spec.commBytesPerIter);
+            co_await r.recv(right);
+            co_await r.send(left, spec.commBytesPerIter);
+        }
+        break;
+      }
+
+      case CommPattern::AllToAll:
+        co_await r.alltoall(spec.commBytesPerIter);
+        break;
+
+      case CommPattern::AllReduce:
+        co_await r.allreduce(spec.commBytesPerIter);
+        break;
+
+      case CommPattern::IrregularP2P: {
+        // cg-style: pairwise exchange with a pseudo-random partner
+        // that changes every iteration. XOR pairing is symmetric
+        // (partner-of-partner == self), so sends and receives
+        // always match up.
+        int mask = 1 + static_cast<int>(
+                           (iter * 2654435761u) %
+                           static_cast<unsigned>(n - 1));
+        int partner = r.rank() ^ mask;
+        if (partner >= n)
+            break; // unpaired this round (non-power-of-two n)
+        if (r.rank() < partner) {
+            co_await r.send(partner, spec.commBytesPerIter);
+            co_await r.recv(partner);
+        } else {
+            co_await r.recv(partner);
+            co_await r.send(partner, spec.commBytesPerIter);
+        }
+        break;
+      }
+
+      case CommPattern::WavefrontP2P: {
+        // lu-style: many small pipelined messages down the ranks.
+        constexpr int messages = 8;
+        std::uint64_t per_msg =
+            std::max<std::uint64_t>(1, spec.commBytesPerIter /
+                                           messages);
+        for (int m = 0; m < messages; ++m) {
+            if (r.rank() > 0)
+                co_await r.recv(r.rank() - 1);
+            if (r.rank() < n - 1)
+                co_await r.send(r.rank() + 1, per_msg);
+        }
+        break;
+      }
+    }
+}
+
+} // namespace
+
+Task<void>
+runWorkloadRank(MpiRank &rank, WorkloadSpec spec)
+{
+    co_await rank.barrier();
+    for (int it = 0; it < spec.iterations; ++it) {
+        // Compute and memory streaming overlap in real kernels;
+        // model them as concurrent phases bounded by the slower.
+        if (spec.memBytesPerIter > 0 &&
+            spec.computeCyclesPerIter > 0) {
+            sim::TaskGroup g(rank.kernel().eventQueue());
+            g.spawn(rank.compute(spec.computeCyclesPerIter));
+            g.spawn(rank.memStream(spec.memBytesPerIter,
+                                   spec.memStreamBps));
+            co_await g.wait();
+        } else if (spec.memBytesPerIter > 0) {
+            co_await rank.memStream(spec.memBytesPerIter,
+                                    spec.memStreamBps);
+        } else if (spec.computeCyclesPerIter > 0) {
+            co_await rank.compute(spec.computeCyclesPerIter);
+        }
+
+        co_await communicate(rank, spec, it);
+    }
+    co_await rank.barrier();
+}
+
+} // namespace mcnsim::dist

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * AlertSignal implementation.
+ */
+
+#include "mcn/alert_signal.hh"
+
+#include <algorithm>
+
+#include "sim/simulation.hh"
+
+namespace mcnsim::mcn {
+
+AlertSignal::AlertSignal(sim::Simulation &s, std::string name,
+                         sim::Tick identify_latency)
+    : sim::SimObject(s, std::move(name)),
+      identifyLatency_(identify_latency)
+{
+    regStat(&statAsserts_);
+    regStat(&statCoalesced_);
+}
+
+void
+AlertSignal::assertFrom(std::uint32_t dimm)
+{
+    statAsserts_ += 1;
+    if (std::find(pending_.begin(), pending_.end(), dimm) !=
+        pending_.end()) {
+        statCoalesced_ += 1;
+        return;
+    }
+    pending_.push_back(dimm);
+    if (!busy_)
+        deliver();
+}
+
+void
+AlertSignal::deliver()
+{
+    if (pending_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    // Keep the entry queued until serviced so re-assertions from
+    // the same DIMM coalesce (open-drain: the wire is already low).
+    std::uint32_t dimm = pending_.front();
+
+    // The MC scans the channel to identify the asserting DIMM,
+    // then relays the interrupt.
+    eventQueue().scheduleIn(
+        [this, dimm] {
+            if (handler_)
+                handler_(dimm);
+            if (!pending_.empty() && pending_.front() == dimm)
+                pending_.erase(pending_.begin());
+            deliver();
+        },
+        identifyLatency_, name() + ".identify",
+        sim::EventPriority::HardwareIrq);
+}
+
+} // namespace mcnsim::mcn

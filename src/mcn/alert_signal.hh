@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ALERT_N repurposed as a DIMM -> host interrupt (Sec. IV-B).
+ *
+ * ALERT_N is a single open-drain wire shared by all DIMMs on a
+ * channel, so when it asserts the host MC must first identify which
+ * DIMM pulled it low (a short scan), then relay an interrupt to a
+ * core. That per-assertion identification cost -- and the fact that
+ * the handler then only polls the one channel -- is exactly what
+ * distinguishes mcn1 from mcn0's blanket HR-timer polling.
+ */
+
+#ifndef MCNSIM_MCN_ALERT_SIGNAL_HH
+#define MCNSIM_MCN_ALERT_SIGNAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/sim_object.hh"
+
+namespace mcnsim::mcn {
+
+/** One channel's shared ALERT_N wire. */
+class AlertSignal : public sim::SimObject
+{
+  public:
+    /** Handler receives the index of the asserting DIMM. */
+    using Handler = std::function<void(std::uint32_t dimm)>;
+
+    AlertSignal(sim::Simulation &s, std::string name,
+                sim::Tick identify_latency = 120 * sim::oneNs);
+
+    void setHandler(Handler h) { handler_ = std::move(h); }
+
+    /**
+     * DIMM @p dimm pulls the wire low. While an assertion is being
+     * serviced, further pulses from any DIMM are coalesced and
+     * re-delivered after the current one (open-drain semantics).
+     */
+    void assertFrom(std::uint32_t dimm);
+
+    std::uint64_t assertions() const
+    {
+        return static_cast<std::uint64_t>(statAsserts_.value());
+    }
+    std::uint64_t coalesced() const
+    {
+        return static_cast<std::uint64_t>(statCoalesced_.value());
+    }
+
+  private:
+    void deliver();
+
+    sim::Tick identifyLatency_;
+    Handler handler_;
+    std::vector<std::uint32_t> pending_;
+    bool busy_ = false;
+
+    sim::Scalar statAsserts_{"assertions", "ALERT_N assertions"};
+    sim::Scalar statCoalesced_{"coalesced",
+                               "assertions coalesced while busy"};
+};
+
+} // namespace mcnsim::mcn
+
+#endif // MCNSIM_MCN_ALERT_SIGNAL_HH

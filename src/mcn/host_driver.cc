@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Host-side MCN driver implementation.
+ */
+
+#include "mcn/host_driver.hh"
+
+#include "net/net_stack.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace mcnsim::mcn {
+
+namespace {
+/** Channel-local base of the first SRAM window (1 GB in). */
+constexpr mem::Addr windowRegionBase = 1ull << 30;
+
+/** Below this size the CPU copy beats DMA setup + completion
+ *  interrupt (driver copybreak, as in production NICs). */
+constexpr std::uint64_t dmaCopybreak = 1024;
+} // namespace
+
+// ---------------------------------------------------------------------
+// McnHostInterface
+// ---------------------------------------------------------------------
+
+McnHostInterface::McnHostInterface(sim::Simulation &s,
+                                   std::string name,
+                                   net::MacAddr mac,
+                                   std::uint32_t mtu,
+                                   McnHostDriver &driver,
+                                   std::size_t dimm_index)
+    : os::NetDevice(s, std::move(name), mac, mtu), driver_(driver),
+      dimmIndex_(dimm_index)
+{
+    features().tso = driver.config().tso;
+}
+
+os::TxResult
+McnHostInterface::xmit(net::PacketPtr pkt)
+{
+    auto res = driver_.xmitToDimm(dimmIndex_, pkt);
+    if (res == os::TxResult::Ok)
+        countTx(*pkt);
+    else
+        statTxBusy_ += 1;
+    return res;
+}
+
+// ---------------------------------------------------------------------
+// McnHostDriver
+// ---------------------------------------------------------------------
+
+McnHostDriver::McnHostDriver(sim::Simulation &s, std::string name,
+                             os::Kernel &host_kernel,
+                             core::McnConfig config)
+    : sim::SimObject(s, std::move(name)), kernel_(host_kernel),
+      config_(config)
+{
+    regStat(&statF1_);
+    regStat(&statF2_);
+    regStat(&statF3_);
+    regStat(&statF4_);
+    regStat(&statFDrop_);
+    regStat(&statPollScans_);
+    regStat(&statPollHits_);
+    regStat(&statRxRingFull_);
+}
+
+McnHostInterface &
+McnHostDriver::addDimm(McnDimm &dimm, std::uint32_t channel)
+{
+    MCNSIM_ASSERT(channel < kernel_.mem().channelCount(),
+                  "channel out of range");
+    auto b = std::make_unique<Binding>();
+    b->dimm = &dimm;
+    b->channel = channel;
+    b->slot = slotsPerChannel_[channel]++;
+    b->windowBase =
+        windowRegionBase + b->slot * dimm.config().sramBytes;
+
+    std::size_t idx = dimms_.size();
+    b->iface = std::make_unique<McnHostInterface>(
+        simulation(), name() + ".veth" + std::to_string(idx),
+        net::MacAddr::fromId(0x200000u +
+                             static_cast<std::uint32_t>(idx)),
+        config_.mtu, *this, idx);
+
+    auto &mc = kernel_.mem().controller(channel);
+    dimm.iface().mapHostWindow(mc, b->windowBase);
+    b->copy = std::make_unique<mem::CopyEngine>(
+        simulation(), name() + ".copy" + std::to_string(idx), mc);
+    if (config_.dma)
+        b->dma = std::make_unique<McnDmaEngine>(
+            simulation(), name() + ".dma" + std::to_string(idx),
+            kernel_, mc.bulk());
+
+    // Inventory for the memory mapping unit.
+    mem::DimmInfo info;
+    info.name = dimm.name();
+    info.kind = mem::DimmKind::Mcn;
+    info.sramWindowBase = b->windowBase;
+    info.sramWindowSize = dimm.config().sramBytes;
+    kernel_.mem().addDimm(channel, info);
+
+    if (config_.alertInterrupt) {
+        auto &alert = alerts_[channel];
+        if (!alert) {
+            alert = std::make_unique<AlertSignal>(
+                simulation(),
+                name() + ".alert" + std::to_string(channel));
+            alert->setHandler([this, channel](std::uint32_t slot) {
+                // Interrupt relayed to a core; then poll exactly
+                // the asserting DIMM.
+                for (std::size_t i = 0; i < dimms_.size(); ++i) {
+                    if (dimms_[i]->channel == channel &&
+                        dimms_[i]->slot == slot) {
+                        kernel_.cpus().execute(
+                            kernel_.costs().interruptEntry,
+                            [this, i](sim::Tick) { drainDimm(i); },
+                            /*irq=*/true);
+                        return;
+                    }
+                }
+            });
+        }
+        AlertSignal *sig = alert.get();
+        std::uint32_t slot = b->slot;
+        dimm.iface().setAlertHandler(
+            [sig, slot] { sig->assertFrom(slot); });
+    }
+
+    dimms_.push_back(std::move(b));
+    return *dimms_.back()->iface;
+}
+
+void
+McnHostDriver::startup()
+{
+    if (!config_.alertInterrupt && !dimms_.empty()) {
+        pollTimer_ = std::make_unique<os::HrTimer>(
+            simulation(), name() + ".pollTimer", kernel_.cpus());
+        pollTimer_->startPeriodic(config_.pollPeriod, [this] {
+            // The HR-timer body must be tiny: schedule the tasklet.
+            kernel_.softirq().schedule([this] { pollTasklet(); });
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// C3: polling agent
+// ---------------------------------------------------------------------
+
+void
+McnHostDriver::pollTasklet()
+{
+    if (pollInFlight_)
+        return;
+    pollInFlight_ = true;
+    scanNext(0);
+}
+
+void
+McnHostDriver::scanNext(std::size_t idx)
+{
+    if (idx >= dimms_.size()) {
+        pollInFlight_ = false;
+        return;
+    }
+    Binding &b = *dimms_[idx];
+    statPollScans_ += 1;
+
+    // Read the tx-poll field: one uncached access over the memory
+    // channel plus the driver's check cost.
+    fieldAccess(b, mem::MemRequest::Kind::Read,
+                [this, idx](sim::Tick) {
+                    kernel_.cpus().execute(
+                        kernel_.costs().mcnPollPerDimm,
+                        [this, idx](sim::Tick) {
+                            Binding &bb = *dimms_[idx];
+                            if (bb.dimm->iface().sram().txPoll()) {
+                                statPollHits_ += 1;
+                                drainDimm(idx);
+                            }
+                            scanNext(idx + 1);
+                        });
+                });
+}
+
+void
+McnHostDriver::fieldAccess(Binding &b, mem::MemRequest::Kind kind,
+                           std::function<void(sim::Tick)> done)
+{
+    mem::MemRequest r;
+    r.kind = kind;
+    r.addr = b.windowBase; // the control block lives at the base
+    r.size = 8;
+    r.onComplete = std::move(done);
+    kernel_.mem().controller(b.channel).access(std::move(r));
+}
+
+// ---------------------------------------------------------------------
+// R1-R5: draining a DIMM's TX ring
+// ---------------------------------------------------------------------
+
+void
+McnHostDriver::drainDimm(std::size_t idx)
+{
+    Binding &b = *dimms_[idx];
+    if (b.draining)
+        return;
+    b.draining = true;
+    if (channelDraining_[b.channel]) {
+        drainQueue_[b.channel].push_back(idx);
+        return;
+    }
+    startDrain(idx);
+}
+
+void
+McnHostDriver::startDrain(std::size_t idx)
+{
+    Binding &b = *dimms_[idx];
+    channelDraining_[b.channel] = true;
+    // R1: read tx-start and tx-end.
+    fieldAccess(b, mem::MemRequest::Kind::Read,
+                [this, idx](sim::Tick) { drainLoop(idx); });
+}
+
+void
+McnHostDriver::drainFinished(std::size_t idx)
+{
+    Binding &b = *dimms_[idx];
+    b.draining = false;
+    channelDraining_[b.channel] = false;
+    auto &q = drainQueue_[b.channel];
+    if (!q.empty()) {
+        std::size_t next = q.front();
+        q.pop_front();
+        startDrain(next);
+    }
+    // Anything deposited while we cleared the flag re-raises the
+    // poll/alert on the MCN side, so nothing is lost.
+    if (b.dimm->iface().sram().txPoll())
+        drainDimm(idx);
+}
+
+void
+McnHostDriver::drainLoop(std::size_t idx)
+{
+    Binding &b = *dimms_[idx];
+    auto &ring = b.dimm->iface().sram().tx();
+
+    if (ring.empty()) {
+        // R5 done: reset tx-poll (one uncached write), then exit.
+        b.dimm->iface().sram().clearTxPoll();
+        fieldAccess(b, mem::MemRequest::Kind::Write,
+                    [this, idx](sim::Tick) {
+                        drainFinished(idx);
+                    });
+        return;
+    }
+
+    // R2/R3: the first cache line gives length + dst-mac; then the
+    // message body is copied out of the SRAM window.
+    auto msg = ring.dequeue();
+    MCNSIM_ASSERT(msg, "non-empty TX ring without front message");
+    std::uint64_t bytes = msg->bytes.size();
+    auto pkt = net::Packet::make(std::move(msg->bytes));
+    pkt->trace = msg->trace;
+
+    const auto &costs = kernel_.costs();
+    auto after_copy = [this, idx, pkt](sim::Tick now) {
+        pkt->trace.stamp(net::Stage::DriverRx, now);
+        forward(idx, pkt);
+        drainLoop(idx);
+    };
+
+    if (b.dma && bytes > dmaCopybreak) {
+        b.dma->transfer(bytes, after_copy);
+    } else {
+        // memcpy_from_mcn: cacheable reads + explicit invalidate;
+        // CPU issues the loads, the channel moves the lines.
+        kernel_.cpus().execute(
+            costs.mcnDriverRx + costs.copy(bytes),
+            [&b, bytes, after_copy](sim::Tick) {
+                b.copy->copy(bytes, mem::CopyMode::CacheableRead,
+                             after_copy);
+            });
+    }
+}
+
+// ---------------------------------------------------------------------
+// T1-T3: host -> DIMM
+// ---------------------------------------------------------------------
+
+os::TxResult
+McnHostDriver::xmitToDimm(std::size_t idx, net::PacketPtr pkt)
+{
+    Binding &b = *dimms_[idx];
+    auto &ring = b.dimm->iface().sram().rx();
+    std::size_t need = MessageRing::footprint(pkt->size());
+    if (need + b.rxReserved > ring.freeBytes()) {
+        statRxRingFull_ += 1;
+        return os::TxResult::Busy; // NETDEV_TX_BUSY
+    }
+    b.rxReserved += need;
+
+    std::uint64_t bytes = pkt->size();
+    const auto &costs = kernel_.costs();
+
+    // The message lands in the ring when the modelled copy is done
+    // (T3: update rx-end, fence, set rx-poll -> MCN IRQ).
+    auto finish = [this, idx, pkt, need](sim::Tick now) {
+        pkt->trace.stamp(net::Stage::DriverTx, now);
+        Binding &bb = *dimms_[idx];
+        bool ok = bb.dimm->iface().sram().rx().enqueue(
+            pkt->data(), pkt->size(),
+            std::make_shared<net::LatencyTrace>(pkt->trace));
+        MCNSIM_ASSERT(ok, "RX ring enqueue failed after reserve");
+        bb.rxReserved -= need;
+        bb.dimm->iface().hostDepositedRx();
+    };
+
+    if (b.dma && bytes > dmaCopybreak) {
+        b.dma->transfer(bytes, finish);
+    } else {
+        // memcpy_to_mcn: write-combined stores, interleave-aware
+        // strides keep every line on this DIMM's channel.
+        kernel_.cpus().execute(
+            costs.mcnDriverTx + costs.copy(bytes),
+            [&b, bytes, finish](sim::Tick) {
+                b.copy->copy(bytes, mem::CopyMode::WriteCombined,
+                             finish);
+            });
+    }
+    return os::TxResult::Ok;
+}
+
+/** Lossless relay: retry a busy destination ring periodically
+ *  (qdisc semantics; the source ring backpressures upstream). */
+void
+McnHostDriver::relayToDimm(std::size_t idx, net::PacketPtr pkt)
+{
+    if (xmitToDimm(idx, pkt) == os::TxResult::Busy) {
+        eventQueue().scheduleIn(
+            [this, idx, pkt] { relayToDimm(idx, pkt); },
+            5 * sim::oneUs, name() + ".f3retry");
+    }
+}
+
+// ---------------------------------------------------------------------
+// C1: packet forwarding engine (F1-F4)
+// ---------------------------------------------------------------------
+
+void
+McnHostDriver::forward(std::size_t from_idx, net::PacketPtr pkt)
+{
+    auto eth = net::EthernetHeader::peek(*pkt);
+
+    // F2: broadcast -- deliver up AND replicate to every other MCN
+    // node (and the uplink).
+    if (eth.dst.isBroadcast()) {
+        statF2_ += 1;
+        statF1_ += 1;
+        dimms_[from_idx]->iface->deliverUp(pkt->clone());
+        for (std::size_t j = 0; j < dimms_.size(); ++j) {
+            if (j == from_idx)
+                continue;
+            xmitToDimm(j, pkt->clone());
+        }
+        if (uplink_)
+            uplink_->xmit(pkt->clone());
+        return;
+    }
+
+    // F1: destined to a host-side interface.
+    for (auto &bp : dimms_) {
+        if (eth.dst == bp->iface->mac()) {
+            statF1_ += 1;
+            dimms_[from_idx]->iface->deliverUp(std::move(pkt));
+            return;
+        }
+    }
+
+    // F3: destined to another MCN node's interface.
+    for (std::size_t j = 0; j < dimms_.size(); ++j) {
+        if (eth.dst == dimms_[j]->dimm->mac()) {
+            statF3_ += 1;
+            kernel_.cpus().execute(
+                kernel_.costs().ipForwardPerPacket,
+                [this, j, pkt](sim::Tick) {
+                    relayToDimm(j, pkt);
+                });
+            return;
+        }
+    }
+
+    // F4: neither the host nor an MCN node -- uplink NIC.
+    if (uplink_) {
+        statF4_ += 1;
+        kernel_.cpus().execute(
+            kernel_.costs().ipForwardPerPacket,
+            [this, pkt](sim::Tick) { uplink_->xmit(pkt); });
+        return;
+    }
+    statFDrop_ += 1;
+}
+
+} // namespace mcnsim::mcn

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The host-side MCN driver (paper Fig. 5): the three components are
+ *
+ *  (C1) the packet forwarding engine implementing scenarios F1-F4
+ *       (deliver up, broadcast, MCN-to-MCN relay, uplink NIC);
+ *  (C2) the memory mapping unit: each MCN DIMM's SRAM window is an
+ *       MMIO region on its channel's memory controller, and bulk
+ *       copies use the interleave-aware memcpy models
+ *       (write-combined stores toward the DIMM, cacheable reads +
+ *       invalidate from it, or MCN-DMA at mcn5);
+ *  (C3) the polling agent: an HR-timer + tasklet scan of every
+ *       DIMM's tx-poll field (mcn0), or the ALERT_N-based per-DIMM
+ *       interrupt (mcn1+).
+ *
+ * One McnHostInterface (a virtual Ethernet net_device) is created
+ * per MCN DIMM, giving the host a point-to-point link per node.
+ */
+
+#ifndef MCNSIM_MCN_HOST_DRIVER_HH
+#define MCNSIM_MCN_HOST_DRIVER_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/mcn_config.hh"
+#include "mcn/alert_signal.hh"
+#include "mcn/mcn_dimm.hh"
+#include "mcn/mcn_dma.hh"
+#include "mem/memcpy_model.hh"
+#include "os/hrtimer.hh"
+#include "os/kernel.hh"
+#include "os/net_device.hh"
+
+namespace mcnsim::mcn {
+
+class McnHostDriver;
+
+/** One host-side virtual Ethernet interface (per MCN DIMM). */
+class McnHostInterface : public os::NetDevice
+{
+  public:
+    McnHostInterface(sim::Simulation &s, std::string name,
+                     net::MacAddr mac, std::uint32_t mtu,
+                     McnHostDriver &driver, std::size_t dimm_index);
+
+    os::TxResult xmit(net::PacketPtr pkt) override;
+
+    std::size_t dimmIndex() const { return dimmIndex_; }
+
+  private:
+    McnHostDriver &driver_;
+    std::size_t dimmIndex_;
+};
+
+/** The host-side driver core. */
+class McnHostDriver : public sim::SimObject
+{
+  public:
+    McnHostDriver(sim::Simulation &s, std::string name,
+                  os::Kernel &host_kernel, core::McnConfig config);
+
+    /**
+     * Bind @p dimm, installed on host channel @p channel: creates
+     * the host-side interface, maps the SRAM window on that
+     * channel's controller and wires ALERT_N when configured.
+     * Returns the new interface (caller registers it with the host
+     * stack and assigns addresses).
+     */
+    McnHostInterface &addDimm(McnDimm &dimm, std::uint32_t channel);
+
+    /** Conventional NIC used for scenario F4 (may be null). */
+    void setUplink(os::NetDevice *dev) { uplink_ = dev; }
+
+    void startup() override;
+
+    const core::McnConfig &config() const { return config_; }
+    std::size_t dimmCount() const { return dimms_.size(); }
+    McnHostInterface &hostInterface(std::size_t i)
+    {
+        return *dimms_[i]->iface;
+    }
+    McnDimm &dimm(std::size_t i) { return *dimms_[i]->dimm; }
+
+    /** T1-T3 toward DIMM @p idx (called by the interfaces). */
+    os::TxResult xmitToDimm(std::size_t idx, net::PacketPtr pkt);
+
+    std::uint64_t forwardedMcnToMcn() const
+    {
+        return static_cast<std::uint64_t>(statF3_.value());
+    }
+    std::uint64_t deliveredToHost() const
+    {
+        return static_cast<std::uint64_t>(statF1_.value());
+    }
+    std::uint64_t pollScans() const
+    {
+        return static_cast<std::uint64_t>(statPollScans_.value());
+    }
+    std::uint64_t pollHits() const
+    {
+        return static_cast<std::uint64_t>(statPollHits_.value());
+    }
+
+  private:
+    struct Binding
+    {
+        McnDimm *dimm = nullptr;
+        std::uint32_t channel = 0;
+        std::uint32_t slot = 0; ///< position on its channel
+        mem::Addr windowBase = 0;
+        std::unique_ptr<McnHostInterface> iface;
+        std::unique_ptr<mem::CopyEngine> copy;
+        std::unique_ptr<McnDmaEngine> dma;
+        bool draining = false;
+        std::size_t rxReserved = 0; ///< in-flight copy bytes
+    };
+
+    /** One MMIO access to a control field of a DIMM's SRAM. */
+    void fieldAccess(Binding &b, mem::MemRequest::Kind kind,
+                     std::function<void(sim::Tick)> done);
+
+    void pollTasklet();
+    void scanNext(std::size_t idx);
+    void drainDimm(std::size_t idx);
+    void startDrain(std::size_t idx);
+    void drainLoop(std::size_t idx);
+    void drainFinished(std::size_t idx);
+    void forward(std::size_t from_idx, net::PacketPtr pkt);
+    void relayToDimm(std::size_t idx, net::PacketPtr pkt);
+
+    os::Kernel &kernel_;
+    core::McnConfig config_;
+    std::vector<std::unique_ptr<Binding>> dimms_;
+    std::map<std::uint32_t, std::unique_ptr<AlertSignal>> alerts_;
+    std::map<std::uint32_t, std::uint32_t> slotsPerChannel_;
+    // The driver drains one DIMM per channel at a time: the ring
+    // copies of one channel share that channel and the driver's
+    // per-channel context, so concurrent drains on one channel are
+    // not physical.
+    std::map<std::uint32_t, bool> channelDraining_;
+    std::map<std::uint32_t, std::deque<std::size_t>> drainQueue_;
+    os::NetDevice *uplink_ = nullptr;
+    std::unique_ptr<os::HrTimer> pollTimer_;
+    bool pollInFlight_ = false;
+
+    sim::Scalar statF1_{"f1HostDeliveries",
+                        "frames delivered to the host stack"};
+    sim::Scalar statF2_{"f2Broadcasts", "broadcast frames fanned out"};
+    sim::Scalar statF3_{"f3McnToMcn", "frames relayed MCN to MCN"};
+    sim::Scalar statF4_{"f4Uplink", "frames sent to the uplink NIC"};
+    sim::Scalar statFDrop_{"fDrops", "unroutable frames dropped"};
+    sim::Scalar statPollScans_{"pollScans", "tx-poll fields read"};
+    sim::Scalar statPollHits_{"pollHits", "polls finding data"};
+    sim::Scalar statRxRingFull_{"rxRingFull",
+                                "host->MCN ring-full busy returns"};
+};
+
+} // namespace mcnsim::mcn
+
+#endif // MCNSIM_MCN_HOST_DRIVER_HH

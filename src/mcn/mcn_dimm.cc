@@ -1,0 +1,51 @@
+/**
+ * @file
+ * McnDimm implementation.
+ */
+
+#include "mcn/mcn_dimm.hh"
+
+namespace mcnsim::mcn {
+
+namespace {
+/** IRQ line of the MCN interface inside the MCN processor. */
+constexpr std::uint32_t mcnRxIrqLine = 42;
+} // namespace
+
+McnDimm::McnDimm(sim::Simulation &s, std::string name, int node_id,
+                 const McnDimmParams &params)
+    : sim::SimObject(s, std::move(name)), params_(params)
+{
+    kernel_ = std::make_unique<os::Kernel>(
+        s, this->name() + ".kernel", node_id, params.kernel);
+    iface_ = std::make_unique<McnInterface>(
+        s, this->name() + ".iface", params.config.sramBytes,
+        params.iface);
+    stack_ = std::make_unique<net::NetStack>(
+        s, this->name() + ".net", *kernel_);
+    stack_->setChecksumBypass(params.config.checksumBypass);
+
+    driver_ = std::make_unique<McnDriver>(
+        s, this->name() + ".eth0",
+        net::MacAddr::fromId(0x100000u +
+                             static_cast<std::uint32_t>(node_id)),
+        *kernel_, *iface_, params.config);
+
+    // The interface IRQ goes through the MCN processor's interrupt
+    // controller (charging interrupt-entry cost), which then runs
+    // the driver's level-triggered drain.
+    os::Kernel *krn = kernel_.get();
+    iface_->setRxIrqHandler(
+        [krn] { krn->irq().raise(mcnRxIrqLine); });
+    McnDriver *drv = driver_.get();
+    kernel_->irq().request(mcnRxIrqLine, [drv] { drv->rxIrq(); });
+}
+
+void
+McnDimm::configureAddress(net::Ipv4Addr addr)
+{
+    addr_ = addr;
+    stack_->addInterface(*driver_, addr, net::SubnetMask::any());
+}
+
+} // namespace mcnsim::mcn

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * McnDimm: one MCN DIMM / MCN node (paper Sec. III-A) -- a mobile-
+ * class quad-core processor with its own local memory channels, the
+ * buffer device's MCN interface + SRAM, a full network stack, and
+ * the MCN-side driver, all behind a standard DIMM form factor.
+ */
+
+#ifndef MCNSIM_MCN_MCN_DIMM_HH
+#define MCNSIM_MCN_MCN_DIMM_HH
+
+#include <memory>
+
+#include "core/mcn_config.hh"
+#include "mcn/mcn_driver.hh"
+#include "mcn/mcn_interface.hh"
+#include "net/net_stack.hh"
+#include "os/kernel.hh"
+#include "sim/sim_object.hh"
+
+namespace mcnsim::mcn {
+
+/** Construction parameters for an MCN DIMM. */
+struct McnDimmParams
+{
+    /** MCN processor: Snapdragon-835-class (Table II MCN row). */
+    os::KernelParams kernel{
+        .cores = 4,
+        .coreFreqHz = 2.45e9,
+        .memChannels = 2,
+        .dramTiming = mem::DramTiming::lpddr4_1866(),
+        .costs = {},
+    };
+    core::McnConfig config;
+    McnInterfaceParams iface;
+};
+
+/** One MCN node. */
+class McnDimm : public sim::SimObject
+{
+  public:
+    McnDimm(sim::Simulation &s, std::string name, int node_id,
+            const McnDimmParams &params);
+
+    os::Kernel &kernel() { return *kernel_; }
+    McnInterface &iface() { return *iface_; }
+    net::NetStack &stack() { return *stack_; }
+    McnDriver &driver() { return *driver_; }
+
+    int nodeId() const { return kernel_->nodeId(); }
+    const core::McnConfig &config() const { return params_.config; }
+
+    /** The MCN-side interface's MAC (F3 routing key). */
+    net::MacAddr mac() const { return driver_->mac(); }
+
+    /** Assign the node's IP and bring the interface up
+     *  (subnet mask 0.0.0.0: everything is forwarded to the host,
+     *  Sec. III-B "network organization"). */
+    void configureAddress(net::Ipv4Addr addr);
+
+    net::Ipv4Addr addr() const { return addr_; }
+
+  private:
+    McnDimmParams params_;
+    std::unique_ptr<os::Kernel> kernel_;
+    std::unique_ptr<McnInterface> iface_;
+    std::unique_ptr<net::NetStack> stack_;
+    std::unique_ptr<McnDriver> driver_;
+    net::Ipv4Addr addr_;
+};
+
+} // namespace mcnsim::mcn
+
+#endif // MCNSIM_MCN_MCN_DIMM_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * McnDmaEngine implementation.
+ */
+
+#include "mcn/mcn_dma.hh"
+
+#include "sim/simulation.hh"
+
+namespace mcnsim::mcn {
+
+McnDmaEngine::McnDmaEngine(sim::Simulation &s, std::string name,
+                           os::Kernel &kernel,
+                           mem::BandwidthArbiter &arbiter,
+                           double rate_bps)
+    : sim::SimObject(s, std::move(name)), kernel_(kernel),
+      arbiter_(arbiter), rateBps_(rate_bps)
+{
+    regStat(&statTransfers_);
+    regStat(&statBytes_);
+}
+
+void
+McnDmaEngine::transfer(std::uint64_t bytes,
+                       std::function<void(sim::Tick)> done)
+{
+    statTransfers_ += 1;
+    statBytes_ += static_cast<double>(bytes);
+
+    // The driver writes the descriptor (node number + size) into
+    // the engine's configuration space, then the engine streams.
+    kernel_.cpus().leastLoaded().execute(
+        kernel_.costs().dmaSetup,
+        [this, bytes, done = std::move(done)](sim::Tick) {
+            arbiter_.startTransfer(
+                bytes,
+                [this, done](sim::Tick) {
+                    // Completion interrupt, then the callback.
+                    kernel_.cpus().execute(
+                        kernel_.costs().interruptEntry,
+                        [done](sim::Tick at) {
+                            if (done)
+                                done(at);
+                        },
+                        /*irq=*/true);
+                },
+                rateBps_);
+        });
+}
+
+} // namespace mcnsim::mcn

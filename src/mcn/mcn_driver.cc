@@ -1,0 +1,136 @@
+/**
+ * @file
+ * MCN-side driver implementation.
+ */
+
+#include "mcn/mcn_driver.hh"
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace mcnsim::mcn {
+
+namespace {
+/** Packets at or below this size stay on the CPU copy path even
+ *  when an MCN-DMA engine exists (descriptor setup + completion
+ *  interrupt cost more than the copy). */
+constexpr std::uint64_t dmaCopybreak = 1024;
+} // namespace
+
+McnDriver::McnDriver(sim::Simulation &s, std::string name,
+                     net::MacAddr mac, os::Kernel &kernel,
+                     McnInterface &iface, core::McnConfig config)
+    : os::NetDevice(s, std::move(name), mac, config.mtu),
+      kernel_(kernel), iface_(iface), config_(config)
+{
+    features().tso = config.tso;
+    if (config.dma)
+        // The MCN-side engine moves bytes between the DIMM's own
+        // DRAM and the SRAM over the on-chip bus: full port rate,
+        // unlike the host-side engine that crosses the channel.
+        dma_ = std::make_unique<McnDmaEngine>(
+            s, this->name() + ".dma", kernel_, iface_.sramPort(),
+            12.8e9);
+
+    regStat(&statTxMsgs_);
+    regStat(&statRxMsgs_);
+    regStat(&statTxFull_);
+}
+
+os::TxResult
+McnDriver::xmit(net::PacketPtr pkt)
+{
+    auto &ring = iface_.sram().tx();
+    // T1/T2: check space against the cached ring pointers,
+    // accounting for copies already in flight.
+    std::size_t need = MessageRing::footprint(pkt->size());
+    if (need + txReserved_ > ring.freeBytes()) {
+        statTxFull_ += 1;
+        statTxBusy_ += 1;
+        return os::TxResult::Busy; // NETDEV_TX_BUSY
+    }
+    txReserved_ += need;
+    statTxMsgs_ += 1;
+    countTx(*pkt);
+
+    std::uint64_t bytes = pkt->size();
+    const auto &costs = kernel_.costs();
+
+    // The message becomes visible in the ring only when the
+    // modelled copy completes (T3: update tx-end, fence, tx-poll).
+    auto finish = [this, pkt, need](sim::Tick now) {
+        pkt->trace.stamp(net::Stage::DriverTx, now);
+        bool ok = iface_.sram().tx().enqueue(
+            pkt->data(), pkt->size(),
+            std::make_shared<net::LatencyTrace>(pkt->trace));
+        MCNSIM_ASSERT(ok, "TX ring enqueue failed after reserve");
+        txReserved_ -= need;
+        iface_.mcnDepositedTx();
+    };
+
+    // Copybreak: programming the DMA engine costs more than a CPU
+    // copy for small packets, so those stay on the CPU path (the
+    // standard trick in production NIC drivers).
+    if (dma_ && bytes > dmaCopybreak) {
+        dma_->transfer(bytes, finish);
+    } else {
+        // CPU memcpy into the SRAM through the on-chip port.
+        kernel_.cpus().leastLoaded().execute(
+            costs.mcnDriverTx + costs.copy(bytes),
+            [this, bytes, finish](sim::Tick) {
+                iface_.sramPort().startTransfer(bytes, finish);
+            });
+    }
+    return os::TxResult::Ok;
+}
+
+void
+McnDriver::rxIrq()
+{
+    if (draining_)
+        return;
+    draining_ = true;
+    // The interrupt cost was charged by the IRQ path in the
+    // interface wiring; start the drain loop.
+    drainRx();
+}
+
+void
+McnDriver::drainRx()
+{
+    auto &ring = iface_.sram().rx();
+    if (ring.empty()) {
+        iface_.sram().clearRxPoll();
+        draining_ = false;
+        // Packets may have landed between the check and the flag
+        // clear; the interface re-raises its IRQ on the next
+        // deposit, so nothing is lost.
+        return;
+    }
+
+    auto msg = ring.dequeue();
+    MCNSIM_ASSERT(msg, "non-empty ring without front message");
+    statRxMsgs_ += 1;
+    std::uint64_t bytes = msg->bytes.size();
+    auto pkt = net::Packet::make(std::move(msg->bytes));
+    pkt->trace = msg->trace;
+
+    const auto &costs = kernel_.costs();
+    auto deliver = [this, pkt](sim::Tick now) {
+        pkt->trace.stamp(net::Stage::DriverRx, now);
+        deliverUp(pkt);
+        drainRx();
+    };
+
+    if (dma_ && bytes > dmaCopybreak) {
+        dma_->transfer(bytes, deliver);
+    } else {
+        kernel_.cpus().leastLoaded().execute(
+            costs.mcnDriverRx + costs.copy(bytes),
+            [this, bytes, deliver](sim::Tick) {
+                iface_.sramPort().startTransfer(bytes, deliver);
+            });
+    }
+}
+
+} // namespace mcnsim::mcn

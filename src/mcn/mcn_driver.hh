@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The MCN-side driver (Sec. III-B): the network device the MCN
+ * processor's stack sees. Transmit performs the paper's T1-T3 into
+ * the SRAM TX ring; receive drains the RX ring when the MCN
+ * interface raises its IRQ. With mcn5, an MCN-DMA engine does the
+ * byte moving instead of the MCN cores.
+ */
+
+#ifndef MCNSIM_MCN_MCN_DRIVER_HH
+#define MCNSIM_MCN_MCN_DRIVER_HH
+
+#include "core/mcn_config.hh"
+#include "mcn/mcn_dma.hh"
+#include "mcn/mcn_interface.hh"
+#include "os/kernel.hh"
+#include "os/net_device.hh"
+
+namespace mcnsim::mcn {
+
+/** The MCN node's virtual Ethernet device. */
+class McnDriver : public os::NetDevice
+{
+  public:
+    McnDriver(sim::Simulation &s, std::string name,
+              net::MacAddr mac, os::Kernel &kernel,
+              McnInterface &iface, core::McnConfig config);
+
+    os::TxResult xmit(net::PacketPtr pkt) override;
+
+    const core::McnConfig &config() const { return config_; }
+
+    /**
+     * Level-triggered receive entry: drain the RX ring. Wired to
+     * the MCN interface's IRQ through the kernel's IRQ controller
+     * (so interrupt-entry cost is charged) by McnDimm.
+     */
+    void rxIrq();
+
+    std::uint64_t rxMessages() const
+    {
+        return static_cast<std::uint64_t>(statRxMsgs_.value());
+    }
+
+  private:
+    void drainRx();
+
+    os::Kernel &kernel_;
+    McnInterface &iface_;
+    core::McnConfig config_;
+    std::unique_ptr<McnDmaEngine> dma_;
+    bool draining_ = false;
+    std::size_t txReserved_ = 0; ///< ring bytes of in-flight copies
+
+    sim::Scalar statTxMsgs_{"txMessages", "messages into TX ring"};
+    sim::Scalar statRxMsgs_{"rxMessages", "messages out of RX ring"};
+    sim::Scalar statTxFull_{"txRingFull", "TX ring full events"};
+};
+
+} // namespace mcnsim::mcn
+
+#endif // MCNSIM_MCN_MCN_DRIVER_HH

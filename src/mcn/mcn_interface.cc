@@ -1,0 +1,60 @@
+/**
+ * @file
+ * McnInterface implementation.
+ */
+
+#include "mcn/mcn_interface.hh"
+
+#include "sim/simulation.hh"
+
+namespace mcnsim::mcn {
+
+McnInterface::McnInterface(sim::Simulation &s, std::string name,
+                           std::size_t sram_bytes,
+                           McnInterfaceParams params)
+    : sim::SimObject(s, std::move(name)), sram_(sram_bytes),
+      params_(params)
+{
+    sramPort_ = std::make_unique<mem::BandwidthArbiter>(
+        s, this->name() + ".sramPort", params_.sramPortBps, 0.95);
+    regStat(&statRxIrqs_);
+    regStat(&statAlerts_);
+    regStat(&statHostAccesses_);
+}
+
+void
+McnInterface::mapHostWindow(mem::MemController &host_mc,
+                            mem::Addr base)
+{
+    hostWindowBase_ = base;
+    mem::MmioRegion r;
+    r.base = base;
+    r.size = sram_.totalBytes();
+    r.readLatency = params_.sramReadLatency;
+    r.writeLatency = params_.sramWriteLatency;
+    r.onAccess = [this](const mem::MemRequest &, sim::Tick) {
+        statHostAccesses_ += 1;
+    };
+    host_mc.addMmioRegion(r);
+}
+
+void
+McnInterface::hostDepositedRx()
+{
+    sram_.setRxPoll();
+    statRxIrqs_ += 1;
+    if (rxIrq_)
+        rxIrq_();
+}
+
+void
+McnInterface::mcnDepositedTx()
+{
+    sram_.setTxPoll();
+    if (alert_) {
+        statAlerts_ += 1;
+        alert_();
+    }
+}
+
+} // namespace mcnsim::mcn

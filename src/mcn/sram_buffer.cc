@@ -1,0 +1,109 @@
+/**
+ * @file
+ * SRAM message ring implementation.
+ */
+
+#include "mcn/sram_buffer.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace mcnsim::mcn {
+
+MessageRing::MessageRing(std::size_t capacity_bytes)
+    : buf_(capacity_bytes)
+{
+    MCNSIM_ASSERT(capacity_bytes >= 4096, "ring too small");
+}
+
+void
+MessageRing::writeBytes(std::size_t pos, const std::uint8_t *src,
+                        std::size_t n)
+{
+    std::size_t first = std::min(n, buf_.size() - pos);
+    std::memcpy(buf_.data() + pos, src, first);
+    if (first < n)
+        std::memcpy(buf_.data(), src + first, n - first);
+}
+
+void
+MessageRing::readBytes(std::size_t pos, std::uint8_t *dst,
+                       std::size_t n) const
+{
+    std::size_t first = std::min(n, buf_.size() - pos);
+    std::memcpy(dst, buf_.data() + pos, first);
+    if (first < n)
+        std::memcpy(dst + n - (n - first), buf_.data(), n - first);
+}
+
+bool
+MessageRing::enqueue(const std::uint8_t *data, std::size_t len,
+                     std::shared_ptr<net::LatencyTrace> trace)
+{
+    std::size_t need = footprint(len);
+    if (need > freeBytes() || len == 0)
+        return false;
+    traces_.push_back(std::move(trace));
+
+    std::uint8_t hdr[lengthFieldBytes];
+    hdr[0] = static_cast<std::uint8_t>(len >> 24);
+    hdr[1] = static_cast<std::uint8_t>(len >> 16);
+    hdr[2] = static_cast<std::uint8_t>(len >> 8);
+    hdr[3] = static_cast<std::uint8_t>(len & 0xff);
+
+    writeBytes(end_, hdr, lengthFieldBytes);
+    writeBytes((end_ + lengthFieldBytes) % buf_.size(), data, len);
+    end_ = (end_ + need) % buf_.size();
+    used_ += need;
+    enqueued_++;
+    return true;
+}
+
+std::optional<std::size_t>
+MessageRing::frontLength() const
+{
+    if (empty())
+        return std::nullopt;
+    std::uint8_t hdr[lengthFieldBytes];
+    readBytes(start_, hdr, lengthFieldBytes);
+    std::size_t len = (std::size_t(hdr[0]) << 24) |
+                      (std::size_t(hdr[1]) << 16) |
+                      (std::size_t(hdr[2]) << 8) | hdr[3];
+    return len;
+}
+
+std::optional<McnMessage>
+MessageRing::dequeue()
+{
+    auto len = frontLength();
+    if (!len)
+        return std::nullopt;
+    MCNSIM_ASSERT(footprint(*len) <= used_, "corrupt ring state");
+
+    McnMessage out;
+    out.bytes.resize(*len);
+    readBytes((start_ + lengthFieldBytes) % buf_.size(),
+              out.bytes.data(), *len);
+    if (!traces_.empty()) {
+        if (traces_.front())
+            out.trace = *traces_.front();
+        traces_.pop_front();
+    }
+    std::size_t need = footprint(*len);
+    start_ = (start_ + need) % buf_.size();
+    used_ -= need;
+    dequeued_++;
+    return out;
+}
+
+SramBuffer::SramBuffer(std::size_t total_bytes, double tx_fraction)
+    : total_(total_bytes),
+      tx_(static_cast<std::size_t>(
+          (total_bytes - controlBytes) * tx_fraction)),
+      rx_(total_bytes - controlBytes -
+          static_cast<std::size_t>((total_bytes - controlBytes) *
+                                   tx_fraction))
+{}
+
+} // namespace mcnsim::mcn

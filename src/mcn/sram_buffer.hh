@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The MCN interface's SRAM communication buffer (paper Fig. 4).
+ *
+ * The 96 KB SRAM is split into a control block and two circular
+ * rings of MCN messages (a 4-byte length followed by the frame
+ * bytes):
+ *
+ *  - the TX ring carries MCN-node -> host messages; the MCN driver
+ *    produces at tx-end, the host's polling agent consumes at
+ *    tx-start, and tx-poll signals pending data;
+ *  - the RX ring carries host -> MCN-node messages with rx-start /
+ *    rx-end / rx-poll playing the mirrored roles.
+ *
+ * The buffer holds real bytes and enforces real ring invariants;
+ * timing (memory-channel transactions, memcpy bandwidth) is charged
+ * by the drivers around these functional operations.
+ */
+
+#ifndef MCNSIM_MCN_SRAM_BUFFER_HH
+#define MCNSIM_MCN_SRAM_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hh"
+
+namespace mcnsim::mcn {
+
+/** A dequeued MCN message: the frame bytes plus the simulation-side
+ *  latency trace that rode along (metadata, not modelled bytes). */
+struct McnMessage
+{
+    std::vector<std::uint8_t> bytes;
+    net::LatencyTrace trace;
+};
+
+/** One circular message ring inside the SRAM. */
+class MessageRing
+{
+  public:
+    explicit MessageRing(std::size_t capacity_bytes);
+
+    /** Bytes a message of @p payload bytes occupies in the ring. */
+    static std::size_t
+    footprint(std::size_t payload)
+    {
+        return payload + lengthFieldBytes;
+    }
+
+    /**
+     * Enqueue one message; returns false when it does not fit
+     * (the driver then returns NETDEV_TX_BUSY). @p trace is
+     * simulation metadata carried alongside the bytes so latency
+     * breakdowns survive the ring crossing.
+     */
+    bool enqueue(const std::uint8_t *data, std::size_t len,
+                 std::shared_ptr<net::LatencyTrace> trace = nullptr);
+
+    /** Dequeue the oldest message, if any. */
+    std::optional<McnMessage> dequeue();
+
+    /** Peek the oldest message's length without consuming. */
+    std::optional<std::size_t> frontLength() const;
+
+    bool empty() const { return used_ == 0; }
+    std::size_t usedBytes() const { return used_; }
+    std::size_t freeBytes() const { return buf_.size() - used_; }
+    std::size_t capacityBytes() const { return buf_.size(); }
+
+    /** Ring pointers, exposed for tests / pointer-read modelling. */
+    std::size_t startPtr() const { return start_; }
+    std::size_t endPtr() const { return end_; }
+
+    std::uint64_t messagesEnqueued() const { return enqueued_; }
+    std::uint64_t messagesDequeued() const { return dequeued_; }
+
+  private:
+    static constexpr std::size_t lengthFieldBytes = 4;
+
+    void writeBytes(std::size_t pos, const std::uint8_t *src,
+                    std::size_t n);
+    void readBytes(std::size_t pos, std::uint8_t *dst,
+                   std::size_t n) const;
+
+    std::vector<std::uint8_t> buf_;
+    std::deque<std::shared_ptr<net::LatencyTrace>> traces_;
+    std::size_t start_ = 0; ///< first byte of the oldest message
+    std::size_t end_ = 0;   ///< one past the newest message
+    std::size_t used_ = 0;
+    std::uint64_t enqueued_ = 0;
+    std::uint64_t dequeued_ = 0;
+};
+
+/** The whole SRAM buffer: control fields + TX and RX rings. */
+class SramBuffer
+{
+  public:
+    /** Control block size reserved ahead of the rings. */
+    static constexpr std::size_t controlBytes = 64;
+
+    /**
+     * @param total_bytes  full SRAM size (96 KB in the paper)
+     * @param tx_fraction  share of ring space given to the TX ring
+     */
+    explicit SramBuffer(std::size_t total_bytes = 96 * 1024,
+                        double tx_fraction = 0.5);
+
+    MessageRing &tx() { return tx_; }
+    MessageRing &rx() { return rx_; }
+    const MessageRing &tx() const { return tx_; }
+    const MessageRing &rx() const { return rx_; }
+
+    // Control fields (Fig. 4): handshaking flags.
+    bool txPoll() const { return txPoll_; }
+    void setTxPoll() { txPoll_ = true; }
+    void clearTxPoll() { txPoll_ = false; }
+
+    bool rxPoll() const { return rxPoll_; }
+    void setRxPoll() { rxPoll_ = true; }
+    void clearRxPoll() { rxPoll_ = false; }
+
+    std::size_t totalBytes() const { return total_; }
+
+  private:
+    std::size_t total_;
+    MessageRing tx_;
+    MessageRing rx_;
+    bool txPoll_ = false;
+    bool rxPoll_ = false;
+};
+
+} // namespace mcnsim::mcn
+
+#endif // MCNSIM_MCN_SRAM_BUFFER_HH

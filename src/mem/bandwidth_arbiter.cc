@@ -1,0 +1,166 @@
+/**
+ * @file
+ * BandwidthArbiter implementation: analytic processor sharing with
+ * per-flow caps.
+ */
+
+#include "mem/bandwidth_arbiter.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace mcnsim::mem {
+
+namespace {
+// Flows complete when this many bytes (or fewer) remain; guards
+// against floating point dust never reaching exactly zero.
+constexpr double completionSlack = 0.5;
+} // namespace
+
+BandwidthArbiter::BandwidthArbiter(sim::Simulation &s, std::string name,
+                                   double peak_bps, double efficiency)
+    : sim::SimObject(s, std::move(name)), peakBps_(peak_bps),
+      efficiency_(efficiency)
+{
+    if (peak_bps <= 0.0 || efficiency <= 0.0 || efficiency > 1.0)
+        sim::fatal(this->name(), ": bad bandwidth parameters");
+    regStat(&statBytes_);
+    regStat(&statFlows_);
+}
+
+double
+BandwidthArbiter::effectiveBps() const
+{
+    return peakBps_ * efficiency_ * std::max(0.05, 1.0 - background_);
+}
+
+double
+BandwidthArbiter::utilization() const
+{
+    if (flows_.empty())
+        return 0.0;
+    double demand = 0.0;
+    for (const auto &[id, f] : flows_)
+        demand += f.rate;
+    return std::min(1.0, demand / std::max(1.0, effectiveBps()));
+}
+
+void
+BandwidthArbiter::setBackgroundLoad(double frac)
+{
+    advance();
+    background_ = std::clamp(frac, 0.0, 0.95);
+    replan();
+}
+
+BandwidthArbiter::FlowId
+BandwidthArbiter::startTransfer(std::uint64_t bytes,
+                                std::function<void(Tick)> done,
+                                double rate_cap_bps)
+{
+    advance();
+    FlowId id = nextId_++;
+    Flow f;
+    f.remaining = static_cast<double>(bytes);
+    f.cap = rate_cap_bps;
+    f.done = std::move(done);
+    flows_.emplace(id, std::move(f));
+    statFlows_ += 1;
+    replan();
+    return id;
+}
+
+void
+BandwidthArbiter::cancel(FlowId id)
+{
+    advance();
+    flows_.erase(id);
+    replan();
+}
+
+void
+BandwidthArbiter::advance()
+{
+    Tick now = curTick();
+    if (now > lastUpdate_) {
+        double secs = sim::ticksToSeconds(now - lastUpdate_);
+        for (auto &[id, f] : flows_) {
+            double moved = f.rate * secs;
+            moved = std::min(moved, f.remaining);
+            f.remaining -= moved;
+            bytesMoved_ += static_cast<std::uint64_t>(moved);
+            statBytes_ += moved;
+        }
+    }
+    lastUpdate_ = now;
+
+    // Retire completed flows (callbacks may start new transfers;
+    // collect first, then invoke).
+    std::vector<std::function<void(Tick)>> finished;
+    for (auto it = flows_.begin(); it != flows_.end();) {
+        if (it->second.remaining <= completionSlack) {
+            finished.push_back(std::move(it->second.done));
+            it = flows_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto &cb : finished)
+        if (cb)
+            cb(now);
+}
+
+void
+BandwidthArbiter::replan()
+{
+    if (pending_) {
+        eventQueue().deschedule(pending_);
+        pending_ = nullptr;
+    }
+    if (flows_.empty())
+        return;
+
+    // Water-fill: every flow gets an equal share; capped flows
+    // donate their surplus to the rest.
+    double budget = effectiveBps();
+    std::vector<Flow *> open;
+    open.reserve(flows_.size());
+    for (auto &[id, f] : flows_) {
+        f.rate = 0.0;
+        open.push_back(&f);
+    }
+    std::sort(open.begin(), open.end(),
+              [](const Flow *a, const Flow *b) { return a->cap < b->cap; });
+    std::size_t remaining_flows = open.size();
+    for (Flow *f : open) {
+        double share = budget / static_cast<double>(remaining_flows);
+        f->rate = std::min(share, f->cap);
+        budget -= f->rate;
+        remaining_flows--;
+    }
+
+    // Earliest completion determines the next wakeup.
+    double min_secs = std::numeric_limits<double>::infinity();
+    for (auto &[id, f] : flows_) {
+        if (f.rate <= 0.0)
+            continue;
+        min_secs = std::min(min_secs, f.remaining / f.rate);
+    }
+    if (!std::isfinite(min_secs))
+        return; // all rates zero (fully backgrounded); stalled
+
+    Tick delta = std::max<Tick>(1, sim::secondsToTicks(min_secs));
+    pending_ = eventQueue().scheduleIn(
+        [this] {
+            pending_ = nullptr;
+            advance();
+            replan();
+        },
+        delta, name() + ".complete", sim::EventPriority::ClockTick);
+}
+
+} // namespace mcnsim::mem

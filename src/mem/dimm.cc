@@ -1,0 +1,22 @@
+/**
+ * @file
+ * DIMM descriptor helpers.
+ */
+
+#include "mem/dimm.hh"
+
+namespace mcnsim::mem {
+
+const char *
+to_string(DimmKind k)
+{
+    switch (k) {
+      case DimmKind::Conventional:
+        return "conventional";
+      case DimmKind::Mcn:
+        return "mcn";
+    }
+    return "unknown";
+}
+
+} // namespace mcnsim::mem

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Bank and Rank timing implementations.
+ */
+
+#include "mem/dram_device.hh"
+
+#include <algorithm>
+
+namespace mcnsim::mem {
+
+Bank::AccessPlan
+Bank::plan(Tick now, std::uint64_t row, const DramTiming &t) const
+{
+    AccessPlan p{};
+    if (openRow_ == row) {
+        // Row hit: wait only for the column path to free up.
+        p.rowHit = true;
+        p.startAt = std::max(now, nextColumnAt_);
+    } else if (openRow_ == noRow) {
+        // Closed bank: activate then column.
+        p.actAt = std::max(now, nextActAt_);
+        p.startAt = std::max(p.actAt + t.tRCD, nextColumnAt_);
+    } else {
+        // Row conflict: precharge, activate, column.
+        p.rowMiss = true;
+        Tick pre = std::max(now, nextPreAt_);
+        p.actAt = std::max(pre + t.tRP, nextActAt_);
+        p.startAt = std::max(p.actAt + t.tRCD, nextColumnAt_);
+    }
+    return p;
+}
+
+void
+Bank::commit(Tick col_at, Tick act_at, std::uint64_t row,
+             bool is_write, const DramTiming &t)
+{
+    if (openRow_ != row) {
+        nextPreAt_ = std::max(nextPreAt_, act_at + t.tRAS);
+        openRow_ = row;
+    }
+    // Successive column commands to the same bank are spaced by the
+    // burst; write recovery / read-to-precharge gate the precharge.
+    nextColumnAt_ = std::max(nextColumnAt_, col_at + t.tBURST);
+    if (is_write) {
+        nextPreAt_ = std::max(nextPreAt_,
+                              col_at + t.tCWL + t.tBURST + t.tWR);
+        // Write-to-read turnaround penalizes the next column too.
+        nextColumnAt_ = std::max(nextColumnAt_,
+                                 col_at + t.tCWL + t.tBURST + t.tWTR);
+    } else {
+        nextPreAt_ = std::max(nextPreAt_, col_at + t.tRTP);
+    }
+}
+
+void
+Bank::block(Tick until)
+{
+    openRow_ = noRow;
+    nextColumnAt_ = std::max(nextColumnAt_, until);
+    nextActAt_ = std::max(nextActAt_, until);
+    nextPreAt_ = std::max(nextPreAt_, until);
+}
+
+Rank::Rank(std::uint32_t banks, const DramTiming &t)
+    : banks_(banks), timing_(t)
+{}
+
+Tick
+Rank::nextActivateAllowed(Tick now) const
+{
+    if (recentActs_.empty())
+        return now;
+    Tick earliest = std::max(now, lastActAt_ + timing_.tRRD);
+    if (recentActs_.size() >= 4)
+        earliest = std::max(earliest,
+                            recentActs_.front() + timing_.tFAW);
+    return earliest;
+}
+
+void
+Rank::recordActivate(Tick at)
+{
+    lastActAt_ = at;
+    recentActs_.push_back(at);
+    while (recentActs_.size() > 4)
+        recentActs_.pop_front();
+}
+
+void
+Rank::refresh(Tick at)
+{
+    for (auto &b : banks_)
+        b.block(at + timing_.tRFC);
+}
+
+} // namespace mcnsim::mem

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * DRAM timing presets. Values follow the JEDEC speed bins closely
+ * enough for architectural studies; they are not a datasheet copy.
+ */
+
+#include "mem/dram_timing.hh"
+
+namespace mcnsim::mem {
+
+using sim::oneNs;
+
+DramTiming
+DramTiming::ddr4_3200()
+{
+    DramTiming t{};
+    t.name = "DDR4-3200";
+    t.dataRateMTs = 3200;
+    t.channelWidthBytes = 8;
+    t.burstLength = 8;
+    t.ranks = 2;
+    t.banksPerRank = 16;
+    t.rowsPerBank = 32768;
+    t.rowBufferBytes = 8192;
+    t.tCK = 625;                    // 0.625 ns
+    t.tCL = 13750;                  // CL22
+    t.tCWL = 10000;                 // CWL16
+    t.tRCD = 13750;
+    t.tRP = 13750;
+    t.tRAS = 32 * oneNs;
+    t.tRRD = 5 * oneNs;
+    t.tFAW = 21 * oneNs;
+    t.tWR = 15 * oneNs;
+    t.tWTR = 7500;
+    t.tRTP = 7500;
+    t.tBURST = 2500;                // BL8 @ 3200 MT/s
+    t.tRFC = 350 * oneNs;           // 8 Gb device
+    t.tREFI = 7800 * oneNs;
+    return t;
+}
+
+DramTiming
+DramTiming::lpddr4_1866()
+{
+    DramTiming t{};
+    t.name = "LPDDR4-1866";
+    t.dataRateMTs = 1866;
+    t.channelWidthBytes = 8;
+    t.burstLength = 8;
+    t.ranks = 1;
+    t.banksPerRank = 8;
+    t.rowsPerBank = 65536;
+    t.rowBufferBytes = 4096;
+    t.tCK = 1072;                   // 1.072 ns
+    t.tCL = 18 * oneNs;
+    t.tCWL = 9 * oneNs;
+    t.tRCD = 18 * oneNs;
+    t.tRP = 21 * oneNs;
+    t.tRAS = 42 * oneNs;
+    t.tRRD = 10 * oneNs;
+    t.tFAW = 40 * oneNs;
+    t.tWR = 18 * oneNs;
+    t.tWTR = 10 * oneNs;
+    t.tRTP = 7500;
+    t.tBURST = 4288;                // BL8 @ 1866 MT/s
+    t.tRFC = 280 * oneNs;
+    t.tREFI = 3900 * oneNs;
+    return t;
+}
+
+DramTiming
+DramTiming::ddr3_1066()
+{
+    DramTiming t{};
+    t.name = "DDR3-1066";
+    t.dataRateMTs = 1066;
+    t.channelWidthBytes = 8;
+    t.burstLength = 8;
+    t.ranks = 2;
+    t.banksPerRank = 8;
+    t.rowsPerBank = 65536;
+    t.rowBufferBytes = 8192;
+    t.tCK = 1875;                   // 1.875 ns
+    t.tCL = 13125;                  // CL7
+    t.tCWL = 9375;
+    t.tRCD = 13125;
+    t.tRP = 13125;
+    t.tRAS = 37500;
+    t.tRRD = 7500;
+    t.tFAW = 50 * oneNs;
+    t.tWR = 15 * oneNs;
+    t.tWTR = 7500;
+    t.tRTP = 7500;
+    t.tBURST = 7505;                // BL8 @ 1066 MT/s
+    t.tRFC = 260 * oneNs;
+    t.tREFI = 7800 * oneNs;
+    return t;
+}
+
+} // namespace mcnsim::mem

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * DDR device timing and geometry parameters, with presets for the
+ * parts the paper uses: DDR4-3200 for host channels (Table II),
+ * LPDDR4-1866-class for the MCN processor's local channels
+ * (Snapdragon 835), and DDR3-1066 for the ConTutto prototype DIMM.
+ */
+
+#ifndef MCNSIM_MEM_DRAM_TIMING_HH
+#define MCNSIM_MEM_DRAM_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace mcnsim::mem {
+
+using sim::Tick;
+
+/**
+ * Timing parameters for one DRAM channel. All values are in ticks
+ * (ps). Geometry describes one rank as seen by the controller.
+ */
+struct DramTiming
+{
+    std::string name;
+
+    /** Data rate in mega-transfers per second (e.g. 3200). */
+    std::uint32_t dataRateMTs;
+
+    /** Channel width in bytes (8 for a standard 64-bit DIMM). */
+    std::uint32_t channelWidthBytes;
+
+    /** Burst length in beats (8 for DDR4: one 64B cache line). */
+    std::uint32_t burstLength;
+
+    std::uint32_t ranks;
+    std::uint32_t banksPerRank;
+    std::uint32_t rowsPerBank;
+    std::uint32_t rowBufferBytes; ///< bytes per row (page size)
+
+    Tick tCK;   ///< clock period (one beat = tCK/2 for DDR)
+    Tick tCL;   ///< CAS latency (read column access)
+    Tick tCWL;  ///< CAS write latency
+    Tick tRCD;  ///< activate to column command
+    Tick tRP;   ///< precharge
+    Tick tRAS;  ///< activate to precharge
+    Tick tRRD;  ///< activate to activate, different banks
+    Tick tFAW;  ///< four-activate window
+    Tick tWR;   ///< write recovery
+    Tick tWTR;  ///< write-to-read turnaround
+    Tick tRTP;  ///< read-to-precharge
+    Tick tBURST;///< data bus occupancy of one burst
+    Tick tRFC;  ///< refresh cycle time
+    Tick tREFI; ///< refresh interval
+
+    /** Peak bandwidth in bytes per second. */
+    double
+    peakBandwidthBps() const
+    {
+        return static_cast<double>(dataRateMTs) * 1e6 *
+               channelWidthBytes;
+    }
+
+    /** Bytes transferred by one burst. */
+    std::uint32_t
+    burstBytes() const
+    {
+        return channelWidthBytes * burstLength;
+    }
+
+    /** Total addressable bytes on the channel. */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return static_cast<std::uint64_t>(ranks) * banksPerRank *
+               rowsPerBank * rowBufferBytes;
+    }
+
+    /** DDR4-3200, 8 GB single rank: the paper's host channel. */
+    static DramTiming ddr4_3200();
+
+    /** LPDDR4-1866-class: the MCN processor's local channel. */
+    static DramTiming lpddr4_1866();
+
+    /** DDR3-1066: the ConTutto prototype's DRAM. */
+    static DramTiming ddr3_1066();
+};
+
+} // namespace mcnsim::mem
+
+#endif // MCNSIM_MEM_DRAM_TIMING_HH

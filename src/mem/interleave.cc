@@ -1,0 +1,63 @@
+/**
+ * @file
+ * InterleaveMap implementation.
+ */
+
+#include "mem/interleave.hh"
+
+#include "sim/logging.hh"
+
+namespace mcnsim::mem {
+
+InterleaveMap::InterleaveMap(std::uint32_t channels,
+                             std::uint32_t line_bytes)
+    : channels_(channels), lineBytes_(line_bytes)
+{
+    if (channels == 0)
+        sim::fatal("interleave: need at least one channel");
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        sim::fatal("interleave: line size must be a power of two");
+}
+
+std::uint32_t
+InterleaveMap::channelOf(Addr a) const
+{
+    return static_cast<std::uint32_t>((a / lineBytes_) % channels_);
+}
+
+Addr
+InterleaveMap::channelOffset(Addr a) const
+{
+    Addr line = a / lineBytes_;
+    return (line / channels_) * lineBytes_ + (a % lineBytes_);
+}
+
+Addr
+InterleaveMap::hostAddr(std::uint32_t ch, Addr offset) const
+{
+    MCNSIM_ASSERT(ch < channels_, "channel out of range");
+    Addr line = offset / lineBytes_;
+    return (line * channels_ + ch) * lineBytes_ +
+           (offset % lineBytes_);
+}
+
+DramCoord
+InterleaveMap::decode(Addr channel_off, const DramTiming &t) const
+{
+    // RoBaRaCo: row | bank | rank | column, column covering one row
+    // buffer. Sequential channel-local lines stream within one row
+    // before moving to the next rank/bank -- a streaming-friendly
+    // layout comparable to gem5's RoRaBaCoCh.
+    DramCoord c;
+    Addr a = channel_off;
+    c.column = a % t.rowBufferBytes;
+    a /= t.rowBufferBytes;
+    c.rank = static_cast<std::uint32_t>(a % t.ranks);
+    a /= t.ranks;
+    c.bank = static_cast<std::uint32_t>(a % t.banksPerRank);
+    a /= t.banksPerRank;
+    c.row = a % t.rowsPerBank;
+    return c;
+}
+
+} // namespace mcnsim::mem

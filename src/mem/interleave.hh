@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Physical address decoding: channel interleaving across the host's
+ * memory controllers and row/bank/column mapping within a channel.
+ *
+ * The host interleaves successive cache lines round-robin across
+ * channels (Sec. III-B "memory mapping unit"). MCN's
+ * memcpy_to_mcn/_from_mcn must therefore touch host physical
+ * addresses with a stride of lineBytes * channels to stay on one
+ * channel; InterleaveMap provides exactly that arithmetic, and Fig. 6
+ * of the paper is reproduced by test_interleave.
+ */
+
+#ifndef MCNSIM_MEM_INTERLEAVE_HH
+#define MCNSIM_MEM_INTERLEAVE_HH
+
+#include <cstdint>
+
+#include "mem/dram_timing.hh"
+#include "mem/mem_types.hh"
+
+namespace mcnsim::mem {
+
+/**
+ * Cache-line-granularity channel interleaving over a contiguous
+ * physical address space, plus per-channel RoBaRaCo DRAM mapping.
+ */
+class InterleaveMap
+{
+  public:
+    InterleaveMap(std::uint32_t channels,
+                  std::uint32_t line_bytes = cacheLineBytes);
+
+    std::uint32_t channels() const { return channels_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+
+    /** Host channel owning physical address @p a. */
+    std::uint32_t channelOf(Addr a) const;
+
+    /** Byte offset within the owning channel's local space. */
+    Addr channelOffset(Addr a) const;
+
+    /**
+     * Inverse mapping: the host physical address of byte @p offset
+     * in channel @p ch's local space.
+     */
+    Addr hostAddr(std::uint32_t ch, Addr offset) const;
+
+    /**
+     * The host physical address of the @p k-th consecutive line of a
+     * buffer that must live entirely on channel @p ch, whose first
+     * line is at channel offset @p base_off. This is the
+     * memcpy_to_mcn stride rule from Fig. 6.
+     */
+    Addr
+    strideAddr(std::uint32_t ch, Addr base_off, std::uint64_t k) const
+    {
+        return hostAddr(ch, base_off + k * lineBytes_);
+    }
+
+    /** Decode a channel-local offset into DRAM coordinates. */
+    DramCoord decode(Addr channel_off, const DramTiming &t) const;
+
+  private:
+    std::uint32_t channels_;
+    std::uint32_t lineBytes_;
+};
+
+} // namespace mcnsim::mem
+
+#endif // MCNSIM_MEM_INTERLEAVE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Internet checksum implementation.
+ */
+
+#include "net/checksum.hh"
+
+namespace mcnsim::net {
+
+std::uint32_t
+checksumPartial(const std::uint8_t *data, std::size_t len,
+                std::uint32_t seed)
+{
+    std::uint32_t sum = seed;
+    std::size_t i = 0;
+    for (; i + 1 < len; i += 2)
+        sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+    if (i < len)
+        sum += static_cast<std::uint32_t>(data[i]) << 8;
+    return sum;
+}
+
+std::uint16_t
+checksumFold(std::uint32_t partial)
+{
+    while (partial >> 16)
+        partial = (partial & 0xffff) + (partial >> 16);
+    return static_cast<std::uint16_t>(~partial & 0xffff);
+}
+
+std::uint16_t
+checksum(const std::uint8_t *data, std::size_t len)
+{
+    return checksumFold(checksumPartial(data, len));
+}
+
+std::uint32_t
+pseudoHeaderSum(std::uint32_t src_ip, std::uint32_t dst_ip,
+                std::uint8_t protocol, std::uint16_t l4_len)
+{
+    std::uint32_t sum = 0;
+    sum += (src_ip >> 16) & 0xffff;
+    sum += src_ip & 0xffff;
+    sum += (dst_ip >> 16) & 0xffff;
+    sum += dst_ip & 0xffff;
+    sum += protocol;
+    sum += l4_len;
+    return sum;
+}
+
+} // namespace mcnsim::net

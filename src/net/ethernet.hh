@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ethernet framing: MAC addresses and the 14-byte Ethernet II
+ * header. The MCN host driver routes on dst-mac exactly as
+ * Sec. III-B describes (the first six bytes of the frame).
+ */
+
+#ifndef MCNSIM_NET_ETHERNET_HH
+#define MCNSIM_NET_ETHERNET_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "net/packet.hh"
+
+namespace mcnsim::net {
+
+/** A 48-bit MAC address. */
+struct MacAddr
+{
+    std::array<std::uint8_t, 6> b{};
+
+    static MacAddr broadcast();
+
+    /** Deterministic locally-administered address from an id. */
+    static MacAddr fromId(std::uint32_t id);
+
+    bool
+    operator==(const MacAddr &o) const
+    {
+        return b == o.b;
+    }
+
+    bool isBroadcast() const { return *this == broadcast(); }
+
+    std::string str() const;
+};
+
+/** EtherType values the simulator uses. */
+enum : std::uint16_t {
+    ethTypeIpv4 = 0x0800,
+};
+
+/** Ethernet II header. */
+struct EthernetHeader
+{
+    static constexpr std::size_t size = 14;
+
+    MacAddr dst;
+    MacAddr src;
+    std::uint16_t type = ethTypeIpv4;
+
+    /** Prepend this header to @p pkt. */
+    void push(Packet &pkt) const;
+
+    /** Parse (without consuming) the header at the packet front. */
+    static EthernetHeader peek(const Packet &pkt);
+
+    /** Parse and consume the header. */
+    static EthernetHeader pull(Packet &pkt);
+};
+
+} // namespace mcnsim::net
+
+#endif // MCNSIM_NET_ETHERNET_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * ICMP echo implementation.
+ */
+
+#include "net/icmp.hh"
+
+#include "net/checksum.hh"
+#include "net/net_stack.hh"
+#include "sim/simulation.hh"
+
+namespace mcnsim::net {
+
+void
+IcmpHeader::push(Packet &pkt, bool compute_checksum) const
+{
+    std::size_t len = pkt.size() + size;
+    std::uint8_t *p = pkt.push(size);
+    p[0] = type;
+    p[1] = code;
+    p[2] = p[3] = 0; // checksum placeholder
+    p[4] = static_cast<std::uint8_t>(id >> 8);
+    p[5] = static_cast<std::uint8_t>(id & 0xff);
+    p[6] = static_cast<std::uint8_t>(seqNo >> 8);
+    p[7] = static_cast<std::uint8_t>(seqNo & 0xff);
+    if (compute_checksum) {
+        std::uint16_t c = checksum(p, len);
+        p[2] = static_cast<std::uint8_t>(c >> 8);
+        p[3] = static_cast<std::uint8_t>(c & 0xff);
+    }
+}
+
+std::optional<IcmpHeader>
+IcmpHeader::pull(Packet &pkt, bool verify_checksum)
+{
+    if (pkt.size() < size)
+        return std::nullopt;
+    const std::uint8_t *p = pkt.data();
+    bool has_cksum = p[2] != 0 || p[3] != 0;
+    if (verify_checksum && has_cksum &&
+        checksum(p, pkt.size()) != 0)
+        return std::nullopt;
+    IcmpHeader h;
+    h.type = p[0];
+    h.code = p[1];
+    h.id = static_cast<std::uint16_t>((p[4] << 8) | p[5]);
+    h.seqNo = static_cast<std::uint16_t>((p[6] << 8) | p[7]);
+    pkt.pull(size);
+    return h;
+}
+
+IcmpLayer::IcmpLayer(sim::Simulation &s, std::string name,
+                     NetStack &stack)
+    : sim::SimObject(s, std::move(name)), stack_(stack),
+      replyCv_(s.eventQueue())
+{
+    regStat(&statEchoReq_);
+    regStat(&statEchoRep_);
+}
+
+void
+IcmpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt)
+{
+    auto h = IcmpHeader::pull(*pkt, !stack_.checksumBypass());
+    if (!h)
+        return;
+
+    if (h->type == icmpEchoRequest) {
+        statEchoReq_ += 1;
+        // Reflect the payload back to the sender.
+        auto reply = Packet::make(pkt->bytes());
+        IcmpHeader rh = *h;
+        rh.type = icmpEchoReply;
+        rh.push(*reply, !stack_.checksumBypass());
+
+        const auto &costs = stack_.kernel().costs();
+        stack_.kernel().cpus().leastLoaded().execute(
+            costs.icmpPerPacket,
+            [this, src, dst, reply](sim::Tick) {
+                stack_.sendIp(dst, src, protoIcmp, reply);
+            });
+    } else if (h->type == icmpEchoReply) {
+        statEchoRep_ += 1;
+        auto it = pending_.find(h->id);
+        if (it != pending_.end() && !it->second.done) {
+            it->second.done = true;
+            it->second.rtt = curTick() - it->second.sentAt;
+            replyCv_.notifyAll();
+        }
+    }
+}
+
+sim::Task<sim::Tick>
+IcmpLayer::ping(Ipv4Addr dst, std::size_t payload_bytes,
+                sim::Tick timeout)
+{
+    std::uint16_t id = nextId_++;
+    auto &entry = pending_[id];
+    entry.sentAt = curTick();
+
+    auto pkt = Packet::makePattern(payload_bytes,
+                                   static_cast<std::uint8_t>(id));
+    IcmpHeader h;
+    h.type = icmpEchoRequest;
+    h.id = id;
+    h.seqNo = 1;
+    h.push(*pkt, !stack_.checksumBypass());
+
+    const auto &costs = stack_.kernel().costs();
+    if (!stack_.interfaces().route(dst)) {
+        pending_.erase(id);
+        co_return sim::maxTick;
+    }
+    Ipv4Addr src = stack_.sourceAddrFor(dst);
+
+    stack_.kernel().cpus().leastLoaded().execute(
+        costs.icmpPerPacket + costs.syscallEntry,
+        [this, src, dst, pkt](sim::Tick) {
+            stack_.sendIp(src, dst, protoIcmp, pkt);
+        });
+
+    sim::Tick deadline = curTick() + timeout;
+    while (!pending_[id].done && curTick() < deadline) {
+        // Wake either on a reply or at the deadline.
+        auto *wake = eventQueue().scheduleIn(
+            [this] { replyCv_.notifyAll(); },
+            deadline > curTick() ? deadline - curTick() : 1,
+            name() + ".pingTimeout");
+        co_await replyCv_.wait();
+        if (wake->scheduled())
+            eventQueue().deschedule(wake);
+    }
+
+    sim::Tick rtt = pending_[id].done ? pending_[id].rtt
+                                      : sim::maxTick;
+    pending_.erase(id);
+    co_return rtt;
+}
+
+} // namespace mcnsim::net

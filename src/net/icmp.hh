@@ -1,0 +1,85 @@
+/**
+ * @file
+ * ICMP echo (ping): the measurement tool behind the paper's
+ * Fig. 8(b)/(c) round-trip latency curves.
+ */
+
+#ifndef MCNSIM_NET_ICMP_HH
+#define MCNSIM_NET_ICMP_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "net/ipv4.hh"
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+#include "sim/task.hh"
+
+namespace mcnsim::net {
+
+class NetStack;
+
+/** ICMP message types used here. */
+enum : std::uint8_t {
+    icmpEchoReply = 0,
+    icmpEchoRequest = 8,
+};
+
+/** The 8-byte ICMP echo header. */
+struct IcmpHeader
+{
+    static constexpr std::size_t size = 8;
+
+    std::uint8_t type = icmpEchoRequest;
+    std::uint8_t code = 0;
+    std::uint16_t id = 0;
+    std::uint16_t seqNo = 0;
+
+    void push(Packet &pkt, bool compute_checksum) const;
+    static std::optional<IcmpHeader> pull(Packet &pkt,
+                                          bool verify_checksum);
+};
+
+/** Per-node ICMP layer: answers echo requests, matches replies. */
+class IcmpLayer : public sim::SimObject
+{
+  public:
+    IcmpLayer(sim::Simulation &s, std::string name, NetStack &stack);
+
+    void rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt);
+
+    /**
+     * Send one echo request with @p payload_bytes of data and
+     * resume with the round-trip time, or sim::maxTick on timeout.
+     */
+    sim::Task<sim::Tick> ping(Ipv4Addr dst,
+                              std::size_t payload_bytes,
+                              sim::Tick timeout = 100 *
+                                                  sim::oneMs);
+
+    std::uint64_t echoRequestsSeen() const
+    {
+        return static_cast<std::uint64_t>(statEchoReq_.value());
+    }
+
+  private:
+    struct PendingPing
+    {
+        sim::Tick sentAt = 0;
+        sim::Tick rtt = 0;
+        bool done = false;
+    };
+
+    NetStack &stack_;
+    std::uint16_t nextId_ = 1;
+    std::map<std::uint16_t, PendingPing> pending_;
+    sim::Condition replyCv_;
+
+    sim::Scalar statEchoReq_{"echoRequests", "echo requests seen"};
+    sim::Scalar statEchoRep_{"echoReplies", "echo replies seen"};
+};
+
+} // namespace mcnsim::net
+
+#endif // MCNSIM_NET_ICMP_HH

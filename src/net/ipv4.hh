@@ -1,0 +1,143 @@
+/**
+ * @file
+ * IPv4: addresses, the 20-byte header with checksum, and the
+ * routing/interface-selection logic from Sec. III-B -- host-side
+ * interfaces use a /32 subnet mask (exact-match), MCN-side
+ * interfaces use mask 0.0.0.0 (forward everything to the host).
+ */
+
+#ifndef MCNSIM_NET_IPV4_HH
+#define MCNSIM_NET_IPV4_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hh"
+
+namespace mcnsim::net {
+
+/** IP protocol numbers. */
+enum : std::uint8_t {
+    protoIcmp = 1,
+    protoTcp = 6,
+    protoUdp = 17,
+};
+
+/** An IPv4 address (host byte order internally). */
+struct Ipv4Addr
+{
+    std::uint32_t v = 0;
+
+    Ipv4Addr() = default;
+    explicit Ipv4Addr(std::uint32_t raw) : v(raw) {}
+    Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+             std::uint8_t d)
+        : v((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+            (std::uint32_t(c) << 8) | d)
+    {}
+
+    bool operator==(const Ipv4Addr &o) const { return v == o.v; }
+    bool operator!=(const Ipv4Addr &o) const { return v != o.v; }
+    bool operator<(const Ipv4Addr &o) const { return v < o.v; }
+
+    /** 127.0.0.0/8 (Sec. III-B footnote). */
+    bool isLoopback() const { return (v >> 24) == 127; }
+
+    std::string str() const;
+};
+
+/** A subnet mask; only the semantics the paper needs. */
+struct SubnetMask
+{
+    std::uint32_t v = 0xffffffff;
+
+    static SubnetMask exact() { return {0xffffffff}; } ///< /32
+    static SubnetMask any() { return {0}; }            ///< 0.0.0.0
+
+    bool
+    matches(Ipv4Addr iface, Ipv4Addr dst) const
+    {
+        return (iface.v & v) == (dst.v & v);
+    }
+};
+
+/** The 20-byte IPv4 header (no options). */
+struct Ipv4Header
+{
+    static constexpr std::size_t size = 20;
+
+    std::uint8_t ttl = 64;
+    std::uint8_t protocol = protoTcp;
+    std::uint16_t totalLength = 0; ///< header + payload
+    std::uint16_t id = 0;
+    std::uint16_t headerChecksum = 0;
+    Ipv4Addr src;
+    Ipv4Addr dst;
+
+    /**
+     * Prepend to @p pkt. @p compute_checksum mirrors the mcn2
+     * optimisation: when false the checksum field is left zero
+     * (the memory channel's ECC already protects the transfer).
+     */
+    void push(Packet &pkt, bool compute_checksum = true) const;
+
+    /**
+     * Parse and consume from @p pkt. @p verify_checksum false
+     * skips validation (mcn2). Returns nullopt on a corrupt header.
+     */
+    static std::optional<Ipv4Header> pull(Packet &pkt,
+                                          bool verify_checksum = true);
+};
+
+/**
+ * An interface-selection table: the list of (interface address,
+ * mask) pairs of one node, evaluated in the order the kernel would
+ * (loopback first, then configured interfaces).
+ */
+class InterfaceTable
+{
+  public:
+    struct Entry
+    {
+        int ifindex;
+        Ipv4Addr addr;
+        SubnetMask mask;
+    };
+
+    /**
+     * Add a route entry: packets whose destination matches
+     * @p addr under @p mask egress via @p ifindex. For a
+     * point-to-point interface @p addr is the *peer's* address
+     * with an exact mask (the paper's host-side setup).
+     */
+    void add(int ifindex, Ipv4Addr addr, SubnetMask mask);
+
+    /** Register one of this node's own addresses. */
+    void addOwn(Ipv4Addr addr);
+
+    /**
+     * Pick the egress interface for @p dst: loopback for loopback
+     * or own addresses, otherwise the first entry whose masked
+     * address matches. Returns nullopt when unroutable.
+     */
+    std::optional<int> route(Ipv4Addr dst) const;
+
+    /** True when @p a is one of this node's own addresses. */
+    bool isLocal(Ipv4Addr a) const;
+
+    const std::vector<Entry> &entries() const { return entries_; }
+    const std::vector<Ipv4Addr> &ownAddrs() const { return own_; }
+
+    /** ifindex reserved for the loopback pseudo-interface. */
+    static constexpr int loopbackIfindex = -1;
+
+  private:
+    std::vector<Entry> entries_;
+    std::vector<Ipv4Addr> own_;
+};
+
+} // namespace mcnsim::net
+
+#endif // MCNSIM_NET_IPV4_HH

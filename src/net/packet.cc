@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Packet implementation.
+ */
+
+#include "net/packet.hh"
+
+#include "sim/logging.hh"
+
+namespace mcnsim::net {
+
+const char *
+to_string(Stage s)
+{
+    switch (s) {
+      case Stage::StackTx:
+        return "StackTx";
+      case Stage::DriverTx:
+        return "DriverTx";
+      case Stage::DmaTx:
+        return "DmaTx";
+      case Stage::Phy:
+        return "PHY";
+      case Stage::DmaRx:
+        return "DmaRx";
+      case Stage::DriverRx:
+        return "DriverRx";
+      case Stage::Delivered:
+        return "Delivered";
+      case Stage::kCount:
+        break;
+    }
+    return "?";
+}
+
+PacketPtr
+Packet::make(std::vector<std::uint8_t> payload, std::size_t headroom)
+{
+    std::vector<std::uint8_t> buf(headroom + payload.size());
+    if (!payload.empty())
+        std::memcpy(buf.data() + headroom, payload.data(),
+                    payload.size());
+    return PacketPtr(new Packet(std::move(buf), headroom));
+}
+
+PacketPtr
+Packet::makePattern(std::size_t n, std::uint8_t seed,
+                    std::size_t headroom)
+{
+    std::vector<std::uint8_t> buf(headroom + n);
+    for (std::size_t i = 0; i < n; ++i)
+        buf[headroom + i] =
+            static_cast<std::uint8_t>(seed + (i & 0xff));
+    return PacketPtr(new Packet(std::move(buf), headroom));
+}
+
+std::uint8_t *
+Packet::push(std::size_t n)
+{
+    if (head_ < n) {
+        // Grow headroom; rare if defaultHeadroom is sized right.
+        std::size_t extra = n - head_ + defaultHeadroom;
+        std::vector<std::uint8_t> bigger(buf_.size() + extra);
+        std::memcpy(bigger.data() + extra, buf_.data(), buf_.size());
+        buf_ = std::move(bigger);
+        head_ += extra;
+    }
+    head_ -= n;
+    return buf_.data() + head_;
+}
+
+void
+Packet::pull(std::size_t n)
+{
+    MCNSIM_ASSERT(n <= size(), "pulling past end of packet");
+    head_ += n;
+}
+
+std::uint8_t *
+Packet::put(std::size_t n)
+{
+    std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    return buf_.data() + old;
+}
+
+void
+Packet::trim(std::size_t n)
+{
+    MCNSIM_ASSERT(n <= size(), "trim growing packet");
+    buf_.resize(head_ + n);
+}
+
+PacketPtr
+Packet::clone() const
+{
+    auto copy = PacketPtr(new Packet(buf_, head_));
+    copy->trace = trace;
+    copy->srcNode = srcNode;
+    copy->dstNode = dstNode;
+    copy->tsoMss = tsoMss;
+    return copy;
+}
+
+std::vector<std::uint8_t>
+Packet::bytes() const
+{
+    return {data(), data() + size()};
+}
+
+} // namespace mcnsim::net

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Packet: the simulator's sk_buff. A packet owns real bytes --
+ * headers are pushed/pulled at the front exactly as the Linux stack
+ * does -- plus simulation metadata: a latency trace used to produce
+ * the paper's Table III breakdown, and bookkeeping for TSO.
+ */
+
+#ifndef MCNSIM_NET_PACKET_HH
+#define MCNSIM_NET_PACKET_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mcnsim::net {
+
+using sim::Tick;
+
+/** Stages stamped into a packet's latency trace (Table III). */
+enum class Stage : std::uint8_t {
+    StackTx,     ///< handed to the netdev by the network stack
+    DriverTx,    ///< driver done (descriptor ready / SRAM written)
+    DmaTx,       ///< device fetched the bytes (NIC DMA done)
+    Phy,         ///< left the physical medium (wire/switch)
+    DmaRx,       ///< bytes landed in receiver memory
+    DriverRx,    ///< receiver driver handed to the stack
+    Delivered,   ///< delivered to the application/socket
+    kCount,
+};
+
+const char *to_string(Stage s);
+
+/** Per-packet tick stamps, one per stage (0 = never reached). */
+class LatencyTrace
+{
+  public:
+    void
+    stamp(Stage s, Tick t)
+    {
+        at_[static_cast<std::size_t>(s)] = t;
+    }
+
+    Tick
+    at(Stage s) const
+    {
+        return at_[static_cast<std::size_t>(s)];
+    }
+
+    bool
+    reached(Stage s) const
+    {
+        return at(s) != 0;
+    }
+
+    /** Delta between two stages (0 if either missing). */
+    Tick
+    span(Stage from, Stage to) const
+    {
+        Tick a = at(from), b = at(to);
+        return (a && b && b >= a) ? b - a : 0;
+    }
+
+  private:
+    std::array<Tick, static_cast<std::size_t>(Stage::kCount)> at_{};
+};
+
+class Packet;
+using PacketPtr = std::shared_ptr<Packet>;
+
+/**
+ * A network packet with real bytes and reserved headroom for
+ * headers, mirroring sk_buff's push/pull discipline.
+ */
+class Packet
+{
+  public:
+    static constexpr std::size_t defaultHeadroom = 128;
+
+    /** Create a packet whose payload is @p payload. */
+    static PacketPtr make(std::vector<std::uint8_t> payload,
+                          std::size_t headroom = defaultHeadroom);
+
+    /** Create a packet with an n-byte patterned payload. */
+    static PacketPtr makePattern(std::size_t n, std::uint8_t seed = 0,
+                                 std::size_t headroom =
+                                     defaultHeadroom);
+
+    /** Current bytes (headers pushed so far + payload). */
+    const std::uint8_t *data() const { return buf_.data() + head_; }
+    std::uint8_t *data() { return buf_.data() + head_; }
+    std::size_t size() const { return buf_.size() - head_; }
+
+    /** Prepend @p n bytes (returns pointer to write the header). */
+    std::uint8_t *push(std::size_t n);
+
+    /** Drop @p n bytes from the front (header consumed). */
+    void pull(std::size_t n);
+
+    /** Append @p n bytes at the tail (returns write pointer). */
+    std::uint8_t *put(std::size_t n);
+
+    /** Trim the packet to @p n bytes total. */
+    void trim(std::size_t n);
+
+    /** Deep copy (broadcast fan-out / retransmission). */
+    PacketPtr clone() const;
+
+    /** Simulation metadata. */
+    LatencyTrace trace;
+
+    /** Source node id (diagnostics) and flow hint for stats. */
+    int srcNode = -1;
+    int dstNode = -1;
+
+    /**
+     * TSO bookkeeping: when a device segments this packet in
+     * hardware, this is the MSS to use; 0 = not a TSO packet.
+     */
+    std::uint32_t tsoMss = 0;
+
+    /** Bytes currently in the packet, as a vector copy (tests). */
+    std::vector<std::uint8_t> bytes() const;
+
+  private:
+    Packet(std::vector<std::uint8_t> buf, std::size_t head)
+        : buf_(std::move(buf)), head_(head)
+    {}
+
+    std::vector<std::uint8_t> buf_;
+    std::size_t head_; ///< offset of the first live byte
+};
+
+} // namespace mcnsim::net
+
+#endif // MCNSIM_NET_PACKET_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Socket convenience helpers.
+ */
+
+#include "net/socket.hh"
+
+#include "net/net_stack.hh"
+
+namespace mcnsim::net {
+
+std::string
+SockAddr::str() const
+{
+    return addr.str() + ":" + std::to_string(port);
+}
+
+sim::Task<TcpSocketPtr>
+tcpConnect(NetStack &stack, SockAddr dst, int attempts)
+{
+    for (int i = 0; i < attempts; ++i) {
+        auto sock = stack.tcpSocket();
+        bool ok = co_await sock->connect(dst.addr, dst.port);
+        if (ok)
+            co_return sock;
+        co_await sim::delayFor(stack.eventQueue(),
+                               (i + 1) * sim::oneMs);
+    }
+    co_return nullptr;
+}
+
+TcpSocketPtr
+tcpListen(NetStack &stack, std::uint16_t port)
+{
+    auto sock = stack.tcpSocket();
+    sock->listen(port);
+    return sock;
+}
+
+} // namespace mcnsim::net

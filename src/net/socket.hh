@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Socket-layer conveniences: address pairs and the connect/listen
+ * helpers the distributed-computing layer builds on.
+ */
+
+#ifndef MCNSIM_NET_SOCKET_HH
+#define MCNSIM_NET_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4.hh"
+#include "net/tcp.hh"
+#include "sim/task.hh"
+
+namespace mcnsim::net {
+
+/** An (address, port) pair. */
+struct SockAddr
+{
+    Ipv4Addr addr;
+    std::uint16_t port = 0;
+
+    std::string str() const;
+};
+
+/**
+ * Connect a new TCP socket on @p stack to @p dst, retrying the
+ * handshake a few times (SYNs can be dropped under switch-queue
+ * overflow). Returns nullptr on failure.
+ */
+sim::Task<TcpSocketPtr> tcpConnect(NetStack &stack, SockAddr dst,
+                                   int attempts = 4);
+
+/** Create a listening socket on @p port. */
+TcpSocketPtr tcpListen(NetStack &stack, std::uint16_t port);
+
+} // namespace mcnsim::net
+
+#endif // MCNSIM_NET_SOCKET_HH

@@ -1,0 +1,973 @@
+/**
+ * @file
+ * TCP implementation: wire format, demux layer, and the socket
+ * state machine with Reno congestion control.
+ */
+
+#include "net/tcp.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/checksum.hh"
+#include "net/net_stack.hh"
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace mcnsim::net {
+
+namespace {
+
+// Wrapping sequence-number comparisons (RFC 793).
+bool
+seqLt(std::uint32_t a, std::uint32_t b)
+{
+    return static_cast<std::int32_t>(a - b) < 0;
+}
+
+bool
+seqLe(std::uint32_t a, std::uint32_t b)
+{
+    return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+void
+put16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void
+put32(std::uint8_t *p, std::uint32_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+std::uint16_t
+get16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+           (std::uint32_t(p[2]) << 8) | p[3];
+}
+
+constexpr sim::Tick minRto = 200 * sim::oneUs;
+constexpr sim::Tick initialRto = 5 * sim::oneMs;
+constexpr sim::Tick delAckDelay = 50 * sim::oneUs;
+constexpr sim::Tick timeWaitDelay = 2 * sim::oneMs;
+constexpr std::uint32_t initialCwndSegments = 10;
+
+} // namespace
+
+const char *
+to_string(TcpState s)
+{
+    switch (s) {
+      case TcpState::Closed:
+        return "Closed";
+      case TcpState::Listen:
+        return "Listen";
+      case TcpState::SynSent:
+        return "SynSent";
+      case TcpState::SynRcvd:
+        return "SynRcvd";
+      case TcpState::Established:
+        return "Established";
+      case TcpState::FinWait1:
+        return "FinWait1";
+      case TcpState::FinWait2:
+        return "FinWait2";
+      case TcpState::CloseWait:
+        return "CloseWait";
+      case TcpState::LastAck:
+        return "LastAck";
+      case TcpState::TimeWait:
+        return "TimeWait";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------
+
+void
+TcpHeader::push(Packet &pkt, Ipv4Addr src, Ipv4Addr dst,
+                bool compute_checksum) const
+{
+    std::size_t l4_len = pkt.size() + size;
+    std::uint8_t *p = pkt.push(size);
+    put16(p, srcPort);
+    put16(p + 2, dstPort);
+    put32(p + 4, seq);
+    put32(p + 8, ack);
+    p[12] = 5 << 4; // data offset: 5 words
+    p[13] = flags;
+    put16(p + 14, window);
+    put16(p + 16, 0); // checksum placeholder
+    put16(p + 18, 0); // urgent pointer
+    if (compute_checksum) {
+        std::uint32_t sum = pseudoHeaderSum(
+            src.v, dst.v, protoTcp,
+            static_cast<std::uint16_t>(l4_len));
+        sum = checksumPartial(p, l4_len, sum);
+        put16(p + 16, checksumFold(sum));
+    }
+}
+
+std::optional<TcpHeader>
+TcpHeader::pull(Packet &pkt, Ipv4Addr src, Ipv4Addr dst,
+                bool verify_checksum)
+{
+    if (pkt.size() < size)
+        return std::nullopt;
+    const std::uint8_t *p = pkt.data();
+    std::uint16_t stored = get16(p + 16);
+    // A zero checksum marks "not computed" (device offload toward a
+    // lossless medium, loopback, or mcn2 bypass) -- the simulator's
+    // CHECKSUM_UNNECESSARY. Only verify real checksums.
+    if (verify_checksum && stored != 0) {
+        std::uint32_t sum = pseudoHeaderSum(
+            src.v, dst.v, protoTcp,
+            static_cast<std::uint16_t>(pkt.size()));
+        sum = checksumPartial(p, pkt.size(), sum);
+        if (checksumFold(sum) != 0)
+            return std::nullopt;
+    }
+    TcpHeader h;
+    h.srcPort = get16(p);
+    h.dstPort = get16(p + 2);
+    h.seq = get32(p + 4);
+    h.ack = get32(p + 8);
+    h.flags = p[13];
+    h.window = get16(p + 14);
+    h.checksum = get16(p + 16);
+    pkt.pull(size);
+    return h;
+}
+
+// ---------------------------------------------------------------------
+// TcpLayer
+// ---------------------------------------------------------------------
+
+TcpLayer::TcpLayer(sim::Simulation &s, std::string name,
+                   NetStack &stack)
+    : sim::SimObject(s, std::move(name)), stack_(stack)
+{
+    regStat(&statRx_);
+    regStat(&statTx_);
+    regStat(&statPureAcks_);
+    regStat(&statDrops_);
+}
+
+TcpSocketPtr
+TcpLayer::createSocket()
+{
+    static std::uint64_t next_sock = 0;
+    return std::make_shared<TcpSocket>(
+        *this, name() + ".sock" + std::to_string(next_sock++));
+}
+
+std::uint16_t
+TcpLayer::allocEphemeralPort()
+{
+    return nextPort_++;
+}
+
+void
+TcpLayer::bindListener(std::uint16_t port, TcpSocketPtr sock)
+{
+    listeners_[port] = std::move(sock);
+}
+
+void
+TcpLayer::bindConnection(const TcpTuple &t, TcpSocketPtr sock)
+{
+    connections_[t] = std::move(sock);
+}
+
+void
+TcpLayer::unbind(const TcpTuple &t, std::uint16_t listen_port)
+{
+    connections_.erase(t);
+    if (listen_port)
+        listeners_.erase(listen_port);
+}
+
+void
+TcpLayer::countTx(bool pure_ack)
+{
+    statTx_ += 1;
+    if (pure_ack)
+        statPureAcks_ += 1;
+}
+
+void
+TcpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt)
+{
+    statRx_ += 1;
+    bool verify = !stack_.checksumBypass();
+    auto h = TcpHeader::pull(*pkt, src, dst, verify);
+    if (!h) {
+        statDrops_ += 1;
+        return;
+    }
+
+    TcpTuple t;
+    t.localIp = dst;
+    t.remoteIp = src;
+    t.localPort = h->dstPort;
+    t.remotePort = h->srcPort;
+
+    // Hold a local reference: segmentArrived may unbind the socket
+    // (RST, final ACK), dropping the map's ownership mid-call.
+    auto conn = connections_.find(t);
+    if (conn != connections_.end()) {
+        TcpSocketPtr sock = conn->second;
+        sock->segmentArrived(*h, src, dst, std::move(pkt));
+        return;
+    }
+    auto lst = listeners_.find(h->dstPort);
+    if (lst != listeners_.end()) {
+        TcpSocketPtr sock = lst->second;
+        sock->segmentArrived(*h, src, dst, std::move(pkt));
+        return;
+    }
+    statDrops_ += 1;
+}
+
+// ---------------------------------------------------------------------
+// TcpSocket
+// ---------------------------------------------------------------------
+
+TcpSocket::TcpSocket(TcpLayer &layer, std::string name)
+    : layer_(layer), stack_(layer.stack()), name_(std::move(name)),
+      connectCv_(layer.eventQueue()), acceptCv_(layer.eventQueue()),
+      sendCv_(layer.eventQueue()), recvCv_(layer.eventQueue()),
+      closeCv_(layer.eventQueue())
+{}
+
+TcpSocket::~TcpSocket()
+{
+    if (rtoEvent_)
+        layer_.eventQueue().deschedule(rtoEvent_);
+    if (delAckEvent_)
+        layer_.eventQueue().deschedule(delAckEvent_);
+}
+
+std::uint32_t
+TcpSocket::effectiveMss() const
+{
+    std::uint32_t mtu = stack_.pathMtu(tuple_.remoteIp);
+    return mtu - Ipv4Header::size - TcpHeader::size;
+}
+
+std::uint32_t
+TcpSocket::flightSize() const
+{
+    return sndNxt_ - sndUna_;
+}
+
+std::uint32_t
+TcpSocket::availableWindow() const
+{
+    std::uint32_t wnd = std::min(cwnd_, peerWindow_);
+    std::uint32_t flight = flightSize();
+    return wnd > flight ? wnd - flight : 0;
+}
+
+std::uint16_t
+TcpSocket::advertisedWindow() const
+{
+    std::uint32_t free_bytes =
+        rcvBufCap > rcvBuf_.size()
+            ? rcvBufCap - static_cast<std::uint32_t>(rcvBuf_.size())
+            : 0;
+    std::uint32_t scaled = free_bytes / TcpHeader::windowScale;
+    return static_cast<std::uint16_t>(std::min<std::uint32_t>(
+        scaled, 0xffff));
+}
+
+void
+TcpSocket::listen(std::uint16_t port)
+{
+    tuple_.localIp = stack_.primaryAddr();
+    tuple_.localPort = port;
+    state_ = TcpState::Listen;
+    boundAsListener_ = true;
+    layer_.bindListener(port, shared_from_this());
+}
+
+sim::Task<TcpSocketPtr>
+TcpSocket::accept()
+{
+    while (acceptQueue_.empty())
+        co_await acceptCv_.wait();
+    TcpSocketPtr child = std::move(acceptQueue_.front());
+    acceptQueue_.pop_front();
+    co_return child;
+}
+
+sim::Task<bool>
+TcpSocket::connect(Ipv4Addr dst, std::uint16_t port)
+{
+    auto self = shared_from_this();
+    auto egress = stack_.interfaces().route(dst);
+    if (!egress)
+        co_return false;
+    tuple_.remoteIp = dst;
+    tuple_.remotePort = port;
+    tuple_.localIp = stack_.sourceAddrFor(dst);
+    tuple_.localPort = layer_.allocEphemeralPort();
+
+    static std::uint32_t iss_seed = 0x1000;
+    iss_seed += 64007;
+    iss_ = iss_seed;
+    sndUna_ = sndNxt_ = iss_;
+    state_ = TcpState::SynSent;
+    layer_.bindConnection(tuple_, self);
+
+    sendControl(tcpSyn);
+    sndNxt_ = iss_ + 1; // SYN occupies one sequence number
+    armRto();
+
+    while (state_ == TcpState::SynSent)
+        co_await connectCv_.wait();
+    co_return state_ == TcpState::Established;
+}
+
+void
+TcpSocket::becomeEstablished()
+{
+    state_ = TcpState::Established;
+    cwnd_ = initialCwndSegments * effectiveMss();
+    connectCv_.notifyAll();
+}
+
+sim::Task<std::size_t>
+TcpSocket::send(std::vector<std::uint8_t> data)
+{
+    auto self = shared_from_this();
+    const auto &costs = stack_.kernel().costs();
+    std::size_t accepted = 0;
+    std::size_t off = 0;
+
+    while (off < data.size()) {
+        if (state_ != TcpState::Established &&
+            state_ != TcpState::CloseWait)
+            break;
+        while (sndBuf_.size() >= sndBufCap &&
+               (state_ == TcpState::Established ||
+                state_ == TcpState::CloseWait))
+            co_await sendCv_.wait();
+        if (state_ != TcpState::Established &&
+            state_ != TcpState::CloseWait)
+            break;
+
+        std::size_t room = sndBufCap - sndBuf_.size();
+        std::size_t n = std::min(room, data.size() - off);
+        // tcp_sendmsg: syscall + user->kernel copy.
+        co_await stack_.kernel().cpus().leastLoaded().run(
+            costs.syscallEntry + costs.copy(n));
+        sndBuf_.insert(sndBuf_.end(), data.begin() + off,
+                       data.begin() + off + n);
+        off += n;
+        accepted += n;
+        trySend();
+    }
+    co_return accepted;
+}
+
+sim::Task<std::size_t>
+TcpSocket::sendPattern(std::size_t n)
+{
+    auto self = shared_from_this();
+    const auto &costs = stack_.kernel().costs();
+    std::size_t accepted = 0;
+
+    while (accepted < n) {
+        if (state_ != TcpState::Established &&
+            state_ != TcpState::CloseWait)
+            break;
+        while (sndBuf_.size() >= sndBufCap &&
+               (state_ == TcpState::Established ||
+                state_ == TcpState::CloseWait))
+            co_await sendCv_.wait();
+        if (state_ != TcpState::Established &&
+            state_ != TcpState::CloseWait)
+            break;
+
+        std::size_t room = sndBufCap - sndBuf_.size();
+        std::size_t chunk = std::min(room, n - accepted);
+        co_await stack_.kernel().cpus().leastLoaded().run(
+            costs.syscallEntry + costs.copy(chunk));
+        for (std::size_t i = 0; i < chunk; ++i)
+            sndBuf_.push_back(
+                static_cast<std::uint8_t>((accepted + i) & 0xff));
+        accepted += chunk;
+        trySend();
+    }
+    co_return accepted;
+}
+
+sim::Task<std::vector<std::uint8_t>>
+TcpSocket::recv(std::size_t max)
+{
+    auto self = shared_from_this();
+    const auto &costs = stack_.kernel().costs();
+    while (rcvBuf_.empty() && !peerFin_ &&
+           state_ != TcpState::Closed)
+        co_await recvCv_.wait();
+
+    std::size_t n = std::min(max, rcvBuf_.size());
+    std::vector<std::uint8_t> out(rcvBuf_.begin(),
+                                  rcvBuf_.begin() +
+                                      static_cast<std::ptrdiff_t>(n));
+    bool was_starved =
+        advertisedWindow() * TcpHeader::windowScale < effectiveMss();
+    rcvBuf_.erase(rcvBuf_.begin(),
+                  rcvBuf_.begin() + static_cast<std::ptrdiff_t>(n));
+    if (n > 0) {
+        co_await stack_.kernel().cpus().leastLoaded().run(
+            costs.syscallEntry + costs.copy(n));
+        bytesReceived_ += n;
+        if (was_starved)
+            sendAckNow(); // window update
+    }
+    co_return out;
+}
+
+sim::Task<std::size_t>
+TcpSocket::recvDrain(std::size_t n)
+{
+    auto self = shared_from_this();
+    const auto &costs = stack_.kernel().costs();
+    std::size_t drained = 0;
+    while (drained < n) {
+        while (rcvBuf_.empty() && !peerFin_ &&
+               state_ != TcpState::Closed)
+            co_await recvCv_.wait();
+        if (rcvBuf_.empty())
+            break; // EOF
+        std::size_t take = std::min(n - drained, rcvBuf_.size());
+        bool was_starved = advertisedWindow() *
+                               TcpHeader::windowScale <
+                           effectiveMss();
+        rcvBuf_.erase(rcvBuf_.begin(),
+                      rcvBuf_.begin() +
+                          static_cast<std::ptrdiff_t>(take));
+        co_await stack_.kernel().cpus().leastLoaded().run(
+            costs.syscallEntry + costs.copy(take));
+        drained += take;
+        bytesReceived_ += take;
+        if (was_starved)
+            sendAckNow();
+    }
+    co_return drained;
+}
+
+sim::Task<void>
+TcpSocket::close()
+{
+    auto self = shared_from_this();
+    if (state_ == TcpState::Listen || state_ == TcpState::Closed) {
+        state_ = TcpState::Closed;
+        layer_.unbind(tuple_, boundAsListener_ ? tuple_.localPort : 0);
+        co_return;
+    }
+    if (state_ == TcpState::Established)
+        state_ = TcpState::FinWait1;
+    else if (state_ == TcpState::CloseWait)
+        state_ = TcpState::LastAck;
+    finQueued_ = true;
+    trySend();
+    while (state_ != TcpState::Closed &&
+           state_ != TcpState::TimeWait &&
+           state_ != TcpState::FinWait2)
+        co_await closeCv_.wait();
+}
+
+// ---------------------------------------------------------------------
+// Protocol engine -- transmit side
+// ---------------------------------------------------------------------
+
+void
+TcpSocket::trySend()
+{
+    if (state_ != TcpState::Established &&
+        state_ != TcpState::CloseWait &&
+        state_ != TcpState::FinWait1 && state_ != TcpState::LastAck)
+        return;
+
+    std::uint32_t mss = effectiveMss();
+    bool tso = stack_.tsoTowards(tuple_.remoteIp);
+    std::uint32_t max_seg = tso ? tsoMaxChunk : mss;
+
+    while (true) {
+        std::uint32_t sent_off = sndNxt_ - sndUna_;
+        std::uint32_t avail =
+            static_cast<std::uint32_t>(sndBuf_.size()) > sent_off
+                ? static_cast<std::uint32_t>(sndBuf_.size()) -
+                      sent_off
+                : 0;
+        std::uint32_t wnd = availableWindow();
+        std::uint32_t len = std::min({avail, wnd, max_seg});
+        if (len == 0)
+            break;
+        emitSegment(sndNxt_, len, tcpAck | tcpPsh,
+                    tso ? mss : 0);
+        sndNxt_ += len;
+        armRto();
+    }
+
+    // FIN rides after all queued data.
+    if (finQueued_ && !finSent_ &&
+        sndNxt_ == sndUna_ + sndBuf_.size()) {
+        emitSegment(sndNxt_, 0, tcpFin | tcpAck, 0);
+        finSent_ = true;
+        sndNxt_ += 1;
+        armRto();
+    }
+}
+
+void
+TcpSocket::emitSegment(std::uint32_t seq, std::uint32_t len,
+                       std::uint8_t flags, std::uint32_t tso_mss)
+{
+    const auto &costs = stack_.kernel().costs();
+
+    // Copy payload out of the send buffer.
+    std::vector<std::uint8_t> payload;
+    if (len > 0) {
+        std::uint32_t off = seq - sndUna_;
+        MCNSIM_ASSERT(off + len <= sndBuf_.size(),
+                      "segment beyond send buffer");
+        payload.assign(sndBuf_.begin() + off,
+                       sndBuf_.begin() + off + len);
+    }
+    auto pkt = Packet::make(std::move(payload));
+    pkt->tsoMss = tso_mss;
+
+    TcpHeader h;
+    h.srcPort = tuple_.localPort;
+    h.dstPort = tuple_.remotePort;
+    h.seq = seq;
+    h.ack = rcvNxt_;
+    h.flags = flags;
+    h.window = advertisedWindow();
+
+    bool sw_checksum = !stack_.checksumBypass() &&
+                       !stack_.checksumOffloadTowards(
+                           tuple_.remoteIp);
+    h.push(*pkt, tuple_.localIp, tuple_.remoteIp, sw_checksum);
+
+    // RTT sampling: one un-retransmitted data segment at a time.
+    if (len > 0 && rttSampleSentAt_ == 0) {
+        rttSampleSentAt_ = layer_.curTick();
+        rttSampleSeq_ = seq + len;
+    }
+
+    bool pure_ack = len == 0 && !(flags & (tcpSyn | tcpFin));
+    layer_.countTx(pure_ack);
+    if (len > 0) {
+        bytesSent_ += len;
+        unackedSegs_ = 0; // data segment carries our latest ack
+    }
+
+    // Charge protocol processing then hand to IP.
+    sim::Cycles cycles = costs.tcpTxPerPacket + costs.skbAlloc;
+    if (sw_checksum && len > 0)
+        cycles += costs.checksum(len);
+    auto self = shared_from_this();
+    stack_.kernel().cpus().leastLoaded().execute(
+        cycles, [self, pkt](sim::Tick) {
+            self->stack_.sendIp(self->tuple_.localIp,
+                                self->tuple_.remoteIp, protoTcp,
+                                pkt);
+        });
+}
+
+void
+TcpSocket::sendControl(std::uint8_t flags)
+{
+    emitSegment(sndNxt_, 0, flags, 0);
+}
+
+void
+TcpSocket::sendAckNow()
+{
+    if (delAckEvent_) {
+        layer_.eventQueue().deschedule(delAckEvent_);
+        delAckEvent_ = nullptr;
+    }
+    unackedSegs_ = 0;
+    sendControl(tcpAck);
+}
+
+void
+TcpSocket::scheduleDelayedAck()
+{
+    if (delAckEvent_)
+        return;
+    auto self = shared_from_this();
+    delAckEvent_ = layer_.eventQueue().scheduleIn(
+        [self] {
+            self->delAckEvent_ = nullptr;
+            if (self->unackedSegs_ > 0)
+                self->sendAckNow();
+        },
+        delAckDelay, name_ + ".delack");
+}
+
+// ---------------------------------------------------------------------
+// Protocol engine -- receive side
+// ---------------------------------------------------------------------
+
+void
+TcpSocket::segmentArrived(const TcpHeader &h, Ipv4Addr src,
+                          Ipv4Addr dst, PacketPtr pkt)
+{
+    peerWindow_ =
+        static_cast<std::uint32_t>(h.window) * TcpHeader::windowScale;
+
+    if (h.flags & tcpRst) {
+        state_ = TcpState::Closed;
+        connectCv_.notifyAll();
+        recvCv_.notifyAll();
+        sendCv_.notifyAll();
+        closeCv_.notifyAll();
+        layer_.unbind(tuple_, 0);
+        return;
+    }
+
+    switch (state_) {
+      case TcpState::Listen: {
+        if (!(h.flags & tcpSyn))
+            return;
+        // Passive open: spawn a child connection.
+        auto child = layer_.createSocket();
+        child->tuple_.localIp = dst;
+        child->tuple_.remoteIp = src;
+        child->tuple_.localPort = h.dstPort;
+        child->tuple_.remotePort = h.srcPort;
+        child->state_ = TcpState::SynRcvd;
+        child->rcvNxt_ = h.seq + 1;
+        static std::uint32_t iss_seed = 0x8000;
+        iss_seed += 98561;
+        child->iss_ = iss_seed;
+        child->sndUna_ = child->sndNxt_ = child->iss_;
+        child->parent_ = shared_from_this();
+        layer_.bindConnection(child->tuple_, child);
+        child->sendControl(tcpSyn | tcpAck);
+        child->sndNxt_ = child->iss_ + 1;
+        child->armRto();
+        return;
+      }
+
+      case TcpState::SynSent: {
+        if ((h.flags & (tcpSyn | tcpAck)) == (tcpSyn | tcpAck) &&
+            h.ack == sndNxt_) {
+            rcvNxt_ = h.seq + 1;
+            sndUna_ = h.ack;
+            if (rtoEvent_) {
+                layer_.eventQueue().deschedule(rtoEvent_);
+                rtoEvent_ = nullptr;
+            }
+            becomeEstablished();
+            sendAckNow();
+        }
+        return;
+      }
+
+      case TcpState::SynRcvd: {
+        if ((h.flags & tcpAck) && h.ack == sndNxt_) {
+            sndUna_ = h.ack;
+            if (rtoEvent_) {
+                layer_.eventQueue().deschedule(rtoEvent_);
+                rtoEvent_ = nullptr;
+            }
+            becomeEstablished();
+            if (auto p = parent_.lock()) {
+                p->acceptQueue_.push_back(shared_from_this());
+                p->acceptCv_.notifyAll();
+            }
+            // Fall through to process any piggybacked data.
+            if (pkt->size() > 0)
+                deliverData(h, std::move(pkt));
+        }
+        return;
+      }
+
+      case TcpState::Closed:
+        return;
+
+      default:
+        break;
+    }
+
+    // Established and closing states.
+    if (h.flags & tcpAck)
+        processAck(h);
+
+    std::uint32_t payload_len =
+        static_cast<std::uint32_t>(pkt->size());
+    if (payload_len > 0)
+        deliverData(h, pkt);
+
+    if (h.flags & tcpFin) {
+        // Accept the FIN only once all data up to it has arrived.
+        std::uint32_t fin_seq = h.seq + payload_len;
+        if (!peerFin_ && rcvNxt_ == fin_seq) {
+            peerFin_ = true;
+            rcvNxt_ += 1;
+            sendAckNow();
+            if (state_ == TcpState::Established)
+                state_ = TcpState::CloseWait;
+            else if (state_ == TcpState::FinWait1)
+                state_ = TcpState::TimeWait, enterTimeWait();
+            else if (state_ == TcpState::FinWait2)
+                enterTimeWait();
+            recvCv_.notifyAll();
+            closeCv_.notifyAll();
+        }
+    }
+}
+
+void
+TcpSocket::processAck(const TcpHeader &h)
+{
+    std::uint32_t mss = effectiveMss();
+
+    if (seqLt(sndUna_, h.ack) && seqLe(h.ack, sndNxt_)) {
+        std::uint32_t acked = h.ack - sndUna_;
+        // Data bytes leave the retransmission buffer (SYN/FIN
+        // occupy sequence space but not buffer bytes).
+        std::size_t drop =
+            std::min<std::size_t>(acked, sndBuf_.size());
+        sndBuf_.erase(sndBuf_.begin(),
+                      sndBuf_.begin() +
+                          static_cast<std::ptrdiff_t>(drop));
+        sndUna_ = h.ack;
+        dupAcks_ = 0;
+
+        // RTT sample.
+        if (rttSampleSentAt_ && seqLe(rttSampleSeq_, h.ack)) {
+            updateRtt(layer_.curTick() - rttSampleSentAt_);
+            rttSampleSentAt_ = 0;
+        }
+
+        if (inRecovery_ && seqLe(recover_, h.ack)) {
+            inRecovery_ = false;
+            cwnd_ = ssthresh_;
+        }
+
+        // Reno growth.
+        if (!inRecovery_) {
+            if (cwnd_ < ssthresh_)
+                cwnd_ += std::min(acked, mss);
+            else
+                cwnd_ += std::max<std::uint32_t>(
+                    1, mss * mss / std::max<std::uint32_t>(cwnd_, 1));
+        }
+
+        armRto();
+        sendCv_.notifyAll();
+        trySend();
+
+        // FIN fully acked?
+        if (finSent_ && h.ack == sndNxt_) {
+            if (state_ == TcpState::FinWait1) {
+                state_ = peerFin_ ? TcpState::TimeWait
+                                  : TcpState::FinWait2;
+                if (state_ == TcpState::TimeWait)
+                    enterTimeWait();
+            } else if (state_ == TcpState::LastAck) {
+                state_ = TcpState::Closed;
+                layer_.unbind(tuple_, 0);
+            }
+            closeCv_.notifyAll();
+        }
+    } else if (h.ack == sndUna_ && flightSize() > 0) {
+        dupAcks_++;
+        if (dupAcks_ == 3 && !inRecovery_) {
+            // Fast retransmit + fast recovery.
+            ssthresh_ = std::max(flightSize() / 2, 2 * mss);
+            retransmits_++;
+            std::uint32_t len = std::min<std::uint32_t>(
+                mss,
+                static_cast<std::uint32_t>(sndBuf_.size()));
+            if (len > 0)
+                emitSegment(sndUna_, len, tcpAck, 0);
+            cwnd_ = ssthresh_ + 3 * mss;
+            inRecovery_ = true;
+            recover_ = sndNxt_;
+        } else if (inRecovery_ && dupAcks_ > 3) {
+            cwnd_ += mss;
+            trySend();
+        }
+    }
+}
+
+void
+TcpSocket::deliverData(const TcpHeader &h, PacketPtr pkt)
+{
+    std::uint32_t seq = h.seq;
+    std::size_t len = pkt->size();
+    const std::uint8_t *data = pkt->data();
+
+    // Trim any part we already have.
+    if (seqLt(seq, rcvNxt_)) {
+        std::uint32_t overlap = rcvNxt_ - seq;
+        if (overlap >= len) {
+            sendAckNow(); // pure duplicate: re-ack
+            return;
+        }
+        data += overlap;
+        len -= overlap;
+        seq = rcvNxt_;
+    }
+
+    if (seq == rcvNxt_) {
+        rcvBuf_.insert(rcvBuf_.end(), data, data + len);
+        rcvNxt_ += static_cast<std::uint32_t>(len);
+
+        // Merge any now-contiguous out-of-order segments.
+        auto it = ooo_.begin();
+        while (it != ooo_.end()) {
+            if (seqLt(rcvNxt_, it->first))
+                break;
+            std::uint32_t s = it->first;
+            auto &seg = it->second;
+            if (seqLt(s, rcvNxt_)) {
+                std::uint32_t skip = rcvNxt_ - s;
+                if (skip < seg.size()) {
+                    rcvBuf_.insert(rcvBuf_.end(),
+                                   seg.begin() + skip, seg.end());
+                    rcvNxt_ += static_cast<std::uint32_t>(
+                        seg.size() - skip);
+                }
+            } else {
+                rcvBuf_.insert(rcvBuf_.end(), seg.begin(),
+                               seg.end());
+                rcvNxt_ += static_cast<std::uint32_t>(seg.size());
+            }
+            it = ooo_.erase(it);
+        }
+
+        recvCv_.notifyAll();
+        unackedSegs_++;
+        if (unackedSegs_ >= 2)
+            sendAckNow();
+        else
+            scheduleDelayedAck();
+    } else {
+        // Out of order: buffer and dup-ack immediately.
+        ooo_.emplace(seq,
+                     std::vector<std::uint8_t>(data, data + len));
+        sendAckNow();
+    }
+
+    // Stamp delivery for latency traces.
+    pkt->trace.stamp(Stage::Delivered, layer_.curTick());
+    if (layer_.deliveryHook())
+        layer_.deliveryHook()(*pkt);
+}
+
+// ---------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------
+
+void
+TcpSocket::updateRtt(sim::Tick sample)
+{
+    if (srtt_ == 0) {
+        srtt_ = sample;
+        rttvar_ = sample / 2;
+    } else {
+        sim::Tick diff =
+            srtt_ > sample ? srtt_ - sample : sample - srtt_;
+        rttvar_ = (3 * rttvar_ + diff) / 4;
+        srtt_ = (7 * srtt_ + sample) / 8;
+    }
+    rto_ = std::max(minRto, srtt_ + 4 * rttvar_);
+}
+
+void
+TcpSocket::armRto()
+{
+    if (rtoEvent_) {
+        layer_.eventQueue().deschedule(rtoEvent_);
+        rtoEvent_ = nullptr;
+    }
+    bool outstanding = flightSize() > 0 ||
+                       state_ == TcpState::SynSent ||
+                       state_ == TcpState::SynRcvd;
+    if (!outstanding)
+        return;
+    sim::Tick timeout = rto_ ? rto_ : initialRto;
+    auto self = shared_from_this();
+    rtoEvent_ = layer_.eventQueue().scheduleIn(
+        [self] {
+            self->rtoEvent_ = nullptr;
+            self->rtoFired();
+        },
+        timeout, name_ + ".rto");
+}
+
+void
+TcpSocket::rtoFired()
+{
+    if (flightSize() == 0 && state_ != TcpState::SynSent &&
+        state_ != TcpState::SynRcvd)
+        return;
+
+    retransmits_++;
+    std::uint32_t mss = effectiveMss();
+
+    if (state_ == TcpState::SynSent) {
+        sendControl(tcpSyn); // re-SYN (seq already consumed)
+    } else if (state_ == TcpState::SynRcvd) {
+        sendControl(tcpSyn | tcpAck);
+    } else {
+        ssthresh_ = std::max(flightSize() / 2, 2 * mss);
+        cwnd_ = mss;
+        inRecovery_ = false;
+        dupAcks_ = 0;
+        std::uint32_t len = std::min<std::uint32_t>(
+            mss, static_cast<std::uint32_t>(sndBuf_.size()));
+        if (len > 0) {
+            emitSegment(sndUna_, len, tcpAck, 0);
+        } else if (finSent_) {
+            emitSegment(sndNxt_ - 1, 0, tcpFin | tcpAck, 0);
+        }
+    }
+    rttSampleSentAt_ = 0; // Karn's rule
+    rto_ = std::min<sim::Tick>((rto_ ? rto_ : initialRto) * 2,
+                               2 * sim::oneSec);
+    armRto();
+}
+
+void
+TcpSocket::enterTimeWait()
+{
+    state_ = TcpState::TimeWait;
+    closeCv_.notifyAll();
+    auto self = shared_from_this();
+    layer_.eventQueue().scheduleIn(
+        [self] {
+            self->state_ = TcpState::Closed;
+            self->layer_.unbind(self->tuple_, 0);
+        },
+        timeWaitDelay, name_ + ".timewait");
+}
+
+} // namespace mcnsim::net

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * TCP: header, connection state machine, Reno congestion control,
+ * retransmission, delayed ACKs, TSO handoff, and a coroutine socket
+ * API (tcp_sendmsg / tcp_recvmsg equivalents).
+ *
+ * The implementation keeps real sequence-number state and real
+ * bytes so in-order delivery under loss and reordering is testable;
+ * CPU costs are charged per segment through the owning kernel's
+ * cores, which is what makes protocol processing a first-class
+ * bottleneck exactly as in the paper's evaluation.
+ */
+
+#ifndef MCNSIM_NET_TCP_HH
+#define MCNSIM_NET_TCP_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hh"
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+#include "sim/task.hh"
+
+namespace mcnsim::net {
+
+class NetStack;
+
+/** TCP flag bits. */
+enum : std::uint8_t {
+    tcpFin = 0x01,
+    tcpSyn = 0x02,
+    tcpRst = 0x04,
+    tcpPsh = 0x08,
+    tcpAck = 0x10,
+};
+
+/** The 20-byte TCP header (no options on the wire format). */
+struct TcpHeader
+{
+    static constexpr std::size_t size = 20;
+
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t ack = 0;
+    std::uint8_t flags = 0;
+    std::uint16_t window = 0; ///< in units of windowScale bytes
+    std::uint16_t checksum = 0;
+
+    /** Fixed window scale applied to the 16-bit field. */
+    static constexpr std::uint32_t windowScale = 64;
+
+    void push(Packet &pkt, Ipv4Addr src, Ipv4Addr dst,
+              bool compute_checksum) const;
+    static std::optional<TcpHeader> pull(Packet &pkt, Ipv4Addr src,
+                                         Ipv4Addr dst,
+                                         bool verify_checksum);
+};
+
+/** Connection 4-tuple. */
+struct TcpTuple
+{
+    Ipv4Addr localIp, remoteIp;
+    std::uint16_t localPort = 0, remotePort = 0;
+
+    bool
+    operator<(const TcpTuple &o) const
+    {
+        if (localIp != o.localIp)
+            return localIp < o.localIp;
+        if (remoteIp != o.remoteIp)
+            return remoteIp < o.remoteIp;
+        if (localPort != o.localPort)
+            return localPort < o.localPort;
+        return remotePort < o.remotePort;
+    }
+};
+
+class TcpSocket;
+using TcpSocketPtr = std::shared_ptr<TcpSocket>;
+
+/** Per-node TCP layer: demux + port allocation. */
+class TcpLayer : public sim::SimObject
+{
+  public:
+    TcpLayer(sim::Simulation &s, std::string name, NetStack &stack);
+
+    /** Create an unbound socket on this node. */
+    TcpSocketPtr createSocket();
+
+    /** Demux an inbound segment (called by NetStack). */
+    void rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt);
+
+    NetStack &stack() { return stack_; }
+
+    std::uint16_t allocEphemeralPort();
+
+    // Registration (used by TcpSocket).
+    void bindListener(std::uint16_t port, TcpSocketPtr sock);
+    void bindConnection(const TcpTuple &t, TcpSocketPtr sock);
+    void unbind(const TcpTuple &t, std::uint16_t listen_port);
+
+    std::uint64_t segmentsIn() const
+    {
+        return static_cast<std::uint64_t>(statRx_.value());
+    }
+    std::uint64_t segmentsOut() const
+    {
+        return static_cast<std::uint64_t>(statTx_.value());
+    }
+    /** Called by sockets when they emit a segment. */
+    void countTx(bool pure_ack);
+
+    /**
+     * Debug/measurement hook: invoked with every data segment as
+     * it is delivered in-order to a socket (used by the Table III
+     * latency-breakdown bench to read packet traces).
+     */
+    void
+    setDeliveryHook(std::function<void(const Packet &)> h)
+    {
+        deliveryHook_ = std::move(h);
+    }
+
+    const std::function<void(const Packet &)> &
+    deliveryHook() const
+    {
+        return deliveryHook_;
+    }
+    std::uint64_t pureAcksOut() const
+    {
+        return static_cast<std::uint64_t>(statPureAcks_.value());
+    }
+
+  private:
+    NetStack &stack_;
+    std::map<TcpTuple, TcpSocketPtr> connections_;
+    std::map<std::uint16_t, TcpSocketPtr> listeners_;
+    std::uint16_t nextPort_ = 32768;
+    std::function<void(const Packet &)> deliveryHook_;
+
+    sim::Scalar statRx_{"segmentsIn", "TCP segments received"};
+    sim::Scalar statTx_{"segmentsOut", "TCP segments sent"};
+    sim::Scalar statPureAcks_{"pureAcksOut", "pure ACKs sent"};
+    sim::Scalar statDrops_{"drops", "segments with no socket"};
+};
+
+/** TCP connection states (simplified RFC 793 set). */
+enum class TcpState {
+    Closed,
+    Listen,
+    SynSent,
+    SynRcvd,
+    Established,
+    FinWait1,
+    FinWait2,
+    CloseWait,
+    LastAck,
+    TimeWait,
+};
+
+const char *to_string(TcpState s);
+
+/**
+ * A TCP socket. All blocking operations are coroutines resumed
+ * through the simulation event queue.
+ */
+class TcpSocket : public std::enable_shared_from_this<TcpSocket>
+{
+  public:
+    TcpSocket(TcpLayer &layer, std::string name);
+    ~TcpSocket();
+
+    // --- Client/server setup ---------------------------------------
+    /** Start listening on @p port. */
+    void listen(std::uint16_t port);
+
+    /** Accept one pending/future connection. */
+    sim::Task<TcpSocketPtr> accept();
+
+    /** Active open to @p dst:@p port; resumes when established. */
+    sim::Task<bool> connect(Ipv4Addr dst, std::uint16_t port);
+
+    // --- Data transfer ----------------------------------------------
+    /**
+     * tcp_sendmsg: copy @p data into the send buffer (blocking on
+     * buffer space) and let the protocol engine stream it out.
+     * Returns bytes accepted (== data.size() unless closed).
+     */
+    sim::Task<std::size_t> send(std::vector<std::uint8_t> data);
+
+    /** Send @p n patterned bytes (iperf-style bulk source). */
+    sim::Task<std::size_t> sendPattern(std::size_t n);
+
+    /**
+     * tcp_recvmsg: receive up to @p max in-order bytes (at least
+     * one, unless the peer closed -- then returns empty).
+     */
+    sim::Task<std::vector<std::uint8_t>> recv(std::size_t max);
+
+    /**
+     * Drain exactly @p n bytes, discarding the data (bulk sink).
+     * Returns bytes actually drained (< n iff the peer closed).
+     */
+    sim::Task<std::size_t> recvDrain(std::size_t n);
+
+    /** Orderly close (FIN); resumes once our FIN is acked. */
+    sim::Task<void> close();
+
+    // --- Introspection ----------------------------------------------
+    TcpState state() const { return state_; }
+    std::uint64_t bytesSent() const { return bytesSent_; }
+    std::uint64_t bytesReceived() const { return bytesReceived_; }
+    std::uint32_t cwnd() const { return cwnd_; }
+    std::uint32_t ssthresh() const { return ssthresh_; }
+    std::uint64_t retransmits() const { return retransmits_; }
+    sim::Tick srtt() const { return srtt_; }
+    const TcpTuple &tuple() const { return tuple_; }
+    const std::string &name() const { return name_; }
+
+    /** Receive buffer capacity (advertised window ceiling). */
+    static constexpr std::uint32_t rcvBufCap = 1u << 20;
+    /** Send buffer capacity. */
+    static constexpr std::uint32_t sndBufCap = 1u << 20;
+    /**
+     * Largest TSO chunk handed to a capable device. Sized so a
+     * whole chunk always fits in an MCN SRAM ring (Sec. IV-A: the
+     * drivers ensure buffer space for the largest chunk).
+     */
+    static constexpr std::uint32_t tsoMaxChunk = 40 * 1024;
+
+    // Internal: layer demux entry.
+    void segmentArrived(const TcpHeader &h, Ipv4Addr src,
+                        Ipv4Addr dst, PacketPtr pkt);
+
+  private:
+    friend class TcpLayer;
+
+    // Protocol engine.
+    void trySend();
+    void emitSegment(std::uint32_t seq, std::uint32_t len,
+                     std::uint8_t flags, std::uint32_t tso_mss);
+    void sendControl(std::uint8_t flags);
+    void sendAckNow();
+    void scheduleDelayedAck();
+    void processAck(const TcpHeader &h);
+    void deliverData(const TcpHeader &h, PacketPtr pkt);
+    void armRto();
+    void rtoFired();
+    void updateRtt(sim::Tick sample);
+    void enterTimeWait();
+    void becomeEstablished();
+    std::uint32_t effectiveMss() const;
+    std::uint32_t flightSize() const;
+    std::uint32_t availableWindow() const;
+    std::uint16_t advertisedWindow() const;
+
+    TcpLayer &layer_;
+    NetStack &stack_;
+    std::string name_;
+    TcpTuple tuple_;
+    TcpState state_ = TcpState::Closed;
+    bool boundAsListener_ = false;
+    std::weak_ptr<TcpSocket> parent_; ///< listener that spawned us
+
+    // Send side.
+    std::deque<std::uint8_t> sndBuf_; ///< front == sndUna_
+    std::uint32_t iss_ = 0;
+    std::uint32_t sndUna_ = 0;
+    std::uint32_t sndNxt_ = 0;
+    bool finQueued_ = false;
+    bool finSent_ = false;
+
+    // Receive side.
+    std::deque<std::uint8_t> rcvBuf_; ///< in-order, undelivered
+    std::uint32_t rcvNxt_ = 0;
+    std::map<std::uint32_t, std::vector<std::uint8_t>> ooo_;
+    bool peerFin_ = false;
+    std::uint32_t peerFinSeq_ = 0;
+
+    // Congestion control (Reno).
+    std::uint32_t cwnd_ = 0;
+    std::uint32_t ssthresh_ = 256 * 1024;
+    std::uint32_t dupAcks_ = 0;
+    std::uint32_t peerWindow_ = 65535 * TcpHeader::windowScale;
+    bool inRecovery_ = false;
+    std::uint32_t recover_ = 0;
+
+    // RTT / RTO.
+    sim::Tick srtt_ = 0;
+    sim::Tick rttvar_ = 0;
+    sim::Tick rto_ = 0;
+    sim::Tick rttSampleSentAt_ = 0;
+    std::uint32_t rttSampleSeq_ = 0;
+    sim::Event *rtoEvent_ = nullptr;
+    sim::Event *delAckEvent_ = nullptr;
+    std::uint32_t unackedSegs_ = 0; ///< segments since last ACK sent
+
+    // Wakeups.
+    sim::Condition connectCv_;
+    sim::Condition acceptCv_;
+    sim::Condition sendCv_;
+    sim::Condition recvCv_;
+    sim::Condition closeCv_;
+    std::deque<TcpSocketPtr> acceptQueue_;
+
+    // Stats.
+    std::uint64_t bytesSent_ = 0;
+    std::uint64_t bytesReceived_ = 0;
+    std::uint64_t retransmits_ = 0;
+};
+
+} // namespace mcnsim::net
+
+#endif // MCNSIM_NET_TCP_HH

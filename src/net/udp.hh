@@ -1,0 +1,133 @@
+/**
+ * @file
+ * UDP: the 8-byte header, a demux layer, and datagram sockets.
+ * Used by latency-sensitive workload models and as a lighter-weight
+ * comparison point to TCP in the ablation benches.
+ */
+
+#ifndef MCNSIM_NET_UDP_HH
+#define MCNSIM_NET_UDP_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.hh"
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+#include "sim/task.hh"
+
+namespace mcnsim::net {
+
+class NetStack;
+
+/** The 8-byte UDP header. */
+struct UdpHeader
+{
+    static constexpr std::size_t size = 8;
+
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    std::uint16_t length = 0; ///< header + payload
+    std::uint16_t checksum = 0;
+
+    void push(Packet &pkt, Ipv4Addr src, Ipv4Addr dst,
+              bool compute_checksum) const;
+    static std::optional<UdpHeader> pull(Packet &pkt, Ipv4Addr src,
+                                         Ipv4Addr dst,
+                                         bool verify_checksum);
+};
+
+class UdpSocket;
+using UdpSocketPtr = std::shared_ptr<UdpSocket>;
+
+/** Per-node UDP layer. */
+class UdpLayer : public sim::SimObject
+{
+  public:
+    UdpLayer(sim::Simulation &s, std::string name, NetStack &stack);
+
+    UdpSocketPtr createSocket();
+
+    void rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt);
+
+    NetStack &stack() { return stack_; }
+    std::uint16_t allocEphemeralPort() { return nextPort_++; }
+
+    void bindPort(std::uint16_t port, UdpSocketPtr sock);
+    void unbindPort(std::uint16_t port);
+
+    std::uint64_t datagramsIn() const
+    {
+        return static_cast<std::uint64_t>(statRx_.value());
+    }
+
+    sim::Scalar statTx_{"datagramsOut", "UDP datagrams sent"};
+
+  private:
+    NetStack &stack_;
+    std::map<std::uint16_t, UdpSocketPtr> bound_;
+    std::uint16_t nextPort_ = 40000;
+
+    sim::Scalar statRx_{"datagramsIn", "UDP datagrams received"};
+    sim::Scalar statDrops_{"drops", "datagrams with no socket"};
+};
+
+/** A received datagram. */
+struct Datagram
+{
+    Ipv4Addr srcAddr;
+    std::uint16_t srcPort = 0;
+    std::vector<std::uint8_t> data;
+};
+
+/** A UDP socket with coroutine receive. */
+class UdpSocket : public std::enable_shared_from_this<UdpSocket>
+{
+  public:
+    UdpSocket(UdpLayer &layer, std::string name);
+
+    /** Bind to @p port (0 = ephemeral). Returns the bound port. */
+    std::uint16_t bind(std::uint16_t port);
+
+    /**
+     * Send @p data to @p dst:@p port. Datagrams larger than the
+     * path MTU are IP-fragmentation-free in this model: they are
+     * rejected (returns false), matching the simulator's
+     * DF-everywhere policy.
+     */
+    bool sendTo(Ipv4Addr dst, std::uint16_t port,
+                std::vector<std::uint8_t> data);
+
+    /** Receive the next datagram (blocking). */
+    sim::Task<Datagram> recvFrom();
+
+    /** Non-blocking queue length. */
+    std::size_t pending() const { return rxQueue_.size(); }
+
+    void close();
+
+    std::uint16_t localPort() const { return localPort_; }
+
+    // Internal demux entry.
+    void datagramArrived(Ipv4Addr src, std::uint16_t src_port,
+                         PacketPtr pkt);
+
+  private:
+    UdpLayer &layer_;
+    NetStack &stack_;
+    std::string name_;
+    std::uint16_t localPort_ = 0;
+    std::deque<Datagram> rxQueue_;
+    sim::Condition rxCv_;
+
+    /** Bound receive queue: excess datagrams are dropped. */
+    static constexpr std::size_t rxQueueCap = 1024;
+};
+
+} // namespace mcnsim::net
+
+#endif // MCNSIM_NET_UDP_HH

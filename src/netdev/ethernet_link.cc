@@ -1,0 +1,98 @@
+/**
+ * @file
+ * EthernetLink implementation.
+ */
+
+#include "netdev/ethernet_link.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace mcnsim::netdev {
+
+EthernetLink::EthernetLink(sim::Simulation &s, std::string name,
+                           double bandwidth_bps, sim::Tick latency)
+    : sim::SimObject(s, std::move(name)),
+      bandwidthBps_(bandwidth_bps), latency_(latency)
+{
+    if (bandwidth_bps <= 0.0)
+        sim::fatal(this->name(), ": bandwidth must be > 0");
+    regStat(&statFrames_);
+    regStat(&statBytes_);
+    regStat(&statDropped_);
+    regStat(&statCorrupted_);
+}
+
+EthernetLink::Direction &
+EthernetLink::dirFor(const EtherEndpoint *src)
+{
+    return src == a_ ? ab_ : ba_;
+}
+
+const EthernetLink::Direction &
+EthernetLink::dirFor(const EtherEndpoint *src) const
+{
+    return src == a_ ? ab_ : ba_;
+}
+
+std::uint64_t
+EthernetLink::backlogBytes(const EtherEndpoint *src) const
+{
+    return dirFor(src).inFlightBytes;
+}
+
+void
+EthernetLink::sendFrom(EtherEndpoint *src, net::PacketPtr pkt)
+{
+    MCNSIM_ASSERT(src == a_ || src == b_, "unattached sender");
+    EtherEndpoint *dst_ep = src == a_ ? b_ : a_;
+    MCNSIM_ASSERT(dst_ep, "link has a dangling end");
+
+    Direction &dir = dirFor(src);
+    std::uint64_t bytes = pkt->size();
+    statFrames_ += 1;
+    statBytes_ += static_cast<double>(bytes);
+
+    // FIFO serialization at the line rate.
+    double ser_secs = static_cast<double>(bytes) * 8.0 /
+                      bandwidthBps_;
+    sim::Tick ser = std::max<sim::Tick>(
+        1, sim::secondsToTicks(ser_secs));
+    sim::Tick start = std::max(curTick(), dir.busyUntil);
+    dir.busyUntil = start + ser;
+    dir.inFlightBytes += bytes;
+
+    sim::Tick arrive = dir.busyUntil + latency_;
+    eventQueue().schedule(
+        [this, dst_ep, pkt, bytes, src] {
+            dirFor(src).inFlightBytes -= bytes;
+
+            // Fault injection: transient loss and bit errors, the
+            // physical-link hazards the paper contrasts with the
+            // ECC/CRC-protected memory channel (Sec. IV-A).
+            if (lossRate_ > 0.0 &&
+                simulation().rng().chance(lossRate_)) {
+                statDropped_ += 1;
+                return;
+            }
+            if (corruptRate_ > 0.0 &&
+                simulation().rng().chance(corruptRate_) &&
+                pkt->size() > 60) {
+                // Flip one payload byte past the L2-L4 headers so
+                // the frame stays parseable; checksums (when
+                // enabled) must catch this.
+                std::size_t idx = simulation().rng().uniformInt(
+                    54, pkt->size() - 1);
+                pkt->data()[idx] ^= 0x40;
+                statCorrupted_ += 1;
+            }
+
+            pkt->trace.stamp(net::Stage::Phy, curTick());
+            dst_ep->receiveFrame(pkt);
+        },
+        arrive, name() + ".deliver");
+}
+
+} // namespace mcnsim::netdev

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Full-duplex point-to-point Ethernet link: per-direction
+ * serialization at the line rate plus propagation latency. The
+ * baseline cluster's NICs and switch hang off these.
+ */
+
+#ifndef MCNSIM_NETDEV_ETHERNET_LINK_HH
+#define MCNSIM_NETDEV_ETHERNET_LINK_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+
+namespace mcnsim::netdev {
+
+/** Anything that can sit at the end of a link. */
+class EtherEndpoint
+{
+  public:
+    virtual ~EtherEndpoint() = default;
+
+    /** A frame finished arriving from the attached link. */
+    virtual void receiveFrame(net::PacketPtr pkt) = 0;
+};
+
+/** A full-duplex link between two endpoints. */
+class EthernetLink : public sim::SimObject
+{
+  public:
+    EthernetLink(sim::Simulation &s, std::string name,
+                 double bandwidth_bps, sim::Tick latency);
+
+    void attachA(EtherEndpoint *ep) { a_ = ep; }
+    void attachB(EtherEndpoint *ep) { b_ = ep; }
+
+    /**
+     * Transmit @p pkt from endpoint @p src toward the other end.
+     * The link serialises frames FIFO per direction; delivery
+     * happens serialization + latency later.
+     */
+    void sendFrom(EtherEndpoint *src, net::PacketPtr pkt);
+
+    /** Bytes queued-or-in-flight in @p src's direction. */
+    std::uint64_t backlogBytes(const EtherEndpoint *src) const;
+
+    double bandwidthBps() const { return bandwidthBps_; }
+    sim::Tick latency() const { return latency_; }
+
+    // --- Fault injection -------------------------------------------
+    /** Drop each frame with probability @p p (transient loss). */
+    void setLossRate(double p) { lossRate_ = p; }
+
+    /**
+     * Flip one payload byte with probability @p p per frame: the
+     * BER the paper contrasts against ECC-protected memory
+     * channels (Sec. IV-A). Corruption targets bytes beyond the
+     * L2/L3/L4 headers so connections stay parseable.
+     */
+    void setCorruptRate(double p) { corruptRate_ = p; }
+
+    std::uint64_t framesDropped() const
+    {
+        return static_cast<std::uint64_t>(statDropped_.value());
+    }
+    std::uint64_t framesCorrupted() const
+    {
+        return static_cast<std::uint64_t>(statCorrupted_.value());
+    }
+
+  private:
+    struct Direction
+    {
+        sim::Tick busyUntil = 0;
+        std::uint64_t inFlightBytes = 0;
+    };
+
+    Direction &dirFor(const EtherEndpoint *src);
+    const Direction &dirFor(const EtherEndpoint *src) const;
+
+    EtherEndpoint *a_ = nullptr;
+    EtherEndpoint *b_ = nullptr;
+    double bandwidthBps_;
+    sim::Tick latency_;
+    double lossRate_ = 0.0;
+    double corruptRate_ = 0.0;
+    Direction ab_, ba_;
+
+    sim::Scalar statFrames_{"frames", "frames carried"};
+    sim::Scalar statBytes_{"bytes", "bytes carried"};
+    sim::Scalar statDropped_{"dropped", "frames dropped (faults)"};
+    sim::Scalar statCorrupted_{"corrupted",
+                               "frames corrupted (faults)"};
+};
+
+} // namespace mcnsim::netdev
+
+#endif // MCNSIM_NETDEV_ETHERNET_LINK_HH

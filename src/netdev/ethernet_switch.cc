@@ -1,0 +1,88 @@
+/**
+ * @file
+ * EthernetSwitch implementation.
+ */
+
+#include "netdev/ethernet_switch.hh"
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace mcnsim::netdev {
+
+namespace {
+
+std::uint64_t
+macKey(const net::MacAddr &m)
+{
+    std::uint64_t k = 0;
+    for (auto byte : m.b)
+        k = (k << 8) | byte;
+    return k;
+}
+
+} // namespace
+
+EthernetSwitch::EthernetSwitch(sim::Simulation &s, std::string name,
+                               std::uint32_t ports,
+                               sim::Tick forwarding_latency,
+                               std::uint64_t egress_queue_bytes)
+    : sim::SimObject(s, std::move(name)),
+      fwdLatency_(forwarding_latency), egressCap_(egress_queue_bytes)
+{
+    for (std::uint32_t i = 0; i < ports; ++i)
+        ports_.push_back(std::make_unique<Port>(*this, i));
+    regStat(&statForwarded_);
+    regStat(&statFlooded_);
+    regStat(&statDrops_);
+}
+
+void
+EthernetSwitch::attachLink(std::uint32_t port, EthernetLink &link)
+{
+    MCNSIM_ASSERT(port < ports_.size(), "bad switch port");
+    ports_[port]->link = &link;
+    link.attachA(ports_[port].get());
+}
+
+void
+EthernetSwitch::frameIn(std::uint32_t port, net::PacketPtr pkt)
+{
+    auto eth = net::EthernetHeader::peek(*pkt);
+    macTable_[macKey(eth.src)] = port;
+
+    auto it = macTable_.find(macKey(eth.dst));
+    if (eth.dst.isBroadcast() || it == macTable_.end()) {
+        // Flood to every other port.
+        statFlooded_ += 1;
+        for (std::uint32_t p = 0; p < ports_.size(); ++p) {
+            if (p == port || !ports_[p]->link)
+                continue;
+            egress(p, pkt->clone());
+        }
+        return;
+    }
+    if (it->second == port)
+        return; // destination is behind the source port; drop
+    egress(it->second, std::move(pkt));
+}
+
+void
+EthernetSwitch::egress(std::uint32_t port, net::PacketPtr pkt)
+{
+    EthernetLink *link = ports_[port]->link;
+    if (!link)
+        return;
+    if (link->backlogBytes(ports_[port].get()) + pkt->size() >
+        egressCap_) {
+        statDrops_ += 1;
+        return;
+    }
+    statForwarded_ += 1;
+    Port *p = ports_[port].get();
+    eventQueue().scheduleIn(
+        [link, p, pkt] { link->sendFrom(p, pkt); }, fwdLatency_,
+        name() + ".fwd");
+}
+
+} // namespace mcnsim::netdev

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Store-and-forward Ethernet switch with MAC learning, bounded
+ * egress queues (tail drop) and a fixed forwarding latency: the
+ * top-of-rack switch of the baseline scale-out cluster.
+ */
+
+#ifndef MCNSIM_NETDEV_ETHERNET_SWITCH_HH
+#define MCNSIM_NETDEV_ETHERNET_SWITCH_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/ethernet.hh"
+#include "netdev/ethernet_link.hh"
+#include "sim/sim_object.hh"
+
+namespace mcnsim::netdev {
+
+/** An N-port learning switch. */
+class EthernetSwitch : public sim::SimObject
+{
+  public:
+    EthernetSwitch(sim::Simulation &s, std::string name,
+                   std::uint32_t ports,
+                   sim::Tick forwarding_latency = 600 * sim::oneNs,
+                   std::uint64_t egress_queue_bytes = 8ull * 1024 * 1024);
+
+    /** Attach @p link to switch port @p port (this side is the
+     *  switch; callers attach their device to the other side). */
+    void attachLink(std::uint32_t port, EthernetLink &link);
+
+    std::uint32_t portCount() const
+    {
+        return static_cast<std::uint32_t>(ports_.size());
+    }
+
+    std::uint64_t drops() const
+    {
+        return static_cast<std::uint64_t>(statDrops_.value());
+    }
+    std::uint64_t forwarded() const
+    {
+        return static_cast<std::uint64_t>(statForwarded_.value());
+    }
+
+  private:
+    /** Per-port endpoint shim delivering frames into the switch. */
+    class Port : public EtherEndpoint
+    {
+      public:
+        Port(EthernetSwitch &sw, std::uint32_t index)
+            : sw_(sw), index_(index)
+        {}
+
+        void
+        receiveFrame(net::PacketPtr pkt) override
+        {
+            sw_.frameIn(index_, std::move(pkt));
+        }
+
+        EthernetLink *link = nullptr;
+
+      private:
+        EthernetSwitch &sw_;
+        std::uint32_t index_;
+    };
+
+    void frameIn(std::uint32_t port, net::PacketPtr pkt);
+    void egress(std::uint32_t port, net::PacketPtr pkt);
+
+    std::vector<std::unique_ptr<Port>> ports_;
+    std::map<std::uint64_t, std::uint32_t> macTable_;
+    sim::Tick fwdLatency_;
+    std::uint64_t egressCap_;
+
+    sim::Scalar statForwarded_{"forwarded", "frames forwarded"};
+    sim::Scalar statFlooded_{"flooded", "frames flooded"};
+    sim::Scalar statDrops_{"drops", "frames tail-dropped"};
+};
+
+} // namespace mcnsim::netdev
+
+#endif // MCNSIM_NETDEV_ETHERNET_SWITCH_HH

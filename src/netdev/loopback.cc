@@ -1,0 +1,29 @@
+/**
+ * @file
+ * LoopbackDevice implementation.
+ */
+
+#include "netdev/loopback.hh"
+
+#include "sim/simulation.hh"
+
+namespace mcnsim::netdev {
+
+LoopbackDevice::LoopbackDevice(sim::Simulation &s, std::string name,
+                               sim::Tick delay)
+    : os::NetDevice(s, std::move(name), net::MacAddr::fromId(0),
+                    65535),
+      delay_(delay)
+{}
+
+os::TxResult
+LoopbackDevice::xmit(net::PacketPtr pkt)
+{
+    countTx(*pkt);
+    eventQueue().scheduleIn(
+        [this, pkt] { deliverUp(pkt); }, delay_,
+        name() + ".loop");
+    return os::TxResult::Ok;
+}
+
+} // namespace mcnsim::netdev

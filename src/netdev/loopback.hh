@@ -1,0 +1,31 @@
+/**
+ * @file
+ * A loopback NetDevice: frames transmitted are delivered back up
+ * the same stack after a small fixed delay. Mostly used by tests
+ * of the device framework; in-node traffic normally short-circuits
+ * inside NetStack before reaching any device.
+ */
+
+#ifndef MCNSIM_NETDEV_LOOPBACK_HH
+#define MCNSIM_NETDEV_LOOPBACK_HH
+
+#include "os/net_device.hh"
+
+namespace mcnsim::netdev {
+
+/** Loopback device. */
+class LoopbackDevice : public os::NetDevice
+{
+  public:
+    LoopbackDevice(sim::Simulation &s, std::string name,
+                   sim::Tick delay = 500);
+
+    os::TxResult xmit(net::PacketPtr pkt) override;
+
+  private:
+    sim::Tick delay_;
+};
+
+} // namespace mcnsim::netdev
+
+#endif // MCNSIM_NETDEV_LOOPBACK_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * HrTimer implementation.
+ */
+
+#include "os/hrtimer.hh"
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace mcnsim::os {
+
+HrTimer::HrTimer(sim::Simulation &s, std::string name,
+                 cpu::CpuCluster &cpus)
+    : sim::SimObject(s, std::move(name)), cpus_(cpus)
+{
+    regStat(&statFires_);
+}
+
+HrTimer::~HrTimer()
+{
+    cancel();
+}
+
+void
+HrTimer::startPeriodic(sim::Tick period, Fn fn)
+{
+    MCNSIM_ASSERT(period > 0, "hrtimer period must be > 0");
+    cancel();
+    period_ = period;
+    fn_ = std::move(fn);
+    armed_ = true;
+    eventQueue().schedule(&event_, curTick() + period_);
+}
+
+void
+HrTimer::startOnce(sim::Tick delay, Fn fn)
+{
+    cancel();
+    period_ = 0;
+    fn_ = std::move(fn);
+    armed_ = true;
+    eventQueue().schedule(&event_, curTick() + delay);
+}
+
+void
+HrTimer::cancel()
+{
+    if (event_.scheduled())
+        eventQueue().deschedule(&event_);
+    armed_ = false;
+}
+
+void
+HrTimer::fire()
+{
+    statFires_ += 1;
+    // The timer interrupt charges a core; the body runs after that
+    // charge completes (and must be short -- e.g. tasklet_schedule).
+    cpus_.execute(
+        cpus_.costs().hrtimerFire,
+        [this](sim::Tick) {
+            if (fn_)
+                fn_();
+        },
+        /*irq=*/true);
+
+    if (armed_ && period_ > 0)
+        eventQueue().schedule(&event_, curTick() + period_);
+    else
+        armed_ = false;
+}
+
+} // namespace mcnsim::os

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * High-resolution timers (Sec. IV-A "efficient polling mechanism"):
+ * a timer fires with nanosecond resolution, charges the timer
+ * interrupt cost on a core, runs a very short body (typically
+ * scheduling a tasklet), and optionally re-arms.
+ */
+
+#ifndef MCNSIM_OS_HRTIMER_HH
+#define MCNSIM_OS_HRTIMER_HH
+
+#include <functional>
+
+#include "cpu/cpu_cluster.hh"
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+
+namespace mcnsim::os {
+
+/** One high-resolution timer. */
+class HrTimer : public sim::SimObject
+{
+  public:
+    using Fn = std::function<void()>;
+
+    HrTimer(sim::Simulation &s, std::string name,
+            cpu::CpuCluster &cpus);
+
+    ~HrTimer() override;
+
+    /** Arm periodic firing every @p period ticks. */
+    void startPeriodic(sim::Tick period, Fn fn);
+
+    /** Arm a single shot @p delay from now. */
+    void startOnce(sim::Tick delay, Fn fn);
+
+    /** Cancel; safe to call when idle. */
+    void cancel();
+
+    bool active() const { return armed_; }
+    sim::Tick period() const { return period_; }
+
+    std::uint64_t fires() const
+    {
+        return static_cast<std::uint64_t>(statFires_.value());
+    }
+
+  private:
+    void fire();
+
+    cpu::CpuCluster &cpus_;
+    Fn fn_;
+    sim::Tick period_ = 0; ///< 0 = one shot
+    bool armed_ = false;
+    sim::MemberEvent<HrTimer> event_{"hrtimer", this, &HrTimer::fire,
+                                     sim::EventPriority::HardwareIrq};
+
+    sim::Scalar statFires_{"fires", "timer expirations"};
+};
+
+} // namespace mcnsim::os
+
+#endif // MCNSIM_OS_HRTIMER_HH

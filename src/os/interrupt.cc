@@ -1,0 +1,39 @@
+/**
+ * @file
+ * IrqController implementation.
+ */
+
+#include "os/interrupt.hh"
+
+namespace mcnsim::os {
+
+IrqController::IrqController(sim::Simulation &s, std::string name,
+                             cpu::CpuCluster &cpus)
+    : sim::SimObject(s, std::move(name)), cpus_(cpus)
+{
+    regStat(&statRaised_);
+    regStat(&statSpurious_);
+}
+
+void
+IrqController::request(std::uint32_t irq, Handler handler)
+{
+    handlers_[irq] = std::move(handler);
+}
+
+void
+IrqController::raise(std::uint32_t irq)
+{
+    statRaised_ += 1;
+    auto it = handlers_.find(irq);
+    if (it == handlers_.end()) {
+        statSpurious_ += 1;
+        return;
+    }
+    Handler &h = it->second;
+    cpus_.execute(
+        cpus_.costs().interruptEntry,
+        [&h](sim::Tick) { h(); }, /*irq=*/true);
+}
+
+} // namespace mcnsim::os

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Interrupt delivery: devices raise IRQ lines; the controller
+ * charges the interrupt entry cost on a core and runs the
+ * registered handler. Stands in for the GIC + kernel IRQ layer.
+ */
+
+#ifndef MCNSIM_OS_INTERRUPT_HH
+#define MCNSIM_OS_INTERRUPT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "cpu/cpu_cluster.hh"
+#include "sim/sim_object.hh"
+
+namespace mcnsim::os {
+
+/** Per-node interrupt controller. */
+class IrqController : public sim::SimObject
+{
+  public:
+    using Handler = std::function<void()>;
+
+    IrqController(sim::Simulation &s, std::string name,
+                  cpu::CpuCluster &cpus);
+
+    /** Register @p handler for IRQ line @p irq. */
+    void request(std::uint32_t irq, Handler handler);
+
+    /**
+     * Raise IRQ @p irq: after the interrupt entry cost on the
+     * least-loaded core, the handler runs (in "hardirq context").
+     */
+    void raise(std::uint32_t irq);
+
+    std::uint64_t raisedCount() const
+    {
+        return static_cast<std::uint64_t>(statRaised_.value());
+    }
+
+  private:
+    cpu::CpuCluster &cpus_;
+    std::map<std::uint32_t, Handler> handlers_;
+
+    sim::Scalar statRaised_{"irqsRaised", "interrupts raised"};
+    sim::Scalar statSpurious_{"irqsSpurious",
+                              "interrupts with no handler"};
+};
+
+} // namespace mcnsim::os
+
+#endif // MCNSIM_OS_INTERRUPT_HH

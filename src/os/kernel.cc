@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Kernel implementation.
+ */
+
+#include "os/kernel.hh"
+
+namespace mcnsim::os {
+
+Kernel::Kernel(sim::Simulation &s, std::string name, int node_id,
+               const KernelParams &params)
+    : sim::SimObject(s, std::move(name)), nodeId_(node_id)
+{
+    cpus_ = std::make_unique<cpu::CpuCluster>(
+        s, this->name() + ".cpu", params.cores, params.coreFreqHz,
+        params.costs);
+    irq_ = std::make_unique<IrqController>(s, this->name() + ".irq",
+                                           *cpus_);
+    softirq_ = std::make_unique<SoftirqEngine>(
+        s, this->name() + ".softirq", *cpus_);
+    mem_ = std::make_unique<mem::MemSystem>(s, this->name() + ".mem",
+                                            params.memChannels,
+                                            params.dramTiming);
+}
+
+} // namespace mcnsim::os

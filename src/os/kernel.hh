@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Kernel: the per-node bundle of OS services -- cores, interrupt
+ * controller, softirq engine, memory system -- that drivers and the
+ * network stack hang off. One Kernel == one node (the host, or one
+ * MCN DIMM).
+ */
+
+#ifndef MCNSIM_OS_KERNEL_HH
+#define MCNSIM_OS_KERNEL_HH
+
+#include <memory>
+#include <string>
+
+#include "cpu/cpu_cluster.hh"
+#include "mem/mem_system.hh"
+#include "os/interrupt.hh"
+#include "os/softirq.hh"
+#include "sim/sim_object.hh"
+#include "sim/task.hh"
+
+namespace mcnsim::net {
+class NetStack;
+}
+
+namespace mcnsim::os {
+
+/** Construction parameters for a node kernel. */
+struct KernelParams
+{
+    std::uint32_t cores = 4;
+    double coreFreqHz = 2.45e9;
+    std::uint32_t memChannels = 1;
+    mem::DramTiming dramTiming = mem::DramTiming::ddr4_3200();
+    cpu::CostModel costs = {};
+};
+
+/** One node's OS + hardware bundle. */
+class Kernel : public sim::SimObject
+{
+  public:
+    Kernel(sim::Simulation &s, std::string name, int node_id,
+           const KernelParams &params);
+
+    int nodeId() const { return nodeId_; }
+
+    cpu::CpuCluster &cpus() { return *cpus_; }
+    IrqController &irq() { return *irq_; }
+    SoftirqEngine &softirq() { return *softirq_; }
+    mem::MemSystem &mem() { return *mem_; }
+    const cpu::CostModel &costs() const { return cpus_->costs(); }
+
+    /** The node's network stack (wired by the system builder). */
+    net::NetStack *netStack() { return netStack_; }
+    void setNetStack(net::NetStack *stack) { netStack_ = stack; }
+
+    /** Launch a simulated user process on this node. */
+    void
+    spawnProcess(sim::Task<void> t)
+    {
+        sim::spawnDetached(eventQueue(), std::move(t));
+    }
+
+    /** Awaitable sleep for process code. */
+    sim::Delay
+    sleepFor(sim::Tick d)
+    {
+        return sim::delayFor(eventQueue(), d);
+    }
+
+  private:
+    int nodeId_;
+    std::unique_ptr<cpu::CpuCluster> cpus_;
+    std::unique_ptr<IrqController> irq_;
+    std::unique_ptr<SoftirqEngine> softirq_;
+    std::unique_ptr<mem::MemSystem> mem_;
+    net::NetStack *netStack_ = nullptr;
+};
+
+} // namespace mcnsim::os
+
+#endif // MCNSIM_OS_KERNEL_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * NetDevice implementation.
+ */
+
+#include "os/net_device.hh"
+
+namespace mcnsim::os {
+
+NetDevice::NetDevice(sim::Simulation &s, std::string name,
+                     net::MacAddr mac, std::uint32_t mtu)
+    : sim::SimObject(s, std::move(name)), mac_(mac), mtu_(mtu)
+{
+    regStat(&statTxPkts_);
+    regStat(&statTxBytes_);
+    regStat(&statRxPkts_);
+    regStat(&statRxBytes_);
+    regStat(&statTxBusy_);
+}
+
+void
+NetDevice::deliverUp(net::PacketPtr pkt)
+{
+    statRxPkts_ += 1;
+    statRxBytes_ += static_cast<double>(pkt->size());
+    if (rx_)
+        rx_(*this, std::move(pkt));
+}
+
+void
+NetDevice::countTx(const net::Packet &pkt)
+{
+    statTxPkts_ += 1;
+    statTxBytes_ += static_cast<double>(pkt.size());
+}
+
+} // namespace mcnsim::os

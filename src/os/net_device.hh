@@ -1,0 +1,106 @@
+/**
+ * @file
+ * NetDevice: the simulator's struct net_device. A network driver
+ * (the 10GbE NIC driver, the MCN host/MCN-side drivers, loopback)
+ * implements this interface and registers it with the node's
+ * NetStack; the stack hands packets down via xmit() and drivers
+ * hand received packets up via the rx callback (netif_rx).
+ *
+ * Offload feature flags mirror the knobs Table I toggles: checksum
+ * offload/bypass (mcn2), MTU (mcn3), TSO (mcn4).
+ */
+
+#ifndef MCNSIM_OS_NET_DEVICE_HH
+#define MCNSIM_OS_NET_DEVICE_HH
+
+#include <functional>
+#include <string>
+
+#include "net/ethernet.hh"
+#include "net/ipv4.hh"
+#include "net/packet.hh"
+#include "sim/sim_object.hh"
+
+namespace mcnsim::os {
+
+/** Result of a transmit attempt (linux/netdevice.h semantics). */
+enum class TxResult {
+    Ok,
+    Busy, ///< NETDEV_TX_BUSY: ring/buffer full, stack must requeue
+};
+
+/** Device feature flags (ethtool-style). */
+struct NetDeviceFeatures
+{
+    bool checksumOffload = false; ///< device validates/fills checksums
+    bool tso = false;             ///< TCP segmentation offload
+};
+
+/** Abstract network interface. */
+class NetDevice : public sim::SimObject
+{
+  public:
+    using RxHandler =
+        std::function<void(NetDevice &, net::PacketPtr)>;
+
+    NetDevice(sim::Simulation &s, std::string name,
+              net::MacAddr mac, std::uint32_t mtu);
+
+    /** Transmit one fully framed (Ethernet) packet. */
+    virtual TxResult xmit(net::PacketPtr pkt) = 0;
+
+    /** The stack's receive entry point, set at registration. */
+    void setRxHandler(RxHandler h) { rx_ = std::move(h); }
+
+    /** Drivers call this to hand a packet up (netif_rx). */
+    void deliverUp(net::PacketPtr pkt);
+
+    const net::MacAddr &mac() const { return mac_; }
+
+    std::uint32_t mtu() const { return mtu_; }
+    /** ifconfig <dev> mtu <n> (Sec. IV-A large frames). */
+    virtual void setMtu(std::uint32_t mtu) { mtu_ = mtu; }
+
+    NetDeviceFeatures &features() { return features_; }
+    const NetDeviceFeatures &features() const { return features_; }
+
+    int ifindex() const { return ifindex_; }
+    void setIfindex(int i) { ifindex_ = i; }
+
+    std::uint64_t txPackets() const
+    {
+        return static_cast<std::uint64_t>(statTxPkts_.value());
+    }
+    std::uint64_t rxPackets() const
+    {
+        return static_cast<std::uint64_t>(statRxPkts_.value());
+    }
+    std::uint64_t txBytes() const
+    {
+        return static_cast<std::uint64_t>(statTxBytes_.value());
+    }
+    std::uint64_t rxBytes() const
+    {
+        return static_cast<std::uint64_t>(statRxBytes_.value());
+    }
+
+  protected:
+    /** Account a transmitted packet (drivers call from xmit). */
+    void countTx(const net::Packet &pkt);
+
+    net::MacAddr mac_;
+    std::uint32_t mtu_;
+    NetDeviceFeatures features_;
+    int ifindex_ = 0;
+    RxHandler rx_;
+
+    sim::Scalar statTxPkts_{"txPackets", "packets transmitted"};
+    sim::Scalar statTxBytes_{"txBytes", "bytes transmitted"};
+    sim::Scalar statRxPkts_{"rxPackets", "packets received"};
+    sim::Scalar statRxBytes_{"rxBytes", "bytes received"};
+    sim::Scalar statTxBusy_{"txBusy", "NETDEV_TX_BUSY returns"};
+};
+
+} // namespace mcnsim::os
+
+#endif // MCNSIM_OS_NET_DEVICE_HH

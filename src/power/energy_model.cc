@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Energy model implementation.
+ */
+
+#include "power/energy_model.hh"
+
+namespace mcnsim::power {
+
+void
+EnergyModel::addCores(const cpu::CpuCluster &cluster, CorePower p)
+{
+    cores_.push_back(CoreEntry{&cluster, p, 0});
+}
+
+void
+EnergyModel::addMem(const mem::MemSystem &mem, DramPower p,
+                    double capacity_gb)
+{
+    mems_.push_back(MemEntry{&mem, p, capacity_gb, 0});
+}
+
+void
+EnergyModel::addNet(const os::NetDevice &dev, NetPower p)
+{
+    nets_.push_back(NetEntry{&dev, p, 0});
+}
+
+void
+EnergyModel::addSwitch(BytesFn bytes, NetPower p)
+{
+    switches_.push_back(SwitchEntry{std::move(bytes), p, 0});
+}
+
+void
+EnergyModel::addUncore(UncorePower p)
+{
+    uncore_.push_back(p);
+}
+
+void
+EnergyModel::snapshot(sim::Tick now)
+{
+    windowStart_ = now;
+    for (auto &c : cores_)
+        c.baseBusy = c.cluster->totalBusyTicks();
+    for (auto &m : mems_)
+        m.baseBytes = m.mem->totalBytes();
+    for (auto &n : nets_)
+        n.baseBytes = n.dev->txBytes() + n.dev->rxBytes();
+    for (auto &s : switches_)
+        s.baseBytes = s.bytes();
+}
+
+EnergyBreakdown
+EnergyModel::compute(sim::Tick now) const
+{
+    EnergyBreakdown e;
+    double window =
+        sim::ticksToSeconds(now > windowStart_ ? now - windowStart_
+                                               : 0);
+
+    for (const auto &c : cores_) {
+        double busy = sim::ticksToSeconds(
+            c.cluster->totalBusyTicks() - c.baseBusy);
+        double cores = c.cluster->coreCount();
+        double idle = cores * window - busy;
+        if (idle < 0)
+            idle = 0;
+        // Active power includes the idle (leakage) floor.
+        e.coreDynamic += busy * (c.power.activeW - c.power.idleW);
+        e.coreStatic += cores * window * c.power.idleW;
+        (void)idle;
+    }
+
+    for (const auto &m : mems_) {
+        std::uint64_t bytes = m.mem->totalBytes() - m.baseBytes;
+        e.dram += static_cast<double>(bytes) * m.power.energyPerByte;
+        e.dram += m.capacityGb * m.power.backgroundWPerGB * window;
+    }
+
+    for (const auto &n : nets_) {
+        std::uint64_t bytes =
+            n.dev->txBytes() + n.dev->rxBytes() - n.baseBytes;
+        e.network +=
+            static_cast<double>(bytes) * n.power.energyPerByte;
+        e.network += n.power.idleW * window;
+    }
+
+    for (const auto &s : switches_) {
+        std::uint64_t bytes = s.bytes() - s.baseBytes;
+        e.network +=
+            static_cast<double>(bytes) * s.power.energyPerByte;
+        e.network += s.power.idleW * window;
+    }
+
+    for (const auto &u : uncore_)
+        e.uncore += u.staticW * window;
+
+    return e;
+}
+
+} // namespace mcnsim::power

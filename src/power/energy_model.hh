@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Energy accounting: integrates the simulator's activity counters
+ * (core busy ticks, DRAM bytes, NIC/switch bytes) against the
+ * McPAT-lite presets to produce the Joules behind the paper's
+ * Fig. 10 energy-efficiency comparison.
+ *
+ * Usage: attach components, call snapshot() at the start of the
+ * measurement window (e.g. after warmup), then compute(now) for
+ * the energy spent since the snapshot.
+ */
+
+#ifndef MCNSIM_POWER_ENERGY_MODEL_HH
+#define MCNSIM_POWER_ENERGY_MODEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/cpu_cluster.hh"
+#include "mem/mem_system.hh"
+#include "os/net_device.hh"
+#include "power/mcpat_lite.hh"
+#include "sim/types.hh"
+
+namespace mcnsim::power {
+
+/** Joules by component class. */
+struct EnergyBreakdown
+{
+    double coreDynamic = 0.0;
+    double coreStatic = 0.0;
+    double dram = 0.0;
+    double network = 0.0;
+    double uncore = 0.0;
+
+    double
+    total() const
+    {
+        return coreDynamic + coreStatic + dram + network + uncore;
+    }
+};
+
+/** Integrates component activity into Joules over a window. */
+class EnergyModel
+{
+  public:
+    /** Byte counter not tied to a NetDevice (switch fabric). */
+    using BytesFn = std::function<std::uint64_t()>;
+
+    void addCores(const cpu::CpuCluster &cluster, CorePower p);
+    void addMem(const mem::MemSystem &mem, DramPower p,
+                double capacity_gb);
+    void addNet(const os::NetDevice &dev, NetPower p);
+    void addSwitch(BytesFn bytes, NetPower p);
+    void addUncore(UncorePower p);
+
+    /** Capture the window start (tick + counter baselines). */
+    void snapshot(sim::Tick now);
+
+    /** Energy spent between the snapshot and @p now. */
+    EnergyBreakdown compute(sim::Tick now) const;
+
+  private:
+    struct CoreEntry
+    {
+        const cpu::CpuCluster *cluster;
+        CorePower power;
+        sim::Tick baseBusy = 0;
+    };
+    struct MemEntry
+    {
+        const mem::MemSystem *mem;
+        DramPower power;
+        double capacityGb;
+        std::uint64_t baseBytes = 0;
+    };
+    struct NetEntry
+    {
+        const os::NetDevice *dev;
+        NetPower power;
+        std::uint64_t baseBytes = 0;
+    };
+
+    struct SwitchEntry
+    {
+        BytesFn bytes;
+        NetPower power;
+        std::uint64_t baseBytes = 0;
+    };
+
+    std::vector<CoreEntry> cores_;
+    std::vector<MemEntry> mems_;
+    std::vector<NetEntry> nets_;
+    std::vector<SwitchEntry> switches_;
+    std::vector<UncorePower> uncore_;
+    sim::Tick windowStart_ = 0;
+};
+
+} // namespace mcnsim::power
+
+#endif // MCNSIM_POWER_ENERGY_MODEL_HH

@@ -1,0 +1,6 @@
+/**
+ * @file
+ * McpatLite is header-only; this TU anchors the module.
+ */
+
+#include "power/mcpat_lite.hh"

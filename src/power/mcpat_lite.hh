@@ -1,0 +1,111 @@
+/**
+ * @file
+ * McPAT-lite: per-component power presets. The paper uses McPAT in
+ * 22 nm for power estimation (Sec. V); shipping McPAT is out of
+ * scope, so this header carries the distilled per-component numbers
+ * it would produce for the parts in Table II, sourced from the
+ * paper's own part citations (A57 cluster ~1.8 W TDP at 10 nm,
+ * Snapdragon-835 class <=5 W, server-class host ~95 W for 8 cores,
+ * 10GbE NIC and ToR switch port classes).
+ */
+
+#ifndef MCNSIM_POWER_MCPAT_LITE_HH
+#define MCNSIM_POWER_MCPAT_LITE_HH
+
+namespace mcnsim::power {
+
+/** One core's power. */
+struct CorePower
+{
+    double activeW = 0.0; ///< while executing
+    double idleW = 0.0;   ///< clock-gated
+};
+
+/** A memory system's power. */
+struct DramPower
+{
+    double backgroundWPerGB = 0.3;
+    double energyPerByte = 5e-11; ///< 50 pJ/B incl. I/O
+};
+
+/** A network device / switch port. */
+struct NetPower
+{
+    double idleW = 0.0;
+    double energyPerByte = 0.0;
+};
+
+/** Fixed per-node overhead (uncore, VRs, fans share). */
+struct UncorePower
+{
+    double staticW = 0.0;
+};
+
+/** Presets (22 nm McPAT-class numbers). */
+struct McpatLite
+{
+    /** Host Xeon-class core @ 3.4 GHz. */
+    static CorePower
+    hostCore()
+    {
+        return {8.0, 1.2};
+    }
+
+    /** ARM A57-class MCN core @ 2.45 GHz (10 nm scaled). */
+    static CorePower
+    mcnCore()
+    {
+        return {0.45, 0.06};
+    }
+
+    /** NIOS II soft core on the ConTutto FPGA. */
+    static CorePower
+    niosCore()
+    {
+        return {1.5, 1.0};
+    }
+
+    static DramPower
+    ddr4()
+    {
+        return {0.3, 5e-11};
+    }
+
+    static DramPower
+    lpddr4()
+    {
+        return {0.12, 2.5e-11};
+    }
+
+    /** 10GbE NIC. */
+    static NetPower
+    nic10g()
+    {
+        return {4.5, 8e-12};
+    }
+
+    /** One ToR switch port's share. */
+    static NetPower
+    switchPort()
+    {
+        return {3.0, 1.2e-11};
+    }
+
+    /** Host node uncore (LLC, IO, VR losses). */
+    static UncorePower
+    hostUncore()
+    {
+        return {22.0};
+    }
+
+    /** MCN DIMM buffer device beyond the cores. */
+    static UncorePower
+    mcnBufferDevice()
+    {
+        return {0.9};
+    }
+};
+
+} // namespace mcnsim::power
+
+#endif // MCNSIM_POWER_MCPAT_LITE_HH

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * ClockDomain implementation.
+ */
+
+#include "sim/clock_domain.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mcnsim::sim {
+
+ClockDomain::ClockDomain(std::string name, double freq_hz)
+    : name_(std::move(name)), freqHz_(freq_hz)
+{
+    if (freq_hz <= 0.0)
+        fatal("clock domain '", name_, "': frequency must be > 0");
+    double period_ps = 1e12 / freq_hz;
+    period_ = static_cast<Tick>(std::llround(period_ps));
+    if (period_ == 0)
+        period_ = 1;
+}
+
+} // namespace mcnsim::sim

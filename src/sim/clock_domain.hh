@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Clock domains convert between cycles and ticks for components
+ * running at different frequencies (host cores, MCN cores, DDR bus).
+ */
+
+#ifndef MCNSIM_SIM_CLOCK_DOMAIN_HH
+#define MCNSIM_SIM_CLOCK_DOMAIN_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace mcnsim::sim {
+
+/** A fixed-frequency clock domain. */
+class ClockDomain
+{
+  public:
+    /** @param freq_hz clock frequency in Hz (must be > 0). */
+    ClockDomain(std::string name, double freq_hz);
+
+    /** Tick duration of one cycle (rounded to >= 1 ps). */
+    Tick period() const { return period_; }
+
+    double frequencyHz() const { return freqHz_; }
+
+    /** Ticks covered by @p n cycles. */
+    Tick cyclesToTicks(Cycles n) const { return n * period_; }
+
+    /** Cycles fully elapsed in @p t ticks (rounds up: partial
+     *  cycles still cost a cycle, matching hardware behaviour). */
+    Cycles ticksToCycles(Tick t) const
+    {
+        return (t + period_ - 1) / period_;
+    }
+
+    /** Next domain-clock edge at or after @p now. */
+    Tick nextEdge(Tick now) const
+    {
+        return ((now + period_ - 1) / period_) * period_;
+    }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    double freqHz_;
+    Tick period_;
+};
+
+} // namespace mcnsim::sim
+
+#endif // MCNSIM_SIM_CLOCK_DOMAIN_HH

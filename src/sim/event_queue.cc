@@ -1,0 +1,131 @@
+/**
+ * @file
+ * EventQueue implementation.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/logging.hh"
+
+namespace mcnsim::sim {
+
+Event::~Event()
+{
+    // An event must not be destroyed while scheduled; the queue would
+    // be left holding a dangling pointer. Managed events are deleted
+    // by the queue itself after clearing the flag.
+    assert(!scheduled_ && "event destroyed while scheduled");
+}
+
+EventQueue::EventQueue(std::string name) : name_(std::move(name)) {}
+
+EventQueue::~EventQueue()
+{
+    // Drain without executing: free managed events, detach the rest.
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        if (e.ev->seq_ == e.seq) {
+            e.ev->scheduled_ = false;
+            if (e.ev->managed_)
+                delete e.ev;
+        }
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    if (when < curTick_)
+        throw std::logic_error("scheduling event '" + ev->name() +
+                               "' in the past");
+    if (ev->scheduled_)
+        throw std::logic_error("event '" + ev->name() +
+                               "' already scheduled");
+    ev->when_ = when;
+    ev->seq_ = nextSeq_++;
+    ev->scheduled_ = true;
+    heap_.push(Entry{when, static_cast<int>(ev->priority()),
+                     ev->seq_, ev});
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    // Lazy removal: mark unscheduled; the stale heap entry is skipped
+    // (and a managed event freed) when popped.
+    if (!ev->scheduled_)
+        return;
+    ev->scheduled_ = false;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    deschedule(ev);
+    // deschedule() leaves a stale heap entry behind; give the event a
+    // fresh sequence number so the stale entry is recognizable.
+    ev->scheduled_ = false;
+    schedule(ev, when);
+}
+
+Event *
+EventQueue::schedule(std::function<void()> fn, Tick when,
+                     std::string name, EventPriority prio)
+{
+    auto *ev = new CallbackEvent(std::move(name), std::move(fn), prio);
+    ev->managed_ = true;
+    schedule(ev, when);
+    return ev;
+}
+
+void
+EventQueue::popAndRun()
+{
+    Entry e = heap_.top();
+    heap_.pop();
+
+    Event *ev = e.ev;
+    // Stale entry: the event was descheduled or rescheduled since this
+    // heap entry was created.
+    if (!ev->scheduled_ || ev->seq_ != e.seq) {
+        // A descheduled managed event with no live entry must be freed
+        // here, exactly once: when its latest (seq-matching) stale
+        // entry surfaces.
+        if (!ev->scheduled_ && ev->managed_ && ev->seq_ == e.seq)
+            delete ev;
+        return;
+    }
+
+    assert(e.when >= curTick_);
+    curTick_ = e.when;
+    ev->scheduled_ = false;
+    processed_++;
+    ev->process();
+    if (ev->managed_ && !ev->scheduled_)
+        delete ev;
+}
+
+Tick
+EventQueue::run(Tick until)
+{
+    while (!heap_.empty() && heap_.top().when <= until)
+        popAndRun();
+    if (curTick_ < until && until != maxTick)
+        curTick_ = until;
+    return curTick_;
+}
+
+std::uint64_t
+EventQueue::runEvents(std::uint64_t n)
+{
+    std::uint64_t before = processed_;
+    while (!heap_.empty() && processed_ - before < n)
+        popAndRun();
+    return processed_ - before;
+}
+
+} // namespace mcnsim::sim

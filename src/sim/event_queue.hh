@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The discrete-event engine at the heart of mcnsim.
+ *
+ * Modeled loosely on gem5's event queue: events are scheduled at an
+ * absolute tick, the queue pops them in (tick, priority, sequence)
+ * order, and simulated objects advance time only by scheduling more
+ * events. A single EventQueue drives one simulation instance; there
+ * is deliberately no global queue so tests can run many independent
+ * simulations in one process.
+ */
+
+#ifndef MCNSIM_SIM_EVENT_QUEUE_HH
+#define MCNSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mcnsim::sim {
+
+class EventQueue;
+
+/**
+ * Priority of an event relative to other events scheduled at the same
+ * tick. Lower values run first, matching gem5 conventions.
+ */
+enum class EventPriority : int {
+    ClockTick = -10,     ///< clock/bandwidth slot bookkeeping
+    HardwareIrq = -5,    ///< device interrupt delivery
+    Default = 0,
+    Softirq = 5,         ///< deferred kernel work
+    Process = 10,        ///< user task wakeups
+    StatsDump = 100,
+};
+
+/**
+ * A schedulable unit of work. Events are one-shot: after process()
+ * runs they may be re-scheduled by their owner. The queue never owns
+ * the event memory; most users should prefer MemberEvent or
+ * EventQueue::schedule(callback) which manage lifetime for them.
+ */
+class Event
+{
+  public:
+    explicit Event(std::string name,
+                   EventPriority prio = EventPriority::Default)
+        : name_(std::move(name)), priority_(prio)
+    {}
+
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked when the event's tick is reached. */
+    virtual void process() = 0;
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick the event is (or was last) scheduled for. */
+    Tick when() const { return when_; }
+
+    const std::string &name() const { return name_; }
+    EventPriority priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    EventPriority priority_;
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;
+    bool scheduled_ = false;
+    bool managed_ = false; ///< queue deletes after process()
+};
+
+/** An event wrapping an arbitrary callback. */
+class CallbackEvent : public Event
+{
+  public:
+    CallbackEvent(std::string name, std::function<void()> fn,
+                  EventPriority prio = EventPriority::Default)
+        : Event(std::move(name), prio), fn_(std::move(fn))
+    {}
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * An event calling a member function on an owner object. The owner
+ * embeds the event by value, so lifetime is tied to the owner --
+ * the usual pattern for periodic device events.
+ */
+template <typename T>
+class MemberEvent : public Event
+{
+  public:
+    MemberEvent(std::string name, T *obj, void (T::*fn)(),
+                EventPriority prio = EventPriority::Default)
+        : Event(std::move(name), prio), obj_(obj), fn_(fn)
+    {}
+
+    void process() override { (obj_->*fn_)(); }
+
+  private:
+    T *obj_;
+    void (T::*fn_)();
+};
+
+/**
+ * The event queue and simulated clock. run() executes events in
+ * order until the queue drains or a limit is hit.
+ */
+class EventQueue
+{
+  public:
+    explicit EventQueue(std::string name = "main");
+    ~EventQueue();
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p ev at absolute tick @p when (>= curTick). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a pending event; no-op if not scheduled. */
+    void deschedule(Event *ev);
+
+    /** Remove and re-insert at a new tick. */
+    void reschedule(Event *ev, Tick when);
+
+    /**
+     * Convenience: schedule a heap-allocated callback event that the
+     * queue deletes after it fires. Returns the event so callers can
+     * deschedule it (the queue then frees it immediately).
+     */
+    Event *schedule(std::function<void()> fn, Tick when,
+                    std::string name = "lambda",
+                    EventPriority prio = EventPriority::Default);
+
+    /** Schedule a managed callback @p delta ticks from now. */
+    Event *
+    scheduleIn(std::function<void()> fn, Tick delta,
+               std::string name = "lambda",
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(std::move(fn), curTick_ + delta,
+                        std::move(name), prio);
+    }
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pendingEvents() const { return heap_.size(); }
+
+    /**
+     * Run until the queue is empty or curTick would exceed
+     * @p until. Returns the tick at which execution stopped.
+     */
+    Tick run(Tick until = maxTick);
+
+    /** Run at most @p n events. Returns events actually executed. */
+    std::uint64_t runEvents(std::uint64_t n);
+
+    /** Total events processed since construction. */
+    std::uint64_t eventsProcessed() const { return processed_; }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Event *ev;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return seq > o.seq;
+        }
+    };
+
+    void popAndRun();
+
+    std::string name_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t processed_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        heap_;
+};
+
+} // namespace mcnsim::sim
+
+#endif // MCNSIM_SIM_EVENT_QUEUE_HH

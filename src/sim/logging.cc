@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Logging implementation: trace-flag registry and status output.
+ */
+
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+namespace mcnsim::sim {
+
+namespace {
+
+std::set<std::string> &
+flagSet()
+{
+    static std::set<std::string> flags = [] {
+        std::set<std::string> s;
+        if (const char *env = std::getenv("MCNSIM_DEBUG")) {
+            std::string cur;
+            for (const char *p = env;; ++p) {
+                if (*p == ',' || *p == '\0') {
+                    if (!cur.empty())
+                        s.insert(cur);
+                    cur.clear();
+                    if (*p == '\0')
+                        break;
+                } else {
+                    cur.push_back(*p);
+                }
+            }
+        }
+        return s;
+    }();
+    return flags;
+}
+
+bool quietMode = false;
+
+} // namespace
+
+void
+Trace::setFlag(const std::string &flag, bool on)
+{
+    if (on)
+        flagSet().insert(flag);
+    else
+        flagSet().erase(flag);
+}
+
+bool
+Trace::enabled(const std::string &flag)
+{
+    const auto &flags = flagSet();
+    return flags.count(flag) > 0 || flags.count("ALL") > 0;
+}
+
+void
+Trace::emit(Tick when, const std::string &flag, const std::string &msg)
+{
+    std::fprintf(stderr, "%12llu: [%s] %s\n",
+                 static_cast<unsigned long long>(when), flag.c_str(),
+                 msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    if (!quietMode)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    if (!quietMode)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+} // namespace mcnsim::sim

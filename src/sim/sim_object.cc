@@ -1,0 +1,31 @@
+/**
+ * @file
+ * SimObject implementation.
+ */
+
+#include "sim/sim_object.hh"
+
+#include "sim/simulation.hh"
+
+namespace mcnsim::sim {
+
+SimObject::SimObject(Simulation &simulation, std::string name)
+    : sim_(simulation), name_(std::move(name)), statGroup_(name_)
+{
+    sim_.registerObject(this);
+    sim_.statRegistry().add(&statGroup_);
+}
+
+EventQueue &
+SimObject::eventQueue()
+{
+    return sim_.eventQueue();
+}
+
+Tick
+SimObject::curTick() const
+{
+    return sim_.curTick();
+}
+
+} // namespace mcnsim::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SimObject: base class for all simulated components. Provides a
+ * hierarchical name, access to the owning simulation's event queue,
+ * and a stats group auto-registered with the simulation.
+ */
+
+#ifndef MCNSIM_SIM_SIM_OBJECT_HH
+#define MCNSIM_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcnsim::sim {
+
+class Simulation;
+
+/**
+ * Base class for simulated components. SimObjects are created with a
+ * reference to their Simulation and never outlive it.
+ */
+class SimObject
+{
+  public:
+    SimObject(Simulation &simulation, std::string name);
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Called once after the whole system is wired, before run. */
+    virtual void startup() {}
+
+    Simulation &simulation() { return sim_; }
+    EventQueue &eventQueue();
+    Tick curTick() const;
+
+    StatGroup &stats() { return statGroup_; }
+
+  protected:
+    /** Register a stat with this object's group. */
+    void regStat(StatBase *stat) { statGroup_.add(stat); }
+
+    /** Tick-stamped debug tracing shorthand. */
+    template <typename... Args>
+    void
+    trace(const std::string &flag, const Args &...args) const
+    {
+        dprintf(curTick(), flag, name_, ": ", args...);
+    }
+
+  private:
+    Simulation &sim_;
+    std::string name_;
+    StatGroup statGroup_;
+};
+
+} // namespace mcnsim::sim
+
+#endif // MCNSIM_SIM_SIM_OBJECT_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Simulation lifecycle implementation.
+ */
+
+#include "sim/simulation.hh"
+
+#include "sim/sim_object.hh"
+
+namespace mcnsim::sim {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+Tick
+Simulation::run(Tick until)
+{
+    if (!started_) {
+        started_ = true;
+        // startup() hooks may construct more objects; index loop.
+        for (std::size_t i = 0; i < objects_.size(); ++i)
+            objects_[i]->startup();
+    }
+    return queue_.run(until);
+}
+
+} // namespace mcnsim::sim

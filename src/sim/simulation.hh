@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Simulation: owns the event queue, the stat registry, the RNG and
+ * the startup/run lifecycle for one simulated system.
+ */
+
+#ifndef MCNSIM_SIM_SIMULATION_HH
+#define MCNSIM_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mcnsim::sim {
+
+class SimObject;
+
+/**
+ * One independent simulated system. Components register themselves
+ * on construction; run() fires startup() hooks once, then executes
+ * events.
+ */
+class Simulation
+{
+  public:
+    explicit Simulation(std::uint64_t seed = 1);
+
+    EventQueue &eventQueue() { return queue_; }
+    Tick curTick() const { return queue_.curTick(); }
+    StatRegistry &statRegistry() { return statRegistry_; }
+    Rng &rng() { return rng_; }
+
+    /** Run until @p until (absolute tick) or queue exhaustion. */
+    Tick run(Tick until = maxTick);
+
+    /** Run for @p delta more ticks. */
+    Tick runFor(Tick delta) { return run(curTick() + delta); }
+
+    /** Dump all registered statistics. */
+    void dumpStats(std::ostream &os) { statRegistry_.dump(os); }
+
+    /** Reset all statistics (e.g. after warmup). */
+    void resetStats() { statRegistry_.resetAll(); }
+
+  private:
+    friend class SimObject;
+    void registerObject(SimObject *obj) { objects_.push_back(obj); }
+
+    EventQueue queue_;
+    StatRegistry statRegistry_;
+    Rng rng_;
+    std::vector<SimObject *> objects_;
+    bool started_ = false;
+};
+
+} // namespace mcnsim::sim
+
+#endif // MCNSIM_SIM_SIMULATION_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Statistics package implementation.
+ */
+
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace mcnsim::sim {
+
+void
+Scalar::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(48) << (prefix + name()) << " "
+       << std::setw(16) << value_ << " # " << desc() << "\n";
+}
+
+void
+Average::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(48) << (prefix + name()) << " "
+       << std::setw(16) << mean() << " # " << desc() << " (n="
+       << count_ << ")\n";
+}
+
+Histogram::Histogram(std::string name, std::string desc, double min,
+                     double max, std::size_t buckets)
+    : StatBase(std::move(name), std::move(desc)), lo_(min), hi_(max),
+      width_((max - min) / static_cast<double>(buckets)),
+      buckets_(buckets, 0)
+{
+    MCNSIM_ASSERT(max > min && buckets > 0, "bad histogram bounds");
+}
+
+void
+Histogram::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    count_++;
+
+    if (v < lo_) {
+        under_++;
+    } else if (v >= hi_) {
+        over_++;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo_) / width_);
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        buckets_[idx]++;
+    }
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    auto target = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(count_));
+    std::uint64_t seen = under_;
+    if (seen >= target && under_ > 0)
+        return lo_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return lo_ + width_ * (static_cast<double>(i) + 0.5);
+    }
+    return max_;
+}
+
+void
+Histogram::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(48) << (prefix + name()) << " mean="
+       << mean() << " min=" << min_ << " max=" << max_
+       << " p50=" << percentile(50) << " p99=" << percentile(99)
+       << " n=" << count_ << " # " << desc() << "\n";
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    under_ = over_ = count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+}
+
+void
+StatGroup::print(std::ostream &os) const
+{
+    for (const auto *s : stats_)
+        s->print(os, name_ + ".");
+}
+
+void
+StatGroup::reset()
+{
+    for (auto *s : stats_)
+        s->reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    os << "---------- Begin Simulation Statistics ----------\n";
+    for (const auto *g : groups_)
+        g->print(os);
+    os << "---------- End Simulation Statistics   ----------\n";
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto *g : groups_)
+        g->reset();
+}
+
+} // namespace mcnsim::sim

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Statistics package, a small cousin of gem5's: named scalar
+ * counters, averages, histograms and rate helpers, organised into
+ * per-object groups and dumpable as text.
+ */
+
+#ifndef MCNSIM_SIM_STATS_HH
+#define MCNSIM_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mcnsim::sim {
+
+/** Base for all statistics: a name, a description, and text output. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Print "name value # desc" style lines. */
+    virtual void print(std::ostream &os,
+                       const std::string &prefix) const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A simple accumulating counter (double so it can count bytes,
+ * packets, joules, ...). */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Running average (sum / count). */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double v) { sum_ += v; count_++; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+    void reset() override { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Fixed-bucket histogram over [min, max) with overflow/underflow
+ * buckets, plus exact min/max/mean tracking.
+ */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(std::string name, std::string desc, double min,
+              double max, std::size_t buckets);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minSample() const { return min_; }
+    double maxSample() const { return max_; }
+
+    /** Approximate p-th percentile (0..100) from bucket midpoints. */
+    double percentile(double p) const;
+
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t under_ = 0, over_ = 0, count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0, max_ = 0.0;
+};
+
+/**
+ * A named group of statistics, typically one per SimObject. The
+ * group does not own registered stats; owners embed them by value.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void add(StatBase *stat) { stats_.push_back(stat); }
+
+    void print(std::ostream &os) const;
+    void reset();
+
+    const std::string &name() const { return name_; }
+    const std::vector<StatBase *> &stats() const { return stats_; }
+
+  private:
+    std::string name_;
+    std::vector<StatBase *> stats_;
+};
+
+/**
+ * Registry of all stat groups in a simulation, for a gem5-style
+ * stats dump at end of run.
+ */
+class StatRegistry
+{
+  public:
+    void add(StatGroup *group) { groups_.push_back(group); }
+    void dump(std::ostream &os) const;
+    void resetAll();
+
+  private:
+    std::vector<StatGroup *> groups_;
+};
+
+/** Bytes + window → Gbit/s, the unit the paper's Fig. 8 uses. */
+inline double
+toGbps(double bytes, Tick window)
+{
+    double secs = ticksToSeconds(window);
+    return secs > 0 ? bytes * 8.0 / secs / 1e9 : 0.0;
+}
+
+/** Bytes + window → GB/s, the unit the paper's Sec. VII uses. */
+inline double
+toGBps(double bytes, Tick window)
+{
+    double secs = ticksToSeconds(window);
+    return secs > 0 ? bytes / secs / 1e9 : 0.0;
+}
+
+} // namespace mcnsim::sim
+
+#endif // MCNSIM_SIM_STATS_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Task machinery implementation: detached launch, condition wakeups
+ * and task groups.
+ */
+
+#include "sim/task.hh"
+
+namespace mcnsim::sim {
+
+void
+spawnDetached(EventQueue &q, Task<void> task)
+{
+    auto h = task.release();
+    if (!h)
+        return;
+    h.promise().detached = true;
+    q.scheduleIn([h] { h.resume(); }, 0, "task-spawn",
+                 EventPriority::Process);
+}
+
+void
+Condition::notifyAll()
+{
+    // Move the list out first: a resumed waiter may wait() again and
+    // must land in the *next* notification round.
+    std::deque<std::coroutine_handle<>> ready;
+    ready.swap(waiters_);
+    for (auto h : ready)
+        q_.scheduleIn([h] { h.resume(); }, 0, "cv-notify",
+                      EventPriority::Process);
+}
+
+void
+Condition::notifyOne()
+{
+    if (waiters_.empty())
+        return;
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    q_.scheduleIn([h] { h.resume(); }, 0, "cv-notify",
+                  EventPriority::Process);
+}
+
+void
+TaskGroup::spawn(Task<void> t)
+{
+    live_++;
+    spawned_++;
+    spawnDetached(q_, wrap(std::move(t)));
+}
+
+Task<void>
+TaskGroup::wrap(Task<void> t)
+{
+    co_await std::move(t);
+    if (--live_ == 0)
+        done_.notifyAll();
+}
+
+} // namespace mcnsim::sim

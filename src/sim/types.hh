@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles, frequencies and the
+ * conversions between them.
+ *
+ * A Tick is the base unit of simulated time and corresponds to one
+ * picosecond, which is fine enough to express DDR4 and multi-GHz core
+ * clocks without rounding surprises.
+ */
+
+#ifndef MCNSIM_SIM_TYPES_HH
+#define MCNSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mcnsim::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A signed tick delta, used for latency arithmetic. */
+using TickDelta = std::int64_t;
+
+/** Sentinel for "never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Ticks per common wall-clock units. */
+constexpr Tick onePs = 1;
+constexpr Tick oneNs = 1000 * onePs;
+constexpr Tick oneUs = 1000 * oneNs;
+constexpr Tick oneMs = 1000 * oneUs;
+constexpr Tick oneSec = 1000 * oneMs;
+
+/** An integral number of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** Convert a tick count to (fractional) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneSec);
+}
+
+/** Convert seconds to ticks (saturating at maxTick). */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(oneSec));
+}
+
+/** Convert ticks to microseconds as a double, handy for reports. */
+constexpr double
+ticksToUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(oneUs);
+}
+
+} // namespace mcnsim::sim
+
+#endif // MCNSIM_SIM_TYPES_HH

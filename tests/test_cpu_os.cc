@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the CPU execution model and the OS service layer
+ * (IRQs, softirqs, HR-timers, cost model).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/cpu_cluster.hh"
+#include "os/hrtimer.hh"
+#include "os/interrupt.hh"
+#include "os/kernel.hh"
+#include "os/softirq.hh"
+#include "sim/simulation.hh"
+
+using namespace mcnsim;
+using namespace mcnsim::cpu;
+using namespace mcnsim::sim;
+
+TEST(CoreTest, ChargesDurationAtClockRate)
+{
+    Simulation s;
+    ClockDomain clk("clk", 1e9); // 1 GHz: 1 cycle = 1 ns
+    Core core(s, "core", clk);
+
+    Tick done_at = 0;
+    core.execute(1000, [&](Tick at) { done_at = at; });
+    s.run();
+    EXPECT_EQ(done_at, 1000 * oneNs);
+    EXPECT_EQ(core.busyTicks(), 1000 * oneNs);
+}
+
+TEST(CoreTest, WorkSerialisesFifo)
+{
+    Simulation s;
+    ClockDomain clk("clk", 1e9);
+    Core core(s, "core", clk);
+
+    std::vector<int> order;
+    core.execute(100, [&](Tick) { order.push_back(1); });
+    core.execute(100, [&](Tick) { order.push_back(2); });
+    core.execute(100, [&](Tick) { order.push_back(3); });
+    EXPECT_FALSE(core.idle());
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.curTick(), 300 * oneNs);
+    EXPECT_TRUE(core.idle());
+}
+
+TEST(CoreTest, IrqWorkJumpsQueueButNotRunningSlot)
+{
+    Simulation s;
+    ClockDomain clk("clk", 1e9);
+    Core core(s, "core", clk);
+
+    std::vector<int> order;
+    core.execute(100, [&](Tick) { order.push_back(1); }); // running
+    core.execute(100, [&](Tick) { order.push_back(2); }); // queued
+    core.execute(50, [&](Tick) { order.push_back(9); },
+                 /*irq=*/true); // jumps ahead of 2
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 9, 2}));
+}
+
+TEST(CoreTest, BacklogAccountsAllQueuedWork)
+{
+    Simulation s;
+    ClockDomain clk("clk", 1e9);
+    Core core(s, "core", clk);
+    core.execute(100, nullptr);
+    core.execute(200, nullptr);
+    EXPECT_EQ(core.backlogClearsAt(), 300 * oneNs);
+    s.run();
+    EXPECT_EQ(core.backlogClearsAt(), s.curTick());
+}
+
+TEST(CoreTest, CoroutineRunResumesAfterCharge)
+{
+    Simulation s;
+    ClockDomain clk("clk", 2e9); // 0.5 ns per cycle
+    Core core(s, "core", clk);
+    Tick resumed = 0;
+    auto t = [&]() -> Task<void> {
+        co_await core.run(1000);
+        resumed = s.curTick();
+    };
+    spawnDetached(s.eventQueue(), t());
+    s.run();
+    EXPECT_EQ(resumed, 500 * oneNs);
+}
+
+TEST(CpuClusterTest, LeastLoadedBalances)
+{
+    Simulation s;
+    CpuCluster cpus(s, "cpus", 4, 1e9);
+    // Queue 8 equal slots through the balancer: each core gets 2.
+    for (int i = 0; i < 8; ++i)
+        cpus.execute(100, nullptr);
+    s.run();
+    EXPECT_EQ(s.curTick(), 200 * oneNs); // 2 rounds in parallel
+    EXPECT_EQ(cpus.totalBusyTicks(), 800 * oneNs);
+}
+
+TEST(CpuClusterTest, ZeroCoresRejected)
+{
+    Simulation s;
+    EXPECT_THROW(CpuCluster(s, "bad", 0, 1e9), FatalError);
+}
+
+TEST(IrqTest, HandlerRunsAfterEntryCost)
+{
+    Simulation s;
+    CpuCluster cpus(s, "cpus", 1, 1e9);
+    os::IrqController irq(s, "irq", cpus);
+
+    Tick handled_at = 0;
+    irq.request(7, [&] { handled_at = s.curTick(); });
+    irq.raise(7);
+    s.run();
+    // interruptEntry cycles at 1 GHz.
+    EXPECT_EQ(handled_at,
+              cpus.costs().interruptEntry * oneNs);
+    EXPECT_EQ(irq.raisedCount(), 1u);
+}
+
+TEST(IrqTest, UnknownIrqCountedSpurious)
+{
+    Simulation s;
+    CpuCluster cpus(s, "cpus", 1, 1e9);
+    os::IrqController irq(s, "irq", cpus);
+    irq.raise(99); // nobody registered
+    s.run();
+    EXPECT_EQ(irq.raisedCount(), 1u);
+}
+
+TEST(SoftirqTest, TaskletsSerialise)
+{
+    Simulation s;
+    CpuCluster cpus(s, "cpus", 2, 1e9);
+    os::SoftirqEngine softirq(s, "softirq", cpus);
+
+    std::vector<int> order;
+    softirq.schedule([&] { order.push_back(1); });
+    softirq.schedule([&] { order.push_back(2); });
+    softirq.schedule([&] { order.push_back(3); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(softirq.executed(), 3u);
+}
+
+TEST(SoftirqTest, HandlerMayRescheduleItself)
+{
+    Simulation s;
+    CpuCluster cpus(s, "cpus", 1, 1e9);
+    os::SoftirqEngine softirq(s, "softirq", cpus);
+    int rounds = 0;
+    std::function<void()> poll = [&] {
+        if (++rounds < 5)
+            softirq.schedule(poll);
+    };
+    softirq.schedule(poll);
+    s.run();
+    EXPECT_EQ(rounds, 5);
+}
+
+TEST(HrTimerTest, PeriodicFiresUntilCancelled)
+{
+    Simulation s;
+    CpuCluster cpus(s, "cpus", 1, 1e9);
+    os::HrTimer timer(s, "timer", cpus);
+
+    int fires = 0;
+    timer.startPeriodic(10 * oneUs, [&] {
+        if (++fires == 5)
+            timer.cancel();
+    });
+    s.run(oneMs);
+    EXPECT_EQ(fires, 5);
+    EXPECT_FALSE(timer.active());
+    EXPECT_EQ(timer.fires(), 5u);
+}
+
+TEST(HrTimerTest, OneShotFiresOnce)
+{
+    Simulation s;
+    CpuCluster cpus(s, "cpus", 1, 1e9);
+    os::HrTimer timer(s, "timer", cpus);
+    int fires = 0;
+    timer.startOnce(5 * oneUs, [&] { fires++; });
+    s.run(oneMs);
+    EXPECT_EQ(fires, 1);
+    EXPECT_FALSE(timer.active());
+}
+
+TEST(HrTimerTest, CancelBeforeFireSuppresses)
+{
+    Simulation s;
+    CpuCluster cpus(s, "cpus", 1, 1e9);
+    os::HrTimer timer(s, "timer", cpus);
+    int fires = 0;
+    timer.startOnce(5 * oneUs, [&] { fires++; });
+    timer.cancel();
+    s.run(oneMs);
+    EXPECT_EQ(fires, 0);
+}
+
+TEST(HrTimerTest, PollingChargesCpu)
+{
+    // The mcn0 trade-off: periodic polling consumes host cycles
+    // even with no traffic.
+    Simulation s;
+    CpuCluster cpus(s, "cpus", 1, 1e9);
+    os::HrTimer timer(s, "timer", cpus);
+    timer.startPeriodic(5 * oneUs, [] {});
+    s.run(oneMs);
+    timer.cancel();
+    // ~200 fires x hrtimerFire cycles.
+    EXPECT_GT(cpus.totalBusyTicks(), 100 * 500 * oneNs / 2);
+}
+
+TEST(CostModelTest, HelpersScaleWithBytes)
+{
+    CostModel c;
+    EXPECT_EQ(c.checksum(1000),
+              static_cast<Cycles>(1000 * c.checksumPerByte));
+    EXPECT_GT(c.copy(64 * 1024), c.copy(1024));
+    // 16 B per cycle for cached copies.
+    EXPECT_NEAR(static_cast<double>(c.copy(16384)), 1024.0, 2.0);
+}
+
+TEST(KernelTest, BundlesServices)
+{
+    Simulation s;
+    os::KernelParams p;
+    p.cores = 2;
+    p.coreFreqHz = 2e9;
+    p.memChannels = 2;
+    os::Kernel k(s, "node", 3, p);
+
+    EXPECT_EQ(k.nodeId(), 3);
+    EXPECT_EQ(k.cpus().coreCount(), 2u);
+    EXPECT_EQ(k.mem().channelCount(), 2u);
+    EXPECT_EQ(k.netStack(), nullptr); // wired by the builder
+
+    bool ran = false;
+    k.spawnProcess([&]() -> Task<void> {
+        co_await k.sleepFor(10 * oneUs);
+        ran = true;
+    }());
+    s.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(s.curTick(), 10 * oneUs);
+}

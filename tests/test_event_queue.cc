@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: ordering, priorities,
+ * (de|re)scheduling, managed callback events, clock domains, RNG
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock_domain.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/simulation.hh"
+
+using namespace mcnsim::sim;
+
+TEST(EventQueue, RunsEventsInTickOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule([&] { order.push_back(3); }, 300);
+    q.schedule([&] { order.push_back(1); }, 100);
+    q.schedule([&] { order.push_back(2); }, 200);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 300u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule([&] { order.push_back(2); }, 50, "a",
+               EventPriority::Default);
+    q.schedule([&] { order.push_back(3); }, 50, "b",
+               EventPriority::Default);
+    q.schedule([&] { order.push_back(1); }, 50, "irq",
+               EventPriority::HardwareIrq);
+    q.schedule([&] { order.push_back(4); }, 50, "proc",
+               EventPriority::Process);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, SchedulingInThePastThrows)
+{
+    EventQueue q;
+    q.schedule([] {}, 100);
+    q.run();
+    EXPECT_THROW(q.schedule([] {}, 50), std::logic_error);
+}
+
+TEST(EventQueue, DoubleScheduleThrows)
+{
+    EventQueue q;
+    CallbackEvent ev("e", [] {});
+    q.schedule(&ev, 10);
+    EXPECT_THROW(q.schedule(&ev, 20), std::logic_error);
+    q.deschedule(&ev);
+}
+
+TEST(EventQueue, DescheduledEventDoesNotRun)
+{
+    EventQueue q;
+    bool ran = false;
+    CallbackEvent ev("e", [&] { ran = true; });
+    q.schedule(&ev, 10);
+    q.deschedule(&ev);
+    q.run();
+    EXPECT_FALSE(ran);
+    EXPECT_FALSE(ev.scheduled());
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue q;
+    Tick fired = 0;
+    CallbackEvent ev("e", [&] { fired = q.curTick(); });
+    q.schedule(&ev, 10);
+    q.reschedule(&ev, 500);
+    q.run();
+    EXPECT_EQ(fired, 500u);
+    EXPECT_EQ(q.eventsProcessed(), 1u);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.scheduleIn(chain, 10);
+    };
+    q.schedule(chain, 0);
+    q.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.curTick(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule([&] { count++; }, 100);
+    q.schedule([&] { count++; }, 200);
+    q.run(150);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.curTick(), 150u);
+    q.run(250);
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, RunEventsExecutesExactCount)
+{
+    EventQueue q;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        q.schedule([&] { count++; }, 10 * (i + 1));
+    EXPECT_EQ(q.runEvents(4), 4u);
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(q.pendingEvents(), 6u);
+}
+
+TEST(EventQueue, PeriodicMemberEvent)
+{
+    struct Ticker
+    {
+        EventQueue &q;
+        int fires = 0;
+        MemberEvent<Ticker> ev{"tick", this, &Ticker::fire};
+
+        explicit Ticker(EventQueue &queue) : q(queue) {}
+
+        void
+        fire()
+        {
+            if (++fires < 3)
+                q.schedule(&ev, q.curTick() + 100);
+        }
+    };
+
+    EventQueue q;
+    Ticker t(q);
+    q.schedule(&t.ev, 0);
+    q.run();
+    EXPECT_EQ(t.fires, 3);
+    EXPECT_EQ(q.curTick(), 200u);
+}
+
+TEST(ClockDomain, PeriodAndConversions)
+{
+    ClockDomain ghz("cpu", 1e9);
+    EXPECT_EQ(ghz.period(), 1000u);
+    EXPECT_EQ(ghz.cyclesToTicks(5), 5000u);
+    EXPECT_EQ(ghz.ticksToCycles(5000), 5u);
+    EXPECT_EQ(ghz.ticksToCycles(5001), 6u); // partial cycle rounds up
+    EXPECT_EQ(ghz.nextEdge(1500), 2000u);
+    EXPECT_EQ(ghz.nextEdge(2000), 2000u);
+}
+
+TEST(ClockDomain, HighFrequencyClamps)
+{
+    ClockDomain fast("f", 2e12); // would be 0.5 ps
+    EXPECT_GE(fast.period(), 1u);
+}
+
+TEST(ClockDomain, BadFrequencyFatal)
+{
+    EXPECT_THROW(ClockDomain("bad", 0.0), FatalError);
+}
+
+TEST(Rng, DeterministicWithSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1'000'000),
+                  b.uniformInt(0, 1'000'000));
+}
+
+TEST(Rng, RangesRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+        auto d = r.uniformReal(1.0, 2.0);
+        EXPECT_GE(d, 1.0);
+        EXPECT_LT(d, 2.0);
+        EXPECT_GE(r.normalNonNeg(0.0, 1.0), 0.0);
+    }
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Simulation, RunForAdvancesTime)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.eventQueue().schedule([&] { fired++; }, oneUs);
+    sim.runFor(2 * oneUs);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.curTick(), 2 * oneUs);
+}
+
+TEST(Types, TickConversions)
+{
+    EXPECT_EQ(secondsToTicks(1e-6), oneUs);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(oneMs), 1e-3);
+    EXPECT_DOUBLE_EQ(ticksToUs(oneMs), 1000.0);
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit + property tests for channel interleaving and DRAM address
+ * decoding, including the Fig. 6 stride rule that memcpy_to_mcn
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_timing.hh"
+#include "mem/interleave.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+using namespace mcnsim::mem;
+using mcnsim::sim::FatalError;
+using mcnsim::sim::Rng;
+
+TEST(Interleave, TwoChannelRoundRobin)
+{
+    InterleaveMap m(2);
+    // Fig. 6: successive 64B lines alternate channels.
+    EXPECT_EQ(m.channelOf(0), 0u);
+    EXPECT_EQ(m.channelOf(64), 1u);
+    EXPECT_EQ(m.channelOf(128), 0u);
+    EXPECT_EQ(m.channelOf(192), 1u);
+    // Bytes within a line stay on the line's channel.
+    EXPECT_EQ(m.channelOf(63), 0u);
+    EXPECT_EQ(m.channelOf(127), 1u);
+}
+
+TEST(Interleave, ChannelOffsetCompacts)
+{
+    InterleaveMap m(2);
+    // Channel-local offsets are dense per channel.
+    EXPECT_EQ(m.channelOffset(0), 0u);
+    EXPECT_EQ(m.channelOffset(64), 0u);   // first line of ch1
+    EXPECT_EQ(m.channelOffset(128), 64u); // second line of ch0
+    EXPECT_EQ(m.channelOffset(192), 64u); // second line of ch1
+    EXPECT_EQ(m.channelOffset(130), 66u);
+}
+
+TEST(Interleave, HostAddrInvertsChannelOffset)
+{
+    for (std::uint32_t chans : {1u, 2u, 4u, 8u}) {
+        InterleaveMap m(chans);
+        Rng rng(17);
+        for (int i = 0; i < 2000; ++i) {
+            Addr a = rng.uniformInt(0, (1ull << 34));
+            auto ch = m.channelOf(a);
+            auto off = m.channelOffset(a);
+            EXPECT_EQ(m.hostAddr(ch, off), a)
+                << "channels=" << chans << " addr=" << a;
+        }
+    }
+}
+
+TEST(Interleave, StrideAddrStaysOnChannel)
+{
+    // The memcpy_to_mcn rule: consecutive lines of one MCN DIMM's
+    // buffer map to host addresses strided by 64 * channels.
+    InterleaveMap m(4);
+    for (std::uint32_t ch = 0; ch < 4; ++ch) {
+        Addr base_off = 4096;
+        Addr prev = 0;
+        for (std::uint64_t k = 0; k < 64; ++k) {
+            Addr host = m.strideAddr(ch, base_off, k);
+            EXPECT_EQ(m.channelOf(host), ch);
+            EXPECT_EQ(m.channelOffset(host), base_off + k * 64);
+            if (k > 0)
+                EXPECT_EQ(host - prev, 64u * 4u); // Fig. 6 stride
+            prev = host;
+        }
+    }
+}
+
+TEST(Interleave, SingleChannelIsIdentity)
+{
+    InterleaveMap m(1);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        Addr a = rng.uniformInt(0, 1ull << 30);
+        EXPECT_EQ(m.channelOf(a), 0u);
+        EXPECT_EQ(m.channelOffset(a), a);
+    }
+}
+
+TEST(Interleave, BadConfigRejected)
+{
+    EXPECT_THROW(InterleaveMap(0), FatalError);
+    EXPECT_THROW(InterleaveMap(2, 48), FatalError); // not pow2
+}
+
+TEST(Decode, CoordinatesWithinGeometry)
+{
+    InterleaveMap m(1);
+    auto t = DramTiming::ddr4_3200();
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = rng.uniformInt(0, t.capacityBytes() - 1);
+        DramCoord c = m.decode(a, t);
+        EXPECT_LT(c.rank, t.ranks);
+        EXPECT_LT(c.bank, t.banksPerRank);
+        EXPECT_LT(c.row, t.rowsPerBank);
+        EXPECT_LT(c.column, t.rowBufferBytes);
+    }
+}
+
+TEST(Decode, SequentialLinesShareRowUntilBoundary)
+{
+    InterleaveMap m(1);
+    auto t = DramTiming::ddr4_3200();
+    // Within one row buffer all lines decode to the same (rank,
+    // bank, row): streaming accesses are row hits.
+    DramCoord first = m.decode(0, t);
+    for (Addr a = 0; a < t.rowBufferBytes; a += 64) {
+        DramCoord c = m.decode(a, t);
+        EXPECT_EQ(c.rank, first.rank);
+        EXPECT_EQ(c.bank, first.bank);
+        EXPECT_EQ(c.row, first.row);
+        EXPECT_EQ(c.column, a);
+    }
+    // The next line moves somewhere else.
+    DramCoord next = m.decode(t.rowBufferBytes, t);
+    EXPECT_TRUE(next.rank != first.rank || next.bank != first.bank ||
+                next.row != first.row);
+}
+
+TEST(DramTiming, PresetSanity)
+{
+    for (auto t : {DramTiming::ddr4_3200(), DramTiming::lpddr4_1866(),
+                   DramTiming::ddr3_1066()}) {
+        EXPECT_GT(t.peakBandwidthBps(), 0.0) << t.name;
+        EXPECT_EQ(t.burstBytes(), 64u) << t.name;
+        EXPECT_GT(t.tRAS, t.tRCD) << t.name;
+        EXPECT_GT(t.tRFC, 0u) << t.name;
+        EXPECT_GT(t.tREFI, t.tRFC) << t.name;
+        EXPECT_GE(t.capacityBytes(), 1ull << 30) << t.name;
+    }
+    // DDR4-3200 x64: 25.6 GB/s peak.
+    EXPECT_NEAR(DramTiming::ddr4_3200().peakBandwidthBps(), 25.6e9,
+                1e6);
+}

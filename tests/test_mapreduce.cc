@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the mini-MapReduce framework: phase accounting, job
+ * presets, combiner effect, and the framework-transparency claim
+ * (same job on scale-up, cluster, and MCN systems).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/system_builder.hh"
+#include "dist/mapreduce.hh"
+#include "sim/simulation.hh"
+
+using namespace mcnsim;
+using namespace mcnsim::core;
+using namespace mcnsim::dist;
+using namespace mcnsim::sim;
+
+namespace {
+
+MapReduceJob
+tinyJob()
+{
+    MapReduceJob j;
+    j.name = "tiny";
+    j.inputBytesPerWorker = 4ull << 20;
+    j.mapCyclesPerByte = 0.1;
+    j.shuffleSelectivity = 0.2;
+    j.reduceCyclesPerByte = 0.1;
+    return j;
+}
+
+} // namespace
+
+TEST(MapReduce, CompletesOnScaleUpNode)
+{
+    Simulation s;
+    ScaleUpSystem sys(s, 4);
+    auto rep = runMapReduce(s, sys, tinyJob(), {0, 0, 0, 0});
+    ASSERT_TRUE(rep.completed);
+    EXPECT_GT(rep.makespan, 0u);
+    EXPECT_GT(rep.mapPhase, 0u);
+    EXPECT_GT(rep.shufflePhase, 0u);
+    // 4 workers x 4 MB x 20% selectivity shuffled.
+    EXPECT_NEAR(static_cast<double>(rep.shuffledBytes),
+                4.0 * 4e6 * 0.2, 4e6);
+}
+
+TEST(MapReduce, CompletesOnMcnServer)
+{
+    Simulation s;
+    McnSystemParams p;
+    p.numDimms = 2;
+    p.config = McnConfig::level(5);
+    McnSystem sys(s, p);
+    auto rep = runMapReduce(s, sys, tinyJob(), {0, 1, 2});
+    ASSERT_TRUE(rep.completed);
+    EXPECT_GT(rep.shuffledBytes, 0u);
+}
+
+TEST(MapReduce, CompletesOnCluster)
+{
+    Simulation s;
+    ClusterSystemParams p;
+    p.numNodes = 2;
+    ClusterSystem sys(s, p);
+    auto rep = runMapReduce(s, sys, tinyJob(), {0, 1});
+    ASSERT_TRUE(rep.completed);
+}
+
+TEST(MapReduce, CombinerShrinksShuffle)
+{
+    auto base = tinyJob();
+    auto combined = tinyJob();
+    combined.combiner = true;
+
+    auto shuffled = [](const MapReduceJob &j) {
+        Simulation s;
+        ScaleUpSystem sys(s, 4);
+        return runMapReduce(s, sys, j, {0, 0, 0, 0})
+            .shuffledBytes;
+    };
+    EXPECT_LT(shuffled(combined), shuffled(base) / 2);
+}
+
+TEST(MapReduce, SortShufflesEverythingGrepAlmostNothing)
+{
+    auto frac = [](const MapReduceJob &j) {
+        Simulation s;
+        ScaleUpSystem sys(s, 4);
+        auto rep = runMapReduce(s, sys, j, {0, 0, 0, 0});
+        return static_cast<double>(rep.shuffledBytes) /
+               (4.0 *
+                static_cast<double>(j.inputBytesPerWorker));
+    };
+    // Shrink inputs for test speed.
+    auto sort = sortJob();
+    sort.inputBytesPerWorker = 4ull << 20;
+    auto grep = grepJob();
+    grep.inputBytesPerWorker = 4ull << 20;
+
+    EXPECT_NEAR(frac(sort), 1.0, 0.05);
+    EXPECT_LT(frac(grep), 0.05);
+}
+
+TEST(MapReduce, JobPresetsAreSane)
+{
+    EXPECT_TRUE(wordcountJob().combiner);
+    EXPECT_DOUBLE_EQ(sortJob().shuffleSelectivity, 1.0);
+    EXPECT_LT(grepJob().shuffleSelectivity, 0.05);
+}

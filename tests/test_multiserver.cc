@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Multi-server MCN tests (Sec. III-B last paragraph): MCN nodes on
+ * different hosts talk through both hosts' forwarding engines and
+ * the conventional 10GbE fabric, with no application change.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/system_builder.hh"
+#include "dist/mpi.hh"
+#include "dist/npb.hh"
+#include "net/icmp.hh"
+#include "net/socket.hh"
+
+using namespace mcnsim;
+using namespace mcnsim::core;
+using namespace mcnsim::sim;
+
+namespace {
+
+Tick
+pingBetween(Simulation &s, McnMultiServer &sys, std::size_t from,
+            std::size_t to)
+{
+    Tick rtt = maxTick;
+    bool done = false;
+    auto t = [&]() -> Task<void> {
+        rtt = co_await sys.node(from).stack->icmp().ping(
+            sys.node(to).addr, 56);
+        done = true;
+    };
+    spawnDetached(s.eventQueue(), t());
+    runUntil(s, [&] { return done; }, s.curTick() + oneSec);
+    return rtt;
+}
+
+} // namespace
+
+TEST(MultiServer, HostsReachEachOtherOverFabric)
+{
+    Simulation s;
+    McnMultiServerParams p;
+    McnMultiServer sys(s, p);
+
+    // host0 (node 0) -> host1 (node 3 with 2 DIMMs/server).
+    Tick rtt = pingBetween(s, sys, 0, 3);
+    ASSERT_NE(rtt, maxTick) << "host-to-host ping failed";
+    // Crosses two 1 us links + switch: 10GbE-class RTT.
+    EXPECT_GT(rtt, 4 * oneUs);
+}
+
+TEST(MultiServer, DimmReachesRemoteHost)
+{
+    Simulation s;
+    McnMultiServerParams p;
+    McnMultiServer sys(s, p);
+
+    // server0 DIMM0 (node 1) -> host1 (node 3): memory channel,
+    // then forwarding engine + NIC + fabric.
+    Tick rtt = pingBetween(s, sys, 1, 3);
+    ASSERT_NE(rtt, maxTick) << "dimm-to-remote-host ping failed";
+}
+
+TEST(MultiServer, DimmReachesRemoteDimm)
+{
+    Simulation s;
+    McnMultiServerParams p;
+    McnMultiServer sys(s, p);
+
+    // server0 DIMM0 (node 1) -> server1 DIMM1 (node 5): the full
+    // path crosses two memory channels and the Ethernet fabric.
+    std::size_t remote = sys.dimmNode(1, 1);
+    Tick local_rtt = pingBetween(s, sys, 1, 2); // same server
+    Tick remote_rtt = pingBetween(s, sys, 1, remote);
+    ASSERT_NE(remote_rtt, maxTick)
+        << "dimm-to-remote-dimm ping failed";
+    // The remote path includes the 10GbE fabric: strictly slower
+    // than the in-server MCN-to-MCN path.
+    ASSERT_NE(local_rtt, maxTick);
+    EXPECT_GT(remote_rtt, local_rtt);
+}
+
+TEST(MultiServer, TcpAcrossServers)
+{
+    Simulation s;
+    McnMultiServerParams p;
+    McnMultiServer sys(s, p);
+
+    constexpr std::size_t bytes = 128 * 1024;
+    std::size_t drained = 0;
+    bool up = false, done = false;
+    std::size_t remote = sys.dimmNode(1, 0);
+
+    auto server = [&]() -> Task<void> {
+        auto lst =
+            net::tcpListen(*sys.node(remote).stack, 7100);
+        up = true;
+        auto conn = co_await lst->accept();
+        drained = co_await conn->recvDrain(bytes);
+        done = true;
+    };
+    auto client = [&]() -> Task<void> {
+        while (!up)
+            co_await delayFor(s.eventQueue(), oneUs);
+        auto sock = co_await net::tcpConnect(
+            *sys.node(1).stack,
+            {sys.node(remote).addr, 7100});
+        EXPECT_TRUE(sock);
+        if (sock)
+            co_await sock->sendPattern(bytes);
+    };
+    spawnDetached(s.eventQueue(), server());
+    spawnDetached(s.eventQueue(), client());
+    runUntil(s, [&] { return done; },
+             s.curTick() + secondsToTicks(5.0));
+    EXPECT_EQ(drained, bytes);
+}
+
+TEST(MultiServer, MpiSpansServers)
+{
+    // The paper's headline: MPI across racks of MCN DIMMs with
+    // zero application change -- here 2 servers x (host + 2 DIMMs).
+    Simulation s;
+    McnMultiServerParams p;
+    p.config = McnConfig::level(3);
+    McnMultiServer sys(s, p);
+
+    std::vector<std::size_t> placement;
+    for (std::size_t i = 0; i < sys.nodeCount(); ++i)
+        placement.push_back(i);
+
+    auto spec = dist::npb::is().scaledTo(
+        static_cast<int>(placement.size()));
+    spec.iterations = 2;
+    auto rep = runMpiWorkload(s, sys, spec, placement,
+                              30 * oneSec);
+    EXPECT_TRUE(rep.completed);
+    EXPECT_GT(rep.mpiBytes, 0u);
+}

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit tests for packet buffers, checksums, Ethernet/IPv4/ICMP/UDP
+ * wire formats, and interface-table routing semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hh"
+#include "net/ethernet.hh"
+#include "net/icmp.hh"
+#include "net/ipv4.hh"
+#include "net/packet.hh"
+#include "net/tcp.hh"
+#include "net/udp.hh"
+#include "sim/random.hh"
+
+using namespace mcnsim::net;
+using mcnsim::sim::Rng;
+
+TEST(PacketBuf, PushPullRoundTrip)
+{
+    auto pkt = Packet::makePattern(100, 7);
+    EXPECT_EQ(pkt->size(), 100u);
+    std::uint8_t *h = pkt->push(14);
+    std::memset(h, 0xab, 14);
+    EXPECT_EQ(pkt->size(), 114u);
+    pkt->pull(14);
+    EXPECT_EQ(pkt->size(), 100u);
+    EXPECT_EQ(pkt->data()[0], 7);
+}
+
+TEST(PacketBuf, PushBeyondHeadroomGrows)
+{
+    auto pkt = Packet::makePattern(10, 0, /*headroom=*/4);
+    pkt->push(100); // more than the 4-byte headroom
+    EXPECT_EQ(pkt->size(), 110u);
+}
+
+TEST(PacketBuf, CloneIsDeep)
+{
+    auto pkt = Packet::makePattern(50, 1);
+    auto copy = pkt->clone();
+    copy->data()[0] = 0xff;
+    EXPECT_NE(pkt->data()[0], copy->data()[0]);
+    EXPECT_EQ(pkt->size(), copy->size());
+}
+
+TEST(PacketBuf, TrimShortens)
+{
+    auto pkt = Packet::makePattern(100);
+    pkt->trim(40);
+    EXPECT_EQ(pkt->size(), 40u);
+}
+
+TEST(LatencyTraceTest, SpansComputed)
+{
+    LatencyTrace t;
+    t.stamp(Stage::StackTx, 100);
+    t.stamp(Stage::DriverTx, 250);
+    t.stamp(Stage::Delivered, 900);
+    EXPECT_EQ(t.span(Stage::StackTx, Stage::DriverTx), 150u);
+    EXPECT_EQ(t.span(Stage::StackTx, Stage::Delivered), 800u);
+    EXPECT_EQ(t.span(Stage::StackTx, Stage::Phy), 0u); // missing
+    EXPECT_TRUE(t.reached(Stage::DriverTx));
+    EXPECT_FALSE(t.reached(Stage::DmaRx));
+}
+
+TEST(Checksum, KnownVector)
+{
+    // RFC 1071 example-style check: verifying a checksummed buffer
+    // yields zero.
+    std::vector<std::uint8_t> data = {0x45, 0x00, 0x00, 0x73,
+                                      0x00, 0x00, 0x40, 0x00,
+                                      0x40, 0x11, 0x00, 0x00,
+                                      0xc0, 0xa8, 0x00, 0x01,
+                                      0xc0, 0xa8, 0x00, 0xc7};
+    std::uint16_t c = checksum(data.data(), data.size());
+    data[10] = static_cast<std::uint8_t>(c >> 8);
+    data[11] = static_cast<std::uint8_t>(c & 0xff);
+    EXPECT_EQ(checksum(data.data(), data.size()), 0);
+}
+
+TEST(Checksum, DetectsCorruption)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint8_t> data(64);
+        for (auto &b : data)
+            b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+        data[62] = data[63] = 0; // checksum field zeroed first
+        std::uint16_t c = checksum(data.data(), data.size());
+        data[62] = static_cast<std::uint8_t>(c >> 8);
+        data[63] = static_cast<std::uint8_t>(c & 0xff);
+        EXPECT_EQ(checksum(data.data(), data.size()), 0);
+        // Flip one bit: checksum must not verify.
+        std::size_t i = rng.uniformInt(0, 61);
+        data[i] ^= 1u << rng.uniformInt(0, 7);
+        EXPECT_NE(checksum(data.data(), data.size()), 0);
+    }
+}
+
+TEST(Checksum, OddLengthHandled)
+{
+    std::vector<std::uint8_t> data = {1, 2, 3};
+    EXPECT_NE(checksum(data.data(), data.size()), 0);
+}
+
+TEST(Mac, FormatAndBroadcast)
+{
+    auto m = MacAddr::fromId(0x123456);
+    EXPECT_EQ(m.str(), "02:4d:43:12:34:56");
+    EXPECT_FALSE(m.isBroadcast());
+    EXPECT_TRUE(MacAddr::broadcast().isBroadcast());
+    EXPECT_EQ(MacAddr::fromId(7), MacAddr::fromId(7));
+}
+
+TEST(Ethernet, HeaderRoundTrip)
+{
+    auto pkt = Packet::makePattern(60);
+    EthernetHeader h;
+    h.dst = MacAddr::fromId(1);
+    h.src = MacAddr::fromId(2);
+    h.type = ethTypeIpv4;
+    h.push(*pkt);
+    EXPECT_EQ(pkt->size(), 74u);
+
+    auto parsed = EthernetHeader::pull(*pkt);
+    EXPECT_EQ(parsed.dst, h.dst);
+    EXPECT_EQ(parsed.src, h.src);
+    EXPECT_EQ(parsed.type, ethTypeIpv4);
+    EXPECT_EQ(pkt->size(), 60u);
+}
+
+TEST(Ipv4, AddrFormatting)
+{
+    Ipv4Addr a(10, 0, 0, 2);
+    EXPECT_EQ(a.str(), "10.0.0.2");
+    EXPECT_TRUE(Ipv4Addr(127, 0, 0, 1).isLoopback());
+    EXPECT_TRUE(Ipv4Addr(127, 255, 1, 2).isLoopback());
+    EXPECT_FALSE(a.isLoopback());
+}
+
+TEST(Ipv4, HeaderRoundTripWithChecksum)
+{
+    auto pkt = Packet::makePattern(100);
+    Ipv4Header h;
+    h.src = Ipv4Addr(10, 0, 0, 1);
+    h.dst = Ipv4Addr(10, 0, 0, 2);
+    h.protocol = protoTcp;
+    h.totalLength = 120;
+    h.id = 42;
+    h.push(*pkt, true);
+
+    auto parsed = Ipv4Header::pull(*pkt, true);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->src, h.src);
+    EXPECT_EQ(parsed->dst, h.dst);
+    EXPECT_EQ(parsed->protocol, protoTcp);
+    EXPECT_EQ(parsed->totalLength, 120);
+    EXPECT_EQ(parsed->id, 42);
+}
+
+TEST(Ipv4, CorruptHeaderRejectedUnlessBypassed)
+{
+    auto pkt = Packet::makePattern(10);
+    Ipv4Header h;
+    h.src = Ipv4Addr(1, 2, 3, 4);
+    h.dst = Ipv4Addr(5, 6, 7, 8);
+    h.totalLength = 30;
+    h.push(*pkt, true);
+    pkt->data()[12] ^= 0xff; // corrupt src address
+
+    auto strict = Packet::make(pkt->bytes());
+    EXPECT_FALSE(Ipv4Header::pull(*strict, true));
+
+    // mcn2 semantics: bypassing the check accepts the header.
+    auto bypass = Packet::make(pkt->bytes());
+    EXPECT_TRUE(Ipv4Header::pull(*bypass, false));
+}
+
+TEST(Ipv4, ZeroChecksumHeaderAcceptedOnlyWhenBypassed)
+{
+    // mcn2 senders do not fill the checksum; a bypassing receiver
+    // must accept, a strict one must reject.
+    auto pkt = Packet::makePattern(10);
+    Ipv4Header h;
+    h.src = Ipv4Addr(1, 1, 1, 1);
+    h.dst = Ipv4Addr(2, 2, 2, 2);
+    h.totalLength = 30;
+    h.push(*pkt, false);
+
+    auto strict = Packet::make(pkt->bytes());
+    EXPECT_FALSE(Ipv4Header::pull(*strict, true));
+    auto bypass = Packet::make(pkt->bytes());
+    EXPECT_TRUE(Ipv4Header::pull(*bypass, false));
+}
+
+TEST(InterfaceTableTest, PaperRoutingSemantics)
+{
+    // Host: own address + /32 point-to-point peer routes.
+    InterfaceTable host;
+    Ipv4Addr host_ip(10, 0, 0, 1);
+    Ipv4Addr mcn0(10, 0, 0, 2), mcn1(10, 0, 0, 3);
+    host.addOwn(host_ip);
+    host.add(0, mcn0, SubnetMask::exact());
+    host.add(1, mcn1, SubnetMask::exact());
+
+    EXPECT_EQ(host.route(mcn0), 0);
+    EXPECT_EQ(host.route(mcn1), 1);
+    // Own address and loopback stay local.
+    EXPECT_EQ(host.route(host_ip), InterfaceTable::loopbackIfindex);
+    EXPECT_EQ(host.route(Ipv4Addr(127, 0, 0, 1)),
+              InterfaceTable::loopbackIfindex);
+    // Unknown destination: unroutable on the host.
+    EXPECT_FALSE(host.route(Ipv4Addr(8, 8, 8, 8)));
+
+    // MCN node: mask 0.0.0.0 forwards everything to the host...
+    InterfaceTable mcn;
+    mcn.addOwn(mcn0);
+    mcn.add(0, mcn0, SubnetMask::any());
+    EXPECT_EQ(mcn.route(host_ip), 0);
+    EXPECT_EQ(mcn.route(mcn1), 0);
+    EXPECT_EQ(mcn.route(Ipv4Addr(8, 8, 8, 8)), 0);
+    // ...except loopback and its own address (Sec. III-B).
+    EXPECT_EQ(mcn.route(Ipv4Addr(127, 0, 0, 1)),
+              InterfaceTable::loopbackIfindex);
+    EXPECT_EQ(mcn.route(mcn0), InterfaceTable::loopbackIfindex);
+}
+
+TEST(TcpWire, HeaderRoundTrip)
+{
+    Ipv4Addr src(10, 0, 0, 1), dst(10, 0, 0, 2);
+    auto pkt = Packet::makePattern(64);
+    TcpHeader h;
+    h.srcPort = 1234;
+    h.dstPort = 5001;
+    h.seq = 0xdeadbeef;
+    h.ack = 0x12345678;
+    h.flags = tcpAck | tcpPsh;
+    h.window = 1000;
+    h.push(*pkt, src, dst, true);
+
+    auto parsed = TcpHeader::pull(*pkt, src, dst, true);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->srcPort, 1234);
+    EXPECT_EQ(parsed->dstPort, 5001);
+    EXPECT_EQ(parsed->seq, 0xdeadbeefu);
+    EXPECT_EQ(parsed->ack, 0x12345678u);
+    EXPECT_EQ(parsed->flags, tcpAck | tcpPsh);
+    EXPECT_EQ(parsed->window, 1000);
+    EXPECT_EQ(pkt->size(), 64u);
+}
+
+TEST(TcpWire, PayloadCorruptionCaughtByChecksum)
+{
+    Ipv4Addr src(1, 1, 1, 1), dst(2, 2, 2, 2);
+    auto pkt = Packet::makePattern(32);
+    TcpHeader h;
+    h.srcPort = 1;
+    h.dstPort = 2;
+    h.push(*pkt, src, dst, true);
+    pkt->data()[25] ^= 0x10; // corrupt payload
+
+    EXPECT_FALSE(TcpHeader::pull(*pkt, src, dst, true));
+}
+
+TEST(TcpWire, WrongPseudoHeaderCaught)
+{
+    Ipv4Addr src(1, 1, 1, 1), dst(2, 2, 2, 2);
+    auto pkt = Packet::makePattern(32);
+    TcpHeader h;
+    h.push(*pkt, src, dst, true);
+    // Same bytes, different claimed addresses: must fail.
+    EXPECT_FALSE(
+        TcpHeader::pull(*pkt, Ipv4Addr(9, 9, 9, 9), dst, true));
+}
+
+TEST(UdpWire, HeaderRoundTrip)
+{
+    Ipv4Addr src(10, 0, 0, 1), dst(10, 0, 0, 2);
+    auto pkt = Packet::makePattern(200);
+    UdpHeader h;
+    h.srcPort = 7;
+    h.dstPort = 9;
+    h.push(*pkt, src, dst, true);
+
+    auto parsed = UdpHeader::pull(*pkt, src, dst, true);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->srcPort, 7);
+    EXPECT_EQ(parsed->dstPort, 9);
+    EXPECT_EQ(parsed->length, 208);
+    EXPECT_EQ(pkt->size(), 200u);
+}
+
+TEST(IcmpWire, EchoRoundTrip)
+{
+    auto pkt = Packet::makePattern(56);
+    IcmpHeader h;
+    h.type = icmpEchoRequest;
+    h.id = 99;
+    h.seqNo = 3;
+    h.push(*pkt, true);
+
+    auto parsed = IcmpHeader::pull(*pkt, true);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->type, icmpEchoRequest);
+    EXPECT_EQ(parsed->id, 99);
+    EXPECT_EQ(parsed->seqNo, 3);
+}

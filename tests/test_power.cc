@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the McPAT-lite presets and the energy integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/system_builder.hh"
+#include "cpu/cpu_cluster.hh"
+#include "power/energy_model.hh"
+#include "power/mcpat_lite.hh"
+#include "sim/simulation.hh"
+
+using namespace mcnsim;
+using namespace mcnsim::power;
+using namespace mcnsim::sim;
+
+TEST(McpatLiteTest, PresetsOrdering)
+{
+    // Server cores burn far more than mobile cores; DIMM buffer
+    // devices are small; LPDDR is cheaper per byte than DDR4.
+    EXPECT_GT(McpatLite::hostCore().activeW,
+              5 * McpatLite::mcnCore().activeW);
+    EXPECT_GT(McpatLite::hostUncore().staticW,
+              McpatLite::mcnBufferDevice().staticW);
+    EXPECT_GT(McpatLite::ddr4().energyPerByte,
+              McpatLite::lpddr4().energyPerByte);
+    EXPECT_GT(McpatLite::nic10g().idleW, 0.0);
+}
+
+TEST(EnergyModelTest, IdleSystemBurnsOnlyStatic)
+{
+    Simulation s;
+    cpu::CpuCluster cpus(s, "cpus", 4, 1e9);
+    EnergyModel m;
+    m.addCores(cpus, McpatLite::hostCore());
+    m.addUncore(McpatLite::hostUncore());
+
+    m.snapshot(s.curTick());
+    s.run(secondsToTicks(1.0));
+    auto e = m.compute(s.curTick());
+
+    EXPECT_DOUBLE_EQ(e.coreDynamic, 0.0);
+    // 4 cores x idle W x 1 s + uncore.
+    EXPECT_NEAR(e.coreStatic, 4 * McpatLite::hostCore().idleW,
+                1e-9);
+    EXPECT_NEAR(e.uncore, McpatLite::hostUncore().staticW, 1e-9);
+    EXPECT_DOUBLE_EQ(e.dram, 0.0);
+}
+
+TEST(EnergyModelTest, BusyCoreAddsDynamicEnergy)
+{
+    Simulation s;
+    cpu::CpuCluster cpus(s, "cpus", 1, 1e9);
+    EnergyModel m;
+    m.addCores(cpus, CorePower{10.0, 2.0});
+    m.snapshot(s.curTick());
+
+    // Busy for half of a 1 ms window.
+    cpus.execute(500'000, nullptr); // 0.5 ms at 1 GHz
+    s.run(secondsToTicks(1e-3));
+    auto e = m.compute(s.curTick());
+
+    // Dynamic: 0.5 ms x (10-2) W = 4 mJ; static: 1 ms x 2 W = 2 mJ.
+    EXPECT_NEAR(e.coreDynamic, 4e-3, 1e-5);
+    EXPECT_NEAR(e.coreStatic, 2e-3, 1e-5);
+}
+
+TEST(EnergyModelTest, DramEnergyTracksBytes)
+{
+    Simulation s;
+    os::KernelParams kp;
+    kp.memChannels = 1;
+    os::Kernel k(s, "k", 0, kp);
+    EnergyModel m;
+    m.addMem(k.mem(), DramPower{0.0, 1e-9}, 0.0); // 1 nJ/B, no bg
+    m.snapshot(s.curTick());
+
+    bool done = false;
+    k.mem().bulkInterleaved(1'000'000, [&](Tick) { done = true; });
+    core::runUntil(s, [&] { return done; },
+                   s.curTick() + oneSec);
+    auto e = m.compute(s.curTick());
+    EXPECT_NEAR(e.dram, 1e-3, 1e-4); // 1 MB x 1 nJ/B
+}
+
+TEST(EnergyModelTest, SnapshotExcludesWarmup)
+{
+    Simulation s;
+    cpu::CpuCluster cpus(s, "cpus", 1, 1e9);
+    EnergyModel m;
+    m.addCores(cpus, CorePower{10.0, 0.0});
+
+    // Warmup activity before the snapshot must not count.
+    cpus.execute(1'000'000, nullptr);
+    s.run();
+    m.snapshot(s.curTick());
+    s.run(s.curTick() + secondsToTicks(1e-3));
+    auto e = m.compute(s.curTick());
+    EXPECT_NEAR(e.coreDynamic, 0.0, 1e-9);
+}
+
+TEST(EnergyModelTest, McnServerModelCoversAllComponents)
+{
+    Simulation s;
+    core::McnSystemParams p;
+    p.numDimms = 2;
+    core::McnSystem sys(s, p);
+    auto m = core::energyModelFor(sys);
+    m.snapshot(s.curTick());
+    s.run(s.curTick() + secondsToTicks(1e-3));
+    auto e = m.compute(s.curTick());
+    // Static floors of host + 2 DIMMs are present.
+    EXPECT_GT(e.coreStatic, 0.0);
+    EXPECT_GT(e.uncore, 0.0);
+    EXPECT_GT(e.dram, 0.0); // background power
+    EXPECT_DOUBLE_EQ(e.network, 0.0); // no NIC in an MCN server
+}
+
+TEST(EnergyModelTest, ClusterModelIncludesNetwork)
+{
+    Simulation s;
+    core::ClusterSystemParams p;
+    p.numNodes = 2;
+    core::ClusterSystem sys(s, p);
+    auto m = core::energyModelFor(sys);
+    m.snapshot(s.curTick());
+    s.run(s.curTick() + secondsToTicks(1e-3));
+    auto e = m.compute(s.curTick());
+    EXPECT_GT(e.network, 0.0); // NIC + switch port idle power
+}
+
+TEST(EnergyFig10Shape, IdleMcnServerBeatsIdleCluster)
+{
+    // The core-matched comparison's static floor: an MCN server
+    // (1 host + mobile cores) idles below N full server nodes.
+    Simulation s1;
+    core::McnSystemParams mp;
+    mp.numDimms = 4; // 8 + 16 cores
+    core::McnSystem mcn(s1, mp);
+    auto m1 = core::energyModelFor(mcn);
+    m1.snapshot(s1.curTick());
+    s1.run(s1.curTick() + secondsToTicks(1e-3));
+    double mcn_j = m1.compute(s1.curTick()).total();
+
+    Simulation s2;
+    core::ClusterSystemParams cp;
+    cp.numNodes = 3; // 24 cores
+    core::ClusterSystem cluster(s2, cp);
+    auto m2 = core::energyModelFor(cluster);
+    m2.snapshot(s2.curTick());
+    s2.run(s2.curTick() + secondsToTicks(1e-3));
+    double cluster_j = m2.compute(s2.curTick()).total();
+
+    EXPECT_LT(mcn_j, cluster_j);
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace mcnsim::sim;
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    Scalar s("bytes", "bytes moved");
+    s += 10;
+    s += 5.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 16.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Average, MeanOverSamples)
+{
+    Average a("lat", "latency");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(10);
+    a.sample(20);
+    a.sample(30);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 60.0);
+}
+
+TEST(Histogram, BucketsAndStats)
+{
+    Histogram h("h", "test", 0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 49.5);
+    EXPECT_DOUBLE_EQ(h.minSample(), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 99.0);
+    // p50 should land near the middle bucket
+    EXPECT_NEAR(h.percentile(50), 50.0, 10.0);
+    EXPECT_NEAR(h.percentile(99), 95.0, 10.0);
+}
+
+TEST(Histogram, OutOfRangeSamplesTracked)
+{
+    Histogram h("h", "test", 10.0, 20.0, 5);
+    h.sample(-5.0);
+    h.sample(100.0);
+    h.sample(15.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.minSample(), -5.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 100.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h("h", "test", 0.0, 10.0, 5);
+    h.sample(5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StatGroup, PrintsAllMembers)
+{
+    StatGroup g("node0.nic");
+    Scalar s1("txBytes", "transmitted bytes");
+    Scalar s2("rxBytes", "received bytes");
+    g.add(&s1);
+    g.add(&s2);
+    s1 += 100;
+    s2 += 200;
+
+    std::ostringstream os;
+    g.print(os);
+    auto out = os.str();
+    EXPECT_NE(out.find("node0.nic.txBytes"), std::string::npos);
+    EXPECT_NE(out.find("node0.nic.rxBytes"), std::string::npos);
+    EXPECT_NE(out.find("transmitted bytes"), std::string::npos);
+}
+
+TEST(StatRegistry, DumpAndResetAll)
+{
+    StatRegistry reg;
+    StatGroup g1("a"), g2("b");
+    Scalar s1("x", "x"), s2("y", "y");
+    g1.add(&s1);
+    g2.add(&s2);
+    reg.add(&g1);
+    reg.add(&g2);
+    s1 += 5;
+    s2 += 7;
+
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("a.x"), std::string::npos);
+    EXPECT_NE(os.str().find("b.y"), std::string::npos);
+
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(s1.value(), 0.0);
+    EXPECT_DOUBLE_EQ(s2.value(), 0.0);
+}
+
+TEST(RateHelpers, GbpsAndGBps)
+{
+    // 1.25 GB over 1 simulated second = 10 Gbit/s.
+    EXPECT_DOUBLE_EQ(toGbps(1.25e9, oneSec), 10.0);
+    EXPECT_DOUBLE_EQ(toGBps(1.25e9, oneSec), 1.25);
+    EXPECT_DOUBLE_EQ(toGbps(100, 0), 0.0);
+}

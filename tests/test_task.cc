@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the coroutine task layer: lazy start, value return,
+ * nesting, delays, conditions, semaphores, mailboxes, task groups,
+ * and exception propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/task.hh"
+
+using namespace mcnsim::sim;
+
+namespace {
+
+Task<int>
+answer()
+{
+    co_return 42;
+}
+
+Task<int>
+addDelayed(EventQueue &q, int a, int b)
+{
+    co_await delayFor(q, 100);
+    co_return a + b;
+}
+
+Task<void>
+outerTask(EventQueue &q, std::vector<std::string> &log)
+{
+    log.push_back("outer-start");
+    int v = co_await addDelayed(q, 20, 22);
+    log.push_back("got-" + std::to_string(v));
+}
+
+} // namespace
+
+TEST(Task, LazyStart)
+{
+    EventQueue q;
+    bool ran = false;
+    auto make = [&]() -> Task<void> {
+        ran = true;
+        co_return;
+    };
+    Task<void> t = make();
+    EXPECT_FALSE(ran); // not started until awaited/spawned
+    spawnDetached(q, std::move(t));
+    EXPECT_FALSE(ran); // starts via the event queue, not inline
+    q.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(Task, NestedAwaitReturnsValue)
+{
+    EventQueue q;
+    std::vector<std::string> log;
+    spawnDetached(q, outerTask(q, log));
+    q.run();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], "outer-start");
+    EXPECT_EQ(log[1], "got-42");
+    EXPECT_EQ(q.curTick(), 100u);
+}
+
+TEST(Task, ImmediateValueTask)
+{
+    EventQueue q;
+    int got = 0;
+    auto outer = [&]() -> Task<void> {
+        got = co_await answer();
+    };
+    spawnDetached(q, outer());
+    q.run();
+    EXPECT_EQ(got, 42);
+}
+
+TEST(Task, DelaysAccumulate)
+{
+    EventQueue q;
+    Tick end = 0;
+    auto t = [&]() -> Task<void> {
+        co_await delayFor(q, 10);
+        co_await delayFor(q, 20);
+        co_await delayFor(q, 30);
+        end = q.curTick();
+    };
+    spawnDetached(q, t());
+    q.run();
+    EXPECT_EQ(end, 60u);
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter)
+{
+    EventQueue q;
+    bool caught = false;
+    auto thrower = []() -> Task<void> {
+        throw std::runtime_error("boom");
+        co_return;
+    };
+    auto outer = [&]() -> Task<void> {
+        try {
+            co_await thrower();
+        } catch (const std::runtime_error &e) {
+            caught = std::string(e.what()) == "boom";
+        }
+    };
+    spawnDetached(q, outer());
+    q.run();
+    EXPECT_TRUE(caught);
+}
+
+TEST(Condition, NotifyAllWakesAllWaiters)
+{
+    EventQueue q;
+    Condition cv(q);
+    int woke = 0;
+    auto waiter = [&]() -> Task<void> {
+        co_await cv.wait();
+        woke++;
+    };
+    for (int i = 0; i < 3; ++i)
+        spawnDetached(q, waiter());
+    q.run();
+    EXPECT_EQ(woke, 0);
+    EXPECT_EQ(cv.waiterCount(), 3u);
+    cv.notifyAll();
+    q.run();
+    EXPECT_EQ(woke, 3);
+}
+
+TEST(Condition, NotifyOneWakesFifo)
+{
+    EventQueue q;
+    Condition cv(q);
+    std::vector<int> order;
+    auto waiter = [&](int id) -> Task<void> {
+        co_await cv.wait();
+        order.push_back(id);
+    };
+    spawnDetached(q, waiter(1));
+    spawnDetached(q, waiter(2));
+    q.run();
+    cv.notifyOne();
+    q.run();
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0], 1);
+    cv.notifyOne();
+    q.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(Condition, ReWaitLandsInNextRound)
+{
+    EventQueue q;
+    Condition cv(q);
+    int wakes = 0;
+    auto waiter = [&]() -> Task<void> {
+        co_await cv.wait();
+        wakes++;
+        co_await cv.wait();
+        wakes++;
+    };
+    spawnDetached(q, waiter());
+    q.run();
+    cv.notifyAll();
+    q.run();
+    EXPECT_EQ(wakes, 1); // second wait needs a second notify
+    cv.notifyAll();
+    q.run();
+    EXPECT_EQ(wakes, 2);
+}
+
+TEST(Semaphore, BlocksUntilRelease)
+{
+    EventQueue q;
+    SimSemaphore sem(q, 1);
+    std::vector<int> order;
+    auto user = [&](int id) -> Task<void> {
+        co_await sem.acquire();
+        order.push_back(id);
+        co_await delayFor(q, 100);
+        sem.release();
+    };
+    spawnDetached(q, user(1));
+    spawnDetached(q, user(2));
+    q.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(q.curTick(), 200u);
+    EXPECT_EQ(sem.available(), 1);
+}
+
+TEST(Mailbox, FifoDelivery)
+{
+    EventQueue q;
+    Mailbox<int> mb(q);
+    std::vector<int> got;
+    auto consumer = [&]() -> Task<void> {
+        for (int i = 0; i < 3; ++i)
+            got.push_back(co_await mb.pop());
+    };
+    spawnDetached(q, consumer());
+    q.run();
+    mb.push(10);
+    mb.push(20);
+    q.run();
+    mb.push(30);
+    q.run();
+    EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+    EXPECT_TRUE(mb.empty());
+}
+
+TEST(Mailbox, PopBeforePushSuspends)
+{
+    EventQueue q;
+    Mailbox<std::string> mb(q);
+    std::string got;
+    auto consumer = [&]() -> Task<void> {
+        got = co_await mb.pop();
+    };
+    spawnDetached(q, consumer());
+    q.run();
+    EXPECT_TRUE(got.empty());
+    mb.push("hello");
+    q.run();
+    EXPECT_EQ(got, "hello");
+}
+
+TEST(TaskGroup, TracksCompletion)
+{
+    EventQueue q;
+    TaskGroup group(q);
+    auto worker = [&](Tick d) -> Task<void> {
+        co_await delayFor(q, d);
+    };
+    group.spawn(worker(100));
+    group.spawn(worker(300));
+    group.spawn(worker(200));
+    EXPECT_EQ(group.liveCount(), 3);
+    EXPECT_FALSE(group.allDone());
+    q.run();
+    EXPECT_TRUE(group.allDone());
+    EXPECT_EQ(q.curTick(), 300u);
+}
+
+TEST(TaskGroup, WaitResumesAfterAllFinish)
+{
+    EventQueue q;
+    TaskGroup group(q);
+    Tick wait_done = 0;
+    auto worker = [&](Tick d) -> Task<void> {
+        co_await delayFor(q, d);
+    };
+    group.spawn(worker(500));
+    group.spawn(worker(100));
+    auto waiter = [&]() -> Task<void> {
+        co_await group.wait();
+        wait_done = q.curTick();
+    };
+    spawnDetached(q, waiter());
+    q.run();
+    EXPECT_EQ(wait_done, 500u);
+}

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * mcnsim command-line explorer: build a system from flags and run
+ * one experiment against it, without writing any C++.
+ *
+ *   mcnsim_cli iperf     --system=mcn --dimms=4 --level=5
+ *   mcnsim_cli ping      --system=cluster --size=1024 --count=10
+ *   mcnsim_cli workload  --name=mg --system=mcn --dimms=2
+ *   mcnsim_cli mapreduce --name=wordcount --system=mcn --dimms=4
+ *   mcnsim_cli describe  --system=mcn --dimms=8 --level=3
+ *
+ * Common flags:
+ *   --system=mcn|cluster|scaleup   (default mcn)
+ *   --dimms=N / --nodes=N / --cores=N
+ *   --level=0..5                   (Table I optimisation level)
+ *   --duration-ms=N                (iperf window)
+ *   --stats                        (dump the full stats registry)
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/system_builder.hh"
+#include "dist/bigdata.hh"
+#include "dist/coral.hh"
+#include "dist/mapreduce.hh"
+#include "dist/npb.hh"
+
+using namespace mcnsim;
+using namespace mcnsim::core;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> flags;
+
+    std::string
+    get(const std::string &key, const std::string &def) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? def : it->second;
+    }
+
+    long
+    getInt(const std::string &key, long def) const
+    {
+        auto it = flags.find(key);
+        return it == flags.end() ? def : std::stol(it->second);
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return flags.count(key) > 0;
+    }
+};
+
+Args
+parse(int argc, char **argv)
+{
+    Args a;
+    if (argc > 1 && argv[1][0] != '-')
+        a.command = argv[1];
+    for (int i = 1; i < argc; ++i) {
+        std::string s = argv[i];
+        if (s.rfind("--", 0) != 0)
+            continue;
+        auto eq = s.find('=');
+        if (eq == std::string::npos)
+            a.flags[s.substr(2)] = "1";
+        else
+            a.flags[s.substr(2, eq - 2)] = s.substr(eq + 1);
+    }
+    return a;
+}
+
+/** Build the system the flags describe. */
+std::unique_ptr<System>
+buildSystem(sim::Simulation &s, const Args &a)
+{
+    std::string kind = a.get("system", "mcn");
+    if (kind == "mcn") {
+        McnSystemParams p;
+        p.numDimms = static_cast<std::size_t>(a.getInt("dimms", 4));
+        p.config =
+            McnConfig::level(static_cast<int>(a.getInt("level", 5)));
+        return std::make_unique<McnSystem>(s, p);
+    }
+    if (kind == "cluster") {
+        ClusterSystemParams p;
+        p.numNodes = static_cast<std::size_t>(a.getInt("nodes", 2));
+        return std::make_unique<ClusterSystem>(s, p);
+    }
+    if (kind == "scaleup")
+        return std::make_unique<ScaleUpSystem>(
+            s, static_cast<std::uint32_t>(a.getInt("cores", 8)));
+    std::fprintf(stderr, "unknown --system=%s\n", kind.c_str());
+    return nullptr;
+}
+
+dist::WorkloadSpec
+findWorkload(const std::string &name)
+{
+    for (auto &w : dist::npb::suite())
+        if (w.name == name)
+            return w;
+    for (auto &w : dist::coral::suite())
+        if (w.name == name)
+            return w;
+    for (auto &w : dist::bigdata::suite())
+        if (w.name == name)
+            return w;
+    sim::fatal("unknown workload '", name,
+               "' (try cg/mg/ft/is/ep/lu, amg/minife/lulesh, "
+               "grep/pagerank/sort/wordcount)");
+}
+
+int
+cmdIperf(const Args &a)
+{
+    sim::Simulation s;
+    auto sys = buildSystem(s, a);
+    if (!sys)
+        return 1;
+    sim::Tick dur = static_cast<sim::Tick>(
+                        a.getInt("duration-ms", 5)) *
+                    sim::oneMs;
+    std::vector<std::size_t> clients;
+    for (std::size_t i = 1; i < sys->nodeCount(); ++i)
+        clients.push_back(i);
+    if (clients.empty()) {
+        std::fprintf(stderr, "need >= 2 nodes for iperf\n");
+        return 1;
+    }
+    auto r = runIperf(s, *sys, 0, clients, dur);
+    std::printf("iperf: %.2f Gbit/s across %d connections "
+                "(%llu bytes in %.1f ms)\n",
+                r.gbps, r.connections,
+                static_cast<unsigned long long>(r.bytes),
+                sim::ticksToSeconds(dur) * 1e3);
+    if (a.has("stats"))
+        s.dumpStats(std::cout);
+    return 0;
+}
+
+int
+cmdPing(const Args &a)
+{
+    sim::Simulation s;
+    auto sys = buildSystem(s, a);
+    if (!sys || sys->nodeCount() < 2)
+        return 1;
+    std::size_t size =
+        static_cast<std::size_t>(a.getInt("size", 56));
+    int count = static_cast<int>(a.getInt("count", 5));
+    auto pts = runPingSweep(s, *sys, 0, 1, {size}, count);
+    if (pts.empty() || pts[0].lost == count) {
+        std::printf("ping: no replies\n");
+        return 1;
+    }
+    std::printf("ping %zu bytes: avg %.2f us, min %.2f us, max "
+                "%.2f us (%d probes, %d lost)\n",
+                size, sim::ticksToUs(pts[0].avgRtt),
+                sim::ticksToUs(pts[0].minRtt),
+                sim::ticksToUs(pts[0].maxRtt), count, pts[0].lost);
+    return 0;
+}
+
+int
+cmdWorkload(const Args &a)
+{
+    sim::Simulation s;
+    auto sys = buildSystem(s, a);
+    if (!sys)
+        return 1;
+    auto spec = findWorkload(a.get("name", "mg"));
+    auto placement = allCoresPlacement(*sys);
+    auto scaled =
+        spec.scaledTo(static_cast<int>(placement.size()));
+    scaled.iterations =
+        static_cast<int>(a.getInt("iters", spec.iterations));
+    auto rep = runMpiWorkload(s, *sys, scaled, placement);
+    std::printf("%s on %zu ranks: %s in %.2f ms, %.1f MB over "
+                "MPI\n",
+                spec.name.c_str(), placement.size(),
+                rep.completed ? "completed" : "DID NOT FINISH",
+                sim::ticksToSeconds(rep.makespan) * 1e3,
+                static_cast<double>(rep.mpiBytes) / 1e6);
+    if (a.has("stats"))
+        s.dumpStats(std::cout);
+    return rep.completed ? 0 : 1;
+}
+
+int
+cmdMapReduce(const Args &a)
+{
+    sim::Simulation s;
+    auto sys = buildSystem(s, a);
+    if (!sys)
+        return 1;
+    std::string name = a.get("name", "wordcount");
+    dist::MapReduceJob job;
+    if (name == "wordcount")
+        job = dist::wordcountJob();
+    else if (name == "sort")
+        job = dist::sortJob();
+    else if (name == "grep")
+        job = dist::grepJob();
+    else
+        sim::fatal("unknown job '", name,
+                   "' (wordcount/sort/grep)");
+
+    auto placement = allCoresPlacement(*sys);
+    auto rep = runMapReduce(s, *sys, job, placement);
+    std::printf("%s on %zu workers: %s in %.2f ms (map %.2f ms, "
+                "shuffle %.2f ms, %.1f MB shuffled)\n",
+                job.name.c_str(), placement.size(),
+                rep.completed ? "completed" : "DID NOT FINISH",
+                sim::ticksToSeconds(rep.makespan) * 1e3,
+                sim::ticksToSeconds(rep.mapPhase) * 1e3,
+                sim::ticksToSeconds(rep.shufflePhase) * 1e3,
+                static_cast<double>(rep.shuffledBytes) / 1e6);
+    return rep.completed ? 0 : 1;
+}
+
+int
+cmdDescribe(const Args &a)
+{
+    sim::Simulation s;
+    auto sys = buildSystem(s, a);
+    if (!sys)
+        return 1;
+    std::printf("system: %s, %zu nodes\n",
+                a.get("system", "mcn").c_str(), sys->nodeCount());
+    for (std::size_t i = 0; i < sys->nodeCount(); ++i) {
+        auto n = sys->node(i);
+        std::printf("  node %zu: %s, %u cores @ %.2f GHz, %u mem "
+                    "channels (%s)\n",
+                    i, n.addr.str().c_str(),
+                    n.kernel->cpus().coreCount(),
+                    n.kernel->cpus().clock().frequencyHz() / 1e9,
+                    n.kernel->mem().channelCount(),
+                    n.kernel->mem().timing().name.c_str());
+    }
+    if (a.get("system", "mcn") == "mcn") {
+        auto cfg = McnConfig::level(
+            static_cast<int>(a.getInt("level", 5)));
+        std::printf("config: %s\n", cfg.describe().c_str());
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: mcnsim_cli <command> [flags]\n"
+        "commands: iperf | ping | workload | mapreduce | describe\n"
+        "flags: --system=mcn|cluster|scaleup --dimms=N --nodes=N\n"
+        "       --cores=N --level=0..5 --duration-ms=N --size=N\n"
+        "       --count=N --name=<workload|job> --iters=N --stats\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parse(argc, argv);
+    try {
+        if (a.command == "iperf")
+            return cmdIperf(a);
+        if (a.command == "ping")
+            return cmdPing(a);
+        if (a.command == "workload")
+            return cmdWorkload(a);
+        if (a.command == "mapreduce")
+            return cmdMapReduce(a);
+        if (a.command == "describe")
+            return cmdDescribe(a);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    usage();
+    return a.command.empty() ? 0 : 1;
+}
