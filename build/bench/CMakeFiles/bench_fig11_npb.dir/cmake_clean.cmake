@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_npb.dir/bench_fig11_npb.cc.o"
+  "CMakeFiles/bench_fig11_npb.dir/bench_fig11_npb.cc.o.d"
+  "bench_fig11_npb"
+  "bench_fig11_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_iperf.dir/bench_fig8a_iperf.cc.o"
+  "CMakeFiles/bench_fig8a_iperf.dir/bench_fig8a_iperf.cc.o.d"
+  "bench_fig8a_iperf"
+  "bench_fig8a_iperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_iperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8bc_ping.dir/bench_fig8bc_ping.cc.o"
+  "CMakeFiles/bench_fig8bc_ping.dir/bench_fig8bc_ping.cc.o.d"
+  "bench_fig8bc_ping"
+  "bench_fig8bc_ping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8bc_ping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

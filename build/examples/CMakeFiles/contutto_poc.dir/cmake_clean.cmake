@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contutto_poc.dir/contutto_poc.cpp.o"
+  "CMakeFiles/contutto_poc.dir/contutto_poc.cpp.o.d"
+  "contutto_poc"
+  "contutto_poc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contutto_poc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

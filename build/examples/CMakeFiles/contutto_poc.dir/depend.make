@@ -1,0 +1,2 @@
+# Empty dependencies file for contutto_poc.
+# This may be replaced when dependencies are built.

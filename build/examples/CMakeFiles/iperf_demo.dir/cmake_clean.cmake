@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iperf_demo.dir/iperf_demo.cpp.o"
+  "CMakeFiles/iperf_demo.dir/iperf_demo.cpp.o.d"
+  "iperf_demo"
+  "iperf_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iperf_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_replacement.dir/rack_replacement.cpp.o"
+  "CMakeFiles/rack_replacement.dir/rack_replacement.cpp.o.d"
+  "rack_replacement"
+  "rack_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/mcnsim.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/mcn_config.cc" "src/CMakeFiles/mcnsim.dir/core/mcn_config.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/core/mcn_config.cc.o.d"
+  "/root/repo/src/core/presets.cc" "src/CMakeFiles/mcnsim.dir/core/presets.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/core/presets.cc.o.d"
+  "/root/repo/src/core/system_builder.cc" "src/CMakeFiles/mcnsim.dir/core/system_builder.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/core/system_builder.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/mcnsim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/cost_model.cc" "src/CMakeFiles/mcnsim.dir/cpu/cost_model.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/cpu/cost_model.cc.o.d"
+  "/root/repo/src/cpu/cpu_cluster.cc" "src/CMakeFiles/mcnsim.dir/cpu/cpu_cluster.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/cpu/cpu_cluster.cc.o.d"
+  "/root/repo/src/dist/bigdata.cc" "src/CMakeFiles/mcnsim.dir/dist/bigdata.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/dist/bigdata.cc.o.d"
+  "/root/repo/src/dist/coral.cc" "src/CMakeFiles/mcnsim.dir/dist/coral.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/dist/coral.cc.o.d"
+  "/root/repo/src/dist/iperf.cc" "src/CMakeFiles/mcnsim.dir/dist/iperf.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/dist/iperf.cc.o.d"
+  "/root/repo/src/dist/mapreduce.cc" "src/CMakeFiles/mcnsim.dir/dist/mapreduce.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/dist/mapreduce.cc.o.d"
+  "/root/repo/src/dist/mpi.cc" "src/CMakeFiles/mcnsim.dir/dist/mpi.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/dist/mpi.cc.o.d"
+  "/root/repo/src/dist/npb.cc" "src/CMakeFiles/mcnsim.dir/dist/npb.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/dist/npb.cc.o.d"
+  "/root/repo/src/dist/ping.cc" "src/CMakeFiles/mcnsim.dir/dist/ping.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/dist/ping.cc.o.d"
+  "/root/repo/src/dist/workload.cc" "src/CMakeFiles/mcnsim.dir/dist/workload.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/dist/workload.cc.o.d"
+  "/root/repo/src/mcn/alert_signal.cc" "src/CMakeFiles/mcnsim.dir/mcn/alert_signal.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mcn/alert_signal.cc.o.d"
+  "/root/repo/src/mcn/host_driver.cc" "src/CMakeFiles/mcnsim.dir/mcn/host_driver.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mcn/host_driver.cc.o.d"
+  "/root/repo/src/mcn/mcn_dimm.cc" "src/CMakeFiles/mcnsim.dir/mcn/mcn_dimm.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mcn/mcn_dimm.cc.o.d"
+  "/root/repo/src/mcn/mcn_dma.cc" "src/CMakeFiles/mcnsim.dir/mcn/mcn_dma.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mcn/mcn_dma.cc.o.d"
+  "/root/repo/src/mcn/mcn_driver.cc" "src/CMakeFiles/mcnsim.dir/mcn/mcn_driver.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mcn/mcn_driver.cc.o.d"
+  "/root/repo/src/mcn/mcn_interface.cc" "src/CMakeFiles/mcnsim.dir/mcn/mcn_interface.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mcn/mcn_interface.cc.o.d"
+  "/root/repo/src/mcn/sram_buffer.cc" "src/CMakeFiles/mcnsim.dir/mcn/sram_buffer.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mcn/sram_buffer.cc.o.d"
+  "/root/repo/src/mem/bandwidth_arbiter.cc" "src/CMakeFiles/mcnsim.dir/mem/bandwidth_arbiter.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mem/bandwidth_arbiter.cc.o.d"
+  "/root/repo/src/mem/dimm.cc" "src/CMakeFiles/mcnsim.dir/mem/dimm.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mem/dimm.cc.o.d"
+  "/root/repo/src/mem/dram_device.cc" "src/CMakeFiles/mcnsim.dir/mem/dram_device.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mem/dram_device.cc.o.d"
+  "/root/repo/src/mem/dram_timing.cc" "src/CMakeFiles/mcnsim.dir/mem/dram_timing.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mem/dram_timing.cc.o.d"
+  "/root/repo/src/mem/interleave.cc" "src/CMakeFiles/mcnsim.dir/mem/interleave.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mem/interleave.cc.o.d"
+  "/root/repo/src/mem/mem_controller.cc" "src/CMakeFiles/mcnsim.dir/mem/mem_controller.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mem/mem_controller.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/mcnsim.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/mem/memcpy_model.cc" "src/CMakeFiles/mcnsim.dir/mem/memcpy_model.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/mem/memcpy_model.cc.o.d"
+  "/root/repo/src/net/checksum.cc" "src/CMakeFiles/mcnsim.dir/net/checksum.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/net/checksum.cc.o.d"
+  "/root/repo/src/net/ethernet.cc" "src/CMakeFiles/mcnsim.dir/net/ethernet.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/net/ethernet.cc.o.d"
+  "/root/repo/src/net/icmp.cc" "src/CMakeFiles/mcnsim.dir/net/icmp.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/net/icmp.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/CMakeFiles/mcnsim.dir/net/ipv4.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/net/ipv4.cc.o.d"
+  "/root/repo/src/net/net_stack.cc" "src/CMakeFiles/mcnsim.dir/net/net_stack.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/net/net_stack.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/mcnsim.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/net/packet.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/CMakeFiles/mcnsim.dir/net/socket.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/net/socket.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/CMakeFiles/mcnsim.dir/net/tcp.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/net/tcp.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/CMakeFiles/mcnsim.dir/net/udp.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/net/udp.cc.o.d"
+  "/root/repo/src/netdev/ethernet_link.cc" "src/CMakeFiles/mcnsim.dir/netdev/ethernet_link.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/netdev/ethernet_link.cc.o.d"
+  "/root/repo/src/netdev/ethernet_switch.cc" "src/CMakeFiles/mcnsim.dir/netdev/ethernet_switch.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/netdev/ethernet_switch.cc.o.d"
+  "/root/repo/src/netdev/loopback.cc" "src/CMakeFiles/mcnsim.dir/netdev/loopback.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/netdev/loopback.cc.o.d"
+  "/root/repo/src/netdev/nic.cc" "src/CMakeFiles/mcnsim.dir/netdev/nic.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/netdev/nic.cc.o.d"
+  "/root/repo/src/os/hrtimer.cc" "src/CMakeFiles/mcnsim.dir/os/hrtimer.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/os/hrtimer.cc.o.d"
+  "/root/repo/src/os/interrupt.cc" "src/CMakeFiles/mcnsim.dir/os/interrupt.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/os/interrupt.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/CMakeFiles/mcnsim.dir/os/kernel.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/os/kernel.cc.o.d"
+  "/root/repo/src/os/net_device.cc" "src/CMakeFiles/mcnsim.dir/os/net_device.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/os/net_device.cc.o.d"
+  "/root/repo/src/os/softirq.cc" "src/CMakeFiles/mcnsim.dir/os/softirq.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/os/softirq.cc.o.d"
+  "/root/repo/src/power/energy_model.cc" "src/CMakeFiles/mcnsim.dir/power/energy_model.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/power/energy_model.cc.o.d"
+  "/root/repo/src/power/mcpat_lite.cc" "src/CMakeFiles/mcnsim.dir/power/mcpat_lite.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/power/mcpat_lite.cc.o.d"
+  "/root/repo/src/sim/clock_domain.cc" "src/CMakeFiles/mcnsim.dir/sim/clock_domain.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/sim/clock_domain.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/mcnsim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/mcnsim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/mcnsim.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/sim_object.cc" "src/CMakeFiles/mcnsim.dir/sim/sim_object.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/sim/sim_object.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/mcnsim.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/mcnsim.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/task.cc" "src/CMakeFiles/mcnsim.dir/sim/task.cc.o" "gcc" "src/CMakeFiles/mcnsim.dir/sim/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

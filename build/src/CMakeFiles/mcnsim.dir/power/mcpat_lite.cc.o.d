@@ -1,0 +1,3 @@
+src/CMakeFiles/mcnsim.dir/power/mcpat_lite.cc.o: \
+ /root/repo/src/power/mcpat_lite.cc /usr/include/stdc-predef.h \
+ /root/repo/src/power/mcpat_lite.hh

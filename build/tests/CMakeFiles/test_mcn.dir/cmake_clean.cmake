@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcn.dir/test_mcn.cc.o"
+  "CMakeFiles/test_mcn.dir/test_mcn.cc.o.d"
+  "test_mcn"
+  "test_mcn.pdb"
+  "test_mcn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiserver.dir/test_multiserver.cc.o"
+  "CMakeFiles/test_multiserver.dir/test_multiserver.cc.o.d"
+  "test_multiserver"
+  "test_multiserver.pdb"
+  "test_multiserver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

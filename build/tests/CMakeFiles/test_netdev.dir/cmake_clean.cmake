@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netdev.dir/test_netdev.cc.o"
+  "CMakeFiles/test_netdev.dir/test_netdev.cc.o.d"
+  "test_netdev"
+  "test_netdev.pdb"
+  "test_netdev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcnsim_cli.dir/mcnsim_cli.cc.o"
+  "CMakeFiles/mcnsim_cli.dir/mcnsim_cli.cc.o.d"
+  "mcnsim_cli"
+  "mcnsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcnsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
