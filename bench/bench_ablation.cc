@@ -83,7 +83,7 @@ sramSizeSweep(bool quick)
 }
 
 void
-ackOverhead(bool quick)
+ackOverhead(bool quick, bench::BenchReport &rep)
 {
     std::printf("-- Ablation 3: TCP pure-ACK overhead (Sec. VII) "
                 "--\n");
@@ -101,16 +101,20 @@ ackOverhead(bool quick)
                                        mcn_tcp.segmentsOut());
     double acks = static_cast<double>(host_tcp.pureAcksOut() +
                                       mcn_tcp.pureAcksOut());
+    double pct = total > 0 ? acks / total * 100 : 0;
     std::printf("segments: %.0f, pure ACKs: %.0f (%.1f%% of all "
                 "segments; paper reports up to ~25%% overhead)\n\n",
-                total, acks, total > 0 ? acks / total * 100 : 0);
+                total, acks, pct);
+    rep.metric("tcp_segments", total);
+    rep.metric("pure_ack_pct", pct);
 }
 
 void
-channelCeiling()
+channelCeiling(bench::BenchReport &rep)
 {
     std::printf("-- Ablation 4: single-channel ceiling --\n");
     auto t = mem::DramTiming::ddr4_3200();
+    rep.metric("channel_peak_gbytes_s", t.peakBandwidthBps() / 1e9);
     std::printf("one DDR4-3200 channel peaks at %.1f GB/s "
                 "(> 100 Gbit/s, so the channel is never the MCN "
                 "bottleneck; the paper quotes 12.8 GB/s for its "
@@ -126,12 +130,16 @@ int
 main(int argc, char **argv)
 {
     bool quick = bench::quickMode(argc, argv);
+    bench::BenchReport rep("ablation", quick);
     std::printf("== Ablations (Secs. IV & VII design choices; %s) "
                 "==\n\n",
                 quick ? "quick" : "full");
     pollPeriodSweep();
     sramSizeSweep(quick);
-    ackOverhead(quick);
-    channelCeiling();
-    return 0;
+    ackOverhead(quick, rep);
+    channelCeiling(rep);
+    // Sec. VII: up to ~25% pure-ACK overhead; 12.8 GB/s channel.
+    rep.target("pure_ack_pct", 25.0);
+    rep.target("channel_peak_gbytes_s", 12.8);
+    return bench::writeReport(rep, argc, argv);
 }

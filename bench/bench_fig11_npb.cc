@@ -59,6 +59,10 @@ main(int argc, char **argv)
     bool quick = bench::quickMode(argc, argv);
     int iters = quick ? 2 : 6;
 
+    bench::BenchReport rep("fig11_npb", quick);
+    rep.config("iterations", iters);
+    rep.config("host_cores", 4);
+
     std::printf("== Fig. 11: NPB execution time, scale-up server "
                 "vs MCN-enabled server (normalized to the 4-core "
                 "baseline; lower is better; %s) ==\n\n",
@@ -100,12 +104,19 @@ main(int argc, char **argv)
 
     std::printf("\naverage MCN improvement over the equal-core "
                 "scale-up server:");
-    for (std::size_t x = 1; x < su_cores.size(); ++x)
-        std::printf(" x=%zu: %.1f%%", x,
-                    improve[x] / std::max(1, counted[x]));
+    for (std::size_t x = 1; x < su_cores.size(); ++x) {
+        double a = improve[x] / std::max(1, counted[x]);
+        std::printf(" x=%zu: %.1f%%", x, a);
+        rep.metric("avg_improvement_pct_" + std::to_string(x) +
+                       "_dimms",
+                   a);
+    }
     std::printf("\npaper shape: averages 27.2%% / 42.9%% / 45.3%% "
                 "for 1/2/3 DIMMs; ep does not benefit (compute "
                 "bound); cg can regress at 1 DIMM (irregular "
                 "communication crosses the host)\n");
-    return 0;
+    rep.target("avg_improvement_pct_1_dimms", 27.2);
+    rep.target("avg_improvement_pct_2_dimms", 42.9);
+    rep.target("avg_improvement_pct_3_dimms", 45.3);
+    return bench::writeReport(rep, argc, argv);
 }

@@ -65,6 +65,11 @@ main(int argc, char **argv)
     sim::Tick duration =
         quick ? 4 * sim::oneMs : 20 * sim::oneMs;
 
+    bench::BenchReport rep("fig8a_iperf", quick);
+    rep.config("dimms", 4);
+    rep.config("duration_ms",
+               sim::ticksToSeconds(duration) * 1e3);
+
     std::printf("== Fig. 8(a): iperf bandwidth, normalized to "
                 "10GbE (duration %.0f ms %s) ==\n",
                 sim::ticksToSeconds(duration) * 1e3,
@@ -72,6 +77,7 @@ main(int argc, char **argv)
 
     double base = baseline10GbE(duration);
     std::printf("10GbE baseline: %.2f Gbit/s\n\n", base);
+    rep.metric("baseline_10gbe_gbps", base);
 
     bench::Table t({"config", "host-mcn Gbps", "host-mcn norm",
                     "mcn-mcn Gbps", "mcn-mcn norm"});
@@ -81,11 +87,18 @@ main(int argc, char **argv)
         t.addRow({"mcn" + std::to_string(level),
                   fmt("%.2f", hm), fmt("%.2fx", hm / base),
                   fmt("%.2f", mm), fmt("%.2fx", mm / base)});
+        std::string lv = std::to_string(level);
+        rep.metric("mcn" + lv + "_host_mcn_gbps", hm);
+        rep.metric("mcn" + lv + "_host_mcn_norm", hm / base);
+        rep.metric("mcn" + lv + "_mcn_mcn_gbps", mm);
+        rep.metric("mcn" + lv + "_mcn_mcn_norm", mm / base);
     }
     t.print();
 
     std::printf("\npaper shape: mcn0 ~1.3x (host-mcn); big jump at "
                 "mcn3 (9KB MTU); mcn5 ~4.6x; mcn-mcn trails "
                 "host-mcn by 10-20%%\n");
-    return 0;
+    rep.target("mcn0_host_mcn_norm", 1.3);
+    rep.target("mcn5_host_mcn_norm", 4.6);
+    return bench::writeReport(rep, argc, argv);
 }

@@ -47,8 +47,9 @@ mcnPing(int level, bool host_to_mcn)
 }
 
 void
-printSweep(const char *title,
-           const std::vector<dist::PingPoint> &base)
+printSweep(const char *title, const char *prefix,
+           const std::vector<dist::PingPoint> &base,
+           bench::BenchReport &rep)
 {
     using bench::fmt;
     double ref = static_cast<double>(base[0].avgRtt); // 16B 10GbE
@@ -74,6 +75,12 @@ printSweep(const char *title,
             r.push_back(fmt(
                 "%.2f", static_cast<double>(pt.avgRtt) / ref));
         t.addRow(r);
+        std::string key = std::string(prefix) + "_mcn" +
+                          std::to_string(level);
+        rep.metric(key + "_16B_norm",
+                   static_cast<double>(pts.front().avgRtt) / ref);
+        rep.metric(key + "_8KB_norm",
+                   static_cast<double>(pts.back().avgRtt) / ref);
     }
     t.print();
 }
@@ -81,16 +88,27 @@ printSweep(const char *title,
 } // namespace
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
-    auto base = baselinePing();
+    bench::BenchReport rep("fig8bc_ping",
+                           bench::quickMode(argc, argv));
+    rep.config("dimms", 2);
+    rep.config("pings_per_size", 5);
 
-    printSweep("Fig. 8(b): host <-> MCN node RTT", base);
-    printSweep("Fig. 8(c): MCN node <-> MCN node RTT", base);
+    auto base = baselinePing();
+    rep.metric("baseline_16B_rtt_us",
+               sim::ticksToUs(base[0].avgRtt));
+
+    printSweep("Fig. 8(b): host <-> MCN node RTT", "fig8b", base,
+               rep);
+    printSweep("Fig. 8(c): MCN node <-> MCN node RTT", "fig8c",
+               base, rep);
 
     std::printf("\npaper shape: mcn0 cuts 62-75%% of the 10GbE RTT "
                 "(no PHY/switch); optimized levels always beat "
                 "10GbE; mcn-mcn slightly worse than host-mcn "
                 "(two ring crossings)\n");
-    return 0;
+    // The paper's mcn0 RTT is 25-38% of the 10GbE reference.
+    rep.target("fig8b_mcn0_16B_norm", 0.38);
+    return bench::writeReport(rep, argc, argv);
 }

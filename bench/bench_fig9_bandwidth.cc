@@ -62,6 +62,10 @@ main(int argc, char **argv)
     int iters = quick ? 2 : 6;
     const std::vector<std::size_t> dimm_counts = {2, 4, 6, 8};
 
+    bench::BenchReport rep("fig9_bandwidth", quick);
+    rep.config("iterations", iters);
+    rep.config("conv_cores", 8);
+
     std::printf("== Fig. 9: aggregate memory bandwidth of an "
                 "MCN-enabled server, normalized to a conventional "
                 "server (%s) ==\n\n",
@@ -114,15 +118,24 @@ main(int argc, char **argv)
 
     // Geometric means across workloads.
     std::vector<std::string> mean_row = {"geomean", ""};
-    for (std::size_t di = 0; di < dimm_counts.size(); ++di)
-        mean_row.push_back(bench::fmt(
-            "%.2fx", std::exp(geo[di] / std::max(1, counted))));
+    for (std::size_t di = 0; di < dimm_counts.size(); ++di) {
+        double g = std::exp(geo[di] / std::max(1, counted));
+        mean_row.push_back(bench::fmt("%.2fx", g));
+        rep.metric("geomean_" + std::to_string(dimm_counts[di]) +
+                       "_dimms",
+                   g);
+    }
     t.addRow(mean_row);
     t.print();
+    rep.metric("workloads_counted", counted);
 
     std::printf("\npaper shape: average 1.76x/2.6x/3.3x/3.9x for "
                 "2/4/6/8 DIMMs, up to 8.17x for the most "
                 "bandwidth-bound workloads; compute-bound ep stays "
                 "near 1x\n");
-    return 0;
+    rep.target("geomean_2_dimms", 1.76);
+    rep.target("geomean_4_dimms", 2.6);
+    rep.target("geomean_6_dimms", 3.3);
+    rep.target("geomean_8_dimms", 3.9);
+    return bench::writeReport(rep, argc, argv);
 }

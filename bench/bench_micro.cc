@@ -9,6 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
 #include "mcn/sram_buffer.hh"
 #include "mem/interleave.hh"
 #include "net/checksum.hh"
@@ -112,4 +117,70 @@ BM_TsoSegmentation(benchmark::State &state)
 }
 BENCHMARK(BM_TsoSegmentation);
 
-BENCHMARK_MAIN();
+namespace {
+
+/** Console output plus a captured (name, real time) per run, so
+ *  the --json artifact can list every microbenchmark. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const auto &run : reports)
+            if (!run.error_occurred)
+                runs.emplace_back(run.benchmark_name(),
+                                  run.GetAdjustedRealTime());
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+    std::vector<std::pair<std::string, double>> runs;
+};
+
+/** JSON metric keys can't be arbitrary display names; flatten
+ *  "BM_Checksum/1500" to "BM_Checksum_1500". */
+std::string
+metricKey(std::string name)
+{
+    std::replace(name.begin(), name.end(), '/', '_');
+    return name;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcnsim;
+    bool quick = bench::quickMode(argc, argv);
+    bench::BenchReport rep("micro", quick);
+
+    // Strip our flags before handing argv to google-benchmark,
+    // which rejects unknown arguments.
+    std::vector<char *> bench_argv = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--quick" || a == "--full")
+            continue;
+        if (a == "--json") {
+            ++i; // skip the path operand too
+            continue;
+        }
+        if (a.rfind("--json=", 0) == 0)
+            continue;
+        bench_argv.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_argv.data()))
+        return 1;
+
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    for (const auto &[name, real_time] : reporter.runs)
+        rep.metric(metricKey(name) + "_ns", real_time);
+    return bench::writeReport(rep, argc, argv);
+}

@@ -138,8 +138,13 @@ printRow(bench::Table &t, const char *size, const char *type,
 } // namespace
 
 int
-main(int, char **)
+main(int argc, char **argv)
 {
+    bench::BenchReport rep("table3_breakdown",
+                           bench::quickMode(argc, argv));
+    rep.config("payload_1p5kb", 1400);
+    rep.config("payload_9kb", 8800);
+
     std::printf("== Table III: single TCP packet latency breakdown "
                 "(normalized to the 10GbE total per size) ==\n\n");
 
@@ -171,5 +176,18 @@ main(int, char **)
                 "removing the PHY dominates the reduction; MCN "
                 "Driver-TX/RX exceed 10GbE's because the CPU does "
                 "the copies (mcn0 has no DMA engine)\n");
-    return 0;
+
+    rep.metric("10gbe_1p5kb_total_us", ge_15.total / 1e6);
+    rep.metric("mcn0_1p5kb_total_us", mcn_15.total / 1e6);
+    rep.metric("10gbe_9kb_total_us", ge_9k.total / 1e6);
+    rep.metric("mcn0_9kb_total_us", mcn_9k.total / 1e6);
+    if (ref15 > 0) {
+        rep.metric("mcn0_1p5kb_total_norm", mcn_15.total / ref15);
+        rep.metric("mcn0_1p5kb_phy_norm", mcn_15.phy / ref15);
+    }
+    if (ref9 > 0)
+        rep.metric("mcn0_9kb_total_norm", mcn_9k.total / ref9);
+    // MCN removes the DMA engines and the PHY entirely.
+    rep.target("mcn0_1p5kb_phy_norm", 0.0);
+    return bench::writeReport(rep, argc, argv);
 }

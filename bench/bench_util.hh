@@ -1,16 +1,34 @@
 /**
  * @file
  * Shared helpers for the benchmark/reproduction binaries: simple
- * fixed-width table printing and command-line knobs.
+ * fixed-width table printing, command-line knobs, and the BENCH_*
+ * JSON artifact writer every bench uses for `--json <path>`.
+ *
+ * Usage in a bench main():
+ *
+ *   bool quick = bench::quickMode(argc, argv);
+ *   bench::BenchReport rep("fig8a_iperf", quick);
+ *   rep.config("dimms", 4);
+ *   rep.metric("mcn5_host_mcn_gbps", gbps);
+ *   rep.target("mcn5_host_mcn_norm", 4.6);   // the paper's number
+ *   return bench::writeReport(rep, argc, argv);
+ *
+ * The artifact schema is documented in README.md §Observability;
+ * tools/run_benches.sh regenerates and validates all of them.
  */
 
 #ifndef MCNSIM_BENCH_BENCH_UTIL_HH
 #define MCNSIM_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "sim/json.hh"
 
 namespace mcnsim::bench {
 
@@ -89,6 +107,126 @@ quickMode(int argc, char **argv)
         if (std::strcmp(argv[i], "--full") == 0)
             return false;
     return true;
+}
+
+/** Path given via `--json <path>` or `--json=<path>`; "" if absent. */
+inline std::string
+jsonPath(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            return argv[i + 1];
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            return argv[i] + 7;
+    }
+    return "";
+}
+
+/**
+ * Machine-readable result artifact for one bench run. Collects the
+ * configuration, the measured metrics and the paper's target values
+ * while the bench runs, then serializes one BENCH_<name>.json
+ * document (see README.md §Observability for the schema).
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string name, bool quick)
+        : name_(std::move(name)), quick_(quick),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    /** Record one configuration knob of this run. */
+    void
+    config(const std::string &key, double v)
+    {
+        config_.emplace_back(key, v);
+    }
+
+    /** Record one measured metric. */
+    void
+    metric(const std::string &key, double v)
+    {
+        metrics_.emplace_back(key, v);
+    }
+
+    /** Record the paper's value the metric is compared against. */
+    void
+    target(const std::string &key, double v)
+    {
+        targets_.emplace_back(key, v);
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Serialize to @p os. */
+    void
+    write(std::ostream &os) const
+    {
+        using clock = std::chrono::steady_clock;
+        double wall =
+            std::chrono::duration<double>(clock::now() - start_)
+                .count();
+
+        sim::json::Writer w(os);
+        w.beginObject();
+        w.kv("bench", name_);
+        w.kv("schema_version", std::uint64_t{1});
+        w.kv("generator", "mcnsim");
+        w.kv("mode", quick_ ? "quick" : "full");
+        writeMap(w, "config", config_);
+        writeMap(w, "metrics", metrics_);
+        writeMap(w, "paper_targets", targets_);
+        w.kv("wall_seconds", wall);
+        w.endObject();
+        os << "\n";
+    }
+
+    /** Write to @p path; complains on stderr and fails cleanly. */
+    bool
+    writeFile(const std::string &path) const
+    {
+        std::ofstream f(path);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        write(f);
+        return f.good();
+    }
+
+  private:
+    using Entries = std::vector<std::pair<std::string, double>>;
+
+    static void
+    writeMap(sim::json::Writer &w, const char *key,
+             const Entries &entries)
+    {
+        w.key(key);
+        w.beginObject();
+        for (const auto &[k, v] : entries)
+            w.kv(k, v);
+        w.endObject();
+    }
+
+    std::string name_;
+    bool quick_;
+    std::chrono::steady_clock::time_point start_;
+    Entries config_, metrics_, targets_;
+};
+
+/** Standard bench epilogue: honour --json if present. Returns the
+ *  process exit code. */
+inline int
+writeReport(const BenchReport &rep, int argc, char **argv)
+{
+    std::string path = jsonPath(argc, argv);
+    if (path.empty())
+        return 0;
+    if (!rep.writeFile(path))
+        return 1;
+    std::printf("\nwrote %s\n", path.c_str());
+    return 0;
 }
 
 } // namespace mcnsim::bench

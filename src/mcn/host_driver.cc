@@ -266,6 +266,7 @@ McnHostDriver::drainLoop(std::size_t idx)
     auto msg = ring.dequeue();
     MCNSIM_ASSERT(msg, "non-empty TX ring without front message");
     std::uint64_t bytes = msg->bytes.size();
+    trace("MCNDriver", "drain dimm ", idx, ": ", bytes, "B from TX ring");
     auto pkt = net::Packet::make(std::move(msg->bytes));
     pkt->trace = msg->trace;
 
@@ -302,9 +303,12 @@ McnHostDriver::xmitToDimm(std::size_t idx, net::PacketPtr pkt)
     std::size_t need = MessageRing::footprint(pkt->size());
     if (need + b.rxReserved > ring.freeBytes()) {
         statRxRingFull_ += 1;
+        trace("MCNDriver", "xmit to dimm ", idx, ": RX ring full (",
+              need, "B needed)");
         return os::TxResult::Busy; // NETDEV_TX_BUSY
     }
     b.rxReserved += need;
+    trace("MCNDriver", "xmit to dimm ", idx, ": ", pkt->size(), "B");
 
     std::uint64_t bytes = pkt->size();
     const auto &costs = kernel_.costs();
@@ -399,6 +403,8 @@ McnHostDriver::forward(std::size_t from_idx, net::PacketPtr pkt)
     // F4: neither the host nor an MCN node -- uplink NIC.
     if (uplink_) {
         statF4_ += 1;
+        trace("MCNDriver", "F4: forward ", pkt->size(),
+              "B to uplink NIC");
         kernel_.cpus().execute(
             kernel_.costs().ipForwardPerPacket,
             [this, pkt](sim::Tick) { uplink_->xmit(pkt); });

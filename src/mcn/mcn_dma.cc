@@ -26,6 +26,8 @@ McnDmaEngine::transfer(std::uint64_t bytes,
 {
     statTransfers_ += 1;
     statBytes_ += static_cast<double>(bytes);
+    trace("MCNDma", "transfer ", bytes, "B at ", rateBps_ / 1e9,
+          " GB/s");
 
     // The driver writes the descriptor (node number + size) into
     // the engine's configuration space, then the engine streams.

@@ -47,9 +47,12 @@ McnDriver::xmit(net::PacketPtr pkt)
     if (need + txReserved_ > ring.freeBytes()) {
         statTxFull_ += 1;
         statTxBusy_ += 1;
+        trace("MCNDriver", "xmit: TX ring full (", need,
+              "B needed)");
         return os::TxResult::Busy; // NETDEV_TX_BUSY
     }
     txReserved_ += need;
+    trace("MCNDriver", "xmit ", pkt->size(), "B into TX ring");
     statTxMsgs_ += 1;
     countTx(*pkt);
 
@@ -112,6 +115,7 @@ McnDriver::drainRx()
     MCNSIM_ASSERT(msg, "non-empty ring without front message");
     statRxMsgs_ += 1;
     std::uint64_t bytes = msg->bytes.size();
+    trace("MCNDriver", "drain RX ring: ", bytes, "B");
     auto pkt = net::Packet::make(std::move(msg->bytes));
     pkt->trace = msg->trace;
 

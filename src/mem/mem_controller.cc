@@ -63,6 +63,9 @@ void
 MemController::access(MemRequest req)
 {
     req.enqueued = curTick();
+    trace("DRAM",
+          req.kind == MemRequest::Kind::Write ? "write " : "read ",
+          req.size, "B @ 0x", std::hex, req.addr, std::dec);
     if (!refreshEvent_.scheduled())
         eventQueue().schedule(&refreshEvent_,
                               curTick() + timing_.tREFI);

@@ -802,6 +802,9 @@ TcpSocket::processAck(const TcpHeader &h)
             // Fast retransmit + fast recovery.
             ssthresh_ = std::max(flightSize() / 2, 2 * mss);
             retransmits_++;
+            sim::dprintf(layer_.curTick(), "TCP", name_,
+                         ": fast retransmit at seq ", sndUna_,
+                         ", ssthresh=", ssthresh_);
             std::uint32_t len = std::min<std::uint32_t>(
                 mss,
                 static_cast<std::uint32_t>(sndBuf_.size()));
@@ -932,6 +935,9 @@ TcpSocket::rtoFired()
 
     retransmits_++;
     std::uint32_t mss = effectiveMss();
+    sim::dprintf(layer_.curTick(), "TCP", name_,
+                 ": RTO fired, state=", static_cast<int>(state_),
+                 ", flight=", flightSize());
 
     if (state_ == TcpState::SynSent) {
         sendControl(tcpSyn); // re-SYN (seq already consumed)

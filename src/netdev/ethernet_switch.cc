@@ -55,6 +55,8 @@ EthernetSwitch::frameIn(std::uint32_t port, net::PacketPtr pkt)
     if (eth.dst.isBroadcast() || it == macTable_.end()) {
         // Flood to every other port.
         statFlooded_ += 1;
+        trace("Switch", "flood ", pkt->size(), "B from port ",
+              port);
         for (std::uint32_t p = 0; p < ports_.size(); ++p) {
             if (p == port || !ports_[p]->link)
                 continue;
@@ -76,6 +78,8 @@ EthernetSwitch::egress(std::uint32_t port, net::PacketPtr pkt)
     if (link->backlogBytes(ports_[port].get()) + pkt->size() >
         egressCap_) {
         statDrops_ += 1;
+        trace("Switch", "drop ", pkt->size(),
+              "B: egress queue full on port ", port);
         return;
     }
     statForwarded_ += 1;

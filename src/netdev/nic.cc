@@ -47,9 +47,12 @@ Nic::xmit(net::PacketPtr pkt)
 {
     if (txInFlight_ >= params_.txRingEntries) {
         statTxBusy_ += 1;
+        trace("NIC", "xmit: TX ring full (", txInFlight_,
+              " in flight)");
         return os::TxResult::Busy;
     }
     txInFlight_++;
+    trace("NIC", "xmit ", pkt->size(), "B, ring doorbell");
 
     // Driver: write the descriptor, ring the doorbell.
     const auto &costs = kernel_.costs();
@@ -168,9 +171,11 @@ Nic::receiveFrame(net::PacketPtr pkt)
 {
     if (rxRingUsed_ >= params_.rxRingEntries) {
         statRxDrops_ += 1;
+        trace("NIC", "rx drop: ring full (", pkt->size(), "B)");
         return;
     }
     rxRingUsed_++;
+    trace("NIC", "rx frame ", pkt->size(), "B -> DMA to host");
 
     // DMA the frame into the next RX ring buffer in host DRAM.
     std::uint64_t bytes = pkt->size();

@@ -25,9 +25,11 @@ void
 IrqController::raise(std::uint32_t irq)
 {
     statRaised_ += 1;
+    trace("IRQ", "raise irq ", irq);
     auto it = handlers_.find(irq);
     if (it == handlers_.end()) {
         statSpurious_ += 1;
+        trace("IRQ", "spurious irq ", irq, " (no handler)");
         return;
     }
     Handler &h = it->second;

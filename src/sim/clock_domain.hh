@@ -2,6 +2,12 @@
  * @file
  * Clock domains convert between cycles and ticks for components
  * running at different frequencies (host cores, MCN cores, DDR bus).
+ *
+ * Usage:
+ *
+ *   ClockDomain clk("hostCores", 3.6e9);     // 3.6 GHz
+ *   Tick cost = clk.cyclesToTicks(1200);     // 1200 cycles in ps
+ *   Cycles spent = clk.ticksToCycles(cost);  // and back (rounds up)
  */
 
 #ifndef MCNSIM_SIM_CLOCK_DOMAIN_HH

@@ -104,6 +104,14 @@ EventQueue::popAndRun()
     curTick_ = e.when;
     ev->scheduled_ = false;
     processed_++;
+    // Flight-recorder hook: under the "Event" debug flag every
+    // processed event lands in the trace ring, so a panic() dump
+    // shows exactly what the simulator was doing. anyActive() keeps
+    // the disabled-case cost to one branch on this hot path.
+    if (Trace::anyActive() && Trace::enabled("Event"))
+        Trace::emit(curTick_, "Event",
+                    strcat(name_, ": run '", ev->name(), "' prio=",
+                           static_cast<int>(ev->priority())));
     ev->process();
     if (ev->managed_ && !ev->scheduled_)
         delete ev;

@@ -8,6 +8,16 @@
  * events. A single EventQueue drives one simulation instance; there
  * is deliberately no global queue so tests can run many independent
  * simulations in one process.
+ *
+ * Usage:
+ *
+ *   EventQueue q;
+ *   q.schedule([&] { fire(); }, q.curTick() + 100, "my-event");
+ *   q.run();                      // drain everything
+ *   q.run(10 * oneUs);            // or: advance to a time limit
+ *
+ * Enable the "Event" debug flag (MCNSIM_DEBUG=Event) to trace every
+ * dispatch with its name and priority.
  */
 
 #ifndef MCNSIM_SIM_EVENT_QUEUE_HH

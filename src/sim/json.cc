@@ -1,0 +1,544 @@
+/**
+ * @file
+ * JSON writer and parser implementation.
+ */
+
+#include "sim/json.hh"
+
+#include <cmath>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace mcnsim::sim::json {
+
+std::string
+quote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+formatNumber(double v)
+{
+    if (std::isnan(v) || std::isinf(v))
+        return "null";
+    // Integers up to 2^53 print exactly, without an exponent.
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    // Shortest round-trip: try 15 significant digits, fall back to 17.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.15g", v);
+    if (std::strtod(buf, nullptr) != v)
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+Writer::newlineIndent()
+{
+    if (indent_ <= 0)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        for (int k = 0; k < indent_; ++k)
+            os_ << ' ';
+}
+
+void
+Writer::prepare()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // key() already positioned us
+    }
+    if (stack_.empty())
+        return;
+    MCNSIM_ASSERT(!stack_.back().isObject,
+                  "JSON object member written without a key");
+    if (stack_.back().members++)
+        os_ << ',';
+    newlineIndent();
+}
+
+void
+Writer::key(const std::string &k)
+{
+    MCNSIM_ASSERT(!stack_.empty() && stack_.back().isObject,
+                  "JSON key() outside an object");
+    MCNSIM_ASSERT(!pendingKey_, "JSON key() with a key pending");
+    if (stack_.back().members++)
+        os_ << ',';
+    newlineIndent();
+    os_ << quote(k) << (indent_ > 0 ? ": " : ":");
+    pendingKey_ = true;
+}
+
+void
+Writer::beginObject()
+{
+    prepare();
+    os_ << '{';
+    stack_.push_back({true, 0});
+}
+
+void
+Writer::endObject()
+{
+    MCNSIM_ASSERT(!stack_.empty() && stack_.back().isObject,
+                  "unbalanced JSON endObject()");
+    bool had = stack_.back().members > 0;
+    stack_.pop_back();
+    if (had)
+        newlineIndent();
+    os_ << '}';
+}
+
+void
+Writer::beginArray()
+{
+    prepare();
+    os_ << '[';
+    stack_.push_back({false, 0});
+}
+
+void
+Writer::endArray()
+{
+    MCNSIM_ASSERT(!stack_.empty() && !stack_.back().isObject,
+                  "unbalanced JSON endArray()");
+    bool had = stack_.back().members > 0;
+    stack_.pop_back();
+    if (had)
+        newlineIndent();
+    os_ << ']';
+}
+
+void
+Writer::value(double v)
+{
+    prepare();
+    os_ << formatNumber(v);
+}
+
+void
+Writer::value(std::uint64_t v)
+{
+    prepare();
+    os_ << v;
+}
+
+void
+Writer::value(bool v)
+{
+    prepare();
+    os_ << (v ? "true" : "false");
+}
+
+void
+Writer::value(const std::string &v)
+{
+    prepare();
+    os_ << quote(v);
+}
+
+void
+Writer::null()
+{
+    prepare();
+    os_ << "null";
+}
+
+// ---------------------------------------------------------------- Value
+
+bool
+Value::asBool() const
+{
+    if (type_ != Type::Bool)
+        fatal("JSON value is not a bool");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    if (type_ != Type::Number)
+        fatal("JSON value is not a number");
+    return num_;
+}
+
+const std::string &
+Value::asString() const
+{
+    if (type_ != Type::String)
+        fatal("JSON value is not a string");
+    return str_;
+}
+
+const std::vector<Value> &
+Value::asArray() const
+{
+    if (type_ != Type::Array)
+        fatal("JSON value is not an array");
+    return arr_;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::asObject() const
+{
+    if (type_ != Type::Object)
+        fatal("JSON value is not an object");
+    return obj_;
+}
+
+const Value *
+Value::find(const std::string &k) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[key, val] : obj_)
+        if (key == k)
+            return &val;
+    return nullptr;
+}
+
+const Value &
+Value::operator[](const std::string &k) const
+{
+    const Value *v = find(k);
+    if (!v)
+        fatal("JSON object has no member '", k, "'");
+    return *v;
+}
+
+const Value &
+Value::operator[](std::size_t i) const
+{
+    if (type_ != Type::Array || i >= arr_.size())
+        fatal("JSON array index ", i, " out of range");
+    return arr_[i];
+}
+
+std::size_t
+Value::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    return 0;
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.type_ = Type::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double n)
+{
+    Value v;
+    v.type_ = Type::Number;
+    v.num_ = n;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v.type_ = Type::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray(std::vector<Value> a)
+{
+    Value v;
+    v.type_ = Type::Array;
+    v.arr_ = std::move(a);
+    return v;
+}
+
+Value
+Value::makeObject(std::vector<std::pair<std::string, Value>> o)
+{
+    Value v;
+    v.type_ = Type::Object;
+    v.obj_ = std::move(o);
+    return v;
+}
+
+// --------------------------------------------------------------- parser
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    parseDocument()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            err("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    err(const std::string &what)
+    {
+        fatal("JSON parse error at offset ", pos_, ": ", what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            pos_++;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            err("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            err(strcat("expected '", c, "'"));
+        pos_++;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t n = std::string(lit).size();
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Value::makeString(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return Value::makeBool(true);
+            err("bad literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return Value::makeBool(false);
+            err("bad literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return Value::makeNull();
+            err("bad literal");
+          default: return parseNumber();
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        std::vector<std::pair<std::string, Value>> members;
+        skipWs();
+        if (peek() == '}') {
+            pos_++;
+            return Value::makeObject(std::move(members));
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            members.emplace_back(std::move(key), parseValue());
+            skipWs();
+            char c = peek();
+            pos_++;
+            if (c == '}')
+                break;
+            if (c != ',')
+                err("expected ',' or '}' in object");
+        }
+        return Value::makeObject(std::move(members));
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        std::vector<Value> elems;
+        skipWs();
+        if (peek() == ']') {
+            pos_++;
+            return Value::makeArray(std::move(elems));
+        }
+        while (true) {
+            elems.push_back(parseValue());
+            skipWs();
+            char c = peek();
+            pos_++;
+            if (c == ']')
+                break;
+            if (c != ',')
+                err("expected ',' or ']' in array");
+        }
+        return Value::makeArray(std::move(elems));
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                err("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                err("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': out += parseUnicodeEscape(); break;
+              default: err("bad escape character");
+            }
+        }
+        return out;
+    }
+
+    /** Decode \uXXXX (BMP only) to UTF-8. */
+    std::string
+    parseUnicodeEscape()
+    {
+        if (pos_ + 4 > text_.size())
+            err("truncated \\u escape");
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                err("bad hex digit in \\u escape");
+        }
+        std::string out;
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+        return out;
+    }
+
+    Value
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            pos_++;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            pos_++;
+        if (pos_ == start)
+            err("expected a value");
+        char *end = nullptr;
+        double v = std::strtod(text_.c_str() + start, &end);
+        if (end != text_.c_str() + pos_)
+            err("malformed number");
+        return Value::makeNumber(v);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace mcnsim::sim::json

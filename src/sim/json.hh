@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Minimal JSON support for the simulator's observability layer: a
+ * streaming Writer (used by StatRegistry::dumpJson and the bench
+ * JSON artifacts) and a small recursive-descent parser (used by the
+ * tests to round-trip what the writer emits, and by tooling that
+ * validates BENCH_*.json files).
+ *
+ * Writer usage:
+ *
+ *   json::Writer w(os);
+ *   w.beginObject();
+ *   w.kv("bench", "fig8a_iperf");
+ *   w.key("metrics");
+ *   w.beginObject();
+ *   w.kv("gbps", 5.57);
+ *   w.endObject();
+ *   w.endObject();   // {"bench":"fig8a_iperf","metrics":{"gbps":5.57}}
+ *
+ * Parser usage:
+ *
+ *   json::Value v = json::parse(text);       // throws FatalError
+ *   double g = v["metrics"]["gbps"].asNumber();
+ *
+ * Deliberately tiny: no comments, no trailing commas, numbers are
+ * doubles. NaN/Inf are emitted as null (JSON has no spelling for
+ * them) and doubles are printed with round-trip precision.
+ */
+
+#ifndef MCNSIM_SIM_JSON_HH
+#define MCNSIM_SIM_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcnsim::sim::json {
+
+/** Escape @p s into a double-quoted JSON string literal. */
+std::string quote(const std::string &s);
+
+/** Shortest representation of @p v that parses back to the same
+ *  double ("16.5", not "16.500000000000000"). */
+std::string formatNumber(double v);
+
+/**
+ * Streaming JSON writer with automatic comma/indent handling.
+ * Containers must be closed in the order they were opened; every
+ * object member needs a key() (or kv()) before its value.
+ */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os, int indent = 2)
+        : os_(os), indent_(indent)
+    {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Name the next member of the enclosing object. */
+    void key(const std::string &k);
+
+    void value(double v);
+    void value(std::uint64_t v);
+    void value(int v) { value(static_cast<std::uint64_t>(v < 0 ? 0 : v)); }
+    void value(bool v);
+    void value(const std::string &v);
+    void value(const char *v) { value(std::string(v)); }
+    void null();
+
+    /** key(k) followed by value(v). */
+    template <typename T>
+    void
+    kv(const std::string &k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+  private:
+    struct Level
+    {
+        bool isObject;
+        std::size_t members = 0;
+    };
+
+    /** Comma/newline/indent bookkeeping before a key or value. */
+    void prepare();
+    void newlineIndent();
+
+    std::ostream &os_;
+    int indent_;
+    std::vector<Level> stack_;
+    bool pendingKey_ = false;
+};
+
+/**
+ * A parsed JSON value. Arrays and objects hold their children by
+ * value; object member order is preserved.
+ */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Value accessors; panic via fatal() on type mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<Value> &asArray() const;
+    const std::vector<std::pair<std::string, Value>> &asObject() const;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &k) const;
+
+    /** Object member access; fatal() when absent. */
+    const Value &operator[](const std::string &k) const;
+
+    /** Array element access; fatal() when out of range. */
+    const Value &operator[](std::size_t i) const;
+
+    std::size_t size() const;
+
+    static Value makeNull() { return Value(); }
+    static Value makeBool(bool b);
+    static Value makeNumber(double n);
+    static Value makeString(std::string s);
+    static Value makeArray(std::vector<Value> a);
+    static Value
+    makeObject(std::vector<std::pair<std::string, Value>> o);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/** Parse @p text (one JSON document); throws FatalError on error. */
+Value parse(const std::string &text);
+
+} // namespace mcnsim::sim::json
+
+#endif // MCNSIM_SIM_JSON_HH

@@ -6,12 +6,19 @@
 #include "sim/logging.hh"
 
 #include <cstdlib>
-#include <mutex>
+#include <iostream>
 #include <set>
+
+#include "sim/trace_ring.hh"
 
 namespace mcnsim::sim {
 
 namespace {
+
+/** Count of enabled flags, mirrored for the anyActive() fast path. */
+std::size_t activeFlagCount = 0;
+
+bool echoTraces = true;
 
 std::set<std::string> &
 flagSet()
@@ -32,6 +39,7 @@ flagSet()
                 }
             }
         }
+        activeFlagCount = s.size();
         return s;
     }();
     return flags;
@@ -48,6 +56,7 @@ Trace::setFlag(const std::string &flag, bool on)
         flagSet().insert(flag);
     else
         flagSet().erase(flag);
+    activeFlagCount = flagSet().size();
 }
 
 bool
@@ -57,12 +66,41 @@ Trace::enabled(const std::string &flag)
     return flags.count(flag) > 0 || flags.count("ALL") > 0;
 }
 
+bool
+Trace::anyActive()
+{
+    // Force the one-time MCNSIM_DEBUG parse so env-enabled flags are
+    // counted before the first fast-path check.
+    static const bool inited = (flagSet(), true);
+    (void)inited;
+    return activeFlagCount > 0;
+}
+
+void
+Trace::setEcho(bool echo)
+{
+    echoTraces = echo;
+}
+
 void
 Trace::emit(Tick when, const std::string &flag, const std::string &msg)
 {
-    std::fprintf(stderr, "%12llu: [%s] %s\n",
-                 static_cast<unsigned long long>(when), flag.c_str(),
-                 msg.c_str());
+    TraceRing::instance().record(when, flag, msg);
+    if (echoTraces)
+        std::fprintf(stderr, "%12llu: [%s] %s\n",
+                     static_cast<unsigned long long>(when),
+                     flag.c_str(), msg.c_str());
+}
+
+void
+detail::dumpFlightRecorder(const char *kind)
+{
+    const auto &ring = TraceRing::instance();
+    if (ring.size() == 0)
+        return;
+    std::cerr << "== " << kind
+              << "() raised; dumping flight recorder ==\n";
+    ring.dump(std::cerr);
 }
 
 void

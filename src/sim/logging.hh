@@ -34,6 +34,11 @@ class PanicError : public std::logic_error
 
 namespace detail {
 
+/** Dump the flight-recorder ring to stderr (see trace_ring.hh).
+ *  Called by panic()/fatal() so crashes carry recent-event context;
+ *  a no-op when no trace events were recorded. */
+void dumpFlightRecorder(const char *kind);
+
 inline void
 format_to(std::ostringstream &) {}
 
@@ -62,6 +67,7 @@ template <typename... Args>
 [[noreturn]] void
 panic(const Args &...args)
 {
+    detail::dumpFlightRecorder("panic");
     throw PanicError("panic: " + strcat(args...));
 }
 
@@ -70,6 +76,7 @@ template <typename... Args>
 [[noreturn]] void
 fatal(const Args &...args)
 {
+    detail::dumpFlightRecorder("fatal");
     throw FatalError("fatal: " + strcat(args...));
 }
 
@@ -95,7 +102,17 @@ class Trace
     /** True when @p flag tracing is active. */
     static bool enabled(const std::string &flag);
 
-    /** Emit one tick-stamped trace line. */
+    /** True when at least one flag is enabled — a cheap first-level
+     *  gate so disabled tracing stays off the hot paths. */
+    static bool anyActive();
+
+    /** Enable/disable echoing trace lines to stderr. Recording into
+     *  the flight-recorder ring (trace_ring.hh) always happens; with
+     *  echo off, enabled flags feed the ring silently. */
+    static void setEcho(bool echo);
+
+    /** Emit one tick-stamped trace line: appended to the
+     *  flight-recorder ring and (when echo is on) printed. */
     static void emit(Tick when, const std::string &flag,
                      const std::string &msg);
 };
@@ -110,7 +127,7 @@ template <typename... Args>
 void
 dprintf(Tick when, const std::string &flag, const Args &...args)
 {
-    if (Trace::enabled(flag))
+    if (Trace::anyActive() && Trace::enabled(flag))
         Trace::emit(when, flag, strcat(args...));
 }
 

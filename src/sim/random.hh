@@ -3,6 +3,13 @@
  * Deterministic pseudo-random number generation for workload models
  * and failure injection. One Rng per Simulation keeps runs
  * reproducible regardless of component construction order.
+ *
+ * Usage:
+ *
+ *   Rng rng(42);                              // same seed, same run
+ *   auto burst = rng.uniformInt(1, 8);
+ *   auto gap = rng.exponential(meanGapTicks);
+ *   if (rng.chance(0.01)) dropPacket();
  */
 
 #ifndef MCNSIM_SIM_RANDOM_HH

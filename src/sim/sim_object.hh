@@ -11,6 +11,7 @@
 #include <string>
 
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -46,12 +47,15 @@ class SimObject
     /** Register a stat with this object's group. */
     void regStat(StatBase *stat) { statGroup_.add(stat); }
 
-    /** Tick-stamped debug tracing shorthand. */
+    /** Tick-stamped debug tracing shorthand: "<name>: <msg>" under
+     *  @p flag, recorded in the flight-recorder ring and echoed to
+     *  stderr while the flag is enabled. Fully qualified so the
+     *  POSIX dprintf(3) from <stdio.h> can never shadow it. */
     template <typename... Args>
     void
     trace(const std::string &flag, const Args &...args) const
     {
-        dprintf(curTick(), flag, name_, ": ", args...);
+        mcnsim::sim::dprintf(curTick(), flag, name_, ": ", args...);
     }
 
   private:

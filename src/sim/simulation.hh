@@ -2,6 +2,17 @@
  * @file
  * Simulation: owns the event queue, the stat registry, the RNG and
  * the startup/run lifecycle for one simulated system.
+ *
+ * Usage:
+ *
+ *   sim::Simulation s;                 // seed defaults to 1
+ *   core::McnSystem sys(s, params);    // components self-register
+ *   s.run(10 * sim::oneMs);            // startup() hooks fire once
+ *   s.dumpStats(std::cout);            // gem5-style text dump
+ *   s.dumpStatsJson(out);              // machine-readable dump
+ *
+ * Many Simulations may coexist in one process; nothing here is
+ * global.
  */
 
 #ifndef MCNSIM_SIM_SIMULATION_HH
@@ -41,8 +52,15 @@ class Simulation
     /** Run for @p delta more ticks. */
     Tick runFor(Tick delta) { return run(curTick() + delta); }
 
-    /** Dump all registered statistics. */
+    /** Dump all registered statistics as text. */
     void dumpStats(std::ostream &os) { statRegistry_.dump(os); }
+
+    /** Dump all registered statistics as one JSON document. */
+    void
+    dumpStatsJson(std::ostream &os)
+    {
+        statRegistry_.dumpJson(os);
+    }
 
     /** Reset all statistics (e.g. after warmup). */
     void resetStats() { statRegistry_.resetAll(); }

@@ -12,10 +12,27 @@
 namespace mcnsim::sim {
 
 void
+StatBase::jsonHeader(json::Writer &w, const char *type) const
+{
+    w.kv("name", name_);
+    w.kv("type", type);
+    w.kv("desc", desc_);
+}
+
+void
 Scalar::print(std::ostream &os, const std::string &prefix) const
 {
     os << std::left << std::setw(48) << (prefix + name()) << " "
        << std::setw(16) << value_ << " # " << desc() << "\n";
+}
+
+void
+Scalar::toJson(json::Writer &w) const
+{
+    w.beginObject();
+    jsonHeader(w, "scalar");
+    w.kv("value", value_);
+    w.endObject();
 }
 
 void
@@ -24,6 +41,17 @@ Average::print(std::ostream &os, const std::string &prefix) const
     os << std::left << std::setw(48) << (prefix + name()) << " "
        << std::setw(16) << mean() << " # " << desc() << " (n="
        << count_ << ")\n";
+}
+
+void
+Average::toJson(json::Writer &w) const
+{
+    w.beginObject();
+    jsonHeader(w, "average");
+    w.kv("count", count_);
+    w.kv("sum", sum_);
+    w.kv("mean", mean());
+    w.endObject();
 }
 
 Histogram::Histogram(std::string name, std::string desc, double min,
@@ -87,6 +115,35 @@ Histogram::print(std::ostream &os, const std::string &prefix) const
 }
 
 void
+Histogram::toJson(json::Writer &w) const
+{
+    w.beginObject();
+    jsonHeader(w, "histogram");
+    w.kv("count", count_);
+    w.kv("sum", sum_);
+    w.kv("mean", mean());
+    w.kv("min", min_);
+    w.kv("max", max_);
+    w.kv("lo", lo_);
+    w.kv("hi", hi_);
+    w.kv("bucket_width", width_);
+    w.kv("underflow", under_);
+    w.kv("overflow", over_);
+    w.key("buckets");
+    w.beginArray();
+    for (auto b : buckets_)
+        w.value(b);
+    w.endArray();
+    w.key("percentiles");
+    w.beginObject();
+    w.kv("p50", percentile(50));
+    w.kv("p90", percentile(90));
+    w.kv("p99", percentile(99));
+    w.endObject();
+    w.endObject();
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
@@ -99,6 +156,19 @@ StatGroup::print(std::ostream &os) const
 {
     for (const auto *s : stats_)
         s->print(os, name_ + ".");
+}
+
+void
+StatGroup::toJson(json::Writer &w) const
+{
+    w.beginObject();
+    w.kv("name", name_);
+    w.key("stats");
+    w.beginArray();
+    for (const auto *s : stats_)
+        s->toJson(w);
+    w.endArray();
+    w.endObject();
 }
 
 void
@@ -115,6 +185,21 @@ StatRegistry::dump(std::ostream &os) const
     for (const auto *g : groups_)
         g->print(os);
     os << "---------- End Simulation Statistics   ----------\n";
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("schema_version", std::uint64_t{1});
+    w.key("groups");
+    w.beginArray();
+    for (const auto *g : groups_)
+        g->toJson(w);
+    w.endArray();
+    w.endObject();
+    os << "\n";
 }
 
 void

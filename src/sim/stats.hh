@@ -2,7 +2,20 @@
  * @file
  * Statistics package, a small cousin of gem5's: named scalar
  * counters, averages, histograms and rate helpers, organised into
- * per-object groups and dumpable as text.
+ * per-object groups and dumpable as text or as JSON.
+ *
+ * Usage:
+ *
+ *   Scalar txBytes{"txBytes", "bytes transmitted"};
+ *   group.add(&txBytes);
+ *   txBytes += pkt.size();
+ *   registry.dump(std::cout);       // gem5-style text
+ *   registry.dumpJson(out);         // machine-readable artifact
+ *
+ * The JSON schema is documented in README.md §Observability: one
+ * top-level object with "schema_version" and "groups", each group
+ * carrying its stats as typed objects ("scalar" / "average" /
+ * "histogram" including raw buckets and percentiles).
  */
 
 #ifndef MCNSIM_SIM_STATS_HH
@@ -15,11 +28,13 @@
 #include <string>
 #include <vector>
 
+#include "sim/json.hh"
 #include "sim/types.hh"
 
 namespace mcnsim::sim {
 
-/** Base for all statistics: a name, a description, and text output. */
+/** Base for all statistics: a name, a description, and text/JSON
+ *  output. */
 class StatBase
 {
   public:
@@ -36,8 +51,16 @@ class StatBase
     virtual void print(std::ostream &os,
                        const std::string &prefix) const = 0;
 
+    /** Write this stat as one JSON object ({"name":..., "type":...,
+     *  ...}). The writer must be positioned where a value fits. */
+    virtual void toJson(json::Writer &w) const = 0;
+
     /** Reset to the post-construction state. */
     virtual void reset() = 0;
+
+  protected:
+    /** Shared "name"/"desc"/"type" members of the JSON object. */
+    void jsonHeader(json::Writer &w, const char *type) const;
 
   private:
     std::string name_;
@@ -58,6 +81,7 @@ class Scalar : public StatBase
 
     void print(std::ostream &os,
                const std::string &prefix) const override;
+    void toJson(json::Writer &w) const override;
     void reset() override { value_ = 0.0; }
 
   private:
@@ -77,6 +101,7 @@ class Average : public StatBase
 
     void print(std::ostream &os,
                const std::string &prefix) const override;
+    void toJson(json::Writer &w) const override;
     void reset() override { sum_ = 0.0; count_ = 0; }
 
   private:
@@ -106,7 +131,11 @@ class Histogram : public StatBase
 
     void print(std::ostream &os,
                const std::string &prefix) const override;
+    void toJson(json::Writer &w) const override;
     void reset() override;
+
+    std::uint64_t underflow() const { return under_; }
+    std::uint64_t overflow() const { return over_; }
 
   private:
     double lo_, hi_, width_;
@@ -128,6 +157,10 @@ class StatGroup
     void add(StatBase *stat) { stats_.push_back(stat); }
 
     void print(std::ostream &os) const;
+
+    /** Write {"name":..., "stats":[...]} for this group. */
+    void toJson(json::Writer &w) const;
+
     void reset();
 
     const std::string &name() const { return name_; }
@@ -147,6 +180,11 @@ class StatRegistry
   public:
     void add(StatGroup *group) { groups_.push_back(group); }
     void dump(std::ostream &os) const;
+
+    /** Machine-readable dump: one JSON document with every group
+     *  and stat (schema in README.md §Observability). */
+    void dumpJson(std::ostream &os) const;
+
     void resetAll();
 
   private:

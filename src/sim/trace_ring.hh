@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Flight-recorder trace ring: a bounded, process-wide ring of the
+ * most recent tick-stamped debug-trace events. Trace::emit feeds it
+ * whenever a debug flag is enabled, and panic()/fatal() dump it to
+ * stderr so a failing test or bench dies *with context* — the last
+ * N things the simulator did, not just a message.
+ *
+ * Usage:
+ *
+ *   sim::Trace::setFlag("MCNDriver", true);   // start recording
+ *   sim::TraceRing::instance().setCapacity(512);
+ *   ... run the simulation ...
+ *   sim::TraceRing::instance().dump(std::cerr);   // oldest first
+ *
+ * The ring is deliberately global (like the debug-flag set): a
+ * crash dump must see events from every Simulation in the process.
+ * Recording costs nothing when no debug flag is enabled.
+ */
+
+#ifndef MCNSIM_SIM_TRACE_RING_HH
+#define MCNSIM_SIM_TRACE_RING_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mcnsim::sim {
+
+/** One recorded trace event. */
+struct TraceRecord
+{
+    Tick when = 0;
+    std::string flag;
+    std::string msg;
+};
+
+/**
+ * Bounded ring buffer of TraceRecords. Oldest entries are
+ * overwritten once the capacity is reached; dump() and snapshot()
+ * return the surviving entries oldest-first.
+ */
+class TraceRing
+{
+  public:
+    static constexpr std::size_t defaultCapacity = 256;
+
+    /** The process-wide ring Trace::emit records into. */
+    static TraceRing &instance();
+
+    explicit TraceRing(std::size_t capacity = defaultCapacity);
+
+    /** Resize the ring; discards all recorded entries. */
+    void setCapacity(std::size_t n);
+    std::size_t capacity() const { return capacity_; }
+
+    /** Append one event, overwriting the oldest when full. */
+    void record(Tick when, std::string flag, std::string msg);
+
+    /** Entries currently held (<= capacity). */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Total events ever recorded (includes overwritten ones). */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Surviving entries, oldest first. */
+    std::vector<TraceRecord> snapshot() const;
+
+    /** Human-readable dump, oldest first; no-op when empty. */
+    void dump(std::ostream &os) const;
+
+    /** Drop all entries (capacity unchanged). */
+    void clear();
+
+  private:
+    std::size_t capacity_;
+    std::size_t head_ = 0; ///< next slot to write once full
+    std::uint64_t recorded_ = 0;
+    std::vector<TraceRecord> entries_;
+};
+
+} // namespace mcnsim::sim
+
+#endif // MCNSIM_SIM_TRACE_RING_HH

@@ -7,9 +7,24 @@
 
 #include <sstream>
 
+#include "sim/json.hh"
 #include "sim/stats.hh"
 
 using namespace mcnsim::sim;
+
+namespace {
+
+/** Serialize one stat and parse the result back. */
+json::Value
+roundTrip(const StatBase &s)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    s.toJson(w);
+    return json::parse(os.str());
+}
+
+} // namespace
 
 TEST(Scalar, AccumulatesAndResets)
 {
@@ -106,6 +121,113 @@ TEST(StatRegistry, DumpAndResetAll)
     reg.resetAll();
     EXPECT_DOUBLE_EQ(s1.value(), 0.0);
     EXPECT_DOUBLE_EQ(s2.value(), 0.0);
+}
+
+TEST(Histogram, PercentileEdgeCases)
+{
+    // Empty histogram: every percentile is 0.
+    Histogram empty("h", "test", 0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(99), 0.0);
+
+    // Single bucket: every sample lands at its midpoint.
+    Histogram one("h", "test", 0.0, 10.0, 1);
+    one.sample(2.0);
+    one.sample(9.0);
+    EXPECT_DOUBLE_EQ(one.percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(one.percentile(99), 5.0);
+
+    // All samples below the range: percentile clamps to lo.
+    Histogram under("h", "test", 10.0, 20.0, 5);
+    under.sample(-5.0);
+    under.sample(0.0);
+    EXPECT_EQ(under.underflow(), 2u);
+    EXPECT_DOUBLE_EQ(under.percentile(50), 10.0);
+
+    // All samples above the range: percentile reports the exact max.
+    Histogram over("h", "test", 10.0, 20.0, 5);
+    over.sample(100.0);
+    over.sample(250.0);
+    EXPECT_EQ(over.overflow(), 2u);
+    EXPECT_DOUBLE_EQ(over.percentile(50), 250.0);
+}
+
+TEST(JsonStats, ScalarRoundTrips)
+{
+    Scalar s("txBytes", "transmitted bytes");
+    s += 16.5;
+    auto v = roundTrip(s);
+    EXPECT_EQ(v["name"].asString(), "txBytes");
+    EXPECT_EQ(v["type"].asString(), "scalar");
+    EXPECT_EQ(v["desc"].asString(), "transmitted bytes");
+    EXPECT_DOUBLE_EQ(v["value"].asNumber(), 16.5);
+}
+
+TEST(JsonStats, AverageRoundTrips)
+{
+    Average a("lat", "latency");
+    a.sample(10);
+    a.sample(30);
+    auto v = roundTrip(a);
+    EXPECT_EQ(v["type"].asString(), "average");
+    EXPECT_DOUBLE_EQ(v["count"].asNumber(), 2.0);
+    EXPECT_DOUBLE_EQ(v["sum"].asNumber(), 40.0);
+    EXPECT_DOUBLE_EQ(v["mean"].asNumber(), 20.0);
+}
+
+TEST(JsonStats, HistogramRoundTrips)
+{
+    Histogram h("h", "test", 0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i);
+    h.sample(-1.0);
+    h.sample(500.0);
+
+    auto v = roundTrip(h);
+    EXPECT_EQ(v["type"].asString(), "histogram");
+    EXPECT_DOUBLE_EQ(v["count"].asNumber(), 102.0);
+    EXPECT_DOUBLE_EQ(v["min"].asNumber(), -1.0);
+    EXPECT_DOUBLE_EQ(v["max"].asNumber(), 500.0);
+    EXPECT_DOUBLE_EQ(v["lo"].asNumber(), 0.0);
+    EXPECT_DOUBLE_EQ(v["hi"].asNumber(), 100.0);
+    EXPECT_DOUBLE_EQ(v["underflow"].asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(v["overflow"].asNumber(), 1.0);
+    ASSERT_EQ(v["buckets"].size(), 10u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(v["buckets"][i].asNumber(), 10.0);
+    EXPECT_DOUBLE_EQ(v["percentiles"]["p50"].asNumber(),
+                     h.percentile(50));
+    EXPECT_DOUBLE_EQ(v["percentiles"]["p99"].asNumber(),
+                     h.percentile(99));
+}
+
+TEST(JsonStats, RegistryDumpJsonParses)
+{
+    StatRegistry reg;
+    StatGroup g1("node0.nic"), g2("node1.nic");
+    Scalar s1("tx", "tx bytes");
+    Average a1("lat", "latency");
+    Histogram h1("q", "queue depth", 0.0, 16.0, 4);
+    g1.add(&s1);
+    g1.add(&a1);
+    g2.add(&h1);
+    reg.add(&g1);
+    reg.add(&g2);
+    s1 += 99;
+    a1.sample(7);
+    h1.sample(3);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    auto v = json::parse(os.str());
+    EXPECT_DOUBLE_EQ(v["schema_version"].asNumber(), 1.0);
+    ASSERT_EQ(v["groups"].size(), 2u);
+    EXPECT_EQ(v["groups"][0]["name"].asString(), "node0.nic");
+    EXPECT_EQ(v["groups"][0]["stats"].size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        v["groups"][0]["stats"][0]["value"].asNumber(), 99.0);
+    EXPECT_EQ(
+        v["groups"][1]["stats"][0]["type"].asString(), "histogram");
 }
 
 TEST(RateHelpers, GbpsAndGBps)

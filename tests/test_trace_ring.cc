@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the flight-recorder trace ring: bounded capacity,
+ * wraparound ordering, Trace::emit integration, and the dump that
+ * panic()/fatal() trigger.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/trace_ring.hh"
+
+using namespace mcnsim::sim;
+
+namespace {
+
+/** Leave the global tracing state clean between tests. */
+struct TraceStateGuard
+{
+    TraceStateGuard()
+    {
+        TraceRing::instance().setCapacity(TraceRing::defaultCapacity);
+        Trace::setEcho(false);
+    }
+    ~TraceStateGuard()
+    {
+        TraceRing::instance().setCapacity(TraceRing::defaultCapacity);
+        Trace::setFlag("TestFlag", false);
+        Trace::setEcho(true);
+    }
+};
+
+} // namespace
+
+TEST(TraceRing, RecordsUpToCapacity)
+{
+    TraceRing ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    EXPECT_EQ(ring.size(), 0u);
+    ring.record(10, "A", "first");
+    ring.record(20, "A", "second");
+    EXPECT_EQ(ring.size(), 2u);
+    EXPECT_EQ(ring.recorded(), 2u);
+
+    auto snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].when, 10u);
+    EXPECT_EQ(snap[0].msg, "first");
+    EXPECT_EQ(snap[1].when, 20u);
+}
+
+TEST(TraceRing, WrapsAroundOldestFirst)
+{
+    TraceRing ring(3);
+    for (Tick t = 1; t <= 7; ++t)
+        ring.record(t * 100, "F", "event " + std::to_string(t));
+
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.recorded(), 7u);
+
+    // Only the newest three survive, oldest first.
+    auto snap = ring.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].msg, "event 5");
+    EXPECT_EQ(snap[1].msg, "event 6");
+    EXPECT_EQ(snap[2].msg, "event 7");
+}
+
+TEST(TraceRing, SetCapacityClearsAndClearKeepsCapacity)
+{
+    TraceRing ring(2);
+    ring.record(1, "F", "x");
+    ring.setCapacity(5);
+    EXPECT_EQ(ring.capacity(), 5u);
+    EXPECT_EQ(ring.size(), 0u);
+
+    ring.record(2, "F", "y");
+    ring.clear();
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.capacity(), 5u);
+}
+
+TEST(TraceRing, DumpListsEntriesAndIsEmptySilent)
+{
+    TraceRing ring(4);
+    std::ostringstream empty;
+    ring.dump(empty);
+    EXPECT_TRUE(empty.str().empty());
+
+    ring.record(1234, "NIC", "xmit 98B");
+    std::ostringstream os;
+    ring.dump(os);
+    EXPECT_NE(os.str().find("flight recorder"), std::string::npos);
+    EXPECT_NE(os.str().find("NIC"), std::string::npos);
+    EXPECT_NE(os.str().find("xmit 98B"), std::string::npos);
+}
+
+TEST(TraceRing, EmitFeedsGlobalRing)
+{
+    TraceStateGuard guard;
+    auto &ring = TraceRing::instance();
+    std::uint64_t before = ring.recorded();
+
+    Trace::emit(42, "TestFlag", "hello ring");
+    EXPECT_EQ(ring.recorded(), before + 1);
+    auto snap = ring.snapshot();
+    ASSERT_FALSE(snap.empty());
+    EXPECT_EQ(snap.back().when, 42u);
+    EXPECT_EQ(snap.back().flag, "TestFlag");
+    EXPECT_EQ(snap.back().msg, "hello ring");
+}
+
+TEST(TraceRing, DprintfRecordsOnlyWhenFlagEnabled)
+{
+    TraceStateGuard guard;
+    auto &ring = TraceRing::instance();
+
+    Trace::setFlag("TestFlag", false);
+    std::uint64_t before = ring.recorded();
+    dprintf(1, "TestFlag", "must not record");
+    EXPECT_EQ(ring.recorded(), before);
+
+    Trace::setFlag("TestFlag", true);
+    EXPECT_TRUE(Trace::anyActive());
+    dprintf(2, "TestFlag", "bytes=", 123);
+    EXPECT_EQ(ring.recorded(), before + 1);
+    EXPECT_EQ(ring.snapshot().back().msg, "bytes=123");
+}
+
+TEST(TraceRing, PanicDumpsFlightRecorder)
+{
+    TraceStateGuard guard;
+    Trace::setFlag("TestFlag", true);
+    TraceRing::instance().clear();
+    dprintf(7, "TestFlag", "last thing before the crash");
+
+    testing::internal::CaptureStderr();
+    EXPECT_THROW(panic("boom"), PanicError);
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("panic() raised"), std::string::npos);
+    EXPECT_NE(err.find("flight recorder"), std::string::npos);
+    EXPECT_NE(err.find("last thing before the crash"),
+              std::string::npos);
+}
+
+TEST(TraceRing, FatalWithEmptyRingDumpsNothing)
+{
+    TraceStateGuard guard;
+    TraceRing::instance().clear();
+
+    testing::internal::CaptureStderr();
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("flight recorder"), std::string::npos);
+}

@@ -15,9 +15,12 @@
  *   --level=0..5                   (Table I optimisation level)
  *   --duration-ms=N                (iperf window)
  *   --stats                        (dump the full stats registry)
+ *   --stats-json=PATH              (stats registry as JSON; - = stdout)
+ *   --trace-flags=A,B              (enable debug flags, like MCNSIM_DEBUG)
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <cstring>
 #include <map>
@@ -79,6 +82,28 @@ parse(int argc, char **argv)
             a.flags[s.substr(2, eq - 2)] = s.substr(eq + 1);
     }
     return a;
+}
+
+/** Honour --stats / --stats-json after a run. */
+int
+dumpRequestedStats(const Args &a, sim::Simulation &s)
+{
+    if (a.has("stats"))
+        s.dumpStats(std::cout);
+    if (!a.has("stats-json"))
+        return 0;
+    std::string path = a.get("stats-json", "-");
+    if (path == "-" || path == "1") {
+        s.dumpStatsJson(std::cout);
+        return 0;
+    }
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    s.dumpStatsJson(f);
+    return f.good() ? 0 : 1;
 }
 
 /** Build the system the flags describe. */
@@ -145,9 +170,7 @@ cmdIperf(const Args &a)
                 r.gbps, r.connections,
                 static_cast<unsigned long long>(r.bytes),
                 sim::ticksToSeconds(dur) * 1e3);
-    if (a.has("stats"))
-        s.dumpStats(std::cout);
-    return 0;
+    return dumpRequestedStats(a, s);
 }
 
 int
@@ -170,7 +193,7 @@ cmdPing(const Args &a)
                 size, sim::ticksToUs(pts[0].avgRtt),
                 sim::ticksToUs(pts[0].minRtt),
                 sim::ticksToUs(pts[0].maxRtt), count, pts[0].lost);
-    return 0;
+    return dumpRequestedStats(a, s);
 }
 
 int
@@ -193,9 +216,9 @@ cmdWorkload(const Args &a)
                 rep.completed ? "completed" : "DID NOT FINISH",
                 sim::ticksToSeconds(rep.makespan) * 1e3,
                 static_cast<double>(rep.mpiBytes) / 1e6);
-    if (a.has("stats"))
-        s.dumpStats(std::cout);
-    return rep.completed ? 0 : 1;
+    if (!rep.completed)
+        return 1;
+    return dumpRequestedStats(a, s);
 }
 
 int
@@ -227,7 +250,9 @@ cmdMapReduce(const Args &a)
                 sim::ticksToSeconds(rep.mapPhase) * 1e3,
                 sim::ticksToSeconds(rep.shufflePhase) * 1e3,
                 static_cast<double>(rep.shuffledBytes) / 1e6);
-    return rep.completed ? 0 : 1;
+    if (!rep.completed)
+        return 1;
+    return dumpRequestedStats(a, s);
 }
 
 int
@@ -265,7 +290,10 @@ usage()
         "commands: iperf | ping | workload | mapreduce | describe\n"
         "flags: --system=mcn|cluster|scaleup --dimms=N --nodes=N\n"
         "       --cores=N --level=0..5 --duration-ms=N --size=N\n"
-        "       --count=N --name=<workload|job> --iters=N --stats\n");
+        "       --count=N --name=<workload|job> --iters=N --stats\n"
+        "       --stats-json=PATH|-  --trace-flags=FLAG1,FLAG2\n"
+        "trace flags (also via MCNSIM_DEBUG): Event MCNDriver\n"
+        "       MCNDma NIC Switch TCP DRAM IRQ ALL\n");
 }
 
 } // namespace
@@ -274,6 +302,19 @@ int
 main(int argc, char **argv)
 {
     Args a = parse(argc, argv);
+    if (a.has("trace-flags")) {
+        std::string flags = a.get("trace-flags", "");
+        std::size_t pos = 0;
+        while (pos < flags.size()) {
+            std::size_t comma = flags.find(',', pos);
+            if (comma == std::string::npos)
+                comma = flags.size();
+            if (comma > pos)
+                sim::Trace::setFlag(
+                    flags.substr(pos, comma - pos), true);
+            pos = comma + 1;
+        }
+    }
     try {
         if (a.command == "iperf")
             return cmdIperf(a);

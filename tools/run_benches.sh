@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Regenerate and validate the machine-readable bench artifacts.
+#
+# Runs every bench binary with --json, writing BENCH_<name>.json
+# into --out-dir (default: repo root), then validates that each
+# artifact parses and carries the required schema keys. Exits
+# nonzero if any bench fails or any artifact is invalid.
+#
+# Usage: tools/run_benches.sh [--quick|--full]
+#                             [--build-dir DIR] [--out-dir DIR]
+#                             [--only NAME]
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MODE=--quick
+BUILD_DIR="$REPO_ROOT/build"
+OUT_DIR="$REPO_ROOT"
+ONLY=""
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --quick|--full) MODE="$1" ;;
+        --build-dir) BUILD_DIR="$2"; shift ;;
+        --out-dir) OUT_DIR="$2"; shift ;;
+        --only) ONLY="$2"; shift ;;
+        -h|--help)
+            sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0 ;;
+        *) echo "unknown option: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+BENCHES="fig8a_iperf fig8bc_ping table3_breakdown fig9_bandwidth \
+fig10_energy fig11_npb ablation micro"
+
+validate() {
+    python3 - "$1" <<'EOF'
+import json, sys
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        doc = json.load(f)
+except Exception as e:
+    sys.exit(f"{path}: does not parse: {e}")
+required = ["bench", "schema_version", "mode", "config",
+            "metrics", "paper_targets", "wall_seconds"]
+missing = [k for k in required if k not in doc]
+if missing:
+    sys.exit(f"{path}: missing required keys: {missing}")
+if doc["schema_version"] != 1:
+    sys.exit(f"{path}: unexpected schema_version "
+             f"{doc['schema_version']}")
+if not doc["metrics"]:
+    sys.exit(f"{path}: metrics object is empty")
+EOF
+}
+
+failures=0
+ran=0
+for b in $BENCHES; do
+    if [ -n "$ONLY" ] && [ "$b" != "$ONLY" ]; then
+        continue
+    fi
+    bin="$BUILD_DIR/bench/bench_$b"
+    out="$OUT_DIR/BENCH_$b.json"
+    if [ ! -x "$bin" ]; then
+        echo "FAIL $b: $bin not built (cmake --build $BUILD_DIR)" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    echo "== bench_$b $MODE =="
+    if ! "$bin" "$MODE" --json "$out"; then
+        echo "FAIL $b: bench exited nonzero" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    if [ ! -f "$out" ]; then
+        echo "FAIL $b: $out was not written" >&2
+        failures=$((failures + 1))
+        continue
+    fi
+    if ! validate "$out"; then
+        failures=$((failures + 1))
+        continue
+    fi
+    ran=$((ran + 1))
+done
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "$failures bench(es) failed; $ran ok" >&2
+    exit 1
+fi
+echo "all $ran benches ok; artifacts in $OUT_DIR/BENCH_*.json"
