@@ -54,6 +54,45 @@ BM_Checksum(benchmark::State &state)
 BENCHMARK(BM_Checksum)->Arg(64)->Arg(1500)->Arg(9000)->Arg(65536);
 
 static void
+BM_ManagedEventScheduleRun(benchmark::State &state)
+{
+    // Like BM_EventQueueScheduleRun, but half the events are
+    // descheduled before the drain, exercising the lazy-deletion
+    // stale path and the pooled-event recycle-on-deschedule path.
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    std::vector<sim::Event *> cancel;
+    cancel.reserve(32);
+    for (auto _ : state) {
+        cancel.clear();
+        for (int i = 0; i < 64; ++i) {
+            auto *ev = q.schedule([&] { sink++; },
+                                  q.curTick() + 100 + i, "bench.ev");
+            if (i & 1)
+                cancel.push_back(ev);
+        }
+        for (auto *ev : cancel)
+            q.deschedule(ev);
+        q.run();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ManagedEventScheduleRun);
+
+static void
+BM_PacketClone(benchmark::State &state)
+{
+    auto pkt = net::Packet::makePattern(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        auto c = pkt->clone();
+        benchmark::DoNotOptimize(c);
+    }
+}
+// Copy-on-write: all sizes should cost the same (no byte copies).
+BENCHMARK(BM_PacketClone)->Arg(64)->Arg(1500)->Arg(9000);
+
+static void
 BM_MessageRingRoundTrip(benchmark::State &state)
 {
     mcn::MessageRing ring(48 * 1024);
@@ -127,10 +166,23 @@ class CaptureReporter : public benchmark::ConsoleReporter
     void
     ReportRuns(const std::vector<Run> &reports) override
     {
-        for (const auto &run : reports)
-            if (!run.error_occurred)
-                runs.emplace_back(run.benchmark_name(),
-                                  run.GetAdjustedRealTime());
+        for (const auto &run : reports) {
+            if (run.error_occurred ||
+                run.run_type == Run::RT_Aggregate)
+                continue;
+            // Keep the fastest repetition per benchmark: on a shared
+            // machine the minimum is the least-contended sample, so
+            // the artifact tracks the code, not the neighbors.
+            auto it = std::find_if(
+                runs.begin(), runs.end(), [&](const auto &r) {
+                    return r.first == run.benchmark_name();
+                });
+            double t = run.GetAdjustedRealTime();
+            if (it == runs.end())
+                runs.emplace_back(run.benchmark_name(), t);
+            else
+                it->second = std::min(it->second, t);
+        }
         ConsoleReporter::ReportRuns(reports);
     }
 
@@ -170,6 +222,16 @@ main(int argc, char **argv)
             continue;
         bench_argv.push_back(argv[i]);
     }
+    // Default to a few repetitions (artifact keeps the fastest; see
+    // CaptureReporter) unless the caller picked a count themselves.
+    static char default_reps[] = "--benchmark_repetitions=5";
+    bool has_reps = false;
+    for (char *a : bench_argv)
+        if (std::string(a).rfind("--benchmark_repetitions", 0) == 0)
+            has_reps = true;
+    if (!has_reps)
+        bench_argv.push_back(default_reps);
+
     int bench_argc = static_cast<int>(bench_argv.size());
     benchmark::Initialize(&bench_argc, bench_argv.data());
     if (benchmark::ReportUnrecognizedArguments(bench_argc,

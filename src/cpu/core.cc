@@ -100,7 +100,7 @@ Core::startNext()
             if (!running_ && !queue_.empty())
                 startNext();
         },
-        currentEndsAt_, name() + ".slot");
+        currentEndsAt_, "core.slot");
 }
 
 } // namespace mcnsim::cpu

@@ -56,7 +56,7 @@ AlertSignal::deliver()
                 pending_.erase(pending_.begin());
             deliver();
         },
-        identifyLatency_, name() + ".identify",
+        identifyLatency_, "alert.identify",
         sim::EventPriority::HardwareIrq);
 }
 

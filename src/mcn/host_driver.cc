@@ -319,7 +319,7 @@ McnHostDriver::xmitToDimm(std::size_t idx, net::PacketPtr pkt)
         pkt->trace.stamp(net::Stage::DriverTx, now);
         Binding &bb = *dimms_[idx];
         bool ok = bb.dimm->iface().sram().rx().enqueue(
-            pkt->data(), pkt->size(),
+            pkt->cdata(), pkt->size(),
             std::make_shared<net::LatencyTrace>(pkt->trace));
         MCNSIM_ASSERT(ok, "RX ring enqueue failed after reserve");
         bb.rxReserved -= need;
@@ -349,7 +349,7 @@ McnHostDriver::relayToDimm(std::size_t idx, net::PacketPtr pkt)
     if (xmitToDimm(idx, pkt) == os::TxResult::Busy) {
         eventQueue().scheduleIn(
             [this, idx, pkt] { relayToDimm(idx, pkt); },
-            5 * sim::oneUs, name() + ".f3retry");
+            5 * sim::oneUs, "mcn.f3retry");
     }
 }
 

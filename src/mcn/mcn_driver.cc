@@ -64,7 +64,7 @@ McnDriver::xmit(net::PacketPtr pkt)
     auto finish = [this, pkt, need](sim::Tick now) {
         pkt->trace.stamp(net::Stage::DriverTx, now);
         bool ok = iface_.sram().tx().enqueue(
-            pkt->data(), pkt->size(),
+            pkt->cdata(), pkt->size(),
             std::make_shared<net::LatencyTrace>(pkt->trace));
         MCNSIM_ASSERT(ok, "TX ring enqueue failed after reserve");
         txReserved_ -= need;

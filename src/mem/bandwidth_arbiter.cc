@@ -160,7 +160,7 @@ BandwidthArbiter::replan()
             advance();
             replan();
         },
-        delta, name() + ".complete", sim::EventPriority::ClockTick);
+        delta, "bw.complete", sim::EventPriority::ClockTick);
 }
 
 } // namespace mcnsim::mem

@@ -125,7 +125,7 @@ MemController::serviceMmio(MemRequest &req, const MmioRegion &r)
             if (cb)
                 cb(done_at);
         },
-        done_at, name() + ".mmio");
+        done_at, "mem.mmio");
 }
 
 void
@@ -145,7 +145,7 @@ MemController::schedule()
             schedEvent_ = nullptr;
             runScheduler();
         },
-        0, name() + ".sched", sim::EventPriority::ClockTick);
+        0, "mem.sched", sim::EventPriority::ClockTick);
 }
 
 void
@@ -160,7 +160,7 @@ MemController::runScheduler()
             schedEvent_ = nullptr;
             runScheduler();
         },
-        next, name() + ".sched", sim::EventPriority::ClockTick);
+        next, "mem.sched", sim::EventPriority::ClockTick);
 }
 
 Tick
@@ -267,7 +267,7 @@ MemController::issueTo(Pending &p, bool is_write)
             auto cb = std::move(p.req.onComplete);
             eventQueue().schedule([cb = std::move(cb), done_at] {
                 cb(done_at);
-            }, done_at, name() + ".readDone");
+            }, done_at, "mem.readDone");
         }
     }
     return col_at;

@@ -14,7 +14,11 @@
 
 namespace mcnsim::net {
 
-/** One's-complement sum over @p len bytes, not yet folded. */
+/**
+ * One's-complement sum over @p len bytes, not yet folded. The value
+ * is only meaningful modulo checksumFold(): chain calls by passing
+ * the previous result as @p seed, then fold once at the end.
+ */
 std::uint32_t checksumPartial(const std::uint8_t *data,
                               std::size_t len,
                               std::uint32_t seed = 0);

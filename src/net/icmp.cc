@@ -35,7 +35,7 @@ IcmpHeader::pull(Packet &pkt, bool verify_checksum)
 {
     if (pkt.size() < size)
         return std::nullopt;
-    const std::uint8_t *p = pkt.data();
+    const std::uint8_t *p = pkt.cdata();
     bool has_cksum = p[2] != 0 || p[3] != 0;
     if (verify_checksum && has_cksum &&
         checksum(p, pkt.size()) != 0)
@@ -121,13 +121,20 @@ IcmpLayer::ping(Ipv4Addr dst, std::size_t payload_bytes,
 
     sim::Tick deadline = curTick() + timeout;
     while (!pending_[id].done && curTick() < deadline) {
-        // Wake either on a reply or at the deadline.
+        // Wake either on a reply or at the deadline. `fired` tells
+        // us whether the wake event is still pending: its Event* is
+        // dead (recycled into the pool) once it has run, so it must
+        // not be inspected after the fact.
+        bool fired = false;
         auto *wake = eventQueue().scheduleIn(
-            [this] { replyCv_.notifyAll(); },
+            [this, &fired] {
+                fired = true;
+                replyCv_.notifyAll();
+            },
             deadline > curTick() ? deadline - curTick() : 1,
-            name() + ".pingTimeout");
+            "icmp.pingTimeout");
         co_await replyCv_.wait();
-        if (wake->scheduled())
+        if (!fired)
             eventQueue().deschedule(wake);
     }
 

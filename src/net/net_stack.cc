@@ -223,8 +223,7 @@ NetStack::qdiscXmit(os::NetDevice *dev, PacketPtr pkt)
     if (!q.armed) {
         q.armed = true;
         eventQueue().scheduleIn([this, dev] { pumpTxQueue(dev); },
-                                txRequeueDelay,
-                                name() + ".qdisc");
+                                txRequeueDelay, "netstack.qdisc");
     }
 }
 
@@ -237,8 +236,7 @@ NetStack::pumpTxQueue(os::NetDevice *dev)
         q.parked.pop_front();
     if (!q.parked.empty()) {
         eventQueue().scheduleIn([this, dev] { pumpTxQueue(dev); },
-                                txRequeueDelay,
-                                name() + ".qdisc");
+                                txRequeueDelay, "netstack.qdisc");
     } else {
         q.armed = false;
     }

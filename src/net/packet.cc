@@ -36,22 +36,37 @@ to_string(Stage s)
 PacketPtr
 Packet::make(std::vector<std::uint8_t> payload, std::size_t headroom)
 {
-    std::vector<std::uint8_t> buf(headroom + payload.size());
+    auto buf = std::make_shared<Buf>(headroom + payload.size());
     if (!payload.empty())
-        std::memcpy(buf.data() + headroom, payload.data(),
+        std::memcpy(buf->data() + headroom, payload.data(),
                     payload.size());
-    return PacketPtr(new Packet(std::move(buf), headroom));
+    std::size_t tail = buf->size();
+    return PacketPtr(new Packet(std::move(buf), headroom, tail));
 }
 
 PacketPtr
 Packet::makePattern(std::size_t n, std::uint8_t seed,
                     std::size_t headroom)
 {
-    std::vector<std::uint8_t> buf(headroom + n);
+    auto buf = std::make_shared<Buf>(headroom + n);
     for (std::size_t i = 0; i < n; ++i)
-        buf[headroom + i] =
+        (*buf)[headroom + i] =
             static_cast<std::uint8_t>(seed + (i & 0xff));
-    return PacketPtr(new Packet(std::move(buf), headroom));
+    std::size_t tail = buf->size();
+    return PacketPtr(new Packet(std::move(buf), headroom, tail));
+}
+
+void
+Packet::unshare(std::size_t headroom, std::size_t tailroom)
+{
+    std::size_t n = size();
+    auto fresh = std::make_shared<Buf>(headroom + n + tailroom);
+    if (n)
+        std::memcpy(fresh->data() + headroom, buf_->data() + head_,
+                    n);
+    buf_ = std::move(fresh);
+    head_ = headroom;
+    tail_ = headroom + n;
 }
 
 std::uint8_t *
@@ -59,14 +74,13 @@ Packet::push(std::size_t n)
 {
     if (head_ < n) {
         // Grow headroom; rare if defaultHeadroom is sized right.
-        std::size_t extra = n - head_ + defaultHeadroom;
-        std::vector<std::uint8_t> bigger(buf_.size() + extra);
-        std::memcpy(bigger.data() + extra, buf_.data(), buf_.size());
-        buf_ = std::move(bigger);
-        head_ += extra;
+        // (Also covers the shared case: the copy detaches.)
+        unshare(n + defaultHeadroom, 0);
+    } else if (buf_.use_count() > 1) {
+        unshare(head_, 0); // copy-on-write, headroom preserved
     }
     head_ -= n;
-    return buf_.data() + head_;
+    return buf_->data() + head_;
 }
 
 void
@@ -79,22 +93,26 @@ Packet::pull(std::size_t n)
 std::uint8_t *
 Packet::put(std::size_t n)
 {
-    std::size_t old = buf_.size();
-    buf_.resize(old + n);
-    return buf_.data() + old;
+    if (buf_.use_count() > 1)
+        unshare(head_, n); // copy-on-write with room for the tail
+    else if (tail_ + n > buf_->size())
+        buf_->resize(tail_ + n);
+    std::uint8_t *p = buf_->data() + tail_;
+    tail_ += n;
+    return p;
 }
 
 void
 Packet::trim(std::size_t n)
 {
     MCNSIM_ASSERT(n <= size(), "trim growing packet");
-    buf_.resize(head_ + n);
+    tail_ = head_ + n;
 }
 
 PacketPtr
 Packet::clone() const
 {
-    auto copy = PacketPtr(new Packet(buf_, head_));
+    auto copy = PacketPtr(new Packet(buf_, head_, tail_));
     copy->trace = trace;
     copy->srcNode = srcNode;
     copy->dstNode = dstNode;
@@ -105,7 +123,7 @@ Packet::clone() const
 std::vector<std::uint8_t>
 Packet::bytes() const
 {
-    return {data(), data() + size()};
+    return {cdata(), cdata() + size()};
 }
 
 } // namespace mcnsim::net

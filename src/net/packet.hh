@@ -4,6 +4,14 @@
  * headers are pushed/pulled at the front exactly as the Linux stack
  * does -- plus simulation metadata: a latency trace used to produce
  * the paper's Table III breakdown, and bookkeeping for TSO.
+ *
+ * Buffer ownership (see DESIGN.md "Hot paths & buffer ownership"):
+ * the byte buffer is a shared, refcounted block with copy-on-write
+ * semantics. clone() shares the block and is O(1); so are pull() and
+ * trim(), which only move the [head, tail) view. The first mutation
+ * of a shared packet -- push(), put(), or the non-const data() --
+ * copies the live bytes into a private block. Metadata (the latency
+ * trace, node ids, TSO state) is always per-clone, by value.
  */
 
 #ifndef MCNSIM_NET_PACKET_HH
@@ -36,10 +44,19 @@ enum class Stage : std::uint8_t {
 
 const char *to_string(Stage s);
 
-/** Per-packet tick stamps, one per stage (0 = never reached). */
+/**
+ * Per-packet tick stamps, one per stage. An unstamped stage holds
+ * the sentinel `unreached` (sim::maxTick), so a stamp at tick 0 --
+ * perfectly legal, simulations start there -- is still
+ * distinguishable from "never reached".
+ */
 class LatencyTrace
 {
   public:
+    static constexpr Tick unreached = sim::maxTick;
+
+    LatencyTrace() { at_.fill(unreached); }
+
     void
     stamp(Stage s, Tick t)
     {
@@ -55,19 +72,21 @@ class LatencyTrace
     bool
     reached(Stage s) const
     {
-        return at(s) != 0;
+        return at(s) != unreached;
     }
 
     /** Delta between two stages (0 if either missing). */
     Tick
     span(Stage from, Stage to) const
     {
+        if (!reached(from) || !reached(to))
+            return 0;
         Tick a = at(from), b = at(to);
-        return (a && b && b >= a) ? b - a : 0;
+        return b >= a ? b - a : 0;
     }
 
   private:
-    std::array<Tick, static_cast<std::size_t>(Stage::kCount)> at_{};
+    std::array<Tick, static_cast<std::size_t>(Stage::kCount)> at_;
 };
 
 class Packet;
@@ -92,24 +111,52 @@ class Packet
                                      defaultHeadroom);
 
     /** Current bytes (headers pushed so far + payload). */
-    const std::uint8_t *data() const { return buf_.data() + head_; }
-    std::uint8_t *data() { return buf_.data() + head_; }
-    std::size_t size() const { return buf_.size() - head_; }
+    const std::uint8_t *data() const { return buf_->data() + head_; }
+
+    /**
+     * Mutable view. Triggers copy-on-write when the buffer is shared
+     * with a clone; use cdata() for read-only access on a non-const
+     * packet.
+     */
+    std::uint8_t *
+    data()
+    {
+        if (buf_.use_count() > 1)
+            unshare(head_, 0);
+        return buf_->data() + head_;
+    }
+
+    /** Read-only view that never triggers a copy. */
+    const std::uint8_t *cdata() const { return buf_->data() + head_; }
+
+    std::size_t size() const { return tail_ - head_; }
 
     /** Prepend @p n bytes (returns pointer to write the header). */
     std::uint8_t *push(std::size_t n);
 
-    /** Drop @p n bytes from the front (header consumed). */
+    /** Drop @p n bytes from the front (header consumed). O(1). */
     void pull(std::size_t n);
 
     /** Append @p n bytes at the tail (returns write pointer). */
     std::uint8_t *put(std::size_t n);
 
-    /** Trim the packet to @p n bytes total. */
+    /** Trim the packet to @p n bytes total. O(1). */
     void trim(std::size_t n);
 
-    /** Deep copy (broadcast fan-out / retransmission). */
+    /**
+     * Copy for broadcast fan-out / retransmission. O(1): the byte
+     * block is shared until either side writes; metadata is copied
+     * by value.
+     */
     PacketPtr clone() const;
+
+    /** True when this packet and @p o alias one byte block (tests,
+     *  diagnostics). */
+    bool
+    sharesBufferWith(const Packet &o) const
+    {
+        return buf_ == o.buf_;
+    }
 
     /** Simulation metadata. */
     LatencyTrace trace;
@@ -128,12 +175,20 @@ class Packet
     std::vector<std::uint8_t> bytes() const;
 
   private:
-    Packet(std::vector<std::uint8_t> buf, std::size_t head)
-        : buf_(std::move(buf)), head_(head)
+    using Buf = std::vector<std::uint8_t>;
+
+    Packet(std::shared_ptr<Buf> buf, std::size_t head,
+           std::size_t tail)
+        : buf_(std::move(buf)), head_(head), tail_(tail)
     {}
 
-    std::vector<std::uint8_t> buf_;
+    /** Copy the live bytes into a private block with the given
+     *  head/tail slack, detaching from any clones. */
+    void unshare(std::size_t headroom, std::size_t tailroom);
+
+    std::shared_ptr<Buf> buf_;
     std::size_t head_; ///< offset of the first live byte
+    std::size_t tail_; ///< offset one past the last live byte
 };
 
 } // namespace mcnsim::net

@@ -130,7 +130,7 @@ TcpHeader::pull(Packet &pkt, Ipv4Addr src, Ipv4Addr dst,
 {
     if (pkt.size() < size)
         return std::nullopt;
-    const std::uint8_t *p = pkt.data();
+    const std::uint8_t *p = pkt.cdata();
     std::uint16_t stored = get16(p + 16);
     // A zero checksum marks "not computed" (device offload toward a
     // lossless medium, loopback, or mcn2 bypass) -- the simulator's
@@ -625,7 +625,7 @@ TcpSocket::scheduleDelayedAck()
             if (self->unackedSegs_ > 0)
                 self->sendAckNow();
         },
-        delAckDelay, name_ + ".delack");
+        delAckDelay, "tcp.delack");
 }
 
 // ---------------------------------------------------------------------
@@ -825,7 +825,7 @@ TcpSocket::deliverData(const TcpHeader &h, PacketPtr pkt)
 {
     std::uint32_t seq = h.seq;
     std::size_t len = pkt->size();
-    const std::uint8_t *data = pkt->data();
+    const std::uint8_t *data = pkt->cdata();
 
     // Trim any part we already have.
     if (seqLt(seq, rcvNxt_)) {
@@ -923,7 +923,7 @@ TcpSocket::armRto()
             self->rtoEvent_ = nullptr;
             self->rtoFired();
         },
-        timeout, name_ + ".rto");
+        timeout, "tcp.rto");
 }
 
 void
@@ -973,7 +973,7 @@ TcpSocket::enterTimeWait()
             self->state_ = TcpState::Closed;
             self->layer_.unbind(self->tuple_, 0);
         },
-        timeWaitDelay, name_ + ".timewait");
+        timeWaitDelay, "tcp.timewait");
 }
 
 } // namespace mcnsim::net

@@ -53,7 +53,7 @@ UdpHeader::pull(Packet &pkt, Ipv4Addr src, Ipv4Addr dst,
 {
     if (pkt.size() < size)
         return std::nullopt;
-    const std::uint8_t *p = pkt.data();
+    const std::uint8_t *p = pkt.cdata();
     std::uint16_t cksum = get16(p + 6);
     if (verify_checksum && cksum != 0) {
         std::uint32_t sum = pseudoHeaderSum(

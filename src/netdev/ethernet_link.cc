@@ -92,7 +92,7 @@ EthernetLink::sendFrom(EtherEndpoint *src, net::PacketPtr pkt)
             pkt->trace.stamp(net::Stage::Phy, curTick());
             dst_ep->receiveFrame(pkt);
         },
-        arrive, name() + ".deliver");
+        arrive, "link.deliver");
 }
 
 } // namespace mcnsim::netdev

@@ -86,7 +86,7 @@ EthernetSwitch::egress(std::uint32_t port, net::PacketPtr pkt)
     Port *p = ports_[port].get();
     eventQueue().scheduleIn(
         [link, p, pkt] { link->sendFrom(p, pkt); }, fwdLatency_,
-        name() + ".fwd");
+        "switch.fwd");
 }
 
 } // namespace mcnsim::netdev

@@ -21,8 +21,7 @@ LoopbackDevice::xmit(net::PacketPtr pkt)
 {
     countTx(*pkt);
     eventQueue().scheduleIn(
-        [this, pkt] { deliverUp(pkt); }, delay_,
-        name() + ".loop");
+        [this, pkt] { deliverUp(pkt); }, delay_, "loop.deliver");
     return os::TxResult::Ok;
 }
 

@@ -78,7 +78,7 @@ Nic::dmaTxStart(net::PacketPtr pkt)
                     pkt->trace.stamp(net::Stage::DmaTx, curTick());
                     toWire(pkt);
                 },
-                params_.pcieLatency, name() + ".pcie");
+                params_.pcieLatency, "nic.pcie");
         },
         params_.dmaBps);
 }
@@ -127,7 +127,7 @@ Nic::segmentTso(const net::PacketPtr &pkt, bool fill_checksums)
     MCNSIM_ASSERT(tcp, "TSO frame without TCP header");
     bool had_checksum = tcp->checksum != 0;
 
-    const std::uint8_t *payload = big->data();
+    const std::uint8_t *payload = big->cdata();
     std::size_t total = big->size();
 
     std::size_t off = 0;
@@ -192,7 +192,7 @@ Nic::receiveFrame(net::PacketPtr pkt)
                         kernel_.irq().raise(irqLine_);
                     }
                 },
-                params_.pcieLatency, name() + ".pcieRx");
+                params_.pcieLatency, "nic.pcieRx");
         },
         params_.dmaBps);
 }

@@ -1,21 +1,36 @@
 /**
  * @file
- * EventQueue implementation.
+ * EventQueue implementation: vector-backed binary heap with lazy
+ * deletion + threshold compaction, and a slab pool for managed
+ * callback events.
  */
 
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "sim/logging.hh"
 
 namespace mcnsim::sim {
 
+const char *
+internEventName(const std::string &name)
+{
+    // Process-lifetime intern pool: node-based, so c_str() pointers
+    // stay stable across rehashes. The simulator is single-threaded
+    // by design (one EventQueue per Simulation, no cross-thread
+    // scheduling), so no lock is needed.
+    static std::unordered_set<std::string> pool;
+    return pool.insert(name).first->c_str();
+}
+
 Event::~Event()
 {
     // An event must not be destroyed while scheduled; the queue would
-    // be left holding a dangling pointer. Managed events are deleted
+    // be left holding a dangling pointer. Managed events are recycled
     // by the queue itself after clearing the flag.
     assert(!scheduled_ && "event destroyed while scheduled");
 }
@@ -24,79 +39,139 @@ EventQueue::EventQueue(std::string name) : name_(std::move(name)) {}
 
 EventQueue::~EventQueue()
 {
-    // Drain without executing: free managed events, detach the rest.
-    while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        if (e.ev->seq_ == e.seq) {
+    // Drain without executing: recycle managed events, detach the
+    // rest. The slabs (and every pooled event) are freed when the
+    // members are destroyed afterwards.
+    for (const Entry &e : heap_) {
+        if (e.ev->seq_ == e.seq()) {
             e.ev->scheduled_ = false;
             if (e.ev->managed_)
-                delete e.ev;
+                recycle(static_cast<CallbackEvent *>(e.ev));
         }
     }
+    heap_.clear();
+}
+
+CallbackEvent *
+EventQueue::acquireSlot()
+{
+    if (freeList_.empty()) {
+        // Carve a fresh slab. new[] keeps existing events in place,
+        // so live Event* handles never move.
+        slabs_.emplace_back(new CallbackEvent[slabEvents]);
+        CallbackEvent *slab = slabs_.back().get();
+        freeList_.reserve(freeList_.size() + slabEvents);
+        for (std::size_t i = 0; i < slabEvents; ++i)
+            freeList_.push_back(&slab[i]);
+        poolCarved_ += slabEvents;
+    }
+    CallbackEvent *ev = freeList_.back();
+    freeList_.pop_back();
+    return ev;
+}
+
+void
+EventQueue::recycle(CallbackEvent *ev)
+{
+    assert(ev->managed_ && "recycling a non-pooled event");
+    assert(!ev->scheduled_ && "recycling a scheduled event");
+    // Drop the callback now: captures (PacketPtrs, shared sockets,
+    // coroutine handles) must not live until the slot is reused.
+    ev->fn_ = nullptr;
+    ev->name_ = "pool-free";
+    ev->managed_ = false;
+    freeList_.push_back(ev);
 }
 
 void
 EventQueue::schedule(Event *ev, Tick when)
 {
-    if (when < curTick_)
-        throw std::logic_error("scheduling event '" + ev->name() +
+    if (when < curTick_) [[unlikely]]
+        throw std::logic_error("scheduling event '" +
+                               std::string(ev->name()) +
                                "' in the past");
-    if (ev->scheduled_)
-        throw std::logic_error("event '" + ev->name() +
+    if (ev->scheduled_) [[unlikely]]
+        throw std::logic_error("event '" + std::string(ev->name()) +
                                "' already scheduled");
     ev->when_ = when;
     ev->seq_ = nextSeq_++;
     ev->scheduled_ = true;
-    heap_.push(Entry{when, static_cast<int>(ev->priority()),
-                     ev->seq_, ev});
+    assert(ev->seq_ <= seqMask && "sequence numbers exhausted");
+    heap_.push_back(Entry{when, entryKey(ev), ev});
+    std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
 }
 
 void
 EventQueue::deschedule(Event *ev)
 {
-    // Lazy removal: mark unscheduled; the stale heap entry is skipped
-    // (and a managed event freed) when popped.
+    // Lazy removal: mark unscheduled; the stale heap entry is
+    // skipped (and a managed event recycled) when popped, or
+    // reclaimed wholesale by compact() once stale entries dominate.
     if (!ev->scheduled_)
         return;
     ev->scheduled_ = false;
+    staleEntries_++;
+    if (staleEntries_ > staleCompactMin &&
+        staleEntries_ * 2 > heap_.size())
+        compact();
 }
 
 void
 EventQueue::reschedule(Event *ev, Tick when)
 {
+    // deschedule() clears scheduled_, turning the live heap entry
+    // stale; schedule() then hands out a fresh (monotonic) sequence
+    // number, which is what lets the stale entry be recognized on
+    // pop or compaction. Sequence monotonicity is the invariant the
+    // whole lazy-deletion scheme rests on.
     deschedule(ev);
-    // deschedule() leaves a stale heap entry behind; give the event a
-    // fresh sequence number so the stale entry is recognizable.
-    ev->scheduled_ = false;
+    assert(!ev->scheduled_ && "deschedule left event scheduled");
     schedule(ev, when);
+    assert(ev->seq_ + 1 == nextSeq_ &&
+           "reschedule did not assign the newest sequence number");
 }
 
-Event *
-EventQueue::schedule(std::function<void()> fn, Tick when,
-                     std::string name, EventPriority prio)
+void
+EventQueue::compact()
 {
-    auto *ev = new CallbackEvent(std::move(name), std::move(fn), prio);
-    ev->managed_ = true;
-    schedule(ev, when);
-    return ev;
+    // Drop every stale entry in one pass and re-heapify. An entry is
+    // live iff its event is scheduled and the sequence numbers agree;
+    // a seq-mismatched entry is a leftover from reschedule() (a newer
+    // live entry exists elsewhere in the heap). A seq-matched entry
+    // for a descheduled managed event is that event's only remaining
+    // reference -- recycle it here, exactly as popAndRun() would.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+        const Entry e = heap_[i];
+        if (e.ev->scheduled_ && e.ev->seq_ == e.seq()) {
+            heap_[kept++] = e;
+        } else if (!e.ev->scheduled_ && e.ev->managed_ &&
+                   e.ev->seq_ == e.seq()) {
+            recycle(static_cast<CallbackEvent *>(e.ev));
+        }
+    }
+    heap_.resize(kept);
+    std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    staleEntries_ = 0;
 }
 
 void
 EventQueue::popAndRun()
 {
-    Entry e = heap_.top();
-    heap_.pop();
+    const Entry e = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
 
     Event *ev = e.ev;
-    // Stale entry: the event was descheduled or rescheduled since this
-    // heap entry was created.
-    if (!ev->scheduled_ || ev->seq_ != e.seq) {
-        // A descheduled managed event with no live entry must be freed
-        // here, exactly once: when its latest (seq-matching) stale
-        // entry surfaces.
-        if (!ev->scheduled_ && ev->managed_ && ev->seq_ == e.seq)
-            delete ev;
+    // Stale entry: the event was descheduled or rescheduled since
+    // this heap entry was created.
+    if (!ev->scheduled_ || ev->seq_ != e.seq()) {
+        staleEntries_--;
+        // A descheduled managed event with no live entry must be
+        // recycled here, exactly once: when its latest (seq-matching)
+        // stale entry surfaces.
+        if (!ev->scheduled_ && ev->managed_ && ev->seq_ == e.seq())
+            recycle(static_cast<CallbackEvent *>(ev));
         return;
     }
 
@@ -108,19 +183,26 @@ EventQueue::popAndRun()
     // processed event lands in the trace ring, so a panic() dump
     // shows exactly what the simulator was doing. anyActive() keeps
     // the disabled-case cost to one branch on this hot path.
-    if (Trace::anyActive() && Trace::enabled("Event"))
+    if (Trace::anyActive() && Trace::enabled("Event")) [[unlikely]]
         Trace::emit(curTick_, "Event",
                     strcat(name_, ": run '", ev->name(), "' prio=",
                            static_cast<int>(ev->priority())));
-    ev->process();
-    if (ev->managed_ && !ev->scheduled_)
-        delete ev;
+    if (ev->managed_) {
+        // Devirtualized dispatch: a managed event is always a pooled
+        // CallbackEvent, so skip the vtable hop.
+        auto *cb = static_cast<CallbackEvent *>(ev);
+        cb->fn_();
+        if (!cb->scheduled_)
+            recycle(cb);
+    } else {
+        ev->process();
+    }
 }
 
 Tick
 EventQueue::run(Tick until)
 {
-    while (!heap_.empty() && heap_.top().when <= until)
+    while (!heap_.empty() && heap_.front().when <= until)
         popAndRun();
     if (curTick_ < until && until != maxTick)
         curTick_ = until;

@@ -16,6 +16,30 @@
  *   q.run();                      // drain everything
  *   q.run(10 * oneUs);            // or: advance to a time limit
  *
+ * Hot-path design notes (see DESIGN.md "Hot paths & buffer
+ * ownership"):
+ *
+ *  - Managed callback events come from a slab-allocated free list
+ *    owned by the queue; schedule(fn, ...) performs no heap
+ *    allocation once the pool is warm (std::function small-buffer
+ *    captures permitting).
+ *  - Event names are non-owning `const char *`s. Pass a string
+ *    literal on the fast path; a std::string name is interned once
+ *    into a process-lifetime pool, so Event never owns (or copies)
+ *    name storage.
+ *  - deschedule() is lazy: the heap entry is left behind and skipped
+ *    (by sequence-number mismatch or a cleared scheduled flag) when
+ *    popped. The queue counts stale entries and compacts the heap
+ *    when they outnumber live ones, so a frequently rescheduled
+ *    periodic timer cannot bloat the heap.
+ *
+ * Lifetime rules for managed (pooled) events: the Event* returned by
+ * schedule(fn, ...) is valid only while the event is scheduled. After
+ * it fires, or after you deschedule() it, the pointer is dead -- the
+ * pool may recycle the object for an unrelated schedule. Callers that
+ * keep the pointer must null it in the callback (see
+ * MemController::runScheduler for the canonical pattern).
+ *
  * Enable the "Event" debug flag (MCNSIM_DEBUG=Event) to trace every
  * dispatch with its name and priority.
  */
@@ -25,8 +49,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -34,6 +60,13 @@
 namespace mcnsim::sim {
 
 class EventQueue;
+
+/**
+ * Intern @p name into a process-lifetime string pool, returning a
+ * stable pointer. Used by the Event constructors that accept
+ * std::string so event objects never own name storage.
+ */
+const char *internEventName(const std::string &name);
 
 /**
  * Priority of an event relative to other events scheduled at the same
@@ -53,13 +86,21 @@ enum class EventPriority : int {
  * runs they may be re-scheduled by their owner. The queue never owns
  * the event memory; most users should prefer MemberEvent or
  * EventQueue::schedule(callback) which manage lifetime for them.
+ *
+ * The name is a non-owning pointer: pass a string literal (free), or
+ * a std::string (interned once into a process-lifetime pool).
  */
 class Event
 {
   public:
-    explicit Event(std::string name,
+    explicit Event(const char *name,
                    EventPriority prio = EventPriority::Default)
-        : name_(std::move(name)), priority_(prio)
+        : name_(name), priority_(prio)
+    {}
+
+    explicit Event(const std::string &name,
+                   EventPriority prio = EventPriority::Default)
+        : Event(internEventName(name), prio)
     {}
 
     virtual ~Event();
@@ -76,32 +117,44 @@ class Event
     /** Tick the event is (or was last) scheduled for. */
     Tick when() const { return when_; }
 
-    const std::string &name() const { return name_; }
+    const char *name() const { return name_; }
     EventPriority priority() const { return priority_; }
+
+  protected:
+    const char *name_;
+    EventPriority priority_;
 
   private:
     friend class EventQueue;
 
-    std::string name_;
-    EventPriority priority_;
     Tick when_ = 0;
     std::uint64_t seq_ = 0;
     bool scheduled_ = false;
-    bool managed_ = false; ///< queue deletes after process()
+    bool managed_ = false; ///< queue-owned; recycled after process()
 };
 
 /** An event wrapping an arbitrary callback. */
 class CallbackEvent : public Event
 {
   public:
-    CallbackEvent(std::string name, std::function<void()> fn,
+    CallbackEvent(const char *name, std::function<void()> fn,
                   EventPriority prio = EventPriority::Default)
-        : Event(std::move(name), prio), fn_(std::move(fn))
+        : Event(name, prio), fn_(std::move(fn))
+    {}
+
+    CallbackEvent(const std::string &name, std::function<void()> fn,
+                  EventPriority prio = EventPriority::Default)
+        : Event(name, prio), fn_(std::move(fn))
     {}
 
     void process() override { fn_(); }
 
   private:
+    friend class EventQueue;
+
+    /** Pool slot constructor; armed by EventQueue::schedule(). */
+    CallbackEvent() : Event("pool-free") {}
+
     std::function<void()> fn_;
 };
 
@@ -114,9 +167,14 @@ template <typename T>
 class MemberEvent : public Event
 {
   public:
-    MemberEvent(std::string name, T *obj, void (T::*fn)(),
+    MemberEvent(const char *name, T *obj, void (T::*fn)(),
                 EventPriority prio = EventPriority::Default)
-        : Event(std::move(name), prio), obj_(obj), fn_(fn)
+        : Event(name, prio), obj_(obj), fn_(fn)
+    {}
+
+    MemberEvent(const std::string &name, T *obj, void (T::*fn)(),
+                EventPriority prio = EventPriority::Default)
+        : Event(name, prio), obj_(obj), fn_(fn)
     {}
 
     void process() override { (obj_->*fn_)(); }
@@ -142,36 +200,85 @@ class EventQueue
     /** Schedule @p ev at absolute tick @p when (>= curTick). */
     void schedule(Event *ev, Tick when);
 
-    /** Remove a pending event; no-op if not scheduled. */
+    /**
+     * Remove a pending event; no-op if not scheduled. Lazy: the heap
+     * entry is left behind and skipped when popped (or reclaimed by
+     * compaction). For a managed event the pointer is dead after
+     * this call.
+     */
     void deschedule(Event *ev);
 
     /** Remove and re-insert at a new tick. */
     void reschedule(Event *ev, Tick when);
 
     /**
-     * Convenience: schedule a heap-allocated callback event that the
-     * queue deletes after it fires. Returns the event so callers can
-     * deschedule it (the queue then frees it immediately).
+     * Convenience: schedule a pooled callback event that the queue
+     * recycles after it fires. Returns the event so callers can
+     * deschedule it; see the lifetime rules in the file comment.
+     * @p name must be a string literal (or otherwise outlive the
+     * event); use the std::string overload for dynamic names.
+     *
+     * Templated so the callback is constructed straight into the
+     * pooled slot's std::function, with no intermediate type-erased
+     * moves on the hot path.
      */
-    Event *schedule(std::function<void()> fn, Tick when,
-                    std::string name = "lambda",
-                    EventPriority prio = EventPriority::Default);
-
-    /** Schedule a managed callback @p delta ticks from now. */
+    template <typename F,
+              typename = std::enable_if_t<std::is_invocable_v<F &>>>
     Event *
-    scheduleIn(std::function<void()> fn, Tick delta,
-               std::string name = "lambda",
-               EventPriority prio = EventPriority::Default)
+    schedule(F &&fn, Tick when, const char *name = "lambda",
+             EventPriority prio = EventPriority::Default)
     {
-        return schedule(std::move(fn), curTick_ + delta,
-                        std::move(name), prio);
+        CallbackEvent *ev = acquireSlot();
+        ev->name_ = name;
+        ev->priority_ = prio;
+        ev->fn_ = std::forward<F>(fn);
+        ev->managed_ = true;
+        schedule(ev, when);
+        return ev;
     }
 
-    /** True when no events are pending. */
-    bool empty() const { return heap_.empty(); }
+    /** As above with a dynamic name (interned, slower). */
+    template <typename F,
+              typename = std::enable_if_t<std::is_invocable_v<F &>>>
+    Event *
+    schedule(F &&fn, Tick when, const std::string &name,
+             EventPriority prio = EventPriority::Default)
+    {
+        return schedule(std::forward<F>(fn), when,
+                        internEventName(name), prio);
+    }
 
-    /** Number of pending events. */
-    std::size_t pendingEvents() const { return heap_.size(); }
+    /** Schedule a managed callback @p delta ticks from now. */
+    template <typename F,
+              typename = std::enable_if_t<std::is_invocable_v<F &>>>
+    Event *
+    scheduleIn(F &&fn, Tick delta, const char *name = "lambda",
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(std::forward<F>(fn), curTick_ + delta, name,
+                        prio);
+    }
+
+    /** As above with a dynamic name (interned, slower). */
+    template <typename F,
+              typename = std::enable_if_t<std::is_invocable_v<F &>>>
+    Event *
+    scheduleIn(F &&fn, Tick delta, const std::string &name,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(std::forward<F>(fn), curTick_ + delta,
+                        internEventName(name), prio);
+    }
+
+    /** True when no live events are pending. */
+    bool empty() const { return heap_.size() == staleEntries_; }
+
+    /** Number of live (not lazily-descheduled) pending events. */
+    std::size_t
+    pendingEvents() const
+    {
+        return heap_.size() - staleEntries_;
+    }
 
     /**
      * Run until the queue is empty or curTick would exceed
@@ -187,33 +294,98 @@ class EventQueue
 
     const std::string &name() const { return name_; }
 
+    // Introspection for tests and diagnostics ------------------------
+
+    /** Heap entries including stale (lazily-descheduled) ones. */
+    std::size_t internalEntries() const { return heap_.size(); }
+
+    /** Stale heap entries awaiting pop or compaction. */
+    std::size_t staleEntries() const { return staleEntries_; }
+
+    /** Pooled callback events ever carved from the slabs. */
+    std::size_t poolCarved() const { return poolCarved_; }
+
+    /** Pooled callback events currently on the free list. */
+    std::size_t poolFree() const { return freeList_.size(); }
+
+    /** Pooled events currently live (scheduled or mid-dispatch);
+     *  zero after a full drain means no pooled-event leaks. */
+    std::size_t
+    poolOutstanding() const
+    {
+        return poolCarved_ - freeList_.size();
+    }
+
   private:
+    /** Sequence numbers occupy the low 48 bits of an Entry key (the
+     *  biased priority sits above them), so one 64-bit compare
+     *  orders (priority, seq). 2^48 schedules is ~years of simulated
+     *  workload; schedule() asserts against overflow. */
+    static constexpr int seqBits = 48;
+    static constexpr std::uint64_t seqMask =
+        (std::uint64_t{1} << seqBits) - 1;
+    static constexpr std::int64_t prioBias = std::int64_t{1} << 15;
+
     struct Entry
     {
         Tick when;
-        int prio;
-        std::uint64_t seq;
+        std::uint64_t key; ///< (prio + prioBias) << seqBits | seq
         Event *ev;
+
+        std::uint64_t seq() const { return key & seqMask; }
 
         bool
         operator>(const Entry &o) const
         {
             if (when != o.when)
                 return when > o.when;
-            if (prio != o.prio)
-                return prio > o.prio;
-            return seq > o.seq;
+            return key > o.key;
+        }
+    };
+
+    static std::uint64_t
+    entryKey(const Event *ev)
+    {
+        auto prio = static_cast<std::int64_t>(ev->priority_);
+        return (static_cast<std::uint64_t>(prio + prioBias)
+                << seqBits) |
+               ev->seq_;
+    }
+
+    /** Comparator making the std heap algorithms build a min-heap.
+     *  A functor type (not a function pointer) so the heap
+     *  algorithms inline the comparison. */
+    struct EntryAfter
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            return a > b;
         }
     };
 
     void popAndRun();
+    void compact();
+    CallbackEvent *acquireSlot();
+    void recycle(CallbackEvent *ev);
+
+    /** Compact when stale entries exceed this count and outnumber
+     *  live ones (the latter keeps compaction amortized-O(1)). */
+    static constexpr std::size_t staleCompactMin = 64;
+
+    /** Pooled events are carved from fixed-size slabs so the pool
+     *  grows without relocating live events. */
+    static constexpr std::size_t slabEvents = 64;
 
     std::string name_;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
-        heap_;
+    std::size_t staleEntries_ = 0;
+    std::size_t poolCarved_ = 0;
+    std::vector<Entry> heap_;
+    std::vector<CallbackEvent *> freeList_;
+    std::vector<std::unique_ptr<CallbackEvent[]>> slabs_;
 };
 
 } // namespace mcnsim::sim

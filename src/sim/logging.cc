@@ -15,9 +15,6 @@ namespace mcnsim::sim {
 
 namespace {
 
-/** Count of enabled flags, mirrored for the anyActive() fast path. */
-std::size_t activeFlagCount = 0;
-
 bool echoTraces = true;
 
 std::set<std::string> &
@@ -39,13 +36,18 @@ flagSet()
                 }
             }
         }
-        activeFlagCount = s.size();
+        detail::traceActiveFlagCount = s.size();
         return s;
     }();
     return flags;
 }
 
 bool quietMode = false;
+
+/** Force the one-time MCNSIM_DEBUG parse during static init so
+ *  env-enabled flags are counted before the first anyActive()
+ *  fast-path check (which is now a bare inline load). */
+[[maybe_unused]] const bool traceEnvParsed = (flagSet(), true);
 
 } // namespace
 
@@ -56,7 +58,7 @@ Trace::setFlag(const std::string &flag, bool on)
         flagSet().insert(flag);
     else
         flagSet().erase(flag);
-    activeFlagCount = flagSet().size();
+    detail::traceActiveFlagCount = flagSet().size();
 }
 
 bool
@@ -64,16 +66,6 @@ Trace::enabled(const std::string &flag)
 {
     const auto &flags = flagSet();
     return flags.count(flag) > 0 || flags.count("ALL") > 0;
-}
-
-bool
-Trace::anyActive()
-{
-    // Force the one-time MCNSIM_DEBUG parse so env-enabled flags are
-    // counted before the first fast-path check.
-    static const bool inited = (flagSet(), true);
-    (void)inited;
-    return activeFlagCount > 0;
 }
 
 void

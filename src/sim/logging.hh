@@ -34,6 +34,12 @@ class PanicError : public std::logic_error
 
 namespace detail {
 
+/** Count of enabled trace flags, mirrored here so the
+ *  Trace::anyActive() gate inlines to one load + branch on the
+ *  event-dispatch hot path. Maintained by logging.cc (env parse at
+ *  startup, Trace::setFlag at runtime). */
+inline std::size_t traceActiveFlagCount = 0;
+
 /** Dump the flight-recorder ring to stderr (see trace_ring.hh).
  *  Called by panic()/fatal() so crashes carry recent-event context;
  *  a no-op when no trace events were recorded. */
@@ -103,8 +109,13 @@ class Trace
     static bool enabled(const std::string &flag);
 
     /** True when at least one flag is enabled — a cheap first-level
-     *  gate so disabled tracing stays off the hot paths. */
-    static bool anyActive();
+     *  gate so disabled tracing stays off the hot paths. Inline so
+     *  the disabled case costs one load + branch, even at -O1. */
+    static bool
+    anyActive()
+    {
+        return detail::traceActiveFlagCount != 0;
+    }
 
     /** Enable/disable echoing trace lines to stderr. Recording into
      *  the flight-recorder ring (trace_ring.hh) always happens; with

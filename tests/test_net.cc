@@ -53,6 +53,47 @@ TEST(PacketBuf, TrimShortens)
     EXPECT_EQ(pkt->size(), 40u);
 }
 
+TEST(PacketBuf, CloneIsCopyOnWrite)
+{
+    auto pkt = Packet::makePattern(1500, 3);
+    auto c = pkt->clone();
+    EXPECT_TRUE(pkt->sharesBufferWith(*c));
+    // Read-only access keeps the buffer shared ...
+    EXPECT_EQ(c->cdata()[0], 3);
+    EXPECT_TRUE(pkt->sharesBufferWith(*c));
+    // ... and the first write detaches the writer only.
+    c->data()[0] = 0xee;
+    EXPECT_FALSE(pkt->sharesBufferWith(*c));
+    EXPECT_EQ(pkt->cdata()[0], 3);
+    EXPECT_EQ(c->cdata()[0], 0xee);
+}
+
+TEST(PacketBuf, PullAndTrimKeepSharing)
+{
+    // View adjustments are not writes: a cloned packet can shed
+    // headers (pull) or padding (trim) without copying bytes.
+    auto pkt = Packet::makePattern(200, 9);
+    auto c = pkt->clone();
+    c->pull(14);
+    c->trim(100);
+    EXPECT_TRUE(pkt->sharesBufferWith(*c));
+    EXPECT_EQ(c->size(), 100u);
+    EXPECT_EQ(pkt->size(), 200u);
+}
+
+TEST(PacketBuf, PushOnSharedCloneLeavesSiblingIntact)
+{
+    auto pkt = Packet::makePattern(64, 5);
+    auto c = pkt->clone();
+    std::uint8_t *h = c->push(14);
+    std::memset(h, 0xab, 14);
+    EXPECT_FALSE(pkt->sharesBufferWith(*c));
+    EXPECT_EQ(pkt->size(), 64u);
+    EXPECT_EQ(pkt->cdata()[0], 5);
+    EXPECT_EQ(c->size(), 78u);
+    EXPECT_EQ(c->cdata()[14], 5);
+}
+
 TEST(LatencyTraceTest, SpansComputed)
 {
     LatencyTrace t;
@@ -64,6 +105,18 @@ TEST(LatencyTraceTest, SpansComputed)
     EXPECT_EQ(t.span(Stage::StackTx, Stage::Phy), 0u); // missing
     EXPECT_TRUE(t.reached(Stage::DriverTx));
     EXPECT_FALSE(t.reached(Stage::DmaRx));
+}
+
+TEST(LatencyTraceTest, TickZeroStampIsReached)
+{
+    // Tick 0 is a legal simulation time, not the "never reached"
+    // sentinel (that is maxTick).
+    LatencyTrace t;
+    EXPECT_FALSE(t.reached(Stage::StackTx));
+    t.stamp(Stage::StackTx, 0);
+    t.stamp(Stage::Delivered, 50);
+    EXPECT_TRUE(t.reached(Stage::StackTx));
+    EXPECT_EQ(t.span(Stage::StackTx, Stage::Delivered), 50u);
 }
 
 TEST(Checksum, KnownVector)
@@ -104,6 +157,54 @@ TEST(Checksum, OddLengthHandled)
 {
     std::vector<std::uint8_t> data = {1, 2, 3};
     EXPECT_NE(checksum(data.data(), data.size()), 0);
+}
+
+namespace {
+
+/** Byte-pair RFC 1071 reference the optimized path must match. */
+std::uint16_t
+naiveChecksum(const std::uint8_t *p, std::size_t n,
+              std::uint32_t seed)
+{
+    std::uint64_t sum = seed;
+    for (std::size_t i = 0; i + 1 < n; i += 2)
+        sum += (static_cast<std::uint32_t>(p[i]) << 8) | p[i + 1];
+    if (n & 1)
+        sum += static_cast<std::uint32_t>(p[n - 1]) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+} // namespace
+
+TEST(Checksum, MatchesNaiveReferenceAcrossLengthsAndOffsets)
+{
+    // The wide (64-bit, unrolled) checksum must agree with the naive
+    // reference for every length class the unroll produces (0, odd
+    // tails, each remainder bucket, jumbo) at aligned and unaligned
+    // starting offsets, with and without a pseudo-header seed.
+    Rng rng(2026);
+    std::vector<std::uint8_t> buf(65536 + 8);
+    for (auto &b : buf)
+        b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+
+    std::vector<std::size_t> lens = {0,  1,  2,  3,  4,    7,
+                                     8,  9,  15, 16, 31,   32,
+                                     33, 63, 64, 65, 1499, 1500,
+                                     9000, 65536};
+    for (int i = 0; i < 48; ++i)
+        lens.push_back(rng.uniformInt(0, 65536));
+
+    for (std::size_t len : lens) {
+        std::size_t off = rng.uniformInt(0, 7);
+        auto seed =
+            static_cast<std::uint32_t>(rng.uniformInt(0, 0x1ffff));
+        const std::uint8_t *p = buf.data() + off;
+        EXPECT_EQ(checksumFold(checksumPartial(p, len, seed)),
+                  naiveChecksum(p, len, seed))
+            << "len=" << len << " off=" << off << " seed=" << seed;
+    }
 }
 
 TEST(Mac, FormatAndBroadcast)

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json artifacts.
+
+Compares freshly generated artifacts against the committed baseline
+(tools/perf_baseline.json) and exits nonzero when either
+
+  * a perf metric (host-time: keys ending in ``_ns``, plus
+    ``wall_seconds``) regressed past its tolerance band, or
+  * a modeled metric (everything else: simulated throughput, latency,
+    energy, ... -- deterministic outputs of the simulation) drifted at
+    all, which means simulator *behavior* changed, not just speed.
+
+Perf metrics get a generous band (shared CI boxes are noisy; the
+micro artifact already keeps the fastest of several repetitions) and
+only an upper bound -- getting faster never fails. Modeled metrics
+are compared with a tight relative tolerance in both directions.
+
+Usage:
+  tools/check_perf.py [--baseline FILE] [--artifacts-dir DIR]
+                      [--update] [BENCH ...]
+
+With no BENCH names, every bench present in the baseline is checked.
+``--update`` rewrites the baseline from the fresh artifacts instead
+of checking (run it after an intentional perf or model change, and
+commit the result).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Upper bound for perf metrics: fresh <= base * PERF_REL + PERF_ABS.
+# The band is wide because one noisy neighbor on a 1-core runner can
+# easily cost 40%; real regressions from the optimizations this gate
+# guards (event pooling, CoW packets, wide checksum) are 2x-7x.
+PERF_REL = 1.6
+PERF_ABS_NS = 30.0        # floor for tiny (few-ns) benchmarks
+PERF_ABS_WALL = 2.0       # seconds; artifact-generation wall time
+
+# Modeled metrics are deterministic; any drift beyond float noise is
+# a behavior change and must be reviewed (then --update'd).
+MODEL_RTOL = 1e-6
+
+PERF_SUFFIX = "_ns"
+WALL_KEY = "wall_seconds"
+
+
+def is_perf_metric(key):
+    return key.endswith(PERF_SUFFIX) or key == WALL_KEY
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def artifact_path(art_dir, bench):
+    return os.path.join(art_dir, f"BENCH_{bench}.json")
+
+
+def flatten(doc):
+    """Metric map of an artifact, with wall_seconds folded in."""
+    metrics = dict(doc.get("metrics", {}))
+    if WALL_KEY in doc:
+        metrics[WALL_KEY] = doc[WALL_KEY]
+    return metrics
+
+
+def check_bench(bench, base_entry, art_dir, problems, notes):
+    path = artifact_path(art_dir, bench)
+    if not os.path.exists(path):
+        problems.append(f"{bench}: artifact {path} missing")
+        return
+    doc = load_json(path)
+
+    if doc.get("mode") != base_entry.get("mode"):
+        notes.append(
+            f"{bench}: mode {doc.get('mode')!r} != baseline "
+            f"{base_entry.get('mode')!r}; skipped")
+        return
+
+    fresh = flatten(doc)
+    base = base_entry.get("metrics", {})
+
+    for key, base_val in sorted(base.items()):
+        if key not in fresh:
+            problems.append(f"{bench}.{key}: missing from artifact")
+            continue
+        val = fresh[key]
+        if not isinstance(val, (int, float)):
+            problems.append(f"{bench}.{key}: not numeric: {val!r}")
+            continue
+        if is_perf_metric(key):
+            abs_slack = (PERF_ABS_WALL if key == WALL_KEY
+                         else PERF_ABS_NS)
+            limit = base_val * PERF_REL + abs_slack
+            if val > limit:
+                problems.append(
+                    f"{bench}.{key}: {val:.2f} > limit {limit:.2f} "
+                    f"(baseline {base_val:.2f}, rel {PERF_REL}, "
+                    f"abs {abs_slack})")
+            elif base_val > 0 and val < base_val / PERF_REL:
+                notes.append(
+                    f"{bench}.{key}: improved {base_val:.2f} -> "
+                    f"{val:.2f}; consider --update")
+        else:
+            tol = abs(base_val) * MODEL_RTOL
+            if abs(val - base_val) > tol:
+                problems.append(
+                    f"{bench}.{key}: modeled metric drifted "
+                    f"{base_val!r} -> {val!r} (tol {MODEL_RTOL}); "
+                    f"simulator behavior changed -- review, then "
+                    f"rerun with --update")
+
+    for key in sorted(set(fresh) - set(base)):
+        notes.append(f"{bench}.{key}: not in baseline "
+                     f"(new metric; --update to start tracking)")
+
+
+def update_baseline(benches, art_dir, baseline_path):
+    out = {}
+    for bench in benches:
+        path = artifact_path(art_dir, bench)
+        if not os.path.exists(path):
+            print(f"warning: {path} missing; not in baseline",
+                  file=sys.stderr)
+            continue
+        doc = load_json(path)
+        out[bench] = {"mode": doc.get("mode"),
+                      "metrics": flatten(doc)}
+    with open(baseline_path, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"baseline written: {baseline_path} "
+          f"({len(out)} bench(es))")
+    return 0
+
+
+def main():
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("benches", nargs="*",
+                    help="bench names (default: all in baseline)")
+    ap.add_argument("--baseline",
+                    default=os.path.join(repo_root, "tools",
+                                         "perf_baseline.json"))
+    ap.add_argument("--artifacts-dir", default=repo_root)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from fresh artifacts")
+    args = ap.parse_args()
+
+    if args.update:
+        benches = args.benches
+        if not benches:
+            if os.path.exists(args.baseline):
+                benches = sorted(load_json(args.baseline))
+            else:
+                benches = sorted(
+                    f[len("BENCH_"):-len(".json")]
+                    for f in os.listdir(args.artifacts_dir)
+                    if f.startswith("BENCH_")
+                    and f.endswith(".json"))
+        return update_baseline(benches, args.artifacts_dir,
+                               args.baseline)
+
+    if not os.path.exists(args.baseline):
+        print(f"error: baseline {args.baseline} missing; create it "
+              f"with --update", file=sys.stderr)
+        return 2
+    baseline = load_json(args.baseline)
+
+    benches = args.benches or sorted(baseline)
+    problems, notes = [], []
+    for bench in benches:
+        if bench not in baseline:
+            notes.append(f"{bench}: not in baseline; skipped "
+                         f"(--update to add)")
+            continue
+        check_bench(bench, baseline[bench], args.artifacts_dir,
+                    problems, notes)
+
+    for n in notes:
+        print(f"note: {n}")
+    if problems:
+        print(f"\nperf gate: {len(problems)} violation(s):",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  FAIL {p}", file=sys.stderr)
+        return 1
+    print(f"perf gate: OK ({len(benches)} bench(es) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,15 @@
 # artifact parses and carries the required schema keys. Exits
 # nonzero if any bench fails or any artifact is invalid.
 #
+# After regeneration the perf gate (tools/check_perf.py) compares
+# the artifacts against tools/perf_baseline.json and fails on
+# regressions. --skip-perf disables the gate; --update-baseline
+# rewrites the baseline from the fresh artifacts instead.
+#
 # Usage: tools/run_benches.sh [--quick|--full]
 #                             [--build-dir DIR] [--out-dir DIR]
 #                             [--only NAME]
+#                             [--skip-perf] [--update-baseline]
 set -u
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,6 +22,8 @@ MODE=--quick
 BUILD_DIR="$REPO_ROOT/build"
 OUT_DIR="$REPO_ROOT"
 ONLY=""
+SKIP_PERF=0
+UPDATE_BASELINE=0
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -23,8 +31,10 @@ while [ $# -gt 0 ]; do
         --build-dir) BUILD_DIR="$2"; shift ;;
         --out-dir) OUT_DIR="$2"; shift ;;
         --only) ONLY="$2"; shift ;;
+        --skip-perf) SKIP_PERF=1 ;;
+        --update-baseline) UPDATE_BASELINE=1 ;;
         -h|--help)
-            sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,17p' "$0" | sed 's/^# \{0,1\}//'
             exit 0 ;;
         *) echo "unknown option: $1" >&2; exit 2 ;;
     esac
@@ -58,6 +68,7 @@ EOF
 
 failures=0
 ran=0
+ran_names=""
 for b in $BENCHES; do
     if [ -n "$ONLY" ] && [ "$b" != "$ONLY" ]; then
         continue
@@ -85,6 +96,7 @@ for b in $BENCHES; do
         continue
     fi
     ran=$((ran + 1))
+    ran_names="$ran_names $b"
 done
 
 echo
@@ -93,3 +105,19 @@ if [ "$failures" -ne 0 ]; then
     exit 1
 fi
 echo "all $ran benches ok; artifacts in $OUT_DIR/BENCH_*.json"
+
+if [ "$UPDATE_BASELINE" -eq 1 ]; then
+    # shellcheck disable=SC2086
+    python3 "$REPO_ROOT/tools/check_perf.py" \
+        --artifacts-dir "$OUT_DIR" --update $ran_names
+    exit $?
+fi
+if [ "$SKIP_PERF" -eq 1 ]; then
+    echo "perf gate: skipped (--skip-perf)"
+    exit 0
+fi
+echo
+echo "== perf gate =="
+# shellcheck disable=SC2086
+python3 "$REPO_ROOT/tools/check_perf.py" \
+    --artifacts-dir "$OUT_DIR" $ran_names
