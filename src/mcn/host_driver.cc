@@ -157,6 +157,7 @@ McnHostDriver::pollTasklet()
     if (pollInFlight_)
         return;
     pollInFlight_ = true;
+    pollStart_ = curTick();
     scanNext(0);
 }
 
@@ -164,6 +165,7 @@ void
 McnHostDriver::scanNext(std::size_t idx)
 {
     if (idx >= dimms_.size()) {
+        tlSpan("pollScan", pollStart_, curTick());
         pollInFlight_ = false;
         return;
     }
@@ -222,6 +224,7 @@ McnHostDriver::startDrain(std::size_t idx)
 {
     Binding &b = *dimms_[idx];
     channelDraining_[b.channel] = true;
+    b.drainStart = curTick();
     // R1: read tx-start and tx-end.
     fieldAccess(b, mem::MemRequest::Kind::Read,
                 [this, idx](sim::Tick) { drainLoop(idx); });
@@ -231,6 +234,7 @@ void
 McnHostDriver::drainFinished(std::size_t idx)
 {
     Binding &b = *dimms_[idx];
+    tlSpan("txDrain", b.drainStart, curTick());
     b.draining = false;
     channelDraining_[b.channel] = false;
     auto &q = drainQueue_[b.channel];
@@ -265,13 +269,16 @@ McnHostDriver::drainLoop(std::size_t idx)
     // message body is copied out of the SRAM window.
     auto msg = ring.dequeue();
     MCNSIM_ASSERT(msg, "non-empty TX ring without front message");
+    b.dimm->iface().recordRingLevels();
     std::uint64_t bytes = msg->bytes.size();
     trace("MCNDriver", "drain dimm ", idx, ": ", bytes, "B from TX ring");
     auto pkt = net::Packet::make(std::move(msg->bytes));
     pkt->trace = msg->trace;
 
     const auto &costs = kernel_.costs();
-    auto after_copy = [this, idx, pkt](sim::Tick now) {
+    const sim::Tick t0 = curTick();
+    auto after_copy = [this, idx, pkt, t0](sim::Tick now) {
+        tlSpan("hostRxCopy", t0, now);
         pkt->trace.stamp(net::Stage::DriverRx, now);
         forward(idx, pkt);
         drainLoop(idx);
@@ -315,7 +322,9 @@ McnHostDriver::xmitToDimm(std::size_t idx, net::PacketPtr pkt)
 
     // The message lands in the ring when the modelled copy is done
     // (T3: update rx-end, fence, set rx-poll -> MCN IRQ).
-    auto finish = [this, idx, pkt, need](sim::Tick now) {
+    const sim::Tick t0 = curTick();
+    auto finish = [this, idx, pkt, need, t0](sim::Tick now) {
+        tlSpan("hostTxCopy", t0, now);
         pkt->trace.stamp(net::Stage::DriverTx, now);
         Binding &bb = *dimms_[idx];
         bool ok = bb.dimm->iface().sram().rx().enqueue(

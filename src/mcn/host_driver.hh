@@ -116,6 +116,7 @@ class McnHostDriver : public sim::SimObject
         std::unique_ptr<McnDmaEngine> dma;
         bool draining = false;
         std::size_t rxReserved = 0; ///< in-flight copy bytes
+        sim::Tick drainStart = 0;   ///< timeline: R1 tick of drain
     };
 
     /** One MMIO access to a control field of a DIMM's SRAM. */
@@ -145,6 +146,7 @@ class McnHostDriver : public sim::SimObject
     os::NetDevice *uplink_ = nullptr;
     std::unique_ptr<os::HrTimer> pollTimer_;
     bool pollInFlight_ = false;
+    sim::Tick pollStart_ = 0; ///< timeline: tick the sweep began
 
     sim::Scalar statF1_{"f1HostDeliveries",
                         "frames delivered to the host stack"};

@@ -31,16 +31,18 @@ McnDmaEngine::transfer(std::uint64_t bytes,
 
     // The driver writes the descriptor (node number + size) into
     // the engine's configuration space, then the engine streams.
+    const sim::Tick t0 = curTick();
     kernel_.cpus().leastLoaded().execute(
         kernel_.costs().dmaSetup,
-        [this, bytes, done = std::move(done)](sim::Tick) {
+        [this, bytes, t0, done = std::move(done)](sim::Tick) {
             arbiter_.startTransfer(
                 bytes,
-                [this, done](sim::Tick) {
+                [this, t0, done](sim::Tick) {
                     // Completion interrupt, then the callback.
                     kernel_.cpus().execute(
                         kernel_.costs().interruptEntry,
-                        [done](sim::Tick at) {
+                        [this, t0, done](sim::Tick at) {
+                            tlSpan("dmaTransfer", t0, at);
                             if (done)
                                 done(at);
                         },

@@ -61,7 +61,9 @@ McnDriver::xmit(net::PacketPtr pkt)
 
     // The message becomes visible in the ring only when the
     // modelled copy completes (T3: update tx-end, fence, tx-poll).
-    auto finish = [this, pkt, need](sim::Tick now) {
+    const sim::Tick t0 = curTick();
+    auto finish = [this, pkt, need, t0](sim::Tick now) {
+        tlSpan("mcnTxCopy", t0, now);
         pkt->trace.stamp(net::Stage::DriverTx, now);
         bool ok = iface_.sram().tx().enqueue(
             pkt->cdata(), pkt->size(),
@@ -113,6 +115,7 @@ McnDriver::drainRx()
 
     auto msg = ring.dequeue();
     MCNSIM_ASSERT(msg, "non-empty ring without front message");
+    iface_.recordRingLevels();
     statRxMsgs_ += 1;
     std::uint64_t bytes = msg->bytes.size();
     trace("MCNDriver", "drain RX ring: ", bytes, "B");
@@ -120,7 +123,9 @@ McnDriver::drainRx()
     pkt->trace = msg->trace;
 
     const auto &costs = kernel_.costs();
-    auto deliver = [this, pkt](sim::Tick now) {
+    const sim::Tick t0 = curTick();
+    auto deliver = [this, pkt, t0](sim::Tick now) {
+        tlSpan("mcnRxCopy", t0, now);
         pkt->trace.stamp(net::Stage::DriverRx, now);
         deliverUp(pkt);
         drainRx();

@@ -43,6 +43,8 @@ McnInterface::hostDepositedRx()
 {
     sram_.setRxPoll();
     statRxIrqs_ += 1;
+    tlInstant("rxIrq");
+    recordRingLevels();
     if (rxIrq_)
         rxIrq_();
 }
@@ -51,8 +53,10 @@ void
 McnInterface::mcnDepositedTx()
 {
     sram_.setTxPoll();
+    recordRingLevels();
     if (alert_) {
         statAlerts_ += 1;
+        tlInstant("txAlert");
         alert_();
     }
 }

@@ -83,6 +83,22 @@ class McnInterface : public sim::SimObject
      */
     void mcnDepositedTx();
 
+    /**
+     * Timeline hook: sample both ring fill levels as counters on
+     * this DIMM's track. Drivers call it after every enqueue or
+     * dequeue; a run without the timeline pays one branch.
+     */
+    void
+    recordRingLevels()
+    {
+        if (sim::Timeline::active()) [[unlikely]] {
+            tlCounter("txRingBytes",
+                      static_cast<double>(sram_.tx().usedBytes()));
+            tlCounter("rxRingBytes",
+                      static_cast<double>(sram_.rx().usedBytes()));
+        }
+    }
+
     std::uint64_t rxIrqsRaised() const
     {
         return static_cast<std::uint64_t>(statRxIrqs_.value());

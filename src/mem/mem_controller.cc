@@ -113,6 +113,7 @@ MemController::serviceMmio(MemRequest &req, const MmioRegion &r)
     Tick start = std::max(curTick(), busFreeAt_);
     busFreeAt_ = start + timing_.tBURST;
     updateCoupling(start, busFreeAt_);
+    tlSpan("mmio", start, busFreeAt_);
     Tick lat = req.kind == MemRequest::Kind::Read ? r.readLatency
                                                   : r.writeLatency;
     Tick done_at = busFreeAt_ + lat;
@@ -258,6 +259,7 @@ MemController::issueTo(Pending &p, bool is_write)
     bank.commit(col_at, act_at, c.row, is_write, timing_);
     busFreeAt_ = col_at + timing_.tBURST;
     updateCoupling(col_at, busFreeAt_);
+    tlSpan("busBurst", col_at, busFreeAt_);
 
     if (!is_write) {
         Tick done_at = col_at + timing_.tCL + timing_.tBURST;

@@ -83,6 +83,8 @@ EthernetSwitch::egress(std::uint32_t port, net::PacketPtr pkt)
         return;
     }
     statForwarded_ += 1;
+    // The forwarding pipeline occupies [now, now + fwdLatency_].
+    tlSpan("fwd", curTick(), curTick() + fwdLatency_);
     Port *p = ports_[port].get();
     eventQueue().scheduleIn(
         [link, p, pkt] { link->sendFrom(p, pkt); }, fwdLatency_,

@@ -87,6 +87,12 @@ void
 Nic::toWire(net::PacketPtr pkt)
 {
     txInFlight_--;
+    // Doorbell -> wire, straight off the packet's latency stamps.
+    if (sim::Timeline::active()) [[unlikely]] {
+        sim::Tick t0 = pkt->trace.at(net::Stage::DriverTx);
+        if (t0 != net::LatencyTrace::unreached)
+            tlSpan("nicTx", t0, curTick());
+    }
     countTx(*pkt);
     if (!link_)
         return;
@@ -175,6 +181,7 @@ Nic::receiveFrame(net::PacketPtr pkt)
         return;
     }
     rxRingUsed_++;
+    tlCounter("rxRingUsed", static_cast<double>(rxRingUsed_));
     trace("NIC", "rx frame ", pkt->size(), "B -> DMA to host");
 
     // DMA the frame into the next RX ring buffer in host DRAM.
@@ -189,6 +196,7 @@ Nic::receiveFrame(net::PacketPtr pkt)
                     if (!napiActive_) {
                         napiActive_ = true;
                         statIrqs_ += 1;
+                        tlInstant("rxIrq");
                         kernel_.irq().raise(irqLine_);
                     }
                 },
@@ -228,10 +236,18 @@ Nic::napiPoll()
     kernel_.cpus().leastLoaded().execute(
         cycles, [this, batch = std::move(batch)](sim::Tick now) {
             for (const auto &p : batch) {
+                // Host-DRAM landing -> stack delivery, per packet.
+                if (sim::Timeline::active()) [[unlikely]] {
+                    sim::Tick t0 = p->trace.at(net::Stage::DmaRx);
+                    if (t0 != net::LatencyTrace::unreached)
+                        tlSpan("nicRx", t0, now);
+                }
                 p->trace.stamp(net::Stage::DriverRx, now);
                 rxRingUsed_--;
                 deliverUp(p);
             }
+            tlCounter("rxRingUsed",
+                      static_cast<double>(rxRingUsed_));
             if (!rxCompleted_.empty()) {
                 napiSchedule(); // keep polling
             } else {

@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_set>
 
 #include "sim/logging.hh"
@@ -187,6 +189,10 @@ EventQueue::popAndRun()
         Trace::emit(curTick_, "Event",
                     strcat(name_, ": run '", ev->name(), "' prio=",
                            static_cast<int>(ev->priority())));
+    if (profiling_) [[unlikely]] {
+        dispatchProfiled(ev);
+        return;
+    }
     if (ev->managed_) {
         // Devirtualized dispatch: a managed event is always a pooled
         // CallbackEvent, so skip the vtable hop.
@@ -197,6 +203,48 @@ EventQueue::popAndRun()
     } else {
         ev->process();
     }
+}
+
+void
+EventQueue::dispatchProfiled(Event *ev)
+{
+    // Capture the name pointer before dispatch: a managed event's
+    // slot is recycled (and its name reset) the moment it completes.
+    // Literal and interned names are process-lifetime, so the saved
+    // pointer keys the aggregation map safely afterwards.
+    const char *name = ev->name_;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (ev->managed_) {
+        auto *cb = static_cast<CallbackEvent *>(ev);
+        cb->fn_();
+        if (!cb->scheduled_)
+            recycle(cb);
+    } else {
+        ev->process();
+    }
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    auto &row = profile_[name];
+    row.first++;
+    row.second += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+            .count());
+}
+
+std::vector<EventQueue::ProfileEntry>
+EventQueue::profileEntries() const
+{
+    std::vector<ProfileEntry> out;
+    out.reserve(profile_.size());
+    for (const auto &[name, row] : profile_)
+        out.push_back(ProfileEntry{name, row.first, row.second});
+    std::sort(out.begin(), out.end(),
+              [](const ProfileEntry &a, const ProfileEntry &b) {
+                  if (a.hostNs != b.hostNs)
+                      return a.hostNs > b.hostNs;
+                  return std::string_view(a.name) <
+                         std::string_view(b.name);
+              });
+    return out;
 }
 
 Tick

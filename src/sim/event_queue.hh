@@ -52,6 +52,7 @@
 #include <memory>
 #include <string>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -316,6 +317,33 @@ class EventQueue
         return poolCarved_ - freeList_.size();
     }
 
+    // Host-time event profiler ---------------------------------------
+    //
+    // When enabled, every dispatch is timed with the host's
+    // steady_clock and accumulated per event name. Names are
+    // non-owning interned/literal pointers, so aggregation is a
+    // pointer-keyed hash map -- no string hashing on the dispatch
+    // path. The disabled cost is one predictable branch in
+    // popAndRun() (same budget as the flight-recorder gate).
+
+    /** One row of the host-time profile (see profileEntries()). */
+    struct ProfileEntry
+    {
+        const char *name;      ///< interned/literal event name
+        std::uint64_t count;   ///< dispatches observed
+        std::uint64_t hostNs;  ///< accumulated host wall time
+    };
+
+    /** Turn per-event-name host-time profiling on or off. */
+    void setProfiling(bool on) { profiling_ = on; }
+    bool profilingEnabled() const { return profiling_; }
+
+    /** Drop all accumulated profile rows. */
+    void resetProfile() { profile_.clear(); }
+
+    /** Profile rows sorted by accumulated host time, descending. */
+    std::vector<ProfileEntry> profileEntries() const;
+
   private:
     /** Sequence numbers occupy the low 48 bits of an Entry key (the
      *  biased priority sits above them), so one 64-bit compare
@@ -365,6 +393,7 @@ class EventQueue
     };
 
     void popAndRun();
+    void dispatchProfiled(Event *ev);
     void compact();
     CallbackEvent *acquireSlot();
     void recycle(CallbackEvent *ev);
@@ -383,9 +412,14 @@ class EventQueue
     std::uint64_t processed_ = 0;
     std::size_t staleEntries_ = 0;
     std::size_t poolCarved_ = 0;
+    bool profiling_ = false;
     std::vector<Entry> heap_;
     std::vector<CallbackEvent *> freeList_;
     std::vector<std::unique_ptr<CallbackEvent[]>> slabs_;
+    /** name pointer -> (dispatch count, accumulated host ns). */
+    std::unordered_map<const char *,
+                       std::pair<std::uint64_t, std::uint64_t>>
+        profile_;
 };
 
 } // namespace mcnsim::sim

@@ -10,7 +10,8 @@
 namespace mcnsim::sim {
 
 SimObject::SimObject(Simulation &simulation, std::string name)
-    : sim_(simulation), name_(std::move(name)), statGroup_(name_)
+    : sim_(simulation), name_(std::move(name)), statGroup_(name_),
+      tlTrack_(Timeline::instance().trackFor(name_))
 {
     sim_.registerObject(this);
     sim_.statRegistry().add(&statGroup_);

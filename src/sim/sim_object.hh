@@ -13,6 +13,7 @@
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/timeline.hh"
 #include "sim/types.hh"
 
 namespace mcnsim::sim {
@@ -58,10 +59,46 @@ class SimObject
         mcnsim::sim::dprintf(curTick(), flag, name_, ": ", args...);
     }
 
+    // Timeline shorthands: every SimObject owns a timeline track
+    // (process = first dot-segment of the name, thread = full name).
+    // Each helper is gated on the one-branch Timeline::active() check
+    // so an un-traced run pays a single predictable branch per call
+    // site. @p name must outlive the timeline (string literal).
+
+    /** Record a complete span [start, end] on this object's track. */
+    void
+    tlSpan(const char *name, Tick start, Tick end) const
+    {
+        if (Timeline::active()) [[unlikely]]
+            Timeline::instance().span(tlTrack_, name, start, end);
+    }
+
+    /** Record a counter sample at the current tick. */
+    void
+    tlCounter(const char *name, double value) const
+    {
+        if (Timeline::active()) [[unlikely]]
+            Timeline::instance().counter(tlTrack_, name, curTick(),
+                                         value);
+    }
+
+    /** Record an instant event at the current tick. */
+    void
+    tlInstant(const char *name) const
+    {
+        if (Timeline::active()) [[unlikely]]
+            Timeline::instance().instant(tlTrack_, name, curTick());
+    }
+
+    /** This object's timeline track, for recording against explicit
+     *  ticks via Timeline::instance() directly. */
+    Timeline::TrackId tlTrack() const { return tlTrack_; }
+
   private:
     Simulation &sim_;
     std::string name_;
     StatGroup statGroup_;
+    Timeline::TrackId tlTrack_;
 };
 
 } // namespace mcnsim::sim

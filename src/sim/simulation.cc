@@ -5,11 +5,13 @@
 
 #include "sim/simulation.hh"
 
+#include "sim/json.hh"
 #include "sim/sim_object.hh"
 
 namespace mcnsim::sim {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(std::uint64_t seed) : rng_(seed), seed_(seed)
+{}
 
 Tick
 Simulation::run(Tick until)
@@ -21,6 +23,47 @@ Simulation::run(Tick until)
             objects_[i]->startup();
     }
     return queue_.run(until);
+}
+
+double
+Simulation::wallSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - created_)
+        .count();
+}
+
+void
+Simulation::dumpStatsJson(std::ostream &os)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("schema_version", std::uint64_t{2});
+    w.key("meta");
+    w.beginObject();
+    w.kv("seed", seed_);
+    w.kv("sim_ticks", curTick());
+    w.kv("sim_seconds", ticksToSeconds(curTick()));
+    w.kv("events_processed", queue_.eventsProcessed());
+    w.kv("wall_seconds", wallSeconds());
+    for (const auto &[k, v] : metadata_)
+        w.kv(k, v);
+    w.endObject();
+    statRegistry_.writeGroups(w);
+    if (queue_.profilingEnabled()) {
+        w.key("event_profile");
+        w.beginArray();
+        for (const auto &row : queue_.profileEntries()) {
+            w.beginObject();
+            w.kv("name", row.name);
+            w.kv("count", row.count);
+            w.kv("host_ns", row.hostNs);
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+    os << "\n";
 }
 
 } // namespace mcnsim::sim

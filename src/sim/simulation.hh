@@ -18,8 +18,11 @@
 #ifndef MCNSIM_SIM_SIMULATION_HH
 #define MCNSIM_SIM_SIMULATION_HH
 
+#include <chrono>
 #include <cstdint>
 #include <ostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -55,15 +58,40 @@ class Simulation
     /** Dump all registered statistics as text. */
     void dumpStats(std::ostream &os) { statRegistry_.dump(os); }
 
-    /** Dump all registered statistics as one JSON document. */
-    void
-    dumpStatsJson(std::ostream &os)
-    {
-        statRegistry_.dumpJson(os);
-    }
+    /**
+     * Dump all registered statistics as one JSON document,
+     * self-describing: a "meta" header (seed, sim ticks, events
+     * processed, wall-clock seconds, plus any setMetadata() pairs
+     * such as the preset name), the stat "groups", and -- when the
+     * event queue's profiler is enabled -- an "event_profile" array
+     * of {name, count, host_ns} rows sorted by host time.
+     * schema_version 2; version 1 (groups only) remains available
+     * via StatRegistry::dumpJson.
+     */
+    void dumpStatsJson(std::ostream &os);
 
     /** Reset all statistics (e.g. after warmup). */
     void resetStats() { statRegistry_.resetAll(); }
+
+    /** RNG seed this simulation was constructed with. */
+    std::uint64_t seed() const { return seed_; }
+
+    /** Attach a key/value pair to the stats-dump "meta" header
+     *  (e.g. preset name, CLI command). Later pairs append. */
+    void
+    setMetadata(std::string key, std::string value)
+    {
+        metadata_.emplace_back(std::move(key), std::move(value));
+    }
+
+    const std::vector<std::pair<std::string, std::string>> &
+    metadata() const
+    {
+        return metadata_;
+    }
+
+    /** Host wall-clock seconds since construction. */
+    double wallSeconds() const;
 
   private:
     friend class SimObject;
@@ -73,6 +101,10 @@ class Simulation
     StatRegistry statRegistry_;
     Rng rng_;
     std::vector<SimObject *> objects_;
+    std::vector<std::pair<std::string, std::string>> metadata_;
+    std::uint64_t seed_;
+    std::chrono::steady_clock::time_point created_ =
+        std::chrono::steady_clock::now();
     bool started_ = false;
 };
 

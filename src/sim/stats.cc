@@ -193,13 +193,19 @@ StatRegistry::dumpJson(std::ostream &os) const
     json::Writer w(os);
     w.beginObject();
     w.kv("schema_version", std::uint64_t{1});
+    writeGroups(w);
+    w.endObject();
+    os << "\n";
+}
+
+void
+StatRegistry::writeGroups(json::Writer &w) const
+{
     w.key("groups");
     w.beginArray();
     for (const auto *g : groups_)
         g->toJson(w);
     w.endArray();
-    w.endObject();
-    os << "\n";
 }
 
 void

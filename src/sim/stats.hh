@@ -185,7 +185,15 @@ class StatRegistry
      *  and stat (schema in README.md §Observability). */
     void dumpJson(std::ostream &os) const;
 
+    /** Write just the "groups" member (key + array) into an open
+     *  JSON object, for callers composing a larger document
+     *  (Simulation::dumpStatsJson wraps this with run metadata). */
+    void writeGroups(json::Writer &w) const;
+
     void resetAll();
+
+    /** Registered groups, for walkers like StatSampler. */
+    const std::vector<StatGroup *> &groups() const { return groups_; }
 
   private:
     std::vector<StatGroup *> groups_;

@@ -5,12 +5,25 @@
 
 #include "sim/trace_ring.hh"
 
+#include <cstdlib>
+
 namespace mcnsim::sim {
 
 TraceRing &
 TraceRing::instance()
 {
-    static TraceRing ring;
+    // MCNSIM_TRACE_RING=N sizes the process-wide ring at first use
+    // (the CLI's --trace-ring flag calls setCapacity() instead).
+    static TraceRing ring = [] {
+        std::size_t cap = defaultCapacity;
+        if (const char *env = std::getenv("MCNSIM_TRACE_RING")) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(env, &end, 10);
+            if (end != env && *end == '\0' && v > 0)
+                cap = static_cast<std::size_t>(v);
+        }
+        return TraceRing(cap);
+    }();
     return ring;
 }
 

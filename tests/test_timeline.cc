@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Tests for the timeline observability layer: the Perfetto/Chrome
+ * trace-event recorder (sim/timeline.hh), the periodic stats
+ * sampler (sim/stat_sampler.hh), the host-time event profiler in
+ * EventQueue, and the self-describing Simulation::dumpStatsJson
+ * metadata header.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/json.hh"
+#include "sim/sim_object.hh"
+#include "sim/simulation.hh"
+#include "sim/stat_sampler.hh"
+#include "sim/stats.hh"
+#include "sim/timeline.hh"
+
+using namespace mcnsim::sim;
+
+namespace {
+
+/** Leave the process-wide timeline off and empty between tests. */
+struct TimelineGuard
+{
+    TimelineGuard()
+    {
+        Timeline::instance().enable(false);
+        Timeline::instance().clear();
+    }
+    ~TimelineGuard()
+    {
+        Timeline::instance().enable(false);
+        Timeline::instance().clear();
+        Timeline::instance().setCapacity(Timeline::defaultCapacity);
+    }
+};
+
+/** A SimObject exposing the protected timeline helpers. */
+struct Component : SimObject
+{
+    using SimObject::SimObject;
+
+    void
+    emitAll()
+    {
+        tlSpan("work", curTick(), curTick() + 100);
+        tlCounter("depth", 3.0);
+        tlInstant("kick");
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Timeline recorder
+// ---------------------------------------------------------------------
+
+TEST(Timeline, TrackForSplitsProcessAndThread)
+{
+    Timeline tl;
+    auto a = tl.trackFor("host.mcndrv");
+    auto b = tl.trackFor("host.mem.mc0");
+    auto c = tl.trackFor("mcn0.eth0");
+    auto d = tl.trackFor("tor");
+
+    EXPECT_EQ(tl.tracks()[a].process, "host");
+    EXPECT_EQ(tl.tracks()[a].thread, "host.mcndrv");
+    EXPECT_EQ(tl.tracks()[b].process, "host");
+    EXPECT_EQ(tl.tracks()[c].process, "mcn0");
+    EXPECT_EQ(tl.tracks()[d].process, "tor");
+    EXPECT_EQ(tl.tracks()[d].thread, "tor");
+
+    // Same process -> same pid, distinct tids.
+    EXPECT_EQ(tl.tracks()[a].pid, tl.tracks()[b].pid);
+    EXPECT_NE(tl.tracks()[a].tid, tl.tracks()[b].tid);
+    EXPECT_NE(tl.tracks()[a].pid, tl.tracks()[c].pid);
+
+    // Idempotent registration.
+    EXPECT_EQ(tl.trackFor("host.mcndrv"), a);
+    EXPECT_EQ(tl.trackCount(), 4u);
+}
+
+TEST(Timeline, RecordsOnlyWhenEnabledAndClampsBackwardSpans)
+{
+    Timeline tl;
+    auto t = tl.trackFor("host");
+
+    tl.span(t, "ignored", 0, 10); // not enabled yet
+    EXPECT_EQ(tl.eventCount(), 0u);
+
+    tl.enable(true);
+    tl.span(t, "s", 100, 250);
+    tl.counter(t, "c", 120, 7.5);
+    tl.instant(t, "i", 130);
+    tl.span(t, "backwards", 500, 400); // clamped to zero length
+    ASSERT_EQ(tl.eventCount(), 4u);
+    EXPECT_EQ(tl.records()[3].end, tl.records()[3].start);
+
+    tl.enable(false);
+    tl.span(t, "late", 600, 700);
+    EXPECT_EQ(tl.eventCount(), 4u);
+}
+
+TEST(Timeline, CapacityBoundDropsAndCounts)
+{
+    Timeline tl(3);
+    tl.enable(true);
+    auto t = tl.trackFor("host");
+    for (Tick i = 0; i < 10; ++i)
+        tl.instant(t, "e", i);
+    EXPECT_EQ(tl.eventCount(), 3u);
+    EXPECT_EQ(tl.dropped(), 7u);
+
+    // Shrinking the bound truncates and counts the loss.
+    tl.setCapacity(1);
+    EXPECT_EQ(tl.eventCount(), 1u);
+    EXPECT_EQ(tl.dropped(), 9u);
+
+    tl.clear();
+    EXPECT_EQ(tl.eventCount(), 0u);
+    EXPECT_EQ(tl.dropped(), 0u);
+    EXPECT_EQ(tl.trackCount(), 1u); // tracks survive clear()
+}
+
+TEST(Timeline, ExportIsValidChromeTraceJson)
+{
+    Timeline tl;
+    tl.enable(true);
+    auto drv = tl.trackFor("host.mcndrv");
+    auto eth = tl.trackFor("mcn0.eth0");
+    tl.span(drv, "poll", 2 * oneUs, 3 * oneUs);
+    tl.span(drv, "drain", 5 * oneUs, 9 * oneUs);
+    tl.counter(eth, "ring", 4 * oneUs, 1536.0);
+    tl.instant(eth, "irq", 6 * oneUs);
+    // Recorded out of tick order on purpose: export must sort.
+    tl.span(eth, "copy", 1 * oneUs, 2 * oneUs);
+
+    std::ostringstream os;
+    tl.exportJson(os, {{"command", "unit-test"}});
+    json::Value doc = json::parse(os.str());
+
+    EXPECT_EQ(doc["otherData"]["command"].asString(), "unit-test");
+    EXPECT_EQ(doc["otherData"]["dropped_events"].asNumber(), 0.0);
+
+    const auto &evs = doc["traceEvents"].asArray();
+    std::map<std::pair<double, double>, double> lastTs;
+    std::size_t spans = 0, counters = 0, instants = 0, metas = 0;
+    for (const auto &e : evs) {
+        const std::string &ph = e["ph"].asString();
+        if (ph == "M") {
+            metas++;
+            continue;
+        }
+        double ts = e["ts"].asNumber();
+        EXPECT_GE(ts, 0.0);
+        auto key = std::make_pair(e["pid"].asNumber(),
+                                  e["tid"].asNumber());
+        auto it = lastTs.find(key);
+        if (it != lastTs.end()) {
+            EXPECT_GE(ts, it->second) << "ts not monotone per thread";
+        }
+        lastTs[key] = ts;
+        if (ph == "X") {
+            spans++;
+            EXPECT_GE(e["dur"].asNumber(), 0.0);
+        } else if (ph == "C") {
+            counters++;
+            EXPECT_EQ(e["args"]["value"].asNumber(), 1536.0);
+        } else if (ph == "i") {
+            instants++;
+            EXPECT_EQ(e["s"].asString(), "t");
+        }
+    }
+    EXPECT_EQ(spans, 3u);
+    EXPECT_EQ(counters, 1u);
+    EXPECT_EQ(instants, 1u);
+    // 2 processes + 2 threads named.
+    EXPECT_EQ(metas, 4u);
+
+    // ts is microseconds: the earliest span starts at 1 µs.
+    for (const auto &e : evs) {
+        if (e["ph"].asString() == "X" &&
+            e["name"].asString() == "copy") {
+            EXPECT_DOUBLE_EQ(e["ts"].asNumber(), 1.0);
+        }
+    }
+}
+
+TEST(Timeline, SimObjectHelpersRecordOnOwnTrack)
+{
+    TimelineGuard guard;
+    Simulation s;
+    Component comp(s, "node7.widget");
+
+    EXPECT_FALSE(Timeline::active());
+    comp.emitAll(); // gated off: nothing recorded
+    EXPECT_EQ(Timeline::instance().eventCount(), 0u);
+
+    Timeline::instance().enable(true);
+    EXPECT_TRUE(Timeline::active());
+    comp.emitAll();
+    auto &tl = Timeline::instance();
+    ASSERT_EQ(tl.eventCount(), 3u);
+    const auto &track = tl.tracks()[tl.records()[0].track];
+    EXPECT_EQ(track.process, "node7");
+    EXPECT_EQ(track.thread, "node7.widget");
+}
+
+// ---------------------------------------------------------------------
+// Stats sampler
+// ---------------------------------------------------------------------
+
+TEST(StatSampler, EmitsFloorRuntimeOverPeriodPlusOneSnapshots)
+{
+    // Exact divisor and a ragged remainder: floor(T/P)+1 both ways.
+    for (Tick runtime : {100 * oneUs, 95 * oneUs, 9 * oneUs}) {
+        Simulation s;
+        StatSampler sampler(s, 10 * oneUs);
+        sampler.addProbe("tick", [&s] {
+            return static_cast<double>(s.curTick());
+        });
+        sampler.start();
+        s.run(runtime);
+        sampler.stop();
+
+        std::size_t expect =
+            static_cast<std::size_t>(runtime / (10 * oneUs)) + 1;
+        EXPECT_EQ(sampler.snapshotCount(), expect)
+            << "runtime " << runtime;
+        ASSERT_EQ(sampler.ticks().size(), expect);
+        EXPECT_EQ(sampler.ticks().front(), 0u);
+        EXPECT_EQ(sampler.ticks().back(),
+                  (runtime / (10 * oneUs)) * 10 * oneUs);
+        // The probe saw the snapshot-time tick.
+        EXPECT_DOUBLE_EQ(sampler.values(0).back(),
+                         static_cast<double>(sampler.ticks().back()));
+    }
+}
+
+TEST(StatSampler, RegistryWalkFiltersAndSamplesScalars)
+{
+    Simulation s;
+    Component comp(s, "nodeA.dev");
+    Scalar bytes{"txBytes", "bytes sent"};
+    Average lat{"lat", "latency"};
+    Histogram hist{"dist", "ignored by sampler", 0, 10, 4};
+    comp.stats().add(&bytes);
+    comp.stats().add(&lat);
+    comp.stats().add(&hist);
+
+    StatSampler sampler(s, oneUs);
+    // Filter by qualified name; histograms never match.
+    EXPECT_EQ(sampler.addRegistryStats("nodeA.dev."), 2u);
+    sampler.start();
+    bytes += 1000;
+    lat.sample(4.0);
+    s.run(2 * oneUs);
+    sampler.stop();
+
+    ASSERT_EQ(sampler.snapshotCount(), 3u);
+    EXPECT_EQ(sampler.probeCount(), 2u);
+    // Probe 0 is the scalar: 0 at t0, 1000 afterwards.
+    EXPECT_DOUBLE_EQ(sampler.values(0).front(), 0.0);
+    EXPECT_DOUBLE_EQ(sampler.values(0).back(), 1000.0);
+    EXPECT_DOUBLE_EQ(sampler.values(1).back(), 4.0);
+}
+
+TEST(StatSampler, ExportRoundTripsThroughJsonParser)
+{
+    Simulation s;
+    StatSampler sampler(s, 5 * oneUs);
+    sampler.addProbe("constant", [] { return 2.5; });
+    sampler.start();
+    s.run(20 * oneUs);
+    sampler.stop();
+
+    std::ostringstream os;
+    sampler.exportJson(os, {{"command", "unit-test"}});
+    json::Value doc = json::parse(os.str());
+
+    EXPECT_EQ(doc["schema_version"].asNumber(), 1.0);
+    EXPECT_EQ(doc["kind"].asString(), "mcnsim-stats-series");
+    EXPECT_EQ(doc["meta"]["command"].asString(), "unit-test");
+    EXPECT_EQ(doc["period_us"].asNumber(), 5.0);
+    EXPECT_EQ(doc["snapshots"].asNumber(), 5.0);
+    ASSERT_EQ(doc["ticks"].size(), 5u);
+    ASSERT_EQ(doc["series"].size(), 1u);
+    EXPECT_EQ(doc["series"][std::size_t{0}]["name"].asString(),
+              "constant");
+    EXPECT_EQ(
+        doc["series"][std::size_t{0}]["values"][std::size_t{4}]
+            .asNumber(),
+        2.5);
+}
+
+// ---------------------------------------------------------------------
+// Host-time event profiler
+// ---------------------------------------------------------------------
+
+TEST(EventProfiler, CountsMatchScriptedSequence)
+{
+    EventQueue q;
+    q.setProfiling(true);
+
+    int fired = 0;
+    for (Tick t = 1; t <= 3; ++t)
+        q.schedule([&fired] { fired++; }, t * oneNs, "alpha");
+    for (Tick t = 4; t <= 5; ++t)
+        q.schedule([&fired] { fired++; }, t * oneNs, "beta");
+    q.run();
+    EXPECT_EQ(fired, 5);
+
+    auto rows = q.profileEntries();
+    ASSERT_EQ(rows.size(), 2u);
+    std::map<std::string, std::uint64_t> counts;
+    for (const auto &r : rows)
+        counts[r.name] = r.count;
+    EXPECT_EQ(counts["alpha"], 3u);
+    EXPECT_EQ(counts["beta"], 2u);
+    // Sorted by accumulated host time, descending.
+    EXPECT_GE(rows[0].hostNs, rows[1].hostNs);
+
+    q.resetProfile();
+    EXPECT_TRUE(q.profileEntries().empty());
+}
+
+TEST(EventProfiler, DisabledByDefaultAndTogglable)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.profilingEnabled());
+    q.schedule([] {}, oneNs, "quiet");
+    q.run();
+    EXPECT_TRUE(q.profileEntries().empty());
+
+    q.setProfiling(true);
+    q.schedule([] {}, 2 * oneNs, "loud");
+    q.run();
+    auto rows = q.profileEntries();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_STREQ(rows[0].name, "loud");
+    EXPECT_EQ(rows[0].count, 1u);
+}
+
+TEST(EventProfiler, ManagedEventNameSurvivesRecycling)
+{
+    // The pooled slot's name is reset on recycle; the profiler must
+    // key on the pre-dispatch pointer, never "pool-free".
+    EventQueue q;
+    q.setProfiling(true);
+    for (int i = 0; i < 50; ++i)
+        q.schedule([] {}, static_cast<Tick>(i + 1), "recycled");
+    q.run();
+    auto rows = q.profileEntries();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_STREQ(rows[0].name, "recycled");
+    EXPECT_EQ(rows[0].count, 50u);
+}
+
+// ---------------------------------------------------------------------
+// Self-describing stats dump
+// ---------------------------------------------------------------------
+
+TEST(StatsDump, SimulationDumpCarriesRunMetadata)
+{
+    Simulation s(1234);
+    s.setMetadata("preset", "unit");
+    s.eventQueue().setProfiling(true);
+    s.eventQueue().schedule([] {}, 3 * oneUs, "meta-evt");
+    s.run(5 * oneUs);
+
+    std::ostringstream os;
+    s.dumpStatsJson(os);
+    json::Value doc = json::parse(os.str());
+
+    EXPECT_EQ(doc["schema_version"].asNumber(), 2.0);
+    EXPECT_EQ(doc["meta"]["seed"].asNumber(), 1234.0);
+    EXPECT_EQ(doc["meta"]["sim_ticks"].asNumber(),
+              static_cast<double>(5 * oneUs));
+    EXPECT_EQ(doc["meta"]["events_processed"].asNumber(), 1.0);
+    EXPECT_GE(doc["meta"]["wall_seconds"].asNumber(), 0.0);
+    EXPECT_EQ(doc["meta"]["preset"].asString(), "unit");
+    EXPECT_TRUE(doc["groups"].isArray());
+
+    const auto &prof = doc["event_profile"].asArray();
+    ASSERT_EQ(prof.size(), 1u);
+    EXPECT_EQ(prof[0]["name"].asString(), "meta-evt");
+    EXPECT_EQ(prof[0]["count"].asNumber(), 1.0);
+
+    // The registry-level dump keeps its v1 shape for old tooling.
+    std::ostringstream v1;
+    s.statRegistry().dumpJson(v1);
+    EXPECT_EQ(json::parse(v1.str())["schema_version"].asNumber(),
+              1.0);
+}

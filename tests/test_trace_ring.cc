@@ -129,6 +129,28 @@ TEST(TraceRing, DprintfRecordsOnlyWhenFlagEnabled)
     EXPECT_EQ(ring.snapshot().back().msg, "bytes=123");
 }
 
+TEST(TraceRing, GlobalRingWrapsAtConfiguredCapacity)
+{
+    // The CLI's --trace-ring flag resizes the process-wide ring via
+    // setCapacity; wraparound must hold at non-default sizes.
+    TraceStateGuard guard;
+    for (std::size_t cap : {5u, 17u, 300u}) {
+        auto &ring = TraceRing::instance();
+        ring.setCapacity(cap);
+        ASSERT_EQ(ring.capacity(), cap);
+        const std::size_t total = cap * 2 + 3;
+        for (std::size_t i = 0; i < total; ++i)
+            Trace::emit(i, "TestFlag",
+                        "msg " + std::to_string(i));
+        EXPECT_EQ(ring.size(), cap);
+        auto snap = ring.snapshot();
+        ASSERT_EQ(snap.size(), cap);
+        // Newest `cap` entries survive, oldest first.
+        for (std::size_t i = 0; i < cap; ++i)
+            EXPECT_EQ(snap[i].when, total - cap + i);
+    }
+}
+
 TEST(TraceRing, PanicDumpsFlightRecorder)
 {
     TraceStateGuard guard;

@@ -60,8 +60,14 @@ def artifact_path(art_dir, bench):
 
 
 def flatten(doc):
-    """Metric map of an artifact, with wall_seconds folded in."""
-    metrics = dict(doc.get("metrics", {}))
+    """Metric map of an artifact, with wall_seconds folded in.
+
+    Run-metadata blocks ("meta": seed, preset, wall clock, ...) and
+    any non-numeric entries are self-description, not measurements;
+    drop them so new metadata never trips the gate.
+    """
+    metrics = {k: v for k, v in doc.get("metrics", {}).items()
+               if k != "meta" and isinstance(v, (int, float))}
     if WALL_KEY in doc:
         metrics[WALL_KEY] = doc[WALL_KEY]
     return metrics

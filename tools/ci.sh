@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# One-command CI pipeline: configure + build, run the tier-1 test
+# suite, regenerate the bench artifacts (perf gate skipped -- CI
+# boxes are too noisy for the gate; run tools/run_benches.sh locally
+# for that), and validate the observability artifacts produced by a
+# short instrumented iperf run (timeline trace, stats series,
+# profiler table).
+#
+# Usage: tools/ci.sh [--build-dir DIR] [--skip-benches]
+set -eu
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build"
+SKIP_BENCHES=0
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --build-dir) BUILD_DIR="$2"; shift ;;
+        --skip-benches) SKIP_BENCHES=1 ;;
+        -h|--help)
+            sed -n '2,9p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0 ;;
+        *) echo "unknown option: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+echo "== configure + build =="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j
+
+echo
+echo "== tier-1 tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+if [ "$SKIP_BENCHES" -eq 0 ]; then
+    echo
+    echo "== bench artifacts (perf gate skipped) =="
+    "$REPO_ROOT/tools/run_benches.sh" --quick \
+        --build-dir "$BUILD_DIR" --skip-perf
+fi
+
+echo
+echo "== observability artifacts =="
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+"$BUILD_DIR/tools/mcnsim_cli" iperf --duration-ms=1 \
+    --timeline="$OBS_DIR/timeline.json" \
+    --stats-series="$OBS_DIR/series.json" \
+    --profile --profile-top=5
+python3 "$REPO_ROOT/tools/timeline_summary.py" \
+    "$OBS_DIR/timeline.json" --validate
+python3 - "$OBS_DIR/series.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema_version"] == 1, doc["schema_version"]
+assert doc["kind"] == "mcnsim-stats-series", doc["kind"]
+assert doc["snapshots"] >= 2, "need a multi-snapshot series"
+assert len(doc["ticks"]) == doc["snapshots"]
+for s in doc["series"]:
+    assert len(s["values"]) == doc["snapshots"], s["name"]
+print(f"stats series: OK ({doc['snapshots']} snapshots, "
+      f"{len(doc['series'])} series)")
+EOF
+
+echo
+echo "ci: all stages passed"

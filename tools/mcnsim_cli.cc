@@ -17,8 +17,22 @@
  *   --stats                        (dump the full stats registry)
  *   --stats-json=PATH              (stats registry as JSON; - = stdout)
  *   --trace-flags=A,B              (enable debug flags, like MCNSIM_DEBUG)
+ *
+ * Timeline observability (see README.md §Observability):
+ *   --timeline=PATH                (Chrome trace-event JSON; open in
+ *                                   ui.perfetto.dev or chrome://tracing)
+ *   --stats-series=PATH            (periodic stat snapshots as JSON)
+ *   --series-period-us=N           (sampling period, default 50 µs)
+ *   --series-filter=SUBSTR         (only stats whose "group.stat"
+ *                                   name contains SUBSTR)
+ *   --profile                      (per-event-name host-time profile;
+ *                                   top-N table after the run)
+ *   --profile-top=N                (rows in that table, default 20)
+ *   --trace-ring=N                 (flight-recorder ring capacity,
+ *                                   also via MCNSIM_TRACE_RING)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -26,6 +40,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.hh"
 #include "core/system_builder.hh"
@@ -33,6 +49,9 @@
 #include "dist/coral.hh"
 #include "dist/mapreduce.hh"
 #include "dist/npb.hh"
+#include "sim/stat_sampler.hh"
+#include "sim/timeline.hh"
+#include "sim/trace_ring.hh"
 
 using namespace mcnsim;
 using namespace mcnsim::core;
@@ -106,6 +125,115 @@ dumpRequestedStats(const Args &a, sim::Simulation &s)
     return f.good() ? 0 : 1;
 }
 
+/**
+ * One run's observability session: arms the timeline, stats
+ * sampler, event profiler and flight-recorder capacity from flags.
+ * Construct after the system is built (the sampler walks the stat
+ * registry); call finish() after the run to write the artifacts and
+ * print the profile table.
+ */
+class ObsSession
+{
+  public:
+    ObsSession(const Args &a, sim::Simulation &s) : a_(a), s_(s)
+    {
+        s_.setMetadata("command", a_.command);
+        s_.setMetadata("system", a_.get("system", "mcn"));
+        if (a_.has("trace-ring"))
+            sim::TraceRing::instance().setCapacity(
+                static_cast<std::size_t>(
+                    a_.getInt("trace-ring", 256)));
+        if (a_.has("timeline")) {
+            sim::Timeline::instance().clear();
+            sim::Timeline::instance().enable(true);
+        }
+        if (a_.has("profile"))
+            s_.eventQueue().setProfiling(true);
+        if (a_.has("stats-series")) {
+            auto period = static_cast<sim::Tick>(a_.getInt(
+                              "series-period-us", 50)) *
+                          sim::oneUs;
+            sampler_ =
+                std::make_unique<sim::StatSampler>(s_, period);
+            sampler_->addRegistryStats(a_.get("series-filter", ""));
+            sampler_->start();
+        }
+    }
+
+    /** Write the requested artifacts; nonzero on a write failure. */
+    int
+    finish()
+    {
+        int rc = 0;
+        std::vector<std::pair<std::string, std::string>> meta = {
+            {"command", a_.command},
+            {"system", a_.get("system", "mcn")},
+            {"seed", std::to_string(s_.seed())},
+        };
+        if (sampler_) {
+            sampler_->stop();
+            rc |= writeTo(a_.get("stats-series", "-"),
+                          [&](std::ostream &os) {
+                              sampler_->exportJson(os, meta);
+                          });
+        }
+        if (a_.has("timeline")) {
+            auto &tl = sim::Timeline::instance();
+            tl.enable(false);
+            rc |= writeTo(a_.get("timeline", "-"),
+                          [&](std::ostream &os) {
+                              tl.exportJson(os, meta);
+                          });
+        }
+        if (a_.has("profile"))
+            printProfile();
+        return rc;
+    }
+
+  private:
+    template <typename F>
+    int
+    writeTo(const std::string &path, F &&write)
+    {
+        if (path == "-" || path == "1") {
+            write(std::cout);
+            return 0;
+        }
+        std::ofstream f(path);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        write(f);
+        return f.good() ? 0 : 1;
+    }
+
+    void
+    printProfile()
+    {
+        auto rows = s_.eventQueue().profileEntries();
+        auto top = static_cast<std::size_t>(
+            a_.getInt("profile-top", 20));
+        std::printf("---- event profile: top %zu of %zu event "
+                    "names by host time ----\n",
+                    std::min(top, rows.size()), rows.size());
+        std::printf("%-32s %12s %14s %10s\n", "event", "count",
+                    "host_us", "avg_ns");
+        for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
+            const auto &r = rows[i];
+            std::printf("%-32s %12llu %14.1f %10.1f\n", r.name,
+                        static_cast<unsigned long long>(r.count),
+                        static_cast<double>(r.hostNs) / 1e3,
+                        static_cast<double>(r.hostNs) /
+                            static_cast<double>(r.count));
+        }
+    }
+
+    const Args &a_;
+    sim::Simulation &s_;
+    std::unique_ptr<sim::StatSampler> sampler_;
+};
+
 /** Build the system the flags describe. */
 std::unique_ptr<System>
 buildSystem(sim::Simulation &s, const Args &a)
@@ -164,13 +292,16 @@ cmdIperf(const Args &a)
         std::fprintf(stderr, "need >= 2 nodes for iperf\n");
         return 1;
     }
+    ObsSession obs(a, s);
     auto r = runIperf(s, *sys, 0, clients, dur);
     std::printf("iperf: %.2f Gbit/s across %d connections "
                 "(%llu bytes in %.1f ms)\n",
                 r.gbps, r.connections,
                 static_cast<unsigned long long>(r.bytes),
                 sim::ticksToSeconds(dur) * 1e3);
-    return dumpRequestedStats(a, s);
+    int orc = obs.finish();
+    int src = dumpRequestedStats(a, s);
+    return orc ? orc : src;
 }
 
 int
@@ -183,6 +314,7 @@ cmdPing(const Args &a)
     std::size_t size =
         static_cast<std::size_t>(a.getInt("size", 56));
     int count = static_cast<int>(a.getInt("count", 5));
+    ObsSession obs(a, s);
     auto pts = runPingSweep(s, *sys, 0, 1, {size}, count);
     if (pts.empty() || pts[0].lost == count) {
         std::printf("ping: no replies\n");
@@ -193,7 +325,9 @@ cmdPing(const Args &a)
                 size, sim::ticksToUs(pts[0].avgRtt),
                 sim::ticksToUs(pts[0].minRtt),
                 sim::ticksToUs(pts[0].maxRtt), count, pts[0].lost);
-    return dumpRequestedStats(a, s);
+    int orc = obs.finish();
+    int src = dumpRequestedStats(a, s);
+    return orc ? orc : src;
 }
 
 int
@@ -209,6 +343,7 @@ cmdWorkload(const Args &a)
         spec.scaledTo(static_cast<int>(placement.size()));
     scaled.iterations =
         static_cast<int>(a.getInt("iters", spec.iterations));
+    ObsSession obs(a, s);
     auto rep = runMpiWorkload(s, *sys, scaled, placement);
     std::printf("%s on %zu ranks: %s in %.2f ms, %.1f MB over "
                 "MPI\n",
@@ -216,9 +351,11 @@ cmdWorkload(const Args &a)
                 rep.completed ? "completed" : "DID NOT FINISH",
                 sim::ticksToSeconds(rep.makespan) * 1e3,
                 static_cast<double>(rep.mpiBytes) / 1e6);
+    int orc = obs.finish();
     if (!rep.completed)
         return 1;
-    return dumpRequestedStats(a, s);
+    int src = dumpRequestedStats(a, s);
+    return orc ? orc : src;
 }
 
 int
@@ -241,6 +378,7 @@ cmdMapReduce(const Args &a)
                    "' (wordcount/sort/grep)");
 
     auto placement = allCoresPlacement(*sys);
+    ObsSession obs(a, s);
     auto rep = runMapReduce(s, *sys, job, placement);
     std::printf("%s on %zu workers: %s in %.2f ms (map %.2f ms, "
                 "shuffle %.2f ms, %.1f MB shuffled)\n",
@@ -250,9 +388,11 @@ cmdMapReduce(const Args &a)
                 sim::ticksToSeconds(rep.mapPhase) * 1e3,
                 sim::ticksToSeconds(rep.shufflePhase) * 1e3,
                 static_cast<double>(rep.shuffledBytes) / 1e6);
+    int orc = obs.finish();
     if (!rep.completed)
         return 1;
-    return dumpRequestedStats(a, s);
+    int src = dumpRequestedStats(a, s);
+    return orc ? orc : src;
 }
 
 int
@@ -292,6 +432,14 @@ usage()
         "       --cores=N --level=0..5 --duration-ms=N --size=N\n"
         "       --count=N --name=<workload|job> --iters=N --stats\n"
         "       --stats-json=PATH|-  --trace-flags=FLAG1,FLAG2\n"
+        "observability:\n"
+        "       --timeline=PATH|-       Perfetto/chrome trace JSON\n"
+        "       --stats-series=PATH|-   periodic stat snapshots\n"
+        "       --series-period-us=N    sampling period (default 50)\n"
+        "       --series-filter=SUBSTR  restrict sampled stats\n"
+        "       --profile               host-time profile table\n"
+        "       --profile-top=N         rows in that table\n"
+        "       --trace-ring=N          flight-recorder capacity\n"
         "trace flags (also via MCNSIM_DEBUG): Event MCNDriver\n"
         "       MCNDma NIC Switch TCP DRAM IRQ ALL\n");
 }

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Summarize or validate an mcnsim timeline trace (--timeline=PATH).
+
+The trace is Chrome trace-event JSON (chrome://tracing or
+ui.perfetto.dev opens it directly); this tool is the headless
+companion:
+
+  * default: a per-track breakdown -- span count, busy time, and
+    the top span names by accumulated duration -- the numbers behind
+    a Table-III-style "where does the time go" analysis.
+  * --validate: structural checks (schema keys, phase-specific
+    fields, ts/dur sanity, per-thread ts monotonicity) and a nonzero
+    exit on any violation, for CI (tools/ci.sh).
+
+Usage:
+  tools/timeline_summary.py TRACE.json [--validate] [--top N]
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def validate(doc, problems):
+    """Append a message to problems for every structural violation."""
+    if not isinstance(doc, dict):
+        problems.append("document is not a JSON object")
+        return
+    for key in ("displayTimeUnit", "otherData", "traceEvents"):
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append("traceEvents is not an array")
+        return
+    if not events:
+        problems.append("traceEvents is empty")
+
+    last_ts = {}
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        ph = e.get("ph")
+        if ph not in ("M", "X", "C", "i"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if "name" not in e or "pid" not in e or "tid" not in e:
+            problems.append(f"{where}: missing name/pid/tid")
+            continue
+        if ph == "M":
+            if e.get("name") not in ("process_name", "thread_name"):
+                problems.append(
+                    f"{where}: metadata row named {e.get('name')!r}")
+            if "name" not in e.get("args", {}):
+                problems.append(f"{where}: metadata without args.name")
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+            continue
+        key = (e["pid"], e["tid"])
+        if key in last_ts and ts < last_ts[key]:
+            problems.append(
+                f"{where}: ts {ts} < {last_ts[key]} on track {key}; "
+                f"not monotone per thread")
+        last_ts[key] = ts
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        elif ph == "C":
+            if "value" not in e.get("args", {}):
+                problems.append(f"{where}: counter without args.value")
+        elif ph == "i":
+            if e.get("s") != "t":
+                problems.append(f"{where}: instant scope {e.get('s')!r}")
+
+
+def track_names(events):
+    """(pid, tid) -> "process.thread" label from the metadata rows."""
+    procs, threads = {}, {}
+    for e in events:
+        if e.get("ph") != "M":
+            continue
+        if e.get("name") == "process_name":
+            procs[e["pid"]] = e["args"]["name"]
+        elif e.get("name") == "thread_name":
+            threads[(e["pid"], e["tid"])] = e["args"]["name"]
+    return {key: name for key, name in threads.items()}, procs
+
+
+def summarize(doc, top):
+    events = doc["traceEvents"]
+    threads, _ = track_names(events)
+
+    per_track = collections.defaultdict(
+        lambda: {"spans": 0, "busy_us": 0.0, "counters": 0,
+                 "instants": 0})
+    per_name = collections.defaultdict(lambda: [0, 0.0])
+    t_min, t_max = None, None
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        key = (e["pid"], e["tid"])
+        row = per_track[key]
+        ts = e["ts"]
+        t_min = ts if t_min is None else min(t_min, ts)
+        if ph == "X":
+            row["spans"] += 1
+            row["busy_us"] += e["dur"]
+            cell = per_name[e["name"]]
+            cell[0] += 1
+            cell[1] += e["dur"]
+            t_max = max(t_max or 0, ts + e["dur"])
+        elif ph == "C":
+            row["counters"] += 1
+            t_max = max(t_max or 0, ts)
+        elif ph == "i":
+            row["instants"] += 1
+            t_max = max(t_max or 0, ts)
+
+    other = doc.get("otherData", {})
+    span_total = sum(r["busy_us"] for r in per_track.values())
+    print(f"timeline: {len(events)} rows, {len(per_track)} tracks, "
+          f"[{t_min:.1f}, {t_max:.1f}] us, "
+          f"dropped={other.get('dropped_events', 0)}")
+    for k in ("command", "system", "seed"):
+        if k in other:
+            print(f"  {k}: {other[k]}")
+
+    print(f"\n{'track':<24} {'spans':>7} {'busy_us':>10} "
+          f"{'counters':>9} {'instants':>9}")
+    for key in sorted(per_track,
+                      key=lambda k: -per_track[k]["busy_us"]):
+        r = per_track[key]
+        label = threads.get(key, f"pid{key[0]}.tid{key[1]}")
+        print(f"{label:<24} {r['spans']:>7} {r['busy_us']:>10.1f} "
+              f"{r['counters']:>9} {r['instants']:>9}")
+
+    print(f"\ntop {top} span names by accumulated duration:")
+    print(f"{'name':<16} {'count':>7} {'total_us':>10} {'share':>7}")
+    ranked = sorted(per_name.items(), key=lambda kv: -kv[1][1])
+    for name, (count, total) in ranked[:top]:
+        share = 100.0 * total / span_total if span_total else 0.0
+        print(f"{name:<16} {count:>7} {total:>10.1f} {share:>6.1f}%")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("trace", help="timeline JSON (--timeline=PATH)")
+    ap.add_argument("--validate", action="store_true",
+                    help="structural checks only; exit 1 on violation")
+    ap.add_argument("--top", type=int, default=12,
+                    help="span names to rank (default 12)")
+    args = ap.parse_args()
+
+    try:
+        doc = load(args.trace)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {args.trace}: {e}", file=sys.stderr)
+        return 2
+
+    problems = []
+    validate(doc, problems)
+    if args.validate:
+        for p in problems[:40]:
+            print(f"FAIL {p}", file=sys.stderr)
+        if problems:
+            print(f"timeline validate: {len(problems)} violation(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"timeline validate: OK "
+              f"({len(doc['traceEvents'])} rows)")
+        return 0
+
+    if problems:
+        print(f"warning: {len(problems)} structural issue(s); "
+              f"run --validate for details", file=sys.stderr)
+    summarize(doc, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
