@@ -75,7 +75,8 @@ main()
     double secs = sim::ticksToSeconds(s.curTick() - start);
     std::printf("TCP host -> mcn0: %zu bytes in %.2f ms (%.2f "
                 "Gbit/s)\n",
-                got, secs * 1e3, got * 8.0 / secs / 1e9);
+                got, secs * 1e3,
+                static_cast<double>(got) * 8.0 / secs / 1e9);
 
     // 4. Inspect a few stats the simulator kept along the way.
     std::printf("host driver: %llu poll scans, %llu deliveries, "

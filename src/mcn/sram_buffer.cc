@@ -7,6 +7,7 @@
 
 #include <cstring>
 
+#include "sim/checked.hh"
 #include "sim/logging.hh"
 
 namespace mcnsim::mcn {
@@ -37,10 +38,38 @@ MessageRing::readBytes(std::size_t pos, std::uint8_t *dst,
         std::memcpy(dst + n - (n - first), buf_.data(), n - first);
 }
 
+#ifdef MCNSIM_CHECKED
+void
+MessageRing::auditInvariants() const
+{
+    MCNSIM_CHECK(start_ < buf_.size() && end_ < buf_.size(),
+                 "MCN ring pointer out of bounds (start=", start_,
+                 " end=", end_, " capacity=", buf_.size(), ")");
+    MCNSIM_CHECK(used_ <= buf_.size(),
+                 "MCN ring overfull (used=", used_,
+                 " capacity=", buf_.size(), ")");
+    MCNSIM_CHECK((start_ + used_) % buf_.size() == end_,
+                 "MCN ring start/end/used inconsistent (start=",
+                 start_, " end=", end_, " used=", used_,
+                 " capacity=", buf_.size(), ")");
+    MCNSIM_CHECK(traces_.size() == enqueued_ - dequeued_,
+                 "MCN ring trace queue out of sync (", traces_.size(),
+                 " traces vs ", enqueued_ - dequeued_,
+                 " messages in flight)");
+}
+
+void
+MessageRing::corruptForTest()
+{
+    end_ = (end_ + 1) % buf_.size();
+}
+#endif
+
 bool
 MessageRing::enqueue(const std::uint8_t *data, std::size_t len,
                      std::shared_ptr<net::LatencyTrace> trace)
 {
+    MCNSIM_IF_CHECKED(auditInvariants();)
     std::size_t need = footprint(len);
     if (need > freeBytes() || len == 0)
         return false;
@@ -57,12 +86,14 @@ MessageRing::enqueue(const std::uint8_t *data, std::size_t len,
     end_ = (end_ + need) % buf_.size();
     used_ += need;
     enqueued_++;
+    MCNSIM_IF_CHECKED(auditInvariants();)
     return true;
 }
 
 std::optional<std::size_t>
 MessageRing::frontLength() const
 {
+    MCNSIM_IF_CHECKED(auditInvariants();)
     if (empty())
         return std::nullopt;
     std::uint8_t hdr[lengthFieldBytes];
@@ -94,16 +125,19 @@ MessageRing::dequeue()
     start_ = (start_ + need) % buf_.size();
     used_ -= need;
     dequeued_++;
+    MCNSIM_IF_CHECKED(auditInvariants();)
     return out;
 }
 
 SramBuffer::SramBuffer(std::size_t total_bytes, double tx_fraction)
     : total_(total_bytes),
       tx_(static_cast<std::size_t>(
-          (total_bytes - controlBytes) * tx_fraction)),
+          static_cast<double>(total_bytes - controlBytes) *
+          tx_fraction)),
       rx_(total_bytes - controlBytes -
-          static_cast<std::size_t>((total_bytes - controlBytes) *
-                                   tx_fraction))
+          static_cast<std::size_t>(
+              static_cast<double>(total_bytes - controlBytes) *
+              tx_fraction))
 {}
 
 } // namespace mcnsim::mcn

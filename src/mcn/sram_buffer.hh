@@ -78,8 +78,21 @@ class MessageRing
     std::uint64_t messagesEnqueued() const { return enqueued_; }
     std::uint64_t messagesDequeued() const { return dequeued_; }
 
+#ifdef MCNSIM_CHECKED
+    /** Checked build, tests only: deliberately desynchronise the
+     *  ring pointers so the invariant audit on the next operation
+     *  panics -- proves the detector actually fires. */
+    void corruptForTest();
+#endif
+
   private:
     static constexpr std::size_t lengthFieldBytes = 4;
+
+#ifdef MCNSIM_CHECKED
+    /** Checked build: audit start/end/used consistency, pointer
+     *  bounds and trace-queue sync; runs on every ring operation. */
+    void auditInvariants() const;
+#endif
 
     void writeBytes(std::size_t pos, const std::uint8_t *src,
                     std::size_t n);

@@ -69,9 +69,34 @@ Packet::unshare(std::size_t headroom, std::size_t tailroom)
     tail_ = headroom + n;
 }
 
+#ifdef MCNSIM_CHECKED
+void
+Packet::sealNow() const
+{
+    sealHash_ = sim::checked::hashBytes(buf_->data() + head_, size());
+    sealed_ = true;
+}
+
+void
+Packet::auditSeal() const
+{
+    if (!sealed_)
+        return;
+    const std::uint64_t now =
+        sim::checked::hashBytes(buf_->data() + head_, size());
+    if (now != sealHash_)
+        sim::panic("checked: CoW packet aliasing: the bytes of a "
+                   "sealed packet view changed without copy-on-write "
+                   "(write through a stale data() pointer or "
+                   "const_cast; src=", srcNode, " dst=", dstNode,
+                   " size=", size(), ")");
+}
+#endif
+
 std::uint8_t *
 Packet::push(std::size_t n)
 {
+    MCNSIM_IF_CHECKED(auditSeal(); sealed_ = false;)
     if (head_ < n) {
         // Grow headroom; rare if defaultHeadroom is sized right.
         // (Also covers the shared case: the copy detaches.)
@@ -86,13 +111,18 @@ Packet::push(std::size_t n)
 void
 Packet::pull(std::size_t n)
 {
+    MCNSIM_IF_CHECKED(auditSeal();)
     MCNSIM_ASSERT(n <= size(), "pulling past end of packet");
     head_ += n;
+    // The view changed; re-seal over the narrowed range so the
+    // protection follows the packet through header processing.
+    MCNSIM_IF_CHECKED(if (sealed_) sealNow();)
 }
 
 std::uint8_t *
 Packet::put(std::size_t n)
 {
+    MCNSIM_IF_CHECKED(auditSeal(); sealed_ = false;)
     if (buf_.use_count() > 1)
         unshare(head_, n); // copy-on-write with room for the tail
     else if (tail_ + n > buf_->size())
@@ -105,18 +135,25 @@ Packet::put(std::size_t n)
 void
 Packet::trim(std::size_t n)
 {
+    MCNSIM_IF_CHECKED(auditSeal();)
     MCNSIM_ASSERT(n <= size(), "trim growing packet");
     tail_ = head_ + n;
+    MCNSIM_IF_CHECKED(if (sealed_) sealNow();)
 }
 
 PacketPtr
 Packet::clone() const
 {
+    MCNSIM_IF_CHECKED(auditSeal();)
     auto copy = PacketPtr(new Packet(buf_, head_, tail_));
     copy->trace = trace;
     copy->srcNode = srcNode;
     copy->dstNode = dstNode;
     copy->tsoMss = tsoMss;
+    // The block is shared from here on: seal both views so any write
+    // that bypasses copy-on-write is caught at the next audit.
+    MCNSIM_IF_CHECKED(sealNow(); copy->sealHash_ = sealHash_;
+                      copy->sealed_ = true;)
     return copy;
 }
 

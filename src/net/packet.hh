@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/checked.hh"
 #include "sim/types.hh"
 
 namespace mcnsim::net {
@@ -111,7 +112,12 @@ class Packet
                                      defaultHeadroom);
 
     /** Current bytes (headers pushed so far + payload). */
-    const std::uint8_t *data() const { return buf_->data() + head_; }
+    const std::uint8_t *
+    data() const
+    {
+        MCNSIM_IF_CHECKED(auditSeal();)
+        return buf_->data() + head_;
+    }
 
     /**
      * Mutable view. Triggers copy-on-write when the buffer is shared
@@ -121,13 +127,19 @@ class Packet
     std::uint8_t *
     data()
     {
+        MCNSIM_IF_CHECKED(auditSeal(); sealed_ = false;)
         if (buf_.use_count() > 1)
             unshare(head_, 0);
         return buf_->data() + head_;
     }
 
     /** Read-only view that never triggers a copy. */
-    const std::uint8_t *cdata() const { return buf_->data() + head_; }
+    const std::uint8_t *
+    cdata() const
+    {
+        MCNSIM_IF_CHECKED(auditSeal();)
+        return buf_->data() + head_;
+    }
 
     std::size_t size() const { return tail_ - head_; }
 
@@ -185,6 +197,21 @@ class Packet
     /** Copy the live bytes into a private block with the given
      *  head/tail slack, detaching from any clones. */
     void unshare(std::size_t headroom, std::size_t tailroom);
+
+#ifdef MCNSIM_CHECKED
+    /** Checked build: hash the live bytes and mark the view sealed.
+     *  clone() seals both sides; every subsequent access re-verifies
+     *  the hash, so a write that bypassed copy-on-write (a cached
+     *  data() pointer from before clone(), a const_cast) panics at
+     *  the next audit instead of silently corrupting a clone. */
+    void sealNow() const;
+
+    /** Verify the seal (panic on mismatch); no-op when unsealed. */
+    void auditSeal() const;
+
+    mutable std::uint64_t sealHash_ = 0;
+    mutable bool sealed_ = false;
+#endif
 
     std::shared_ptr<Buf> buf_;
     std::size_t head_; ///< offset of the first live byte

@@ -250,7 +250,8 @@ TcpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt)
 // ---------------------------------------------------------------------
 
 TcpSocket::TcpSocket(TcpLayer &layer, std::string name)
-    : layer_(layer), stack_(layer.stack()), name_(std::move(name)),
+    : layer_(layer), stack_(layer.stack()),
+      queue_(layer.eventQueue()), name_(std::move(name)),
       connectCv_(layer.eventQueue()), acceptCv_(layer.eventQueue()),
       sendCv_(layer.eventQueue()), recvCv_(layer.eventQueue()),
       closeCv_(layer.eventQueue())
@@ -258,17 +259,21 @@ TcpSocket::TcpSocket(TcpLayer &layer, std::string name)
 
 TcpSocket::~TcpSocket()
 {
+    // Deschedule via the stored queue reference: when a socket held
+    // alive by a suspended task frame is reaped in ~EventQueue, the
+    // owning TcpLayer is already gone.
     if (rtoEvent_)
-        layer_.eventQueue().deschedule(rtoEvent_);
+        queue_.deschedule(rtoEvent_);
     if (delAckEvent_)
-        layer_.eventQueue().deschedule(delAckEvent_);
+        queue_.deschedule(delAckEvent_);
 }
 
 std::uint32_t
 TcpSocket::effectiveMss() const
 {
     std::uint32_t mtu = stack_.pathMtu(tuple_.remoteIp);
-    return mtu - Ipv4Header::size - TcpHeader::size;
+    return static_cast<std::uint32_t>(mtu - Ipv4Header::size -
+                                      TcpHeader::size);
 }
 
 std::uint32_t

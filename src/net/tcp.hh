@@ -262,6 +262,11 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket>
 
     TcpLayer &layer_;
     NetStack &stack_;
+    /// Stored directly: the queue provably outlives every SimObject
+    /// (it is Simulation's first member), while layer_ may already be
+    /// dead when a leaked socket is reaped with suspended coroutine
+    /// frames at ~EventQueue time.
+    sim::EventQueue &queue_;
     std::string name_;
     TcpTuple tuple_;
     TcpState state_ = TcpState::Closed;

@@ -31,27 +31,102 @@ internEventName(const std::string &name)
 
 Event::~Event()
 {
-    // An event must not be destroyed while scheduled; the queue would
-    // be left holding a dangling pointer. Managed events are recycled
-    // by the queue itself after clearing the flag.
-    assert(!scheduled_ && "event destroyed while scheduled");
+    // A caller-owned event may die while the queue still holds heap
+    // entries for it -- scheduled (a periodic device event whose
+    // owner is torn down before the Simulation) or lazily
+    // descheduled. Scrub those entries so the queue never
+    // dereferences a destroyed event; this makes destruction an
+    // implicit deschedule. Found by ASan/UBSan: the old code left
+    // dangling Event*s for ~EventQueue to read.
+    if (queue_ && (scheduled_ || staleRefs_ > 0))
+        queue_->forgetDead(this);
 }
 
 EventQueue::EventQueue(std::string name) : name_(std::move(name)) {}
 
 EventQueue::~EventQueue()
 {
+    // Reap suspended detached coroutine frames first: their locals'
+    // destructors may deschedule events, which needs the heap still
+    // intact.
+    destroyDetachedFrames();
+
     // Drain without executing: recycle managed events, detach the
-    // rest. The slabs (and every pooled event) are freed when the
-    // members are destroyed afterwards.
-    for (const Entry &e : heap_) {
-        if (e.ev->seq_ == e.seq()) {
-            e.ev->scheduled_ = false;
-            if (e.ev->managed_)
-                recycle(static_cast<CallbackEvent *>(e.ev));
+    // rest. Every non-null entry points at a live event (~Event
+    // scrubs entries for destroyed ones). The slabs (and every
+    // pooled event) are freed when the members are destroyed
+    // afterwards. Recycling destroys callback captures, which can
+    // re-enter deschedule() (a lambda dropping the last shared_ptr
+    // to a socket whose destructor cancels its timers); draining_
+    // makes those re-entrant calls mark-only.
+    draining_ = true;
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+        const Entry e = heap_[i];
+        Event *ev = e.ev;
+        if (!ev)
+            continue;
+        if (ev->scheduled_ && ev->seq_ == e.seq())
+            ev->scheduled_ = false;
+        else
+            ev->staleRefs_--;
+        if (ev->managed_) {
+            if (ev->seq_ == e.seq())
+                recycle(static_cast<CallbackEvent *>(ev));
+        } else if (ev->staleRefs_ == 0) {
+            // The event outlives the queue; make sure its destructor
+            // will not call back into us.
+            ev->queue_ = nullptr;
         }
     }
     heap_.clear();
+}
+
+void
+EventQueue::forgetDead(Event *ev)
+{
+    for (Entry &e : heap_) {
+        if (e.ev != ev)
+            continue;
+        // The (single) live entry turns stale by being nulled; stale
+        // entries were already counted.
+        if (ev->scheduled_ && e.seq() == ev->seq_)
+            staleEntries_++;
+        e.ev = nullptr;
+    }
+    ev->scheduled_ = false;
+    ev->staleRefs_ = 0;
+    ev->queue_ = nullptr;
+}
+
+void
+EventQueue::registerDetachedFrame(std::coroutine_handle<> h)
+{
+    detachedFrames_.push_back(h);
+}
+
+void
+EventQueue::forgetDetachedFrame(std::coroutine_handle<> h)
+{
+    for (std::size_t i = 0; i < detachedFrames_.size(); ++i) {
+        if (detachedFrames_[i] == h) {
+            detachedFrames_[i] = detachedFrames_.back();
+            detachedFrames_.pop_back();
+            return;
+        }
+    }
+}
+
+void
+EventQueue::destroyDetachedFrames()
+{
+    // Destroying a root frame runs its locals' destructors, which
+    // may deschedule events or release sockets but never resumes or
+    // spawns coroutines, so a plain sweep over a moved-out copy is
+    // safe (roots never own other roots).
+    std::vector<std::coroutine_handle<>> frames;
+    frames.swap(detachedFrames_);
+    for (auto h : frames)
+        h.destroy();
 }
 
 CallbackEvent *
@@ -69,6 +144,7 @@ EventQueue::acquireSlot()
     }
     CallbackEvent *ev = freeList_.back();
     freeList_.pop_back();
+    MCNSIM_IF_CHECKED(ev->poisoned_ = false;)
     return ev;
 }
 
@@ -80,6 +156,21 @@ EventQueue::recycle(CallbackEvent *ev)
     // Drop the callback now: captures (PacketPtrs, shared sockets,
     // coroutine handles) must not live until the slot is reused.
     ev->fn_ = nullptr;
+#ifdef MCNSIM_CHECKED
+    // Poison the slot: remember the name it died under, bump the
+    // generation, and plant a callback that panics if anything ever
+    // dispatches this slot while it sits on the free list. Any
+    // schedule()/deschedule()/reschedule() of the dead pointer
+    // panics too (see the poisoned_ checks in those functions).
+    ev->lastName_ = ev->name_;
+    ev->gen_++;
+    ev->poisoned_ = true;
+    const char *dead = ev->lastName_;
+    ev->fn_ = [dead] {
+        panic("use-after-fire: dispatched a recycled pooled event "
+              "(last live name '", dead, "')");
+    };
+#endif
     ev->name_ = "pool-free";
     ev->managed_ = false;
     freeList_.push_back(ev);
@@ -88,6 +179,12 @@ EventQueue::recycle(CallbackEvent *ev)
 void
 EventQueue::schedule(Event *ev, Tick when)
 {
+    MCNSIM_CHECK(!MCNSIM_IF_CHECKED(ev->poisoned_),
+                 "schedule() of a dead pooled Event* (last live "
+                 "name '", ev->lastLiveName(), "', generation ",
+                 ev->generation(), "): managed events die at "
+                 "fire/deschedule");
+    assert(!draining_ && "schedule() during ~EventQueue");
     if (when < curTick_) [[unlikely]]
         throw std::logic_error("scheduling event '" +
                                std::string(ev->name()) +
@@ -95,6 +192,13 @@ EventQueue::schedule(Event *ev, Tick when)
     if (ev->scheduled_) [[unlikely]]
         throw std::logic_error("event '" + std::string(ev->name()) +
                                "' already scheduled");
+    if (ev->queue_ != this && ev->queue_ && ev->staleRefs_ > 0)
+        [[unlikely]] {
+        // Moving to a new queue with stale entries left on the old
+        // one: scrub them so the old queue never touches us again.
+        ev->queue_->forgetDead(ev);
+    }
+    ev->queue_ = this;
     ev->when_ = when;
     ev->seq_ = nextSeq_++;
     ev->scheduled_ = true;
@@ -106,14 +210,26 @@ EventQueue::schedule(Event *ev, Tick when)
 void
 EventQueue::deschedule(Event *ev)
 {
+    MCNSIM_CHECK(draining_ || !MCNSIM_IF_CHECKED(ev->poisoned_),
+                 "deschedule() of a dead pooled Event* (last live "
+                 "name '", ev->lastLiveName(), "', generation ",
+                 ev->generation(), "): managed events die at "
+                 "fire/deschedule");
+    MCNSIM_CHECK(draining_ || !(ev->managed_ && !ev->scheduled_),
+                 "deschedule() of a managed Event* ('", ev->name(),
+                 "') that already fired or was descheduled: the "
+                 "pointer died at that moment");
     // Lazy removal: mark unscheduled; the stale heap entry is
     // skipped (and a managed event recycled) when popped, or
     // reclaimed wholesale by compact() once stale entries dominate.
     if (!ev->scheduled_)
         return;
     ev->scheduled_ = false;
+    ev->staleRefs_++;
     staleEntries_++;
-    if (staleEntries_ > staleCompactMin &&
+    // No compaction while ~EventQueue walks the heap (re-entrant
+    // call from a capture's destructor): the walk settles accounts.
+    if (!draining_ && staleEntries_ > staleCompactMin &&
         staleEntries_ * 2 > heap_.size())
         compact();
 }
@@ -145,10 +261,15 @@ EventQueue::compact()
     std::size_t kept = 0;
     for (std::size_t i = 0; i < heap_.size(); ++i) {
         const Entry e = heap_[i];
+        if (!e.ev)
+            continue; // scrubbed by ~Event
         if (e.ev->scheduled_ && e.ev->seq_ == e.seq()) {
             heap_[kept++] = e;
-        } else if (!e.ev->scheduled_ && e.ev->managed_ &&
-                   e.ev->seq_ == e.seq()) {
+            continue;
+        }
+        e.ev->staleRefs_--;
+        if (!e.ev->scheduled_ && e.ev->managed_ &&
+            e.ev->seq_ == e.seq()) {
             recycle(static_cast<CallbackEvent *>(e.ev));
         }
     }
@@ -165,10 +286,17 @@ EventQueue::popAndRun()
     heap_.pop_back();
 
     Event *ev = e.ev;
+    // Entry scrubbed by ~Event: the event is gone; only the count
+    // needs fixing.
+    if (!ev) [[unlikely]] {
+        staleEntries_--;
+        return;
+    }
     // Stale entry: the event was descheduled or rescheduled since
     // this heap entry was created.
     if (!ev->scheduled_ || ev->seq_ != e.seq()) {
         staleEntries_--;
+        ev->staleRefs_--;
         // A descheduled managed event with no live entry must be
         // recycled here, exactly once: when its latest (seq-matching)
         // stale entry surfaces.

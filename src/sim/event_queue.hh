@@ -38,7 +38,18 @@
  * it fires, or after you deschedule() it, the pointer is dead -- the
  * pool may recycle the object for an unrelated schedule. Callers that
  * keep the pointer must null it in the callback (see
- * MemController::runScheduler for the canonical pattern).
+ * MemController::runScheduler for the canonical pattern). The checked
+ * build (-DMCNSIM_CHECKED=ON) enforces this rule: recycled slots are
+ * poisoned and generation-counted, and any schedule()/deschedule()/
+ * dispatch of a dead managed Event* panics with the event's last
+ * live name plus the flight-recorder ring.
+ *
+ * Lifetime rules for caller-owned events (CallbackEvent/MemberEvent
+ * by value): destroying one while it still has entries in a queue --
+ * scheduled, or descheduled but not yet compacted away -- implicitly
+ * detaches it (~Event scrubs the queue), so tearing down a component
+ * before its Simulation is safe. The queue itself must simply
+ * outlive the simulation's components, which Simulation guarantees.
  *
  * Enable the "Event" debug flag (MCNSIM_DEBUG=Event) to trace every
  * dispatch with its name and priority.
@@ -47,6 +58,7 @@
 #ifndef MCNSIM_SIM_EVENT_QUEUE_HH
 #define MCNSIM_SIM_EVENT_QUEUE_HH
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -56,6 +68,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/checked.hh"
 #include "sim/types.hh"
 
 namespace mcnsim::sim {
@@ -121,6 +134,18 @@ class Event
     const char *name() const { return name_; }
     EventPriority priority() const { return priority_; }
 
+#ifdef MCNSIM_CHECKED
+    /** Checked build only: recycle count of this pool slot. */
+    std::uint32_t generation() const { return gen_; }
+
+    /** Checked build only: name the slot carried while last live. */
+    const char *lastLiveName() const { return lastName_; }
+
+    /** Checked build only: true while a managed slot sits on the
+     *  free list (using the pointer now is a lifetime bug). */
+    bool poisoned() const { return poisoned_; }
+#endif
+
   protected:
     const char *name_;
     EventPriority priority_;
@@ -130,8 +155,21 @@ class Event
 
     Tick when_ = 0;
     std::uint64_t seq_ = 0;
+    /** Queue this event last scheduled on; lets ~Event scrub any
+     *  entries still referencing it (see the lifetime rules in the
+     *  file comment). */
+    EventQueue *queue_ = nullptr;
+    /** Heap entries referencing this event that are stale (lazily
+     *  descheduled or superseded by reschedule). Non-zero means the
+     *  queue still holds pointers to us. */
+    std::uint32_t staleRefs_ = 0;
     bool scheduled_ = false;
     bool managed_ = false; ///< queue-owned; recycled after process()
+#ifdef MCNSIM_CHECKED
+    std::uint32_t gen_ = 0;      ///< bumped on every pool recycle
+    bool poisoned_ = false;      ///< free-listed managed slot
+    const char *lastName_ = "never-armed";
+#endif
 };
 
 /** An event wrapping an arbitrary callback. */
@@ -295,6 +333,34 @@ class EventQueue
 
     const std::string &name() const { return name_; }
 
+    // Detached coroutine frames ---------------------------------------
+    //
+    // spawnDetached() hands ownership of a top-level coroutine frame
+    // to "nobody": the frame frees itself on completion. A frame
+    // still suspended when the simulation ends (an iperf client
+    // blocked on a socket, an MPI rank waiting on a mailbox) would
+    // leak -- LeakSanitizer flags every such run. The queue therefore
+    // keeps a registry of live detached frames; completion removes
+    // the entry, and ~EventQueue destroys whatever is left, which
+    // transitively destroys awaited child frames (owned by parent
+    // frame locals) and their captured resources.
+
+    /** Track a detached frame until it completes or is reaped. */
+    void registerDetachedFrame(std::coroutine_handle<> h);
+
+    /** Remove a completed frame from the registry (no destroy). */
+    void forgetDetachedFrame(std::coroutine_handle<> h);
+
+    /** Detached frames spawned but not yet finished or reaped. */
+    std::size_t detachedFramesLive() const
+    {
+        return detachedFrames_.size();
+    }
+
+    /** Destroy every live detached frame (teardown; also called by
+     *  the destructor before the pending-event heap is dropped). */
+    void destroyDetachedFrames();
+
     // Introspection for tests and diagnostics ------------------------
 
     /** Heap entries including stale (lazily-descheduled) ones. */
@@ -392,11 +458,18 @@ class EventQueue
         }
     };
 
+    friend class Event;
+
     void popAndRun();
     void dispatchProfiled(Event *ev);
     void compact();
     CallbackEvent *acquireSlot();
     void recycle(CallbackEvent *ev);
+
+    /** Null out every heap entry referencing @p ev: called by
+     *  ~Event when the event dies with entries still pending, so the
+     *  queue never dereferences a destroyed event. */
+    void forgetDead(Event *ev);
 
     /** Compact when stale entries exceed this count and outnumber
      *  live ones (the latter keeps compaction amortized-O(1)). */
@@ -413,7 +486,13 @@ class EventQueue
     std::size_t staleEntries_ = 0;
     std::size_t poolCarved_ = 0;
     bool profiling_ = false;
+    /** True inside ~EventQueue: deschedule() calls re-entered from
+     *  destructors triggered by the drain (an event lambda dropping
+     *  the last ref to a socket) must not compact the heap mid-walk
+     *  or trip the checked lifetime detectors. */
+    bool draining_ = false;
     std::vector<Entry> heap_;
+    std::vector<std::coroutine_handle<>> detachedFrames_;
     std::vector<CallbackEvent *> freeList_;
     std::vector<std::unique_ptr<CallbackEvent[]>> slabs_;
     /** name pointer -> (dispatch count, accumulated host ns). */

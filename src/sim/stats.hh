@@ -95,7 +95,13 @@ class Average : public StatBase
     using StatBase::StatBase;
 
     void sample(double v) { sum_ += v; count_++; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
     std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
 
@@ -122,7 +128,13 @@ class Histogram : public StatBase
     void sample(double v);
 
     std::uint64_t count() const { return count_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
     double minSample() const { return min_; }
     double maxSample() const { return max_; }
 

@@ -15,6 +15,8 @@ spawnDetached(EventQueue &q, Task<void> task)
     if (!h)
         return;
     h.promise().detached = true;
+    h.promise().reaper = &q;
+    q.registerDetachedFrame(h);
     q.scheduleIn([h] { h.resume(); }, 0, "task-spawn",
                  EventPriority::Process);
 }

@@ -48,6 +48,10 @@ struct PromiseBase
     std::coroutine_handle<> continuation;
     std::exception_ptr exception;
     bool detached = false;
+    /** Set by spawnDetached: the queue tracking this root frame so
+     *  a frame still suspended at teardown can be reaped instead of
+     *  leaked. */
+    EventQueue *reaper = nullptr;
 
     std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -80,6 +84,8 @@ struct PromiseBase
                         std::abort();
                     }
                 }
+                if (p.reaper)
+                    p.reaper->forgetDetachedFrame(h);
                 h.destroy();
             }
             return next;

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Checked-build detector tests: prove each invariant checker
+ * actually trips -- deterministically, with a panic -- when its
+ * contract is violated, and that violations are tolerated (or
+ * compiled away entirely) in normal builds.
+ *
+ * Compiled into every build: under -DMCNSIM_CHECKED=ON the negative
+ * tests run, otherwise they GTEST_SKIP so the suite documents which
+ * configuration it verified. The "free when off" direction is
+ * covered two ways: the WhenOff tests pin the tolerate-don't-crash
+ * behaviour, and the release perf gate (tools/check_perf.py) pins
+ * the zero-cost claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mcn/sram_buffer.hh"
+#include "net/packet.hh"
+#include "sim/checked.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/task.hh"
+
+using namespace mcnsim;
+
+#ifdef MCNSIM_CHECKED
+
+TEST(Checked, DescheduleOfFiredManagedEventPanics)
+{
+    sim::EventQueue q;
+    sim::Event *ev = q.scheduleIn([] {}, 10, "victim");
+    q.run(20); // fires; the pointer died and the slot is poisoned
+    EXPECT_THROW(q.deschedule(ev), sim::PanicError);
+}
+
+TEST(Checked, ScheduleOfFiredManagedEventPanics)
+{
+    sim::EventQueue q;
+    sim::Event *ev = q.scheduleIn([] {}, 10, "victim");
+    q.run(20);
+    EXPECT_THROW(q.schedule(ev, q.curTick() + 5), sim::PanicError);
+}
+
+TEST(Checked, DoubleDescheduleOfManagedEventPanics)
+{
+    sim::EventQueue q;
+    sim::Event *ev = q.scheduleIn([] {}, 10, "victim");
+    q.deschedule(ev); // legal; the pointer dies here
+    EXPECT_THROW(q.deschedule(ev), sim::PanicError);
+}
+
+TEST(Checked, PoisonReportsLastLiveName)
+{
+    sim::EventQueue q;
+    sim::Event *ev = q.scheduleIn([] {}, 10, "tcp.rto");
+    q.run(20);
+    try {
+        q.deschedule(ev);
+        FAIL() << "expected panic";
+    } catch (const sim::PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("tcp.rto"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Checked, StaleCowViewWritePanicsAtNextAudit)
+{
+    auto pkt = net::Packet::makePattern(256);
+    auto clone = pkt->clone(); // block shared; both views sealed
+    // A write that bypasses copy-on-write: through a const_cast (a
+    // cached pointer from before clone() behaves identically).
+    const_cast<std::uint8_t *>(pkt->cdata())[7] ^= 0xff;
+    EXPECT_THROW(clone->cdata(), sim::PanicError);
+}
+
+TEST(Checked, LegalCowWriteDoesNotPanic)
+{
+    auto pkt = net::Packet::makePattern(256);
+    auto clone = pkt->clone();
+    pkt->data()[7] ^= 0xff; // mutable data(): detaches first
+    EXPECT_NO_THROW(clone->cdata());
+    EXPECT_NO_THROW(pkt->cdata());
+    EXPECT_FALSE(pkt->sharesBufferWith(*clone));
+}
+
+TEST(Checked, SealFollowsThePacketThroughPullAndTrim)
+{
+    auto pkt = net::Packet::makePattern(256);
+    auto clone = pkt->clone();
+    clone->pull(14); // header processing reseals the narrowed view
+    clone->trim(128);
+    const_cast<std::uint8_t *>(pkt->cdata())[64] ^= 0x01;
+    EXPECT_THROW(clone->cdata(), sim::PanicError);
+}
+
+TEST(Checked, RingCorruptionPanicsOnNextOperation)
+{
+    mcn::MessageRing ring(4096);
+    std::vector<std::uint8_t> msg(64, 0xab);
+    ASSERT_TRUE(ring.enqueue(msg.data(), msg.size()));
+    ring.corruptForTest();
+    EXPECT_THROW(ring.dequeue(), sim::PanicError);
+}
+
+TEST(Checked, HealthyRingPassesItsAudits)
+{
+    mcn::MessageRing ring(4096);
+    std::vector<std::uint8_t> msg(100, 0x5a);
+    // Wrap the ring several times so the modular invariants are
+    // audited across the seam.
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(ring.enqueue(msg.data(), msg.size()));
+        auto out = ring.dequeue();
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->bytes, msg);
+    }
+}
+
+#else // !MCNSIM_CHECKED
+
+TEST(CheckedWhenOff, DeadManagedPointerOpsAreToleratedNoOps)
+{
+    // Without the checkers the queue must not crash on the same
+    // misuse; deschedule of a dead pointer is a silent no-op.
+    sim::EventQueue q;
+    sim::Event *ev = q.scheduleIn([] {}, 10, "victim");
+    q.run(20);
+    EXPECT_NO_THROW(q.deschedule(ev));
+}
+
+TEST(CheckedWhenOff, NegativeDetectorTestsRequireCheckedBuild)
+{
+    GTEST_SKIP() << "detectors compiled out "
+                 << "(configure with -DMCNSIM_CHECKED=ON)";
+}
+
+#endif // MCNSIM_CHECKED
+
+TEST(Checked, BuildFlagMatchesCompileConfiguration)
+{
+#ifdef MCNSIM_CHECKED
+    EXPECT_TRUE(sim::checkedBuild);
+#else
+    EXPECT_FALSE(sim::checkedBuild);
+#endif
+}
+
+// Lifetime plumbing shared by every build ---------------------------
+
+TEST(Lifetime, CallerOwnedEventDyingWhileScheduledDetaches)
+{
+    sim::EventQueue q;
+    bool fired = false;
+    {
+        sim::CallbackEvent ev("scoped", [&] { fired = true; });
+        q.schedule(&ev, 10);
+    } // destroyed while scheduled: implicit detach
+    q.run();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(q.pendingEvents(), 0u);
+}
+
+TEST(Lifetime, CallerOwnedEventDyingAfterDescheduleDetaches)
+{
+    sim::EventQueue q;
+    {
+        sim::CallbackEvent ev("scoped", [] {});
+        q.schedule(&ev, 10);
+        q.deschedule(&ev); // lazy: stale heap entry remains
+    } // dies with a stale entry outstanding
+    q.run();
+    SUCCEED();
+}
+
+TEST(Lifetime, SuspendedDetachedFrameIsReapedAtQueueTeardown)
+{
+    auto q = std::make_unique<sim::EventQueue>();
+    sim::Condition cv(*q);
+    bool done = false;
+    auto body = [](sim::Condition &c, bool &d) -> sim::Task<void> {
+        co_await c.wait();
+        d = true;
+    };
+    sim::spawnDetached(*q, body(cv, done));
+    q->run();
+    EXPECT_EQ(q->detachedFramesLive(), 1u);
+    // Teardown with the frame still suspended: the registry reaps it
+    // (LeakSanitizer in tools/run_sanitizers.sh pins the no-leak
+    // claim; this pins the bookkeeping).
+    q.reset();
+    EXPECT_FALSE(done);
+}
+
+TEST(Lifetime, CompletedDetachedFrameLeavesTheRegistry)
+{
+    sim::EventQueue q;
+    auto body = []() -> sim::Task<void> { co_return; };
+    sim::spawnDetached(q, body());
+    EXPECT_EQ(q.detachedFramesLive(), 1u);
+    q.run();
+    EXPECT_EQ(q.detachedFramesLive(), 0u);
+}

@@ -245,10 +245,14 @@ TEST(KernelTest, BundlesServices)
     EXPECT_EQ(k.netStack(), nullptr); // wired by the builder
 
     bool ran = false;
-    k.spawnProcess([&]() -> Task<void> {
-        co_await k.sleepFor(10 * oneUs);
-        ran = true;
-    }());
+    // Captureless with reference parameters: a capturing lambda
+    // invoked as a temporary would leave the coroutine reading its
+    // captures through a dead closure object (ASan finding).
+    auto proc = [](os::Kernel &kern, bool &flag) -> Task<void> {
+        co_await kern.sleepFor(10 * oneUs);
+        flag = true;
+    };
+    k.spawnProcess(proc(k, ran));
     s.run();
     EXPECT_TRUE(ran);
     EXPECT_EQ(s.curTick(), 10 * oneUs);

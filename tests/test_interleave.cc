@@ -67,8 +67,9 @@ TEST(Interleave, StrideAddrStaysOnChannel)
             Addr host = m.strideAddr(ch, base_off, k);
             EXPECT_EQ(m.channelOf(host), ch);
             EXPECT_EQ(m.channelOffset(host), base_off + k * 64);
-            if (k > 0)
+            if (k > 0) {
                 EXPECT_EQ(host - prev, 64u * 4u); // Fig. 6 stride
+            }
             prev = host;
         }
     }

@@ -148,7 +148,8 @@ TEST(Checksum, DetectsCorruption)
         EXPECT_EQ(checksum(data.data(), data.size()), 0);
         // Flip one bit: checksum must not verify.
         std::size_t i = rng.uniformInt(0, 61);
-        data[i] ^= 1u << rng.uniformInt(0, 7);
+        data[i] = static_cast<std::uint8_t>(
+            data[i] ^ (1u << rng.uniformInt(0, 7)));
         EXPECT_NE(checksum(data.data(), data.size()), 0);
     }
 }

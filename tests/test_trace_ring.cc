@@ -119,12 +119,12 @@ TEST(TraceRing, DprintfRecordsOnlyWhenFlagEnabled)
 
     Trace::setFlag("TestFlag", false);
     std::uint64_t before = ring.recorded();
-    dprintf(1, "TestFlag", "must not record");
+    mcnsim::sim::dprintf(1, "TestFlag", "must not record");
     EXPECT_EQ(ring.recorded(), before);
 
     Trace::setFlag("TestFlag", true);
     EXPECT_TRUE(Trace::anyActive());
-    dprintf(2, "TestFlag", "bytes=", 123);
+    mcnsim::sim::dprintf(2, "TestFlag", "bytes=", 123);
     EXPECT_EQ(ring.recorded(), before + 1);
     EXPECT_EQ(ring.snapshot().back().msg, "bytes=123");
 }
@@ -156,7 +156,7 @@ TEST(TraceRing, PanicDumpsFlightRecorder)
     TraceStateGuard guard;
     Trace::setFlag("TestFlag", true);
     TraceRing::instance().clear();
-    dprintf(7, "TestFlag", "last thing before the crash");
+    mcnsim::sim::dprintf(7, "TestFlag", "last thing before the crash");
 
     testing::internal::CaptureStderr();
     EXPECT_THROW(panic("boom"), PanicError);

@@ -1,56 +1,91 @@
 #!/usr/bin/env bash
-# One-command CI pipeline: configure + build, run the tier-1 test
-# suite, regenerate the bench artifacts (perf gate skipped -- CI
-# boxes are too noisy for the gate; run tools/run_benches.sh locally
-# for that), and validate the observability artifacts produced by a
-# short instrumented iperf run (timeline trace, stats series,
-# profiler table).
+# One-command CI pipeline, organised as named stages:
+#
+#   build    configure + build the default tree
+#   test     tier-1 ctest suite
+#   lint     mcnsim_lint.py --check, plus clang-tidy when installed
+#   benches  regenerate bench artifacts (perf gate skipped -- CI
+#            boxes are too noisy; run tools/run_benches.sh locally)
+#   obs      validate observability artifacts from an instrumented
+#            iperf run (timeline trace, stats series, profile)
+#   checked  build with -DMCNSIM_CHECKED=ON, run ctest + the CLI
+#            determinism selfcheck across mcn levels 0-5
+#   asan     address+undefined sanitizers: ctest + CLI smoke
+#   ubsan    undefined-only sanitizer run
 #
 # Usage: tools/ci.sh [--build-dir DIR] [--skip-benches]
+#                    [--stages S1,S2,...]
+# Default stages: build,test,lint,benches,obs,checked,asan,ubsan
 set -eu
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$REPO_ROOT/build"
-SKIP_BENCHES=0
+STAGES="build,test,lint,benches,obs,checked,asan,ubsan"
 
 while [ $# -gt 0 ]; do
     case "$1" in
         --build-dir) BUILD_DIR="$2"; shift ;;
-        --skip-benches) SKIP_BENCHES=1 ;;
+        --skip-benches)
+            STAGES="$(echo "$STAGES" | sed 's/benches,//')" ;;
+        --stages) STAGES="$2"; shift ;;
         -h|--help)
-            sed -n '2,9p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
             exit 0 ;;
         *) echo "unknown option: $1" >&2; exit 2 ;;
     esac
     shift
 done
 
-echo "== configure + build =="
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
-cmake --build "$BUILD_DIR" -j
+want() { case ",$STAGES," in *",$1,"*) return 0 ;; *) return 1 ;; esac; }
 
-echo
-echo "== tier-1 tests =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+if want build; then
+    echo "== stage: build =="
+    cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+    cmake --build "$BUILD_DIR" -j
+fi
 
-if [ "$SKIP_BENCHES" -eq 0 ]; then
+if want test; then
     echo
-    echo "== bench artifacts (perf gate skipped) =="
+    echo "== stage: test =="
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+fi
+
+if want lint; then
+    echo
+    echo "== stage: lint =="
+    python3 "$REPO_ROOT/tools/mcnsim_lint.py" --check
+    if command -v clang-tidy > /dev/null 2>&1; then
+        cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+        git -C "$REPO_ROOT" ls-files 'src/*.cc' |
+            sed "s|^|$REPO_ROOT/|" |
+            xargs clang-tidy -p "$BUILD_DIR" --quiet
+    else
+        echo "clang-tidy not installed; skipping (config-on-record" \
+             "in .clang-tidy; gating comes from -Wconversion +" \
+             "mcnsim_lint.py)"
+    fi
+fi
+
+if want benches; then
+    echo
+    echo "== stage: benches (perf gate skipped) =="
     "$REPO_ROOT/tools/run_benches.sh" --quick \
         --build-dir "$BUILD_DIR" --skip-perf
 fi
 
-echo
-echo "== observability artifacts =="
-OBS_DIR="$(mktemp -d)"
-trap 'rm -rf "$OBS_DIR"' EXIT
-"$BUILD_DIR/tools/mcnsim_cli" iperf --duration-ms=1 \
-    --timeline="$OBS_DIR/timeline.json" \
-    --stats-series="$OBS_DIR/series.json" \
-    --profile --profile-top=5
-python3 "$REPO_ROOT/tools/timeline_summary.py" \
-    "$OBS_DIR/timeline.json" --validate
-python3 - "$OBS_DIR/series.json" <<'EOF'
+if want obs; then
+    echo
+    echo "== stage: obs =="
+    OBS_DIR="$(mktemp -d)"
+    trap 'rm -rf "$OBS_DIR"' EXIT
+    "$BUILD_DIR/tools/mcnsim_cli" iperf --duration-ms=1 \
+        --timeline="$OBS_DIR/timeline.json" \
+        --stats-series="$OBS_DIR/series.json" \
+        --profile --profile-top=5
+    python3 "$REPO_ROOT/tools/timeline_summary.py" \
+        "$OBS_DIR/timeline.json" --validate
+    python3 - "$OBS_DIR/series.json" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -63,6 +98,40 @@ for s in doc["series"]:
 print(f"stats series: OK ({doc['snapshots']} snapshots, "
       f"{len(doc['series'])} series)")
 EOF
+fi
+
+if want checked; then
+    echo
+    echo "== stage: checked =="
+    CHECKED_DIR="$BUILD_DIR-checked"
+    cmake -B "$CHECKED_DIR" -S "$REPO_ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DMCNSIM_CHECKED=ON > /dev/null
+    cmake --build "$CHECKED_DIR" -j
+    ctest --test-dir "$CHECKED_DIR" --output-on-failure \
+        -j "$(nproc)"
+    echo "-- determinism selfcheck (mcn levels 0-5)"
+    for lvl in 0 1 2 3 4 5; do
+        "$CHECKED_DIR/tools/mcnsim_cli" iperf --selfcheck \
+            --duration-ms=1 --level="$lvl"
+    done
+    "$CHECKED_DIR/tools/mcnsim_cli" ping --selfcheck \
+        --system=cluster
+fi
+
+if want asan; then
+    echo
+    echo "== stage: asan =="
+    "$REPO_ROOT/tools/run_sanitizers.sh" \
+        --build-root "$BUILD_DIR-san" --matrix "address,undefined"
+fi
+
+if want ubsan; then
+    echo
+    echo "== stage: ubsan =="
+    "$REPO_ROOT/tools/run_sanitizers.sh" \
+        --build-root "$BUILD_DIR-san" --matrix "undefined"
+fi
 
 echo
-echo "ci: all stages passed"
+echo "ci: stages '$STAGES' passed"

@@ -14,6 +14,11 @@
  *   --dimms=N / --nodes=N / --cores=N
  *   --level=0..5                   (Table I optimisation level)
  *   --duration-ms=N                (iperf window)
+ *   --seed=N                       (simulation RNG seed, default 1)
+ *   --selfcheck                    (determinism check: run the
+ *                                   scenario twice with the same
+ *                                   seed and diff the modeled state
+ *                                   bit-for-bit)
  *   --stats                        (dump the full stats registry)
  *   --stats-json=PATH              (stats registry as JSON; - = stdout)
  *   --trace-flags=A,B              (enable debug flags, like MCNSIM_DEBUG)
@@ -39,6 +44,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -101,6 +107,31 @@ parse(int argc, char **argv)
             a.flags[s.substr(2, eq - 2)] = s.substr(eq + 1);
     }
     return a;
+}
+
+/**
+ * Snapshot the modeled end-state of a run for --selfcheck: the full
+ * stat registry (StatRegistry::dumpJson, which has no host-time meta
+ * header), the final tick and the event count. Two runs of the same
+ * scenario with the same seed must produce byte-identical digests.
+ */
+void
+appendDigest(sim::Simulation &s, std::string *digest)
+{
+    if (!digest)
+        return;
+    std::ostringstream os;
+    s.statRegistry().dumpJson(os);
+    os << "tick=" << s.curTick()
+       << " events=" << s.eventQueue().eventsProcessed() << "\n";
+    *digest += os.str();
+}
+
+/** The seed every command constructs its Simulation with. */
+std::uint64_t
+seedOf(const Args &a)
+{
+    return static_cast<std::uint64_t>(a.getInt("seed", 1));
 }
 
 /** Honour --stats / --stats-json after a run. */
@@ -276,9 +307,9 @@ findWorkload(const std::string &name)
 }
 
 int
-cmdIperf(const Args &a)
+cmdIperf(const Args &a, std::string *digest = nullptr)
 {
-    sim::Simulation s;
+    sim::Simulation s(seedOf(a));
     auto sys = buildSystem(s, a);
     if (!sys)
         return 1;
@@ -299,15 +330,16 @@ cmdIperf(const Args &a)
                 r.gbps, r.connections,
                 static_cast<unsigned long long>(r.bytes),
                 sim::ticksToSeconds(dur) * 1e3);
+    appendDigest(s, digest);
     int orc = obs.finish();
     int src = dumpRequestedStats(a, s);
     return orc ? orc : src;
 }
 
 int
-cmdPing(const Args &a)
+cmdPing(const Args &a, std::string *digest = nullptr)
 {
-    sim::Simulation s;
+    sim::Simulation s(seedOf(a));
     auto sys = buildSystem(s, a);
     if (!sys || sys->nodeCount() < 2)
         return 1;
@@ -325,15 +357,16 @@ cmdPing(const Args &a)
                 size, sim::ticksToUs(pts[0].avgRtt),
                 sim::ticksToUs(pts[0].minRtt),
                 sim::ticksToUs(pts[0].maxRtt), count, pts[0].lost);
+    appendDigest(s, digest);
     int orc = obs.finish();
     int src = dumpRequestedStats(a, s);
     return orc ? orc : src;
 }
 
 int
-cmdWorkload(const Args &a)
+cmdWorkload(const Args &a, std::string *digest = nullptr)
 {
-    sim::Simulation s;
+    sim::Simulation s(seedOf(a));
     auto sys = buildSystem(s, a);
     if (!sys)
         return 1;
@@ -351,6 +384,7 @@ cmdWorkload(const Args &a)
                 rep.completed ? "completed" : "DID NOT FINISH",
                 sim::ticksToSeconds(rep.makespan) * 1e3,
                 static_cast<double>(rep.mpiBytes) / 1e6);
+    appendDigest(s, digest);
     int orc = obs.finish();
     if (!rep.completed)
         return 1;
@@ -359,9 +393,9 @@ cmdWorkload(const Args &a)
 }
 
 int
-cmdMapReduce(const Args &a)
+cmdMapReduce(const Args &a, std::string *digest = nullptr)
 {
-    sim::Simulation s;
+    sim::Simulation s(seedOf(a));
     auto sys = buildSystem(s, a);
     if (!sys)
         return 1;
@@ -388,6 +422,7 @@ cmdMapReduce(const Args &a)
                 sim::ticksToSeconds(rep.mapPhase) * 1e3,
                 sim::ticksToSeconds(rep.shufflePhase) * 1e3,
                 static_cast<double>(rep.shuffledBytes) / 1e6);
+    appendDigest(s, digest);
     int orc = obs.finish();
     if (!rep.completed)
         return 1;
@@ -398,7 +433,7 @@ cmdMapReduce(const Args &a)
 int
 cmdDescribe(const Args &a)
 {
-    sim::Simulation s;
+    sim::Simulation s(seedOf(a));
     auto sys = buildSystem(s, a);
     if (!sys)
         return 1;
@@ -422,6 +457,45 @@ cmdDescribe(const Args &a)
     return 0;
 }
 
+/**
+ * --selfcheck: run the scenario twice in-process with the same seed
+ * and diff the modeled end-state digests bit-for-bit. Catches
+ * nondeterminism (iteration over pointer-keyed containers, uninit
+ * reads, wall-clock leakage into model code) that single-run tests
+ * cannot see.
+ */
+int
+runSelfcheck(const Args &a,
+             int (*cmd)(const Args &, std::string *))
+{
+    std::string d1, d2;
+    int rc1 = cmd(a, &d1);
+    if (rc1)
+        return rc1;
+    int rc2 = cmd(a, &d2);
+    if (rc2)
+        return rc2;
+    if (d1 != d2 || d1.empty()) {
+        std::size_t at = 0;
+        while (at < d1.size() && at < d2.size() && d1[at] == d2[at])
+            at++;
+        std::fprintf(stderr,
+                     "selfcheck: FAILED -- two runs of '%s' with "
+                     "seed %llu diverged at digest byte %zu "
+                     "(%zu vs %zu bytes)\n",
+                     a.command.c_str(),
+                     static_cast<unsigned long long>(seedOf(a)), at,
+                     d1.size(), d2.size());
+        return 1;
+    }
+    std::printf("selfcheck: '%s' deterministic (seed %llu, "
+                "%zu-byte state digest identical across 2 runs)\n",
+                a.command.c_str(),
+                static_cast<unsigned long long>(seedOf(a)),
+                d1.size());
+    return 0;
+}
+
 void
 usage()
 {
@@ -432,6 +506,9 @@ usage()
         "       --cores=N --level=0..5 --duration-ms=N --size=N\n"
         "       --count=N --name=<workload|job> --iters=N --stats\n"
         "       --stats-json=PATH|-  --trace-flags=FLAG1,FLAG2\n"
+        "       --seed=N     simulation RNG seed (default 1)\n"
+        "       --selfcheck  run twice, diff modeled state "
+        "bit-for-bit\n"
         "observability:\n"
         "       --timeline=PATH|-       Perfetto/chrome trace JSON\n"
         "       --stats-series=PATH|-   periodic stat snapshots\n"
@@ -464,14 +541,18 @@ main(int argc, char **argv)
         }
     }
     try {
+        int (*cmd)(const Args &, std::string *) = nullptr;
         if (a.command == "iperf")
-            return cmdIperf(a);
-        if (a.command == "ping")
-            return cmdPing(a);
-        if (a.command == "workload")
-            return cmdWorkload(a);
-        if (a.command == "mapreduce")
-            return cmdMapReduce(a);
+            cmd = cmdIperf;
+        else if (a.command == "ping")
+            cmd = cmdPing;
+        else if (a.command == "workload")
+            cmd = cmdWorkload;
+        else if (a.command == "mapreduce")
+            cmd = cmdMapReduce;
+        if (cmd)
+            return a.has("selfcheck") ? runSelfcheck(a, cmd)
+                                      : cmd(a, nullptr);
         if (a.command == "describe")
             return cmdDescribe(a);
     } catch (const std::exception &e) {

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for mcnsim.
+
+Generic linters cannot see the simulator's sharp-edged contracts, so
+this checker enforces them textually:
+
+  packet-cdata   Read-only packet accesses must use cdata(): the
+                 mutable data() overload triggers a copy-on-write
+                 detach, so calling it for a read silently clones the
+                 buffer and wrecks the zero-copy fan-out path. Sites
+                 that really write (subscript assignment, memcpy
+                 destination) pass automatically.
+
+  trace-gate     Direct Trace::emit() call sites must sit behind a
+                 one-branch Trace::anyActive() / active() gate so the
+                 disabled-tracing hot path costs a single predictable
+                 branch (see EventQueue::popAndRun for the pattern).
+
+  wall-clock     Model code must not read host wall-clock time
+                 (steady_clock, system_clock, gettimeofday, ...):
+                 simulated behaviour must depend only on the event
+                 queue and the seeded RNG, or --selfcheck and the
+                 determinism tests break. Host-time observability
+                 (Simulation's elapsed-time meta, the event profiler)
+                 lives in an explicit allowlist.
+
+  this-capture   An event-queue schedule()/scheduleIn() callback
+                 capturing [this] must belong to a SimObject (whose
+                 lifetime the Simulation pins until after the queue
+                 drains) -- otherwise the object can die before the
+                 callback fires. Non-SimObject owners that cancel
+                 their event in the destructor annotate the site.
+
+Suppress a finding with a comment on the line or the line above:
+
+    // lint-ok: <rule> (<why this site is safe>)
+
+Usage:
+    tools/mcnsim_lint.py            # report findings, exit 0
+    tools/mcnsim_lint.py --check    # exit 1 when findings exist
+    tools/mcnsim_lint.py --check src/net tests
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Files allowed to read host wall-clock time: run-elapsed metadata in
+# the stats header and the host-time event profiler.
+WALL_CLOCK_ALLOW = {
+    "src/sim/simulation.hh",
+    "src/sim/simulation.cc",
+    "src/sim/event_queue.cc",
+}
+
+WALL_CLOCK_RE = re.compile(
+    r"steady_clock|system_clock|high_resolution_clock"
+    r"|gettimeofday|clock_gettime|std::time\s*\(|\btime\s*\(\s*NULL"
+    r"|\btime\s*\(\s*nullptr"
+)
+
+# A packet-ish receiver calling the mutable data() overload.
+PACKET_DATA_RE = re.compile(
+    r"\b(\w*(?:pkt|packet|frame|seg|msg)\w*)\s*(?:->|\.)\s*data\s*\(\)",
+    re.IGNORECASE,
+)
+
+# ...followed by something that writes through the pointer.
+WRITE_THROUGH_RE = re.compile(
+    r"data\s*\(\)\s*(?:\[[^\]]*\])?\s*"
+    r"(?:=[^=]|\+=|-=|\^=|\|=|&=|\+\+|--)"
+)
+
+TRACE_EMIT_RE = re.compile(r"\bTrace::emit\s*\(")
+TRACE_GATE_RE = re.compile(r"\banyActive\s*\(\)|\bactive\s*\(\)")
+
+THIS_CAPTURE_RE = re.compile(r"\[\s*this\s*\]")
+QUEUE_SCHED_RE = re.compile(
+    r"(?:eventQueue\s*\(\)|queue_|\bq_|\bqueue\s*\(\))\s*\.\s*"
+    r"(?:schedule|scheduleIn|reschedule)\s*\("
+)
+
+SIMOBJECT_RE = re.compile(r":\s*public\s+(?:sim::)?SimObject\b")
+
+SUPPRESS_RE = re.compile(r"//\s*lint-ok:\s*([\w-]+)")
+
+
+def suppressed(lines, idx, rule, back=1):
+    """True when line idx (0-based) or one of the @p back lines above
+    carries a lint-ok annotation naming this rule."""
+    for j in range(max(0, idx - back), idx + 1):
+        m = SUPPRESS_RE.search(lines[j])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def sibling_header_is_simobject(path):
+    hh = path.with_suffix(".hh")
+    if not hh.exists():
+        return False
+    return bool(SIMOBJECT_RE.search(hh.read_text(errors="replace")))
+
+
+def check_file(path, rel, findings):
+    text = path.read_text(errors="replace")
+    lines = text.splitlines()
+    in_src = rel.startswith("src/")
+
+    for i, line in enumerate(lines):
+        stripped = line.split("//", 1)[0]
+
+        # wall-clock: model code must be host-time free.
+        if (in_src and rel not in WALL_CLOCK_ALLOW
+                and WALL_CLOCK_RE.search(stripped)
+                and not suppressed(lines, i, "wall-clock")):
+            findings.append(
+                (rel, i + 1, "wall-clock",
+                 "host wall-clock read in model code (breaks "
+                 "determinism; allowlist: tools/mcnsim_lint.py)"))
+
+        # packet-cdata: reads must not trigger copy-on-write.
+        if in_src and not suppressed(lines, i, "packet-cdata"):
+            m = PACKET_DATA_RE.search(stripped)
+            if m and not WRITE_THROUGH_RE.search(stripped):
+                window = " ".join(lines[max(0, i - 1):i + 2])
+                if not WRITE_THROUGH_RE.search(window):
+                    findings.append(
+                        (rel, i + 1, "packet-cdata",
+                         f"read-only access via {m.group(1)}->data() "
+                         "detaches a shared CoW buffer; use cdata()"))
+
+        # trace-gate: Trace::emit behind a one-branch gate.
+        if (in_src
+                and rel not in ("src/sim/logging.hh",
+                                "src/sim/logging.cc",
+                                "src/sim/trace_ring.hh",
+                                "src/sim/trace_ring.cc")
+                and TRACE_EMIT_RE.search(stripped)
+                and not suppressed(lines, i, "trace-gate")):
+            gate_window = " ".join(lines[max(0, i - 5):i + 1])
+            if not TRACE_GATE_RE.search(gate_window):
+                findings.append(
+                    (rel, i + 1, "trace-gate",
+                     "Trace::emit() without a Trace::anyActive()/"
+                     "active() gate on the path"))
+
+        # this-capture: queue callbacks capturing this need a
+        # SimObject owner (or an annotated cancel-in-destructor).
+        if (in_src and THIS_CAPTURE_RE.search(stripped)
+                and not suppressed(lines, i, "this-capture",
+                                   back=4)):
+            sched_window = " ".join(lines[max(0, i - 3):i + 1])
+            if QUEUE_SCHED_RE.search(sched_window):
+                if not sibling_header_is_simobject(path):
+                    findings.append(
+                        (rel, i + 1, "this-capture",
+                         "event-queue callback captures [this] but "
+                         "the owner is not a SimObject; the object "
+                         "may die before the callback fires"))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=[],
+                    help="files or directories (default: src tests "
+                         "tools bench examples)")
+    ap.add_argument("--check", action="store_true",
+                    help="exit nonzero when findings exist")
+    args = ap.parse_args()
+
+    roots = [REPO / p for p in args.paths] or [
+        REPO / d for d in ("src", "tests", "tools", "bench",
+                           "examples")
+    ]
+    files = []
+    for r in roots:
+        if r.is_file():
+            files.append(r)
+        elif r.is_dir():
+            files.extend(sorted(r.rglob("*.hh")))
+            files.extend(sorted(r.rglob("*.cc")))
+            files.extend(sorted(r.rglob("*.cpp")))
+
+    findings = []
+    for f in files:
+        rel = f.relative_to(REPO).as_posix()
+        check_file(f, rel, findings)
+
+    for rel, lineno, rule, msg in findings:
+        print(f"{rel}:{lineno}: [{rule}] {msg}")
+    n = len(findings)
+    print(f"mcnsim_lint: {len(files)} files, {n} finding"
+          f"{'' if n == 1 else 's'}")
+    if args.check and findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

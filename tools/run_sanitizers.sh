@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Build and run the test suite under the sanitizer matrix.
+#
+# Each sanitizer set gets its own build tree (configured with
+# -DMCNSIM_SANITIZE=<set>), runs the full ctest suite plus an
+# iperf + ping CLI smoke, and fails on the first finding
+# (-fno-sanitize-recover=all aborts on any error).
+#
+# Usage: tools/run_sanitizers.sh [--build-root DIR] [--no-leaks]
+#                                [--matrix SET1;SET2]
+#   --build-root DIR   where the per-sanitizer trees go
+#                      (default: <repo>/build-san)
+#   --no-leaks         disable LeakSanitizer in the address run
+#   --matrix LIST      semicolon-separated sanitizer sets
+#                      (default: "address,undefined;undefined")
+set -eu
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_ROOT="$REPO_ROOT/build-san"
+DETECT_LEAKS=1
+MATRIX="address,undefined;undefined"
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --build-root) BUILD_ROOT="$2"; shift ;;
+        --no-leaks) DETECT_LEAKS=0 ;;
+        --matrix) MATRIX="$2"; shift ;;
+        -h|--help)
+            sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0 ;;
+        *) echo "unknown option: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+IFS=';' read -ra SETS <<< "$MATRIX"
+for san in "${SETS[@]}"; do
+    tree="$BUILD_ROOT/$(echo "$san" | tr ',' '-')"
+    echo "== sanitizer set '$san' -> $tree =="
+    cmake -B "$tree" -S "$REPO_ROOT" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DMCNSIM_SANITIZE="$san" > /dev/null
+    cmake --build "$tree" -j "$(nproc)"
+
+    export ASAN_OPTIONS="detect_leaks=$DETECT_LEAKS"
+    export UBSAN_OPTIONS="print_stacktrace=1"
+
+    echo "-- ctest under '$san'"
+    ctest --test-dir "$tree" --output-on-failure -j "$(nproc)"
+
+    echo "-- CLI smoke under '$san'"
+    "$tree/tools/mcnsim_cli" iperf --duration-ms=1 > /dev/null
+    "$tree/tools/mcnsim_cli" ping > /dev/null
+    echo "-- '$san' clean"
+    echo
+done
+
+echo "run_sanitizers: all sets clean"
