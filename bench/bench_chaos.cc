@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Chaos soak: the iperf traffic mix (four MCN DIMMs streaming to
+ * the host) run under each canned fault schedule, against a clean
+ * run of the same setup. What this guards:
+ *
+ *  - the system *survives* sustained fault injection: every run is
+ *    time-bounded, throughput stays nonzero, and the recovery
+ *    machinery (ring-entry CRC, doorbell watchdogs, retransmit,
+ *    degraded-node handling) is actually exercised;
+ *  - fault injection is deterministic: with a fixed seed the fire
+ *    counts and modeled outcomes are exact, so they live in the
+ *    perf baseline like every other modeled metric;
+ *  - the zero-cost gate holds: the clean run arms nothing, and its
+ *    modeled result must match the plain iperf path bit-for-bit
+ *    (the fig8a baseline catches drift there).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/experiment.hh"
+#include "core/system_builder.hh"
+#include "sim/fault.hh"
+
+using namespace mcnsim;
+using namespace mcnsim::core;
+
+namespace {
+
+constexpr std::uint64_t chaosSeed = 7;
+
+struct Schedule
+{
+    const char *name;
+    const char *specs; ///< ';'-separated fault specs; "" = clean
+};
+
+struct SoakResult
+{
+    double gbps = 0.0;
+    std::uint64_t faultFires = 0;
+    std::uint64_t ringCrcDrops = 0;
+    std::uint64_t watchdogResyncs = 0;
+    std::uint64_t dimmsDegraded = 0;
+};
+
+SoakResult
+soak(const Schedule &sched, sim::Tick duration)
+{
+    auto &plan = sim::FaultPlan::instance();
+    plan.clear();
+    plan.setSeed(chaosSeed);
+    std::string specs = sched.specs;
+    std::size_t pos = 0;
+    while (pos < specs.size()) {
+        std::size_t semi = specs.find(';', pos);
+        if (semi == std::string::npos)
+            semi = specs.size();
+        sim::FaultPlan::Spec sp;
+        std::string err;
+        if (!sim::FaultPlan::parseSpec(
+                specs.substr(pos, semi - pos), &sp, &err))
+            sim::fatal("bad fault spec in bench_chaos: ", err);
+        plan.arm(sp);
+        pos = semi + 1;
+    }
+    plan.resetRunState();
+
+    sim::Simulation s(chaosSeed);
+    McnSystemParams p;
+    p.numDimms = 4;
+    p.config = McnConfig::level(5);
+    McnSystem sys(s, p);
+
+    auto r = runIperf(s, sys, 0, {1, 2, 3, 4}, duration);
+
+    SoakResult out;
+    out.gbps = r.gbps;
+    out.faultFires = plan.totalFires();
+    out.ringCrcDrops = sys.driver().ringCrcDrops();
+    out.dimmsDegraded = sys.driver().dimmsDegraded();
+    for (std::size_t i = 0; i < sys.dimmCount(); ++i) {
+        out.ringCrcDrops += sys.dimm(i).driver().ringCrcDrops();
+        out.watchdogResyncs +=
+            sys.dimm(i).driver().watchdogResyncs();
+    }
+    plan.clear();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using bench::fmt;
+    bool quick = bench::quickMode(argc, argv);
+    sim::Tick duration = quick ? 4 * sim::oneMs : 20 * sim::oneMs;
+
+    const std::vector<Schedule> schedules = {
+        {"clean", ""},
+        {"drop_heavy", "*.rx-irq-lost:p=0.05;*.alert-lost:p=0.05;"
+                       "*.stall:p=0.01"},
+        {"corrupt_heavy", "*.tx-corrupt:p=0.02"},
+        {"crash_recover", "mcn1.hang:at=2ms,param=1ms"},
+    };
+
+    bench::BenchReport rep("chaos", quick);
+    rep.config("dimms", 4);
+    rep.config("seed", static_cast<double>(chaosSeed));
+    rep.config("duration_ms", sim::ticksToSeconds(duration) * 1e3);
+
+    std::printf("== chaos soak: iperf under fault schedules "
+                "(duration %.0f ms %s, seed %llu) ==\n",
+                sim::ticksToSeconds(duration) * 1e3,
+                quick ? "quick" : "full",
+                static_cast<unsigned long long>(chaosSeed));
+
+    bench::Table t({"schedule", "Gbps", "fires", "crcDrops",
+                    "resyncs", "degraded"});
+    int rc = 0;
+    for (const auto &sched : schedules) {
+        auto r = soak(sched, duration);
+        t.addRow({sched.name, fmt("%.2f", r.gbps),
+                  std::to_string(r.faultFires),
+                  std::to_string(r.ringCrcDrops),
+                  std::to_string(r.watchdogResyncs),
+                  std::to_string(r.dimmsDegraded)});
+        std::string n = sched.name;
+        rep.metric(n + "_gbps", r.gbps);
+        rep.metric(n + "_fault_fires",
+                   static_cast<double>(r.faultFires));
+        rep.metric(n + "_ring_crc_drops",
+                   static_cast<double>(r.ringCrcDrops));
+        rep.metric(n + "_watchdog_resyncs",
+                   static_cast<double>(r.watchdogResyncs));
+        // Survival gates: chaos must degrade, not kill, the system.
+        if (r.gbps <= 0.0) {
+            std::fprintf(stderr,
+                         "FAIL: schedule '%s' produced zero "
+                         "throughput\n",
+                         sched.name);
+            rc = 1;
+        }
+        if (*sched.specs && r.faultFires == 0) {
+            std::fprintf(stderr,
+                         "FAIL: schedule '%s' armed but nothing "
+                         "fired\n",
+                         sched.name);
+            rc = 1;
+        }
+    }
+    t.print();
+
+    std::printf("\nexpected shape: clean fastest; corrupt-heavy "
+                "slowest (every corrupt costs a retransmit); all "
+                "schedules complete and fire faults\n");
+    if (rc)
+        return rc;
+    return bench::writeReport(rep, argc, argv);
+}

@@ -57,14 +57,14 @@ runIperf(sim::Simulation &s, System &sys, std::size_t server_node,
 std::vector<dist::PingPoint>
 runPingSweep(sim::Simulation &s, System &sys, std::size_t from,
              std::size_t to, const std::vector<std::size_t> &sizes,
-             int count)
+             int count, sim::Tick timeout, unsigned retries)
 {
     std::vector<dist::PingPoint> out;
     bool finished = false;
     auto task = [&]() -> sim::Task<void> {
         co_await dist::pingSweep(*sys.node(from).stack,
                                  sys.node(to).addr, sizes, count,
-                                 out);
+                                 out, timeout, retries);
         finished = true;
     };
     sim::spawnDetached(s.eventQueue(), task());

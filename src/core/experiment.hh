@@ -46,11 +46,14 @@ IperfReport runIperf(sim::Simulation &s, System &sys,
                      const std::vector<std::size_t> &client_nodes,
                      sim::Tick duration);
 
-/** Ping sweep from one node to another across payload sizes. */
+/** Ping sweep from one node to another across payload sizes.
+ *  @p timeout and @p retries bound each probe (see
+ *  dist::pingSweep). */
 std::vector<dist::PingPoint>
 runPingSweep(sim::Simulation &s, System &sys, std::size_t from,
              std::size_t to, const std::vector<std::size_t> &sizes,
-             int count = 5);
+             int count = 5, sim::Tick timeout = 100 * sim::oneMs,
+             unsigned retries = 0);
 
 /** Result of one MPI workload run. */
 struct MpiRunReport

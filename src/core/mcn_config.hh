@@ -44,6 +44,17 @@ struct McnConfig
     /** SRAM communication buffer size per MCN DIMM. */
     std::size_t sramBytes = 96 * 1024;
 
+    /**
+     * Resilience watchdogs (armed only while a fault plan is armed,
+     * so silent runs stay event-identical to the seed baselines):
+     * the host driver sweeps every DIMM's ring progress each epoch
+     * and marks a DIMM degraded after @p watchdogEpochs epochs
+     * without progress; the MCN driver uses the same epoch to
+     * recover lost RX doorbells.
+     */
+    sim::Tick watchdogEpoch = 200 * sim::oneUs;
+    unsigned watchdogEpochs = 5;
+
     /** The paper's named levels: mcnConfigLevel(0..5). */
     static McnConfig level(int n);
 

@@ -5,6 +5,7 @@
 
 #include "core/system_builder.hh"
 
+#include "net/icmp.hh"
 #include "sim/logging.hh"
 
 namespace mcnsim::core {
@@ -68,6 +69,16 @@ McnSystem::McnSystem(sim::Simulation &s,
                 st.addNeighbor(dimmAddr(j), dimms_[j]->mac());
         }
     }
+
+    // Dead-node reporting: when the forwarding engine drops a frame
+    // for a degraded DIMM, the host's ICMP layer tells the sender
+    // (destination unreachable) so pings and connecting sockets
+    // fail fast instead of timing out.
+    net::NetStack *hs = hostStack_.get();
+    driver_->setUnreachableNotifier(
+        [hs](net::Ipv4Addr src, net::Ipv4Addr dead) {
+            hs->icmp().sendUnreachable(src, dead);
+        });
 }
 
 net::Ipv4Addr

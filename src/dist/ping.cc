@@ -14,7 +14,8 @@ namespace mcnsim::dist {
 sim::Task<void>
 pingSweep(net::NetStack &from, net::Ipv4Addr dst,
           std::vector<std::size_t> sizes, int count,
-          std::vector<PingPoint> &out)
+          std::vector<PingPoint> &out, sim::Tick timeout,
+          unsigned retries)
 {
     for (std::size_t size : sizes) {
         PingPoint pt;
@@ -23,7 +24,8 @@ pingSweep(net::NetStack &from, net::Ipv4Addr dst,
         sim::Tick sum = 0;
         int ok = 0;
         for (int i = 0; i < count; ++i) {
-            sim::Tick rtt = co_await from.icmp().ping(dst, size);
+            sim::Tick rtt = co_await from.icmp().ping(
+                dst, size, timeout, retries);
             if (rtt == sim::maxTick) {
                 pt.lost++;
                 continue;

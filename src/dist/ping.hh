@@ -28,10 +28,15 @@ struct PingPoint
 /**
  * Ping @p dst once per payload size in @p sizes, @p count times
  * each; results land in @p out (one PingPoint per size).
+ * @p timeout bounds each probe's wait and @p retries re-sends a
+ * lost probe that many extra times before counting it lost (a
+ * destination-unreachable reply fails fast regardless).
  */
 sim::Task<void> pingSweep(net::NetStack &from, net::Ipv4Addr dst,
                           std::vector<std::size_t> sizes, int count,
-                          std::vector<PingPoint> &out);
+                          std::vector<PingPoint> &out,
+                          sim::Tick timeout = 100 * sim::oneMs,
+                          unsigned retries = 0);
 
 } // namespace mcnsim::dist
 

@@ -34,6 +34,10 @@ McnHostInterface::McnHostInterface(sim::Simulation &s,
       dimmIndex_(dimm_index)
 {
     features().tso = driver.config().tso;
+    // The hop behind this virtual device is the ECC/CRC-protected
+    // memory channel: trusted under the per-hop checksum rule, so
+    // mcn2's bypass stays sound host-side too.
+    features().trusted = true;
 }
 
 os::TxResult
@@ -65,6 +69,10 @@ McnHostDriver::McnHostDriver(sim::Simulation &s, std::string name,
     regStat(&statPollScans_);
     regStat(&statPollHits_);
     regStat(&statRxRingFull_);
+    regStat(&statDegraded_);
+    regStat(&statRecoveries_);
+    regStat(&statDegradedDrops_);
+    regStat(&statRingCrcDrops_);
 }
 
 McnHostInterface &
@@ -145,6 +153,94 @@ McnHostDriver::startup()
             kernel_.softirq().schedule([this] { pollTasklet(); });
         });
     }
+    // The per-DIMM health watchdog exists only under an armed fault
+    // plan: silent runs stay event-identical to the seed baselines,
+    // and an armed run is deterministic either way.
+    if (sim::FaultPlan::active() && !dimms_.empty())
+        eventQueue().scheduleIn([this] { watchdogTick(); },
+                                config_.watchdogEpoch,
+                                "mcn.hostWatchdog");
+}
+
+// ---------------------------------------------------------------------
+// Per-DIMM health watchdog (armed fault plans only)
+// ---------------------------------------------------------------------
+
+void
+McnHostDriver::watchdogTick()
+{
+    for (std::size_t i = 0; i < dimms_.size(); ++i)
+        checkDimmHealth(i);
+    eventQueue().scheduleIn([this] { watchdogTick(); },
+                            config_.watchdogEpoch,
+                            "mcn.hostWatchdog");
+}
+
+void
+McnHostDriver::checkDimmHealth(std::size_t idx)
+{
+    Binding &b = *dimms_[idx];
+    auto &sram = b.dimm->iface().sram();
+
+    // Progress marker: the MCN side consuming its RX ring. A node
+    // whose processor died stops dequeuing while the ring (which
+    // lives in the still-powered buffer device) holds data.
+    const std::uint64_t deq = sram.rx().messagesDequeued();
+    const bool pending = !sram.rx().empty();
+    const bool progressed = deq != b.lastDequeued;
+    b.lastDequeued = deq;
+
+    if (progressed || !pending) {
+        if (b.health == Health::Degraded && progressed) {
+            statRecoveries_ += 1;
+            trace("MCNDriver", "dimm ", idx,
+                  " responding again, readmitted");
+            tlInstant("dimmReadmitted");
+        }
+        if (progressed || b.health != Health::Degraded) {
+            b.health = Health::Healthy;
+            b.stuckEpochs = 0;
+        }
+    } else if (b.health != Health::Degraded) {
+        b.stuckEpochs += 1;
+        if (b.stuckEpochs >= config_.watchdogEpochs) {
+            b.health = Health::Degraded;
+            statDegraded_ += 1;
+            trace("MCNDriver", "dimm ", idx, " unresponsive for ",
+                  b.stuckEpochs, " epochs, marking degraded");
+            tlInstant("dimmDegraded");
+        } else {
+            b.health = Health::Suspect;
+        }
+    }
+
+    // Degraded nodes get one probe frame per epoch: a revived node
+    // drains it, the dequeue counter moves, and the next sweep
+    // readmits the DIMM.
+    if (b.health == Health::Degraded)
+        b.probeCredit = true;
+
+    // Lost-ALERT recovery on the host side: data pending in the
+    // DIMM's TX ring with no drain running means the doorbell edge
+    // was swallowed; re-trigger the drain.
+    if (sram.txPoll() && !b.draining && !sram.tx().empty())
+        drainDimm(idx);
+}
+
+void
+McnHostDriver::notifyUnreachable(const net::Packet &pkt,
+                                 std::size_t dead_idx)
+{
+    if (!unreachableNotifier_)
+        return;
+    constexpr std::size_t ethSize = net::EthernetHeader::size;
+    if (pkt.size() < ethSize + net::Ipv4Header::size)
+        return;
+    const std::uint8_t *ip = pkt.cdata() + ethSize;
+    const net::Ipv4Addr src{(std::uint32_t(ip[12]) << 24) |
+                            (std::uint32_t(ip[13]) << 16) |
+                            (std::uint32_t(ip[14]) << 8) | ip[15]};
+    unreachableNotifier_(src, dimms_[dead_idx]->dimm->addr());
 }
 
 // ---------------------------------------------------------------------
@@ -270,6 +366,16 @@ McnHostDriver::drainLoop(std::size_t idx)
     auto msg = ring.dequeue();
     MCNSIM_ASSERT(msg, "non-empty TX ring without front message");
     b.dimm->iface().recordRingLevels();
+    if (!msg->crcOk) {
+        // In-SRAM corruption caught by the ring-entry CRC: the
+        // message never reaches the forwarding engine; the sender's
+        // TCP retransmits.
+        statRingCrcDrops_ += 1;
+        trace("MCNDriver", "drain dimm ", idx,
+              ": ring CRC mismatch, dropping");
+        drainLoop(idx);
+        return;
+    }
     std::uint64_t bytes = msg->bytes.size();
     trace("MCNDriver", "drain dimm ", idx, ": ", bytes, "B from TX ring");
     auto pkt = net::Packet::make(std::move(msg->bytes));
@@ -306,6 +412,18 @@ os::TxResult
 McnHostDriver::xmitToDimm(std::size_t idx, net::PacketPtr pkt)
 {
     Binding &b = *dimms_[idx];
+    if (b.health == Health::Degraded) {
+        if (!b.probeCredit) {
+            // Swallow, don't Busy: a Busy return would park the
+            // qdisc behind a dead node forever. Dropping lets TCP
+            // see loss, back off and abort with a per-socket error,
+            // while the unreachable notifier fails fast senders.
+            statDegradedDrops_ += 1;
+            notifyUnreachable(*pkt, idx);
+            return os::TxResult::Ok;
+        }
+        b.probeCredit = false; // one probe frame per epoch
+    }
     auto &ring = b.dimm->iface().sram().rx();
     std::size_t need = MessageRing::footprint(pkt->size());
     if (need + b.rxReserved > ring.freeBytes()) {
@@ -331,6 +449,8 @@ McnHostDriver::xmitToDimm(std::size_t idx, net::PacketPtr pkt)
             pkt->cdata(), pkt->size(),
             std::make_shared<net::LatencyTrace>(pkt->trace));
         MCNSIM_ASSERT(ok, "RX ring enqueue failed after reserve");
+        if (faultTxCorrupt_.fires())
+            bb.dimm->iface().sram().rx().corruptNewest();
         bb.rxReserved -= need;
         bb.dimm->iface().hostDepositedRx();
     };
@@ -351,13 +471,28 @@ McnHostDriver::xmitToDimm(std::size_t idx, net::PacketPtr pkt)
 }
 
 /** Lossless relay: retry a busy destination ring periodically
- *  (qdisc semantics; the source ring backpressures upstream). */
+ *  (qdisc semantics; the source ring backpressures upstream). A
+ *  ring that stays full past the retry budget means the consumer
+ *  died -- give up and report the node unreachable rather than
+ *  retrying forever. */
 void
-McnHostDriver::relayToDimm(std::size_t idx, net::PacketPtr pkt)
+McnHostDriver::relayToDimm(std::size_t idx, net::PacketPtr pkt,
+                           unsigned attempts)
 {
+    // 2000 x 5us = 10ms: far beyond any transient ring-full spell.
+    constexpr unsigned maxRelayAttempts = 2000;
     if (xmitToDimm(idx, pkt) == os::TxResult::Busy) {
+        if (attempts >= maxRelayAttempts) {
+            statFDrop_ += 1;
+            trace("MCNDriver", "relay to dimm ", idx,
+                  ": ring stuck full, dropping");
+            notifyUnreachable(*pkt, idx);
+            return;
+        }
         eventQueue().scheduleIn(
-            [this, idx, pkt] { relayToDimm(idx, pkt); },
+            [this, idx, pkt, attempts] {
+                relayToDimm(idx, pkt, attempts + 1);
+            },
             5 * sim::oneUs, "mcn.f3retry");
     }
 }
@@ -378,7 +513,8 @@ McnHostDriver::forward(std::size_t from_idx, net::PacketPtr pkt)
         statF1_ += 1;
         dimms_[from_idx]->iface->deliverUp(pkt->clone());
         for (std::size_t j = 0; j < dimms_.size(); ++j) {
-            if (j == from_idx)
+            if (j == from_idx ||
+                dimms_[j]->health == Health::Degraded)
                 continue;
             xmitToDimm(j, pkt->clone());
         }
@@ -399,6 +535,13 @@ McnHostDriver::forward(std::size_t from_idx, net::PacketPtr pkt)
     // F3: destined to another MCN node's interface.
     for (std::size_t j = 0; j < dimms_.size(); ++j) {
         if (eth.dst == dimms_[j]->dimm->mac()) {
+            if (dimms_[j]->health == Health::Degraded) {
+                // Dead next hop: drop and tell the sender instead
+                // of queuing behind a node that will never drain.
+                statDegradedDrops_ += 1;
+                notifyUnreachable(*pkt, j);
+                return;
+            }
             statF3_ += 1;
             kernel_.cpus().execute(
                 kernel_.costs().ipForwardPerPacket,

@@ -21,6 +21,7 @@
 #define MCNSIM_MCN_HOST_DRIVER_HH
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "os/hrtimer.hh"
 #include "os/kernel.hh"
 #include "os/net_device.hh"
+#include "sim/fault.hh"
 
 namespace mcnsim::mcn {
 
@@ -74,6 +76,20 @@ class McnHostDriver : public sim::SimObject
     /** Conventional NIC used for scenario F4 (may be null). */
     void setUplink(os::NetDevice *dev) { uplink_ = dev; }
 
+    /**
+     * Called when a frame for a degraded (unresponsive) MCN node is
+     * dropped by the forwarding engine: @p src is the IP source of
+     * the dropped frame, @p dead the degraded node's IP. The system
+     * builder wires this to the host stack's ICMP destination-
+     * unreachable path so senders fail fast instead of timing out.
+     */
+    void
+    setUnreachableNotifier(
+        std::function<void(net::Ipv4Addr src, net::Ipv4Addr dead)> f)
+    {
+        unreachableNotifier_ = std::move(f);
+    }
+
     void startup() override;
 
     const core::McnConfig &config() const { return config_; }
@@ -103,6 +119,31 @@ class McnHostDriver : public sim::SimObject
     {
         return static_cast<std::uint64_t>(statPollHits_.value());
     }
+    std::uint64_t dimmsDegraded() const
+    {
+        return static_cast<std::uint64_t>(statDegraded_.value());
+    }
+    std::uint64_t dimmsReadmitted() const
+    {
+        return static_cast<std::uint64_t>(statRecoveries_.value());
+    }
+    std::uint64_t degradedDrops() const
+    {
+        return static_cast<std::uint64_t>(statDegradedDrops_.value());
+    }
+    std::uint64_t ringCrcDrops() const
+    {
+        return static_cast<std::uint64_t>(statRingCrcDrops_.value());
+    }
+
+    /** Watchdog verdict on one DIMM (see watchdogTick()). */
+    enum class Health { Healthy, Suspect, Degraded };
+
+    /** Current watchdog verdict for DIMM @p idx. */
+    Health dimmHealth(std::size_t idx) const
+    {
+        return dimms_[idx]->health;
+    }
 
   private:
     struct Binding
@@ -117,6 +158,12 @@ class McnHostDriver : public sim::SimObject
         bool draining = false;
         std::size_t rxReserved = 0; ///< in-flight copy bytes
         sim::Tick drainStart = 0;   ///< timeline: R1 tick of drain
+
+        // Watchdog state (active only under an armed fault plan).
+        Health health = Health::Healthy;
+        std::uint64_t lastDequeued = 0; ///< RX-ring progress marker
+        unsigned stuckEpochs = 0;       ///< epochs with no progress
+        bool probeCredit = false; ///< degraded: one probe per epoch
     };
 
     /** One MMIO access to a control field of a DIMM's SRAM. */
@@ -130,7 +177,12 @@ class McnHostDriver : public sim::SimObject
     void drainLoop(std::size_t idx);
     void drainFinished(std::size_t idx);
     void forward(std::size_t from_idx, net::PacketPtr pkt);
-    void relayToDimm(std::size_t idx, net::PacketPtr pkt);
+    void relayToDimm(std::size_t idx, net::PacketPtr pkt,
+                     unsigned attempts = 0);
+    void watchdogTick();
+    void checkDimmHealth(std::size_t idx);
+    void notifyUnreachable(const net::Packet &pkt,
+                           std::size_t dead_idx);
 
     os::Kernel &kernel_;
     core::McnConfig config_;
@@ -147,6 +199,11 @@ class McnHostDriver : public sim::SimObject
     std::unique_ptr<os::HrTimer> pollTimer_;
     bool pollInFlight_ = false;
     sim::Tick pollStart_ = 0; ///< timeline: tick the sweep began
+    std::function<void(net::Ipv4Addr, net::Ipv4Addr)>
+        unreachableNotifier_;
+
+    /// Host->MCN copy lands corrupted in the RX ring.
+    sim::FaultSite faultTxCorrupt_ = FAULT_POINT("tx-corrupt");
 
     sim::Scalar statF1_{"f1HostDeliveries",
                         "frames delivered to the host stack"};
@@ -158,6 +215,14 @@ class McnHostDriver : public sim::SimObject
     sim::Scalar statPollHits_{"pollHits", "polls finding data"};
     sim::Scalar statRxRingFull_{"rxRingFull",
                                 "host->MCN ring-full busy returns"};
+    sim::Scalar statDegraded_{"dimmsDegraded",
+                              "DIMMs the watchdog marked degraded"};
+    sim::Scalar statRecoveries_{"dimmsReadmitted",
+                                "degraded DIMMs readmitted"};
+    sim::Scalar statDegradedDrops_{
+        "degradedDrops", "frames dropped toward degraded DIMMs"};
+    sim::Scalar statRingCrcDrops_{
+        "ringCrcDrops", "TX-ring messages failing the entry CRC"};
 };
 
 } // namespace mcnsim::mcn

@@ -5,6 +5,9 @@
 
 #include "mcn/mcn_dimm.hh"
 
+#include "sim/fault.hh"
+#include "sim/simulation.hh"
+
 namespace mcnsim::mcn {
 
 namespace {
@@ -39,6 +42,53 @@ McnDimm::McnDimm(sim::Simulation &s, std::string name, int node_id,
         [krn] { krn->irq().raise(mcnRxIrqLine); });
     McnDriver *drv = driver_.get();
     kernel_->irq().request(mcnRxIrqLine, [drv] { drv->rxIrq(); });
+}
+
+void
+McnDimm::startup()
+{
+    if (!sim::FaultPlan::active())
+        return;
+    auto &plan = sim::FaultPlan::instance();
+    for (const auto &hit : plan.scheduledFor(name() + ".crash")) {
+        eventQueue().schedule(
+            [this] {
+                sim::reportScheduledFault(*this, "crash");
+                crash();
+            },
+            hit.at, "fault.crash");
+    }
+    for (const auto &hit : plan.scheduledFor(name() + ".hang")) {
+        const sim::Tick dur =
+            hit.param ? hit.param : 500 * sim::oneUs;
+        eventQueue().schedule(
+            [this, dur] {
+                sim::reportScheduledFault(*this, "hang");
+                hang(dur);
+            },
+            hit.at, "fault.hang");
+    }
+}
+
+void
+McnDimm::crash()
+{
+    trace("MCN", "node ", nodeId(), " crashed");
+    tlInstant("crash");
+    driver_->setAlive(false);
+}
+
+void
+McnDimm::hang(sim::Tick duration)
+{
+    crash();
+    eventQueue().scheduleIn(
+        [this] {
+            trace("MCN", "node ", nodeId(), " revived");
+            tlInstant("revive");
+            driver_->setAlive(true);
+        },
+        duration, "fault.revive");
 }
 
 void

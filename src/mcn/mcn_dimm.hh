@@ -42,6 +42,20 @@ class McnDimm : public sim::SimObject
     McnDimm(sim::Simulation &s, std::string name, int node_id,
             const McnDimmParams &params);
 
+    /** Schedules crash/hang faults from the armed plan:
+     *  "<name>.crash:at=<t>" kills the MCN processor for good;
+     *  "<name>.hang:at=<t>,param=<dur>" stalls it for @p dur. */
+    void startup() override;
+
+    /** The MCN processor stops: no transmit, no RX drain. The
+     *  buffer device (SRAM + poll flags) stays reachable. */
+    void crash();
+
+    /** Crash, then revive after @p duration (resyncs doorbells). */
+    void hang(sim::Tick duration);
+
+    bool alive() const { return driver_->alive(); }
+
     os::Kernel &kernel() { return *kernel_; }
     McnInterface &iface() { return *iface_; }
     net::NetStack &stack() { return *stack_; }

@@ -18,6 +18,7 @@ McnDmaEngine::McnDmaEngine(sim::Simulation &s, std::string name,
 {
     regStat(&statTransfers_);
     regStat(&statBytes_);
+    regStat(&statStalls_);
 }
 
 void
@@ -35,21 +36,55 @@ McnDmaEngine::transfer(std::uint64_t bytes,
     kernel_.cpus().leastLoaded().execute(
         kernel_.costs().dmaSetup,
         [this, bytes, t0, done = std::move(done)](sim::Tick) {
-            arbiter_.startTransfer(
-                bytes,
-                [this, t0, done](sim::Tick) {
-                    // Completion interrupt, then the callback.
-                    kernel_.cpus().execute(
-                        kernel_.costs().interruptEntry,
-                        [this, t0, done](sim::Tick at) {
-                            tlSpan("dmaTransfer", t0, at);
-                            if (done)
-                                done(at);
-                        },
-                        /*irq=*/true);
-                },
-                rateBps_);
+            // Injected stall: the engine sits on the descriptor
+            // (bus contention, stuck arbitration) before streaming.
+            if (faultStall_.fires()) {
+                statStalls_ += 1;
+                const sim::Tick delay = faultStall_.param()
+                                            ? faultStall_.param()
+                                            : 50 * sim::oneUs;
+                eventQueue().scheduleIn(
+                    [this, bytes, t0, done] {
+                        stream(bytes, t0, done);
+                    },
+                    delay, "fault.dmaStall");
+                return;
+            }
+            stream(bytes, t0, done);
         });
+}
+
+void
+McnDmaEngine::stream(std::uint64_t bytes, sim::Tick t0,
+                     std::function<void(sim::Tick)> done)
+{
+    // Injected partial transfer: the engine aborts mid-stream and
+    // the descriptor is replayed -- modelled as streaming half the
+    // bytes first, then the full transfer.
+    if (faultPartial_.fires()) {
+        statStalls_ += 1;
+        arbiter_.startTransfer(
+            bytes / 2 + 1,
+            [this, bytes, t0, done](sim::Tick) {
+                stream(bytes, t0, done);
+            },
+            rateBps_);
+        return;
+    }
+    arbiter_.startTransfer(
+        bytes,
+        [this, t0, done](sim::Tick) {
+            // Completion interrupt, then the callback.
+            kernel_.cpus().execute(
+                kernel_.costs().interruptEntry,
+                [this, t0, done](sim::Tick at) {
+                    tlSpan("dmaTransfer", t0, at);
+                    if (done)
+                        done(at);
+                },
+                /*irq=*/true);
+        },
+        rateBps_);
 }
 
 } // namespace mcnsim::mcn

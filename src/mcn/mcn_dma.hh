@@ -16,6 +16,7 @@
 
 #include "mem/bandwidth_arbiter.hh"
 #include "os/kernel.hh"
+#include "sim/fault.hh"
 #include "sim/sim_object.hh"
 
 namespace mcnsim::mcn {
@@ -44,14 +45,27 @@ class McnDmaEngine : public sim::SimObject
     {
         return static_cast<std::uint64_t>(statTransfers_.value());
     }
+    std::uint64_t stalls() const
+    {
+        return static_cast<std::uint64_t>(statStalls_.value());
+    }
 
   private:
+    void stream(std::uint64_t bytes, sim::Tick t0,
+                std::function<void(sim::Tick)> done);
+
     os::Kernel &kernel_;
     mem::BandwidthArbiter &arbiter_;
     double rateBps_;
 
     sim::Scalar statTransfers_{"transfers", "DMA transfers"};
     sim::Scalar statBytes_{"bytes", "bytes moved by DMA"};
+    sim::Scalar statStalls_{"stalls", "injected stalls/retries"};
+
+    /// Engine stalls before streaming (param = extra delay).
+    sim::FaultSite faultStall_ = FAULT_POINT("stall");
+    /// Transfer aborts partway and is re-streamed (extra time).
+    sim::FaultSite faultPartial_ = FAULT_POINT("partial");
 };
 
 } // namespace mcnsim::mcn

@@ -24,6 +24,10 @@ McnDriver::McnDriver(sim::Simulation &s, std::string name,
       kernel_(kernel), iface_(iface), config_(config)
 {
     features().tso = config.tso;
+    // The memory channel is ECC/CRC protected (paper Sec. IV-A):
+    // this is the trusted hop that makes mcn2's checksum bypass
+    // sound under the per-hop trust rule.
+    features().trusted = true;
     if (config.dma)
         // The MCN-side engine moves bytes between the DIMM's own
         // DRAM and the SRAM over the on-chip bus: full port rate,
@@ -35,11 +39,57 @@ McnDriver::McnDriver(sim::Simulation &s, std::string name,
     regStat(&statTxMsgs_);
     regStat(&statRxMsgs_);
     regStat(&statTxFull_);
+    regStat(&statCrcDrops_);
+    regStat(&statResyncs_);
+}
+
+void
+McnDriver::startup()
+{
+    // The doorbell-recovery watchdog only exists under an armed
+    // fault plan: silent runs stay event-identical to the seed
+    // baselines, and an armed run is deterministic either way.
+    if (sim::FaultPlan::active())
+        // lint-ok: this-capture (SimObject via os::NetDevice)
+        eventQueue().scheduleIn([this] { watchdogTick(); },
+                                config_.watchdogEpoch,
+                                "mcn.rxWatchdog");
+}
+
+void
+McnDriver::setAlive(bool alive)
+{
+    alive_ = alive;
+    if (alive) {
+        // Revive: resynchronise with whatever the host deposited
+        // while we were down (the rx-poll flag survives in SRAM).
+        if (iface_.sram().rxPoll() || !iface_.sram().rx().empty())
+            rxIrq();
+    }
+}
+
+void
+McnDriver::watchdogTick()
+{
+    // Lost-doorbell recovery: rx-poll set (or messages pending)
+    // with no drain running means the IRQ edge was swallowed.
+    if (alive_ && !draining_ &&
+        (iface_.sram().rxPoll() || !iface_.sram().rx().empty())) {
+        statResyncs_ += 1;
+        trace("MCNDriver", "watchdog: RX ring stuck, resyncing");
+        rxIrq();
+    }
+    // lint-ok: this-capture (SimObject via os::NetDevice)
+    eventQueue().scheduleIn([this] { watchdogTick(); },
+                            config_.watchdogEpoch,
+                            "mcn.rxWatchdog");
 }
 
 os::TxResult
 McnDriver::xmit(net::PacketPtr pkt)
 {
+    if (!alive_)
+        return os::TxResult::Busy; // crashed processor
     auto &ring = iface_.sram().tx();
     // T1/T2: check space against the cached ring pointers,
     // accounting for copies already in flight.
@@ -69,6 +119,8 @@ McnDriver::xmit(net::PacketPtr pkt)
             pkt->cdata(), pkt->size(),
             std::make_shared<net::LatencyTrace>(pkt->trace));
         MCNSIM_ASSERT(ok, "TX ring enqueue failed after reserve");
+        if (faultTxCorrupt_.fires())
+            iface_.sram().tx().corruptNewest();
         txReserved_ -= need;
         iface_.mcnDepositedTx();
     };
@@ -92,7 +144,7 @@ McnDriver::xmit(net::PacketPtr pkt)
 void
 McnDriver::rxIrq()
 {
-    if (draining_)
+    if (draining_ || !alive_)
         return;
     draining_ = true;
     // The interrupt cost was charged by the IRQ path in the
@@ -116,6 +168,14 @@ McnDriver::drainRx()
     auto msg = ring.dequeue();
     MCNSIM_ASSERT(msg, "non-empty ring without front message");
     iface_.recordRingLevels();
+    if (!msg->crcOk) {
+        // In-SRAM corruption caught by the ring-entry CRC: the
+        // message never reaches the stack; TCP retransmits.
+        statCrcDrops_ += 1;
+        trace("MCNDriver", "RX ring CRC mismatch, dropping");
+        drainRx();
+        return;
+    }
     statRxMsgs_ += 1;
     std::uint64_t bytes = msg->bytes.size();
     trace("MCNDriver", "drain RX ring: ", bytes, "B");

@@ -15,6 +15,7 @@
 #include "mcn/mcn_interface.hh"
 #include "os/kernel.hh"
 #include "os/net_device.hh"
+#include "sim/fault.hh"
 
 namespace mcnsim::mcn {
 
@@ -28,7 +29,18 @@ class McnDriver : public os::NetDevice
 
     os::TxResult xmit(net::PacketPtr pkt) override;
 
+    /** Arms the doorbell-recovery watchdog under a fault plan. */
+    void startup() override;
+
     const core::McnConfig &config() const { return config_; }
+
+    /**
+     * Crash/hang support: a dead MCN processor neither transmits
+     * (xmit returns Busy) nor answers its RX IRQ. The buffer
+     * device's SRAM survives -- only the processor stops.
+     */
+    void setAlive(bool alive);
+    bool alive() const { return alive_; }
 
     /**
      * Level-triggered receive entry: drain the RX ring. Wired to
@@ -41,20 +53,38 @@ class McnDriver : public os::NetDevice
     {
         return static_cast<std::uint64_t>(statRxMsgs_.value());
     }
+    std::uint64_t ringCrcDrops() const
+    {
+        return static_cast<std::uint64_t>(statCrcDrops_.value());
+    }
+    std::uint64_t watchdogResyncs() const
+    {
+        return static_cast<std::uint64_t>(statResyncs_.value());
+    }
 
   private:
     void drainRx();
+    void watchdogTick();
 
     os::Kernel &kernel_;
     McnInterface &iface_;
     core::McnConfig config_;
     std::unique_ptr<McnDmaEngine> dma_;
     bool draining_ = false;
+    bool alive_ = true;
     std::size_t txReserved_ = 0; ///< ring bytes of in-flight copies
 
     sim::Scalar statTxMsgs_{"txMessages", "messages into TX ring"};
     sim::Scalar statRxMsgs_{"rxMessages", "messages out of RX ring"};
     sim::Scalar statTxFull_{"txRingFull", "TX ring full events"};
+    sim::Scalar statCrcDrops_{"ringCrcDrops",
+                              "RX ring messages failing CRC"};
+    sim::Scalar statResyncs_{"watchdogResyncs",
+                             "watchdog-recovered lost doorbells"};
+
+    /// In-SRAM corruption of the message just written to the TX
+    /// ring (the host-side drain sees the CRC mismatch).
+    sim::FaultSite faultTxCorrupt_ = FAULT_POINT("tx-corrupt");
 };
 
 } // namespace mcnsim::mcn

@@ -20,6 +20,40 @@ McnInterface::McnInterface(sim::Simulation &s, std::string name,
     regStat(&statRxIrqs_);
     regStat(&statAlerts_);
     regStat(&statHostAccesses_);
+    regStat(&statLost_);
+    regStat(&statSpurious_);
+}
+
+void
+McnInterface::startup()
+{
+    if (!sim::FaultPlan::active())
+        return;
+    // Scheduled spurious doorbells: ring the handler with nothing
+    // deposited. The drivers must tolerate the empty-ring drain.
+    auto &plan = sim::FaultPlan::instance();
+    for (const auto &hit :
+         plan.scheduledFor(name() + ".spurious-rx-irq")) {
+        eventQueue().schedule(
+            [this] {
+                sim::reportScheduledFault(*this, "spurious-rx-irq");
+                statSpurious_ += 1;
+                if (rxIrq_)
+                    rxIrq_();
+            },
+            hit.at, "fault.spuriousRxIrq");
+    }
+    for (const auto &hit :
+         plan.scheduledFor(name() + ".spurious-alert")) {
+        eventQueue().schedule(
+            [this] {
+                sim::reportScheduledFault(*this, "spurious-alert");
+                statSpurious_ += 1;
+                if (alert_)
+                    alert_();
+            },
+            hit.at, "fault.spuriousAlert");
+    }
 }
 
 void
@@ -45,6 +79,12 @@ McnInterface::hostDepositedRx()
     statRxIrqs_ += 1;
     tlInstant("rxIrq");
     recordRingLevels();
+    // Lost doorbell: rx-poll is set but the IRQ edge is swallowed.
+    // The MCN driver's watchdog re-detects the non-empty ring.
+    if (faultRxIrqLost_.fires()) {
+        statLost_ += 1;
+        return;
+    }
     if (rxIrq_)
         rxIrq_();
 }
@@ -55,6 +95,12 @@ McnInterface::mcnDepositedTx()
     sram_.setTxPoll();
     recordRingLevels();
     if (alert_) {
+        // Lost ALERT_N pulse: tx-poll stays set, so the host
+        // watchdog (or the next successful pulse) recovers.
+        if (faultAlertLost_.fires()) {
+            statLost_ += 1;
+            return;
+        }
         statAlerts_ += 1;
         tlInstant("txAlert");
         alert_();

@@ -18,6 +18,7 @@
 #include "mcn/sram_buffer.hh"
 #include "mem/bandwidth_arbiter.hh"
 #include "mem/mem_controller.hh"
+#include "sim/fault.hh"
 #include "sim/sim_object.hh"
 
 namespace mcnsim::mcn {
@@ -43,6 +44,9 @@ class McnInterface : public sim::SimObject
     McnInterface(sim::Simulation &s, std::string name,
                  std::size_t sram_bytes,
                  McnInterfaceParams params = {});
+
+    /** Schedules spurious-doorbell faults from the armed plan. */
+    void startup() override;
 
     SramBuffer &sram() { return sram_; }
     const McnInterfaceParams &params() const { return params_; }
@@ -107,6 +111,10 @@ class McnInterface : public sim::SimObject
     {
         return static_cast<std::uint64_t>(statAlerts_.value());
     }
+    std::uint64_t doorbellsLost() const
+    {
+        return static_cast<std::uint64_t>(statLost_.value());
+    }
 
   private:
     SramBuffer sram_;
@@ -120,6 +128,15 @@ class McnInterface : public sim::SimObject
     sim::Scalar statAlerts_{"alerts", "ALERT_N pulses to the host"};
     sim::Scalar statHostAccesses_{"hostAccesses",
                                   "host MMIO accesses to the SRAM"};
+    sim::Scalar statLost_{"doorbellsLost",
+                          "injected lost IRQ/ALERT doorbells"};
+    sim::Scalar statSpurious_{"doorbellsSpurious",
+                              "injected spurious doorbells"};
+
+    // Fault sites: a doorbell edge that never reaches its handler
+    // (flaky interrupt line); spurious-* are scheduled faults.
+    sim::FaultSite faultRxIrqLost_ = FAULT_POINT("rx-irq-lost");
+    sim::FaultSite faultAlertLost_ = FAULT_POINT("alert-lost");
 };
 
 } // namespace mcnsim::mcn

@@ -8,9 +8,33 @@
 #include <cstring>
 
 #include "sim/checked.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace mcnsim::mcn {
+
+namespace {
+
+/** FNV-1a over a message payload: the ring-entry CRC. Plenty for
+ *  catching injected single-byte flips. */
+std::uint32_t
+payloadCrc(const std::uint8_t *data, std::size_t n)
+{
+    std::uint32_t h = 2166136261u;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 16777619u;
+    }
+    return h;
+}
+
+/** CRC side-channel records: bit 32 set = a CRC was computed at
+ *  enqueue (fault plan armed); low 32 bits hold it. 0 = skipped,
+ *  so a disarmed run never pays the per-byte hash and a plan armed
+ *  between enqueue and dequeue cannot false-positive. */
+constexpr std::uint64_t crcValidBit = 1ull << 32;
+
+} // namespace
 
 MessageRing::MessageRing(std::size_t capacity_bytes)
     : buf_(capacity_bytes)
@@ -56,6 +80,10 @@ MessageRing::auditInvariants() const
                  "MCN ring trace queue out of sync (", traces_.size(),
                  " traces vs ", enqueued_ - dequeued_,
                  " messages in flight)");
+    MCNSIM_CHECK(crcs_.size() == traces_.size(),
+                 "MCN ring CRC side channel out of sync (",
+                 crcs_.size(), " CRCs vs ", traces_.size(),
+                 " traces)");
 }
 
 void
@@ -74,6 +102,9 @@ MessageRing::enqueue(const std::uint8_t *data, std::size_t len,
     if (need > freeBytes() || len == 0)
         return false;
     traces_.push_back(std::move(trace));
+    crcs_.push_back(sim::FaultPlan::active()
+                        ? (crcValidBit | payloadCrc(data, len))
+                        : 0);
 
     std::uint8_t hdr[lengthFieldBytes];
     hdr[0] = static_cast<std::uint8_t>(len >> 24);
@@ -121,12 +152,31 @@ MessageRing::dequeue()
             out.trace = *traces_.front();
         traces_.pop_front();
     }
+    if (!crcs_.empty()) {
+        const std::uint64_t rec = crcs_.front();
+        crcs_.pop_front();
+        if (rec & crcValidBit) [[unlikely]]
+            out.crcOk = payloadCrc(out.bytes.data(),
+                                   out.bytes.size()) ==
+                        (rec & 0xffffffffu);
+    }
     std::size_t need = footprint(*len);
     start_ = (start_ + need) % buf_.size();
     used_ -= need;
     dequeued_++;
     MCNSIM_IF_CHECKED(auditInvariants();)
     return out;
+}
+
+bool
+MessageRing::corruptNewest()
+{
+    if (empty())
+        return false;
+    // The newest message's payload ends one byte before end_.
+    std::size_t pos = (end_ + buf_.size() - 1) % buf_.size();
+    buf_[pos] ^= 0x20;
+    return true;
 }
 
 SramBuffer::SramBuffer(std::size_t total_bytes, double tx_fraction)

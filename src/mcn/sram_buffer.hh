@@ -36,6 +36,11 @@ struct McnMessage
 {
     std::vector<std::uint8_t> bytes;
     net::LatencyTrace trace;
+    /** Ring-entry CRC verdict: false when the payload read back
+     *  does not match the checksum computed at enqueue (in-SRAM
+     *  corruption). The drivers drop such messages and count them
+     *  as ringCrcDrops. */
+    bool crcOk = true;
 };
 
 /** One circular message ring inside the SRAM. */
@@ -78,6 +83,15 @@ class MessageRing
     std::uint64_t messagesEnqueued() const { return enqueued_; }
     std::uint64_t messagesDequeued() const { return dequeued_; }
 
+    /**
+     * Fault-injection hook: flip one byte of the newest message's
+     * payload in place, leaving the CRC recorded at enqueue time
+     * untouched -- models a bit error inside the SRAM (or a racy
+     * producer). dequeue() of that message reports crcOk == false.
+     * Returns false when the ring is empty.
+     */
+    bool corruptNewest();
+
 #ifdef MCNSIM_CHECKED
     /** Checked build, tests only: deliberately desynchronise the
      *  ring pointers so the invariant audit on the next operation
@@ -101,6 +115,13 @@ class MessageRing
 
     std::vector<std::uint8_t> buf_;
     std::deque<std::shared_ptr<net::LatencyTrace>> traces_;
+    /** Per-message payload CRC records, parallel to traces_ (bit 32
+     *  = computed, low 32 = FNV-1a; 0 = skipped because no fault
+     *  plan was armed at enqueue). Kept in a side channel -- not in
+     *  the ring bytes -- so the modelled ring footprint (and
+     *  therefore timing) is unchanged, and only computed under an
+     *  armed fault plan so disarmed runs pay no per-byte hash. */
+    std::deque<std::uint64_t> crcs_;
     std::size_t start_ = 0; ///< first byte of the oldest message
     std::size_t end_ = 0;   ///< one past the newest message
     std::size_t used_ = 0;

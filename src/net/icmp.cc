@@ -7,6 +7,7 @@
 
 #include "net/checksum.hh"
 #include "net/net_stack.hh"
+#include "net/tcp.hh"
 #include "sim/simulation.hh"
 
 namespace mcnsim::net {
@@ -56,14 +57,44 @@ IcmpLayer::IcmpLayer(sim::Simulation &s, std::string name,
 {
     regStat(&statEchoReq_);
     regStat(&statEchoRep_);
+    regStat(&statUnreachRx_);
+    regStat(&statUnreachTx_);
 }
 
 void
-IcmpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt)
+IcmpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt,
+              bool verify_checksum)
 {
-    auto h = IcmpHeader::pull(*pkt, !stack_.checksumBypass());
+    auto h = IcmpHeader::pull(*pkt, verify_checksum);
     if (!h)
         return;
+
+    if (h->type == icmpDestUnreachable) {
+        // Payload: the 4-byte address the reporter could not reach.
+        statUnreachRx_ += 1;
+        if (pkt->size() < 4)
+            return;
+        const std::uint8_t *p = pkt->cdata();
+        Ipv4Addr about(static_cast<std::uint32_t>(
+            (std::uint32_t(p[0]) << 24) |
+            (std::uint32_t(p[1]) << 16) |
+            (std::uint32_t(p[2]) << 8) | p[3]));
+        trace("IRQ", "dest-unreachable for ", about.str(),
+              " from ", src.str());
+        bool woke = false;
+        for (auto &[id, ping] : pending_) {
+            if (ping.dst == about && !ping.done) {
+                ping.done = true;
+                ping.unreachable = true;
+                woke = true;
+            }
+        }
+        if (woke)
+            replyCv_.notifyAll();
+        // Hard error for connections still in handshake.
+        stack_.tcp().remoteUnreachable(about);
+        return;
+    }
 
     if (h->type == icmpEchoRequest) {
         statEchoReq_ += 1;
@@ -71,7 +102,8 @@ IcmpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt)
         auto reply = Packet::make(pkt->bytes());
         IcmpHeader rh = *h;
         rh.type = icmpEchoReply;
-        rh.push(*reply, !stack_.checksumBypass());
+        rh.push(*reply, !(stack_.checksumBypass() &&
+                          stack_.trustedTowards(src)));
 
         const auto &costs = stack_.kernel().costs();
         stack_.kernel().cpus().leastLoaded().execute(
@@ -92,56 +124,87 @@ IcmpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt)
 
 sim::Task<sim::Tick>
 IcmpLayer::ping(Ipv4Addr dst, std::size_t payload_bytes,
-                sim::Tick timeout)
+                sim::Tick timeout, unsigned retries)
 {
-    std::uint16_t id = nextId_++;
-    auto &entry = pending_[id];
-    entry.sentAt = curTick();
-
-    auto pkt = Packet::makePattern(payload_bytes,
-                                   static_cast<std::uint8_t>(id));
-    IcmpHeader h;
-    h.type = icmpEchoRequest;
-    h.id = id;
-    h.seqNo = 1;
-    h.push(*pkt, !stack_.checksumBypass());
-
     const auto &costs = stack_.kernel().costs();
-    if (!stack_.interfaces().route(dst)) {
-        pending_.erase(id);
+    if (!stack_.interfaces().route(dst))
         co_return sim::maxTick;
-    }
-    Ipv4Addr src = stack_.sourceAddrFor(dst);
 
+    for (unsigned attempt = 0; attempt <= retries; ++attempt) {
+        std::uint16_t id = nextId_++;
+        auto &entry = pending_[id];
+        entry.sentAt = curTick();
+        entry.dst = dst;
+
+        auto pkt = Packet::makePattern(
+            payload_bytes, static_cast<std::uint8_t>(id));
+        IcmpHeader h;
+        h.type = icmpEchoRequest;
+        h.id = id;
+        h.seqNo = static_cast<std::uint16_t>(attempt + 1);
+        h.push(*pkt, !(stack_.checksumBypass() &&
+                       stack_.trustedTowards(dst)));
+
+        Ipv4Addr src = stack_.sourceAddrFor(dst);
+        stack_.kernel().cpus().leastLoaded().execute(
+            costs.icmpPerPacket + costs.syscallEntry,
+            [this, src, dst, pkt](sim::Tick) {
+                stack_.sendIp(src, dst, protoIcmp, pkt);
+            });
+
+        sim::Tick deadline = curTick() + timeout;
+        while (!pending_[id].done && curTick() < deadline) {
+            // Wake either on a reply or at the deadline. `fired`
+            // tells us whether the wake event is still pending: its
+            // Event* is dead (recycled into the pool) once it has
+            // run, so it must not be inspected after the fact.
+            bool fired = false;
+            auto *wake = eventQueue().scheduleIn(
+                [this, &fired] {
+                    fired = true;
+                    replyCv_.notifyAll();
+                },
+                deadline > curTick() ? deadline - curTick() : 1,
+                "icmp.pingTimeout");
+            co_await replyCv_.wait();
+            if (!fired)
+                eventQueue().deschedule(wake);
+        }
+
+        const PendingPing result = pending_[id];
+        pending_.erase(id);
+        if (result.done && !result.unreachable)
+            co_return result.rtt;
+        if (result.unreachable)
+            break; // hard failure; retrying cannot help
+    }
+    co_return sim::maxTick;
+}
+
+void
+IcmpLayer::sendUnreachable(Ipv4Addr to, Ipv4Addr about)
+{
+    if (!stack_.interfaces().route(to))
+        return;
+    statUnreachTx_ += 1;
+    auto pkt = Packet::make({
+        static_cast<std::uint8_t>(about.v >> 24),
+        static_cast<std::uint8_t>(about.v >> 16),
+        static_cast<std::uint8_t>(about.v >> 8),
+        static_cast<std::uint8_t>(about.v),
+    });
+    IcmpHeader h;
+    h.type = icmpDestUnreachable;
+    h.code = 1; // host unreachable
+    h.push(*pkt, !(stack_.checksumBypass() &&
+                   stack_.trustedTowards(to)));
+
+    Ipv4Addr src = stack_.sourceAddrFor(to);
     stack_.kernel().cpus().leastLoaded().execute(
-        costs.icmpPerPacket + costs.syscallEntry,
-        [this, src, dst, pkt](sim::Tick) {
-            stack_.sendIp(src, dst, protoIcmp, pkt);
+        stack_.kernel().costs().icmpPerPacket,
+        [this, src, to, pkt](sim::Tick) {
+            stack_.sendIp(src, to, protoIcmp, pkt);
         });
-
-    sim::Tick deadline = curTick() + timeout;
-    while (!pending_[id].done && curTick() < deadline) {
-        // Wake either on a reply or at the deadline. `fired` tells
-        // us whether the wake event is still pending: its Event* is
-        // dead (recycled into the pool) once it has run, so it must
-        // not be inspected after the fact.
-        bool fired = false;
-        auto *wake = eventQueue().scheduleIn(
-            [this, &fired] {
-                fired = true;
-                replyCv_.notifyAll();
-            },
-            deadline > curTick() ? deadline - curTick() : 1,
-            "icmp.pingTimeout");
-        co_await replyCv_.wait();
-        if (!fired)
-            eventQueue().deschedule(wake);
-    }
-
-    sim::Tick rtt = pending_[id].done ? pending_[id].rtt
-                                      : sim::maxTick;
-    pending_.erase(id);
-    co_return rtt;
 }
 
 } // namespace mcnsim::net

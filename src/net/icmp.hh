@@ -23,6 +23,7 @@ class NetStack;
 /** ICMP message types used here. */
 enum : std::uint8_t {
     icmpEchoReply = 0,
+    icmpDestUnreachable = 3,
     icmpEchoRequest = 8,
 };
 
@@ -47,20 +48,35 @@ class IcmpLayer : public sim::SimObject
   public:
     IcmpLayer(sim::Simulation &s, std::string name, NetStack &stack);
 
-    void rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt);
+    void rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt,
+            bool verify_checksum = true);
 
     /**
      * Send one echo request with @p payload_bytes of data and
      * resume with the round-trip time, or sim::maxTick on timeout.
+     * Each of the @p retries re-sends waits @p timeout again; a
+     * destination-unreachable reply fails fast without retrying.
      */
     sim::Task<sim::Tick> ping(Ipv4Addr dst,
                               std::size_t payload_bytes,
-                              sim::Tick timeout = 100 *
-                                                  sim::oneMs);
+                              sim::Tick timeout = 100 * sim::oneMs,
+                              unsigned retries = 0);
+
+    /**
+     * Emit a destination-unreachable toward @p to, reporting that
+     * @p about cannot be reached (a router/forwarding engine
+     * noticing a dead next hop). The receiving node fails pending
+     * pings and SYN-sent TCP connections toward @p about.
+     */
+    void sendUnreachable(Ipv4Addr to, Ipv4Addr about);
 
     std::uint64_t echoRequestsSeen() const
     {
         return static_cast<std::uint64_t>(statEchoReq_.value());
+    }
+    std::uint64_t unreachablesSeen() const
+    {
+        return static_cast<std::uint64_t>(statUnreachRx_.value());
     }
 
   private:
@@ -68,7 +84,9 @@ class IcmpLayer : public sim::SimObject
     {
         sim::Tick sentAt = 0;
         sim::Tick rtt = 0;
+        Ipv4Addr dst;
         bool done = false;
+        bool unreachable = false;
     };
 
     NetStack &stack_;
@@ -78,6 +96,10 @@ class IcmpLayer : public sim::SimObject
 
     sim::Scalar statEchoReq_{"echoRequests", "echo requests seen"};
     sim::Scalar statEchoRep_{"echoReplies", "echo replies seen"};
+    sim::Scalar statUnreachRx_{"unreachablesIn",
+                               "destination-unreachables received"};
+    sim::Scalar statUnreachTx_{"unreachablesOut",
+                               "destination-unreachables sent"};
 };
 
 } // namespace mcnsim::net

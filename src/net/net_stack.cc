@@ -6,6 +6,7 @@
 
 #include "net/net_stack.hh"
 
+#include "net/checksum.hh"
 #include "net/icmp.hh"
 #include "net/tcp.hh"
 #include "net/udp.hh"
@@ -19,6 +20,67 @@ namespace {
 constexpr sim::Tick txRequeueDelay = 5 * sim::oneUs;
 /** qdisc depth per device; beyond this, tail drop. */
 constexpr std::size_t txQdiscCap = 4096;
+
+/** Offset of the L4 checksum field for protocols that carry one
+ *  with a pseudo-header; SIZE_MAX otherwise. */
+std::size_t
+l4CsumOffset(std::uint8_t proto)
+{
+    if (proto == protoTcp)
+        return 16;
+    if (proto == protoUdp)
+        return 6;
+    return SIZE_MAX;
+}
+
+/**
+ * Fill a bypassed (zero) TCP/UDP checksum in a forwarded segment:
+ * the relay work a gateway does when traffic leaves the protected
+ * memory channel for an untrusted hop under mcn2. Returns true
+ * when a checksum was computed.
+ */
+bool
+l4ChecksumFill(Packet &pkt, Ipv4Addr src, Ipv4Addr dst,
+               std::uint8_t proto)
+{
+    const std::size_t off = l4CsumOffset(proto);
+    if (off == SIZE_MAX || pkt.size() < off + 2)
+        return false;
+    const std::uint8_t *cp = pkt.cdata();
+    if (cp[off] != 0 || cp[off + 1] != 0)
+        return false; // sender already checksummed
+    std::uint32_t sum = pseudoHeaderSum(
+        src.v, dst.v, proto,
+        static_cast<std::uint16_t>(pkt.size()));
+    sum = checksumPartial(pkt.cdata(), pkt.size(), sum);
+    const std::uint16_t c = checksumFold(sum);
+    // lint-ok: packet-cdata (writes the checksum back through p)
+    std::uint8_t *p = pkt.data();
+    p[off] = static_cast<std::uint8_t>(c >> 8);
+    p[off + 1] = static_cast<std::uint8_t>(c & 0xff);
+    return true;
+}
+
+/** Verify a forwarded segment's TCP/UDP checksum at the trust
+ *  boundary; a zero (bypassed) checksum is unverifiable and
+ *  passes. */
+bool
+l4ChecksumOk(const Packet &pkt, Ipv4Addr src, Ipv4Addr dst,
+             std::uint8_t proto)
+{
+    const std::size_t off = l4CsumOffset(proto);
+    if (off == SIZE_MAX || pkt.size() < off + 2)
+        return true;
+    const std::uint8_t *p = pkt.cdata();
+    if (p[off] == 0 && p[off + 1] == 0)
+        return true; // CHECKSUM_UNNECESSARY
+    std::uint32_t sum = pseudoHeaderSum(
+        src.v, dst.v, proto,
+        static_cast<std::uint16_t>(pkt.size()));
+    sum = checksumPartial(p, pkt.size(), sum);
+    return checksumFold(sum) == 0;
+}
+
 } // namespace
 
 NetStack::NetStack(sim::Simulation &s, std::string name,
@@ -37,6 +99,7 @@ NetStack::NetStack(sim::Simulation &s, std::string name,
     regStat(&statIpRx_);
     regStat(&statIpDrops_);
     regStat(&statLoopback_);
+    regStat(&statRxCsumDrops_);
 }
 
 NetStack::~NetStack() = default;
@@ -159,6 +222,17 @@ NetStack::checksumOffloadTowards(Ipv4Addr dst) const
 }
 
 bool
+NetStack::trustedTowards(Ipv4Addr dst) const
+{
+    auto egress = table_.route(dst);
+    if (!egress || *egress == InterfaceTable::loopbackIfindex)
+        return true; // loopback cannot corrupt
+    return devices_[static_cast<std::size_t>(*egress)]
+        ->features()
+        .trusted;
+}
+
+bool
 NetStack::sendIp(Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto,
                  PacketPtr pkt)
 {
@@ -175,15 +249,24 @@ NetStack::sendIp(Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto,
     ip.id = nextIpId_++;
     ip.totalLength = static_cast<std::uint16_t>(
         pkt->size() + Ipv4Header::size);
-    ip.push(*pkt, !checksumBypass_);
+    // mcn2 bypass applies per hop: only egresses onto the trusted
+    // memory channel (or loopback) may skip the header checksum;
+    // an uplink NIC hop is always covered.
+    const bool egress_trusted =
+        *egress == InterfaceTable::loopbackIfindex ||
+        devices_[static_cast<std::size_t>(*egress)]
+            ->features()
+            .trusted;
+    ip.push(*pkt, !(checksumBypass_ && egress_trusted));
     statIpTx_ += 1;
 
     if (*egress == InterfaceTable::loopbackIfindex) {
         statLoopback_ += 1;
         // Small fixed loopback cost, then straight back up.
         kernel_.cpus().leastLoaded().execute(
-            kernel_.costs().skbAlloc,
-            [this, pkt](sim::Tick) { handleIp(pkt); });
+            kernel_.costs().skbAlloc, [this, pkt](sim::Tick) {
+                handleIp(pkt, /*trusted_hop=*/true);
+            });
         return true;
     }
 
@@ -254,13 +337,24 @@ NetStack::rxFromDevice(os::NetDevice &dev, PacketPtr pkt)
         statIpDrops_ += 1;
         return;
     }
-    handleIp(std::move(pkt));
+    handleIp(std::move(pkt), dev.features().trusted);
 }
 
 void
-NetStack::handleIp(PacketPtr pkt)
+NetStack::handleIp(PacketPtr pkt, bool trusted_hop)
 {
-    auto ip = Ipv4Header::pull(*pkt, !checksumBypass_);
+    // Verify-on-RX policy: checksum bypass (mcn2) is honored only
+    // when the packet arrived over a trusted hop (memory channel /
+    // loopback); anything from an untrusted device is verified.
+    const bool verify = !(checksumBypass_ && trusted_hop);
+    if (verify && pkt->size() >= Ipv4Header::size &&
+        (pkt->cdata()[0] >> 4) == 4 &&
+        checksum(pkt->cdata(), Ipv4Header::size) != 0) {
+        statRxCsumDrops_ += 1;
+        statIpDrops_ += 1;
+        return;
+    }
+    auto ip = Ipv4Header::pull(*pkt, /*verify_checksum=*/false);
     if (!ip) {
         statIpDrops_ += 1;
         return;
@@ -274,9 +368,29 @@ NetStack::handleIp(PacketPtr pkt)
         if (ipForwarding_ && table_.route(ip->dst)) {
             Ipv4Addr src = ip->src, dst = ip->dst;
             std::uint8_t proto = ip->protocol;
+            sim::Cycles fwd = kernel_.costs().ipForwardPerPacket;
+            if (checksumBypass_) {
+                // Relay work at the trust boundary: fill bypassed
+                // L4 checksums when traffic leaves the memory
+                // channel for an untrusted hop, and verify inbound
+                // checksums here because the destination MCN node
+                // will skip verification (mcn2 is per-hop).
+                const bool out_trusted = trustedTowards(dst);
+                if (trusted_hop && !out_trusted) {
+                    if (l4ChecksumFill(*pkt, src, dst, proto))
+                        fwd += kernel_.costs().checksum(
+                            pkt->size());
+                } else if (!trusted_hop && out_trusted) {
+                    fwd += kernel_.costs().checksum(pkt->size());
+                    if (!l4ChecksumOk(*pkt, src, dst, proto)) {
+                        statRxCsumDrops_ += 1;
+                        statIpDrops_ += 1;
+                        return;
+                    }
+                }
+            }
             kernel_.cpus().leastLoaded().execute(
-                kernel_.costs().ipForwardPerPacket,
-                [this, src, dst, proto, pkt](sim::Tick) {
+                fwd, [this, src, dst, proto, pkt](sim::Tick) {
                     sendIp(src, dst, proto, pkt);
                 });
         } else {
@@ -298,12 +412,12 @@ NetStack::handleIp(PacketPtr pkt)
     switch (proto) {
       case protoTcp:
         cycles += costs.tcpRxPerPacket;
-        if (!checksumBypass_)
+        if (verify)
             cycles += costs.checksum(pkt->size());
         break;
       case protoUdp:
         cycles += costs.udpRxPerPacket;
-        if (!checksumBypass_)
+        if (verify)
             cycles += costs.checksum(pkt->size());
         break;
       case protoIcmp:
@@ -315,16 +429,16 @@ NetStack::handleIp(PacketPtr pkt)
     }
 
     kernel_.cpus().leastLoaded().execute(
-        cycles, [this, proto, src, dst, pkt](sim::Tick) {
+        cycles, [this, proto, src, dst, pkt, verify](sim::Tick) {
             switch (proto) {
               case protoTcp:
-                tcp_->rx(src, dst, pkt);
+                tcp_->rx(src, dst, pkt, verify);
                 break;
               case protoUdp:
-                udp_->rx(src, dst, pkt);
+                udp_->rx(src, dst, pkt, verify);
                 break;
               case protoIcmp:
-                icmp_->rx(src, dst, pkt);
+                icmp_->rx(src, dst, pkt, verify);
                 break;
             }
         });

@@ -136,6 +136,16 @@ class NetStack : public sim::SimObject
     /** Device checksum offload for the egress to @p dst. */
     bool checksumOffloadTowards(Ipv4Addr dst) const;
 
+    /** Egress toward @p dst crosses only a trusted (ECC-protected
+     *  memory channel / loopback) hop, so checksum bypass applies
+     *  (Table I mcn2). */
+    bool trustedTowards(Ipv4Addr dst) const;
+
+    std::uint64_t rxCsumDrops() const
+    {
+        return static_cast<std::uint64_t>(statRxCsumDrops_.value());
+    }
+
     std::uint64_t ipTxPackets() const
     {
         return static_cast<std::uint64_t>(statIpTx_.value());
@@ -153,7 +163,10 @@ class NetStack : public sim::SimObject
     };
 
     int registerDevice(os::NetDevice &dev);
-    void handleIp(PacketPtr pkt);
+    /** @p trusted_hop: the packet arrived over a trusted medium
+     *  (memory channel / loopback), so mcn2 bypass may skip
+     *  verification for this hop. */
+    void handleIp(PacketPtr pkt, bool trusted_hop);
     void qdiscXmit(os::NetDevice *dev, PacketPtr pkt);
     void pumpTxQueue(os::NetDevice *dev);
 
@@ -176,6 +189,9 @@ class NetStack : public sim::SimObject
     sim::Scalar statIpDrops_{"ipDrops", "unroutable/corrupt drops"};
     sim::Scalar statLoopback_{"loopbackPackets",
                               "packets looped back locally"};
+    sim::Scalar statRxCsumDrops_{"rxCsumDrops",
+                                 "datagrams dropped on IPv4 header "
+                                 "or relay-boundary checksum"};
 };
 
 } // namespace mcnsim::net

@@ -64,6 +64,8 @@ constexpr sim::Tick minRto = 200 * sim::oneUs;
 constexpr sim::Tick initialRto = 5 * sim::oneMs;
 constexpr sim::Tick delAckDelay = 50 * sim::oneUs;
 constexpr sim::Tick timeWaitDelay = 2 * sim::oneMs;
+constexpr sim::Tick persistMin = 5 * sim::oneMs;
+constexpr sim::Tick persistMax = 2 * sim::oneSec;
 constexpr std::uint32_t initialCwndSegments = 10;
 
 } // namespace
@@ -92,6 +94,22 @@ to_string(TcpState s)
         return "LastAck";
       case TcpState::TimeWait:
         return "TimeWait";
+    }
+    return "?";
+}
+
+const char *
+to_string(TcpError e)
+{
+    switch (e) {
+      case TcpError::None:
+        return "None";
+      case TcpError::Reset:
+        return "Reset";
+      case TcpError::TimedOut:
+        return "TimedOut";
+      case TcpError::Unreachable:
+        return "Unreachable";
     }
     return "?";
 }
@@ -155,6 +173,22 @@ TcpHeader::pull(Packet &pkt, Ipv4Addr src, Ipv4Addr dst,
     return h;
 }
 
+bool
+TcpHeader::checksumOk(const Packet &pkt, Ipv4Addr src,
+                      Ipv4Addr dst)
+{
+    if (pkt.size() < size)
+        return true; // let pull() report the malformed segment
+    const std::uint8_t *p = pkt.cdata();
+    if (get16(p + 16) == 0)
+        return true; // CHECKSUM_UNNECESSARY
+    std::uint32_t sum = pseudoHeaderSum(
+        src.v, dst.v, protoTcp,
+        static_cast<std::uint16_t>(pkt.size()));
+    sum = checksumPartial(p, pkt.size(), sum);
+    return checksumFold(sum) == 0;
+}
+
 // ---------------------------------------------------------------------
 // TcpLayer
 // ---------------------------------------------------------------------
@@ -167,6 +201,7 @@ TcpLayer::TcpLayer(sim::Simulation &s, std::string name,
     regStat(&statTx_);
     regStat(&statPureAcks_);
     regStat(&statDrops_);
+    regStat(&statCsumDrops_);
 }
 
 TcpSocketPtr
@@ -204,6 +239,20 @@ TcpLayer::unbind(const TcpTuple &t, std::uint16_t listen_port)
 }
 
 void
+TcpLayer::remoteUnreachable(Ipv4Addr addr)
+{
+    // Collect first: abortConnection() unbinds, mutating the map.
+    std::vector<TcpSocketPtr> victims;
+    for (auto &[t, sock] : connections_) {
+        if (t.remoteIp == addr &&
+            sock->state() == TcpState::SynSent)
+            victims.push_back(sock);
+    }
+    for (auto &sock : victims)
+        sock->abortConnection(TcpError::Unreachable);
+}
+
+void
 TcpLayer::countTx(bool pure_ack)
 {
     statTx_ += 1;
@@ -212,11 +261,17 @@ TcpLayer::countTx(bool pure_ack)
 }
 
 void
-TcpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt)
+TcpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt,
+             bool verify_checksum)
 {
     statRx_ += 1;
-    bool verify = !stack_.checksumBypass();
-    auto h = TcpHeader::pull(*pkt, src, dst, verify);
+    if (verify_checksum && !TcpHeader::checksumOk(*pkt, src, dst)) {
+        statCsumDrops_ += 1;
+        statDrops_ += 1;
+        return;
+    }
+    auto h = TcpHeader::pull(*pkt, src, dst,
+                             /*verify_checksum=*/false);
     if (!h) {
         statDrops_ += 1;
         return;
@@ -266,6 +321,8 @@ TcpSocket::~TcpSocket()
         queue_.deschedule(rtoEvent_);
     if (delAckEvent_)
         queue_.deschedule(delAckEvent_);
+    if (persistEvent_)
+        queue_.deschedule(persistEvent_);
 }
 
 std::uint32_t
@@ -355,6 +412,7 @@ TcpSocket::becomeEstablished()
 {
     state_ = TcpState::Established;
     cwnd_ = initialCwndSegments * effectiveMss();
+    backoffCount_ = 0;
     connectCv_.notifyAll();
 }
 
@@ -542,6 +600,85 @@ TcpSocket::trySend()
         sndNxt_ += 1;
         armRto();
     }
+
+    // Zero-window persist: data is queued, nothing is in flight,
+    // and the peer advertises no space. Without probing, a lost
+    // window update would deadlock the connection forever.
+    if (peerWindow_ == 0 && flightSize() == 0 &&
+        sndBuf_.size() > 0 && !persistEvent_)
+        armPersist();
+}
+
+void
+TcpSocket::armPersist()
+{
+    persistTimeout_ = persistTimeout_ == 0
+                          ? std::max(persistMin, rto_ ? rto_ : 0)
+                          : std::min(persistTimeout_ * 2,
+                                     persistMax);
+    auto self = shared_from_this();
+    persistEvent_ = layer_.eventQueue().scheduleIn(
+        [self] {
+            self->persistEvent_ = nullptr;
+            self->persistFired();
+        },
+        persistTimeout_, "tcp.persist");
+}
+
+void
+TcpSocket::persistFired()
+{
+    if (state_ != TcpState::Established &&
+        state_ != TcpState::CloseWait &&
+        state_ != TcpState::FinWait1 && state_ != TcpState::LastAck)
+        return;
+    if (peerWindow_ > 0 || sndBuf_.size() == 0) {
+        trySend();
+        return;
+    }
+    // Window probe: one byte of new data past the advertised edge.
+    // The forced ACK carries the peer's current window; its loss is
+    // covered by the next (backed-off) probe.
+    std::uint32_t sent_off = sndNxt_ - sndUna_;
+    persistProbes_++;
+    if (sndBuf_.size() > sent_off) {
+        sim::dprintf(layer_.curTick(), "TCP", name_,
+                     ": zero-window probe at seq ", sndNxt_);
+        emitSegment(sndNxt_, 1, tcpAck, 0);
+        sndNxt_ += 1;
+    } else {
+        sendControl(tcpAck);
+    }
+    armPersist();
+}
+
+void
+TcpSocket::abortConnection(TcpError why)
+{
+    if (state_ == TcpState::Closed)
+        return;
+    sim::dprintf(layer_.curTick(), "TCP", name_,
+                 ": aborting connection (", to_string(why),
+                 ") in state ", to_string(state_));
+    error_ = why;
+    state_ = TcpState::Closed;
+    if (rtoEvent_) {
+        layer_.eventQueue().deschedule(rtoEvent_);
+        rtoEvent_ = nullptr;
+    }
+    if (delAckEvent_) {
+        layer_.eventQueue().deschedule(delAckEvent_);
+        delAckEvent_ = nullptr;
+    }
+    if (persistEvent_) {
+        layer_.eventQueue().deschedule(persistEvent_);
+        persistEvent_ = nullptr;
+    }
+    connectCv_.notifyAll();
+    recvCv_.notifyAll();
+    sendCv_.notifyAll();
+    closeCv_.notifyAll();
+    layer_.unbind(tuple_, 0);
 }
 
 void
@@ -570,7 +707,10 @@ TcpSocket::emitSegment(std::uint32_t seq, std::uint32_t len,
     h.flags = flags;
     h.window = advertisedWindow();
 
-    bool sw_checksum = !stack_.checksumBypass() &&
+    // mcn2 bypass only holds when the egress is the trusted memory
+    // channel; an untrusted (NIC) hop always gets a checksum.
+    bool sw_checksum = !(stack_.checksumBypass() &&
+                         stack_.trustedTowards(tuple_.remoteIp)) &&
                        !stack_.checksumOffloadTowards(
                            tuple_.remoteIp);
     h.push(*pkt, tuple_.localIp, tuple_.remoteIp, sw_checksum);
@@ -644,13 +784,16 @@ TcpSocket::segmentArrived(const TcpHeader &h, Ipv4Addr src,
     peerWindow_ =
         static_cast<std::uint32_t>(h.window) * TcpHeader::windowScale;
 
+    // A window update ends zero-window persist mode.
+    if (persistEvent_ && peerWindow_ > 0) {
+        layer_.eventQueue().deschedule(persistEvent_);
+        persistEvent_ = nullptr;
+        persistTimeout_ = 0;
+        trySend();
+    }
+
     if (h.flags & tcpRst) {
-        state_ = TcpState::Closed;
-        connectCv_.notifyAll();
-        recvCv_.notifyAll();
-        sendCv_.notifyAll();
-        closeCv_.notifyAll();
-        layer_.unbind(tuple_, 0);
+        abortConnection(TcpError::Reset);
         return;
     }
 
@@ -763,6 +906,7 @@ TcpSocket::processAck(const TcpHeader &h)
                           static_cast<std::ptrdiff_t>(drop));
         sndUna_ = h.ack;
         dupAcks_ = 0;
+        backoffCount_ = 0; // forward progress: sender is alive
 
         // RTT sample.
         if (rttSampleSentAt_ && seqLe(rttSampleSeq_, h.ack)) {
@@ -807,6 +951,7 @@ TcpSocket::processAck(const TcpHeader &h)
             // Fast retransmit + fast recovery.
             ssthresh_ = std::max(flightSize() / 2, 2 * mss);
             retransmits_++;
+            fastRetransmits_++;
             sim::dprintf(layer_.curTick(), "TCP", name_,
                          ": fast retransmit at seq ", sndUna_,
                          ", ssthresh=", ssthresh_);
@@ -831,6 +976,16 @@ TcpSocket::deliverData(const TcpHeader &h, PacketPtr pkt)
     std::uint32_t seq = h.seq;
     std::size_t len = pkt->size();
     const std::uint8_t *data = pkt->cdata();
+
+    // Discard segments ending beyond the receive window: a corrupt
+    // or hostile sequence number must not grow rcvBuf_/ooo_ without
+    // bound. Re-ack so a confused-but-honest sender resyncs.
+    if (seqLt(rcvNxt_ + rcvBufCap,
+              seq + static_cast<std::uint32_t>(len))) {
+        layer_.countOutOfWindow();
+        sendAckNow();
+        return;
+    }
 
     // Trim any part we already have.
     if (seqLt(seq, rcvNxt_)) {
@@ -878,9 +1033,14 @@ TcpSocket::deliverData(const TcpHeader &h, PacketPtr pkt)
         else
             scheduleDelayedAck();
     } else {
-        // Out of order: buffer and dup-ack immediately.
-        ooo_.emplace(seq,
-                     std::vector<std::uint8_t>(data, data + len));
+        // Out of order: buffer (within budget) and dup-ack
+        // immediately. Over budget the segment is dropped -- the
+        // sender's retransmission recovers it later.
+        if (ooo_.size() < oooMaxSegs)
+            ooo_.emplace(
+                seq, std::vector<std::uint8_t>(data, data + len));
+        else
+            layer_.countOutOfWindow();
         sendAckNow();
     }
 
@@ -937,6 +1097,13 @@ TcpSocket::rtoFired()
     if (flightSize() == 0 && state_ != TcpState::SynSent &&
         state_ != TcpState::SynRcvd)
         return;
+
+    if (++backoffCount_ > maxRetransmits) {
+        // The peer is gone (crashed node, partitioned link):
+        // surface a hard error instead of retrying forever.
+        abortConnection(TcpError::TimedOut);
+        return;
+    }
 
     retransmits_++;
     std::uint32_t mss = effectiveMss();

@@ -60,6 +60,10 @@ struct TcpHeader
     static std::optional<TcpHeader> pull(Packet &pkt, Ipv4Addr src,
                                          Ipv4Addr dst,
                                          bool verify_checksum);
+    /** Verify without pulling. True for a zero (not computed)
+     *  checksum -- the simulator's CHECKSUM_UNNECESSARY. */
+    static bool checksumOk(const Packet &pkt, Ipv4Addr src,
+                           Ipv4Addr dst);
 };
 
 /** Connection 4-tuple. */
@@ -93,8 +97,33 @@ class TcpLayer : public sim::SimObject
     /** Create an unbound socket on this node. */
     TcpSocketPtr createSocket();
 
-    /** Demux an inbound segment (called by NetStack). */
-    void rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt);
+    /** Demux an inbound segment (called by NetStack). @p
+     *  verify_checksum reflects the per-hop trust decision:
+     *  segments from untrusted devices are verified even under
+     *  mcn2 bypass. */
+    void rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt,
+            bool verify_checksum = true);
+
+    std::uint64_t rxCsumDrops() const
+    {
+        return static_cast<std::uint64_t>(statCsumDrops_.value());
+    }
+    std::uint64_t outOfWindowDrops() const
+    {
+        return static_cast<std::uint64_t>(statOowDrops_.value());
+    }
+
+    /**
+     * React to an ICMP destination-unreachable about @p addr:
+     * connections still in handshake toward it fail immediately
+     * with TcpError::Unreachable instead of burning through the
+     * full retransmission backoff.
+     */
+    void remoteUnreachable(Ipv4Addr addr);
+
+    /** Called by sockets when they discard an out-of-window or
+     *  over-budget out-of-order segment. */
+    void countOutOfWindow() { statOowDrops_ += 1; }
 
     NetStack &stack() { return stack_; }
 
@@ -148,6 +177,10 @@ class TcpLayer : public sim::SimObject
     sim::Scalar statTx_{"segmentsOut", "TCP segments sent"};
     sim::Scalar statPureAcks_{"pureAcksOut", "pure ACKs sent"};
     sim::Scalar statDrops_{"drops", "segments with no socket"};
+    sim::Scalar statCsumDrops_{"rxCsumDrops",
+                               "segments dropped on checksum"};
+    sim::Scalar statOowDrops_{"outOfWindowDrops",
+                              "segments beyond the receive window"};
 };
 
 /** TCP connection states (simplified RFC 793 set). */
@@ -165,6 +198,16 @@ enum class TcpState {
 };
 
 const char *to_string(TcpState s);
+
+/** Why a connection died, when it did not close in an orderly way. */
+enum class TcpError {
+    None,        ///< no error (open, or orderly close)
+    Reset,       ///< peer sent RST
+    TimedOut,    ///< consecutive retransmission limit exceeded
+    Unreachable, ///< ICMP destination-unreachable during handshake
+};
+
+const char *to_string(TcpError e);
 
 /**
  * A TCP socket. All blocking operations are coroutines resumed
@@ -219,6 +262,16 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket>
     std::uint32_t cwnd() const { return cwnd_; }
     std::uint32_t ssthresh() const { return ssthresh_; }
     std::uint64_t retransmits() const { return retransmits_; }
+    /** Retransmissions triggered by triple duplicate ACKs (a
+     *  subset of retransmits()); RTO-driven ones are the rest. */
+    std::uint64_t fastRetransmits() const { return fastRetransmits_; }
+    /** Zero-window probe segments sent while in persist mode. */
+    std::uint64_t persistProbes() const { return persistProbes_; }
+    /** Next expected receive sequence number (window left edge);
+     *  tests use it to craft out-of-window segments. */
+    std::uint32_t rcvNxt() const { return rcvNxt_; }
+    /** Non-orderly termination reason (None while healthy). */
+    TcpError error() const { return error_; }
     sim::Tick srtt() const { return srtt_; }
     const TcpTuple &tuple() const { return tuple_; }
     const std::string &name() const { return name_; }
@@ -233,6 +286,14 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket>
      * drivers ensure buffer space for the largest chunk).
      */
     static constexpr std::uint32_t tsoMaxChunk = 40 * 1024;
+    /**
+     * Consecutive RTO backoffs before the connection is aborted
+     * with TcpError::TimedOut (tcp_retries2 equivalent). Reset on
+     * any forward ACK progress.
+     */
+    static constexpr unsigned maxRetransmits = 8;
+    /** Out-of-order reassembly budget, in segments. */
+    static constexpr std::size_t oooMaxSegs = 256;
 
     // Internal: layer demux entry.
     void segmentArrived(const TcpHeader &h, Ipv4Addr src,
@@ -252,6 +313,9 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket>
     void deliverData(const TcpHeader &h, PacketPtr pkt);
     void armRto();
     void rtoFired();
+    void armPersist();
+    void persistFired();
+    void abortConnection(TcpError why);
     void updateRtt(sim::Tick sample);
     void enterTimeWait();
     void becomeEstablished();
@@ -306,6 +370,12 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket>
     sim::Event *delAckEvent_ = nullptr;
     std::uint32_t unackedSegs_ = 0; ///< segments since last ACK sent
 
+    // Resilience: abort-on-timeout and zero-window persist.
+    unsigned backoffCount_ = 0; ///< consecutive RTOs without progress
+    sim::Event *persistEvent_ = nullptr;
+    sim::Tick persistTimeout_ = 0;
+    TcpError error_ = TcpError::None;
+
     // Wakeups.
     sim::Condition connectCv_;
     sim::Condition acceptCv_;
@@ -318,6 +388,8 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket>
     std::uint64_t bytesSent_ = 0;
     std::uint64_t bytesReceived_ = 0;
     std::uint64_t retransmits_ = 0;
+    std::uint64_t fastRetransmits_ = 0;
+    std::uint64_t persistProbes_ = 0;
 };
 
 } // namespace mcnsim::net

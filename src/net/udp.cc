@@ -72,12 +72,29 @@ UdpHeader::pull(Packet &pkt, Ipv4Addr src, Ipv4Addr dst,
     return h;
 }
 
+bool
+UdpHeader::checksumOk(const Packet &pkt, Ipv4Addr src,
+                      Ipv4Addr dst)
+{
+    if (pkt.size() < size)
+        return true; // let pull() report the malformed datagram
+    const std::uint8_t *p = pkt.cdata();
+    if (get16(p + 6) == 0)
+        return true; // CHECKSUM_UNNECESSARY
+    std::uint32_t sum = pseudoHeaderSum(
+        src.v, dst.v, protoUdp,
+        static_cast<std::uint16_t>(pkt.size()));
+    sum = checksumPartial(p, pkt.size(), sum);
+    return checksumFold(sum) == 0;
+}
+
 UdpLayer::UdpLayer(sim::Simulation &s, std::string name,
                    NetStack &stack)
     : sim::SimObject(s, std::move(name)), stack_(stack)
 {
     regStat(&statRx_);
     regStat(&statTx_);
+    regStat(&statCsumDrops_);
     regStat(&statDrops_);
 }
 
@@ -102,11 +119,17 @@ UdpLayer::unbindPort(std::uint16_t port)
 }
 
 void
-UdpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt)
+UdpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt,
+             bool verify_checksum)
 {
     statRx_ += 1;
+    if (verify_checksum && !UdpHeader::checksumOk(*pkt, src, dst)) {
+        statCsumDrops_ += 1;
+        statDrops_ += 1;
+        return;
+    }
     auto h = UdpHeader::pull(*pkt, src, dst,
-                             !stack_.checksumBypass());
+                             /*verify_checksum=*/false);
     if (!h) {
         statDrops_ += 1;
         return;
@@ -150,7 +173,8 @@ UdpSocket::sendTo(Ipv4Addr dst, std::uint16_t port,
     UdpHeader h;
     h.srcPort = localPort_;
     h.dstPort = port;
-    bool sw_checksum = !stack_.checksumBypass() &&
+    bool sw_checksum = !(stack_.checksumBypass() &&
+                         stack_.trustedTowards(dst)) &&
                        !stack_.checksumOffloadTowards(dst);
     h.push(*pkt, src, dst, sw_checksum);
 

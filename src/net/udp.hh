@@ -39,6 +39,10 @@ struct UdpHeader
     static std::optional<UdpHeader> pull(Packet &pkt, Ipv4Addr src,
                                          Ipv4Addr dst,
                                          bool verify_checksum);
+    /** Verify without pulling. True for a zero (not computed)
+     *  checksum -- the simulator's CHECKSUM_UNNECESSARY. */
+    static bool checksumOk(const Packet &pkt, Ipv4Addr src,
+                           Ipv4Addr dst);
 };
 
 class UdpSocket;
@@ -52,7 +56,13 @@ class UdpLayer : public sim::SimObject
 
     UdpSocketPtr createSocket();
 
-    void rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt);
+    void rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt,
+            bool verify_checksum = true);
+
+    std::uint64_t rxCsumDrops() const
+    {
+        return static_cast<std::uint64_t>(statCsumDrops_.value());
+    }
 
     NetStack &stack() { return stack_; }
     std::uint16_t allocEphemeralPort() { return nextPort_++; }
@@ -74,6 +84,8 @@ class UdpLayer : public sim::SimObject
 
     sim::Scalar statRx_{"datagramsIn", "UDP datagrams received"};
     sim::Scalar statDrops_{"drops", "datagrams with no socket"};
+    sim::Scalar statCsumDrops_{"rxCsumDrops",
+                               "datagrams dropped on checksum"};
 };
 
 /** A received datagram. */

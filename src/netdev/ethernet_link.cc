@@ -23,6 +23,8 @@ EthernetLink::EthernetLink(sim::Simulation &s, std::string name,
     regStat(&statBytes_);
     regStat(&statDropped_);
     regStat(&statCorrupted_);
+    regStat(&statDuplicated_);
+    regStat(&statReordered_);
 }
 
 EthernetLink::Direction &
@@ -68,31 +70,66 @@ EthernetLink::sendFrom(EtherEndpoint *src, net::PacketPtr pkt)
     eventQueue().schedule(
         [this, dst_ep, pkt, bytes, src] {
             dirFor(src).inFlightBytes -= bytes;
-
-            // Fault injection: transient loss and bit errors, the
-            // physical-link hazards the paper contrasts with the
-            // ECC/CRC-protected memory channel (Sec. IV-A).
-            if (lossRate_ > 0.0 &&
-                simulation().rng().chance(lossRate_)) {
-                statDropped_ += 1;
-                return;
-            }
-            if (corruptRate_ > 0.0 &&
-                simulation().rng().chance(corruptRate_) &&
-                pkt->size() > 60) {
-                // Flip one payload byte past the L2-L4 headers so
-                // the frame stays parseable; checksums (when
-                // enabled) must catch this.
-                std::size_t idx = simulation().rng().uniformInt(
-                    54, pkt->size() - 1);
-                pkt->data()[idx] ^= 0x40;
-                statCorrupted_ += 1;
-            }
-
-            pkt->trace.stamp(net::Stage::Phy, curTick());
-            dst_ep->receiveFrame(pkt);
+            deliver(dst_ep, pkt);
         },
         arrive, "link.deliver");
+}
+
+void
+EthernetLink::deliver(EtherEndpoint *dst_ep, net::PacketPtr pkt)
+{
+    // Fault injection: transient loss and bit errors, the
+    // physical-link hazards the paper contrasts with the
+    // ECC/CRC-protected memory channel (Sec. IV-A). The legacy
+    // rate knobs draw from the simulation RNG; the FaultPlan
+    // sites use per-site streams so an armed-but-silent plan
+    // cannot perturb modeled timing.
+    if (lossRate_ > 0.0 && simulation().rng().chance(lossRate_)) {
+        statDropped_ += 1;
+        return;
+    }
+    if (faultDrop_.fires()) {
+        statDropped_ += 1;
+        return;
+    }
+    const bool legacy_corrupt =
+        corruptRate_ > 0.0 &&
+        simulation().rng().chance(corruptRate_) &&
+        pkt->size() > 60;
+    if (legacy_corrupt ||
+        (pkt->size() > 60 && faultCorrupt_.fires())) {
+        // Flip one payload byte past the L2-L4 headers so the
+        // frame stays parseable; checksums (when enabled) must
+        // catch this.
+        sim::Rng &rng = legacy_corrupt ? simulation().rng()
+                                       : faultCorrupt_.rng();
+        std::size_t idx = rng.uniformInt(54, pkt->size() - 1);
+        pkt->data()[idx] ^= 0x40;
+        statCorrupted_ += 1;
+    }
+    if (faultReorder_.fires()) {
+        // Bounded reorder: hold this frame back so frames behind
+        // it overtake; redeliver after the spec's param (default
+        // 5 us) without re-rolling the fault dice.
+        statReordered_ += 1;
+        sim::Tick delay = faultReorder_.param()
+                              ? faultReorder_.param()
+                              : 5 * sim::oneUs;
+        eventQueue().scheduleIn(
+            [this, dst_ep, pkt] {
+                pkt->trace.stamp(net::Stage::Phy, curTick());
+                dst_ep->receiveFrame(pkt);
+            },
+            delay, "link.reorder");
+        return;
+    }
+    if (faultDup_.fires()) {
+        statDuplicated_ += 1;
+        pkt->trace.stamp(net::Stage::Phy, curTick());
+        dst_ep->receiveFrame(pkt->clone());
+    }
+    pkt->trace.stamp(net::Stage::Phy, curTick());
+    dst_ep->receiveFrame(pkt);
 }
 
 } // namespace mcnsim::netdev

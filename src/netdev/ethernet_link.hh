@@ -12,6 +12,7 @@
 #include <deque>
 
 #include "net/packet.hh"
+#include "sim/fault.hh"
 #include "sim/sim_object.hh"
 
 namespace mcnsim::netdev {
@@ -71,6 +72,10 @@ class EthernetLink : public sim::SimObject
     }
 
   private:
+    /** Arrival-side delivery: legacy loss/corrupt knobs plus the
+     *  FaultPlan drop/corrupt/dup/reorder sites. */
+    void deliver(EtherEndpoint *dst_ep, net::PacketPtr pkt);
+
     struct Direction
     {
         sim::Tick busyUntil = 0;
@@ -93,6 +98,16 @@ class EthernetLink : public sim::SimObject
     sim::Scalar statDropped_{"dropped", "frames dropped (faults)"};
     sim::Scalar statCorrupted_{"corrupted",
                                "frames corrupted (faults)"};
+    sim::Scalar statDuplicated_{"duplicated",
+                                "frames duplicated (faults)"};
+    sim::Scalar statReordered_{"reordered",
+                               "frames delayed out of order "
+                               "(faults)"};
+
+    sim::FaultSite faultDrop_ = FAULT_POINT("drop");
+    sim::FaultSite faultCorrupt_ = FAULT_POINT("corrupt");
+    sim::FaultSite faultDup_ = FAULT_POINT("dup");
+    sim::FaultSite faultReorder_ = FAULT_POINT("reorder");
 };
 
 } // namespace mcnsim::netdev

@@ -35,6 +35,7 @@ EthernetSwitch::EthernetSwitch(sim::Simulation &s, std::string name,
     regStat(&statForwarded_);
     regStat(&statFlooded_);
     regStat(&statDrops_);
+    regStat(&statFaultDrops_);
 }
 
 void
@@ -48,6 +49,12 @@ EthernetSwitch::attachLink(std::uint32_t port, EthernetLink &link)
 void
 EthernetSwitch::frameIn(std::uint32_t port, net::PacketPtr pkt)
 {
+    if (faultDrop_.fires()) {
+        // Fabric-level loss (bad cable seating, CRC error at the
+        // ingress MAC): the frame vanishes before MAC learning.
+        statFaultDrops_ += 1;
+        return;
+    }
     auto eth = net::EthernetHeader::peek(*pkt);
     macTable_[macKey(eth.src)] = port;
 

@@ -16,6 +16,7 @@
 
 #include "net/ethernet.hh"
 #include "netdev/ethernet_link.hh"
+#include "sim/fault.hh"
 #include "sim/sim_object.hh"
 
 namespace mcnsim::netdev {
@@ -80,6 +81,10 @@ class EthernetSwitch : public sim::SimObject
     sim::Scalar statForwarded_{"forwarded", "frames forwarded"};
     sim::Scalar statFlooded_{"flooded", "frames flooded"};
     sim::Scalar statDrops_{"drops", "frames tail-dropped"};
+    sim::Scalar statFaultDrops_{"faultDrops",
+                                "frames dropped by fault injection"};
+
+    sim::FaultSite faultDrop_ = FAULT_POINT("drop");
 };
 
 } // namespace mcnsim::netdev

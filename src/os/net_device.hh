@@ -34,6 +34,12 @@ struct NetDeviceFeatures
 {
     bool checksumOffload = false; ///< device validates/fills checksums
     bool tso = false;             ///< TCP segmentation offload
+    /** The medium behind this device is protected end-to-end (the
+     *  ECC/CRC memory channel of Table I's mcn2, or loopback), so
+     *  the stack may honor checksum bypass across this hop. NICs
+     *  stay untrusted: traffic arriving through them is verified
+     *  even when the node runs with bypass enabled. */
+    bool trusted = false;
 };
 
 /** Abstract network interface. */

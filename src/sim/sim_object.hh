@@ -44,6 +44,11 @@ class SimObject
 
     StatGroup &stats() { return statGroup_; }
 
+    /** This object's timeline track, for recording against explicit
+     *  ticks via Timeline::instance() directly (also used by
+     *  FaultSite to stamp injection instants on the owner). */
+    Timeline::TrackId tlTrack() const { return tlTrack_; }
+
   protected:
     /** Register a stat with this object's group. */
     void regStat(StatBase *stat) { statGroup_.add(stat); }
@@ -89,10 +94,6 @@ class SimObject
         if (Timeline::active()) [[unlikely]]
             Timeline::instance().instant(tlTrack_, name, curTick());
     }
-
-    /** This object's timeline track, for recording against explicit
-     *  ticks via Timeline::instance() directly. */
-    Timeline::TrackId tlTrack() const { return tlTrack_; }
 
   private:
     Simulation &sim_;

@@ -378,6 +378,55 @@ TEST(TcpWire, WrongPseudoHeaderCaught)
         TcpHeader::pull(*pkt, Ipv4Addr(9, 9, 9, 9), dst, true));
 }
 
+TEST(TcpWire, ZeroChecksumMeansOffloadedAndIsAccepted)
+{
+    // A zero TCP checksum is the simulator's CHECKSUM_UNNECESSARY:
+    // the sending device claimed a trusted medium (memory channel,
+    // loopback) and skipped the fill. The receiver must accept it
+    // even when asked to verify -- only *wrong* checksums drop.
+    Ipv4Addr src(1, 1, 1, 1), dst(2, 2, 2, 2);
+    auto pkt = Packet::makePattern(48);
+    TcpHeader h;
+    h.srcPort = 7;
+    h.dstPort = 9;
+    h.seq = 1234;
+    h.flags = tcpAck;
+    h.push(*pkt, src, dst, /*compute_checksum=*/false);
+
+    auto parsed = TcpHeader::pull(*pkt, src, dst, true);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->checksum, 0);
+    EXPECT_EQ(parsed->srcPort, 7);
+    EXPECT_EQ(parsed->dstPort, 9);
+    EXPECT_EQ(parsed->seq, 1234u);
+    EXPECT_EQ(parsed->flags, tcpAck);
+}
+
+TEST(TcpWire, WindowFieldScalesAndSaturates)
+{
+    // The 16-bit window field carries units of windowScale bytes.
+    // Both edges must survive the wire: a zero window (flow-control
+    // stall, rescued by persist probes) and the saturated maximum,
+    // which has to cover the socket's whole receive buffer or the
+    // advertised window could never open fully.
+    static_assert(std::uint64_t{0xffff} * TcpHeader::windowScale >=
+                      TcpSocket::rcvBufCap,
+                  "max advertisable window smaller than rcv buffer");
+
+    Ipv4Addr src(1, 1, 1, 1), dst(2, 2, 2, 2);
+    for (std::uint16_t w : {std::uint16_t{0}, std::uint16_t{0xffff}}) {
+        auto pkt = Packet::makePattern(16);
+        TcpHeader h;
+        h.srcPort = 5;
+        h.dstPort = 6;
+        h.window = w;
+        h.push(*pkt, src, dst, true);
+        auto parsed = TcpHeader::pull(*pkt, src, dst, true);
+        ASSERT_TRUE(parsed);
+        EXPECT_EQ(parsed->window, w);
+    }
+}
+
 TEST(UdpWire, HeaderRoundTrip)
 {
     Ipv4Addr src(10, 0, 0, 1), dst(10, 0, 0, 2);

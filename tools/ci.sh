@@ -8,6 +8,9 @@
 #            boxes are too noisy; run tools/run_benches.sh locally)
 #   obs      validate observability artifacts from an instrumented
 #            iperf run (timeline trace, stats series, profile)
+#   chaos    fault-injection soak: chaos selfcheck (determinism
+#            under every canned schedule x several seeds) plus the
+#            bench_chaos survival gates
 #   checked  build with -DMCNSIM_CHECKED=ON, run ctest + the CLI
 #            determinism selfcheck across mcn levels 0-5
 #   asan     address+undefined sanitizers: ctest + CLI smoke
@@ -15,12 +18,12 @@
 #
 # Usage: tools/ci.sh [--build-dir DIR] [--skip-benches]
 #                    [--stages S1,S2,...]
-# Default stages: build,test,lint,benches,obs,checked,asan,ubsan
+# Default stages: build,test,lint,benches,obs,chaos,checked,asan,ubsan
 set -eu
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$REPO_ROOT/build"
-STAGES="build,test,lint,benches,obs,checked,asan,ubsan"
+STAGES="build,test,lint,benches,obs,chaos,checked,asan,ubsan"
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -98,6 +101,24 @@ for s in doc["series"]:
 print(f"stats series: OK ({doc['snapshots']} snapshots, "
       f"{len(doc['series'])} series)")
 EOF
+fi
+
+if want chaos; then
+    echo
+    echo "== stage: chaos =="
+    # Determinism under fire: every canned schedule must replay
+    # byte-identically (modeled state + fault fire counts) across
+    # several seeds.
+    for sched in drop-heavy corrupt-heavy crash-recover; do
+        for seed in 1 7 1234; do
+            "$BUILD_DIR/tools/mcnsim_cli" chaos --selfcheck \
+                --schedule="$sched" --seed="$seed" \
+                --duration-ms=2
+        done
+    done
+    # Survival gates: the soak bench fails on zero throughput or an
+    # armed schedule that never fires.
+    "$BUILD_DIR/bench/bench_chaos" --quick
 fi
 
 if want checked; then

@@ -55,6 +55,7 @@
 #include "dist/coral.hh"
 #include "dist/mapreduce.hh"
 #include "dist/npb.hh"
+#include "sim/fault.hh"
 #include "sim/stat_sampler.hh"
 #include "sim/timeline.hh"
 #include "sim/trace_ring.hh"
@@ -346,8 +347,14 @@ cmdPing(const Args &a, std::string *digest = nullptr)
     std::size_t size =
         static_cast<std::size_t>(a.getInt("size", 56));
     int count = static_cast<int>(a.getInt("count", 5));
+    sim::Tick timeout = static_cast<sim::Tick>(a.getInt(
+                            "ping-timeout-us", 100000)) *
+                        sim::oneUs;
+    unsigned retries =
+        static_cast<unsigned>(a.getInt("ping-retries", 0));
     ObsSession obs(a, s);
-    auto pts = runPingSweep(s, *sys, 0, 1, {size}, count);
+    auto pts =
+        runPingSweep(s, *sys, 0, 1, {size}, count, timeout, retries);
     if (pts.empty() || pts[0].lost == count) {
         std::printf("ping: no replies\n");
         return 1;
@@ -430,6 +437,126 @@ cmdMapReduce(const Args &a, std::string *digest = nullptr)
     return orc ? orc : src;
 }
 
+/**
+ * Arm the process-wide fault plan from --faults / --schedule.
+ * Returns false (with a message) on a malformed spec. Idempotent:
+ * clears any previous plan first so --selfcheck reruns replay the
+ * identical schedule.
+ */
+bool
+armFaultPlan(const Args &a)
+{
+    std::string specs = a.get("faults", "");
+    std::string schedule = a.get("schedule", "");
+    if (!schedule.empty()) {
+        if (schedule == "drop-heavy")
+            specs = "*.rx-irq-lost:p=0.05;*.alert-lost:p=0.05;"
+                    "*.stall:p=0.01";
+        else if (schedule == "corrupt-heavy")
+            specs = "*.tx-corrupt:p=0.02";
+        else if (schedule == "crash-recover")
+            specs = "mcn1.hang:at=2ms,param=1ms";
+        else {
+            std::fprintf(stderr,
+                         "unknown --schedule=%s (drop-heavy | "
+                         "corrupt-heavy | crash-recover)\n",
+                         schedule.c_str());
+            return false;
+        }
+        if (a.has("faults"))
+            specs += ";" + a.get("faults", "");
+    }
+    if (specs.empty()) {
+        std::fprintf(stderr,
+                     "chaos: need --faults=SPEC[;SPEC...] or "
+                     "--schedule=NAME\n");
+        return false;
+    }
+
+    auto &plan = sim::FaultPlan::instance();
+    plan.clear();
+    plan.setSeed(seedOf(a));
+    std::size_t pos = 0;
+    while (pos < specs.size()) {
+        std::size_t semi = specs.find(';', pos);
+        if (semi == std::string::npos)
+            semi = specs.size();
+        if (semi > pos) {
+            sim::FaultPlan::Spec sp;
+            std::string err;
+            std::string one = specs.substr(pos, semi - pos);
+            if (!sim::FaultPlan::parseSpec(one, &sp, &err)) {
+                std::fprintf(stderr, "bad fault spec '%s': %s\n",
+                             one.c_str(), err.c_str());
+                plan.clear();
+                return false;
+            }
+            plan.arm(sp);
+        }
+        pos = semi + 1;
+    }
+    plan.resetRunState();
+    return true;
+}
+
+/**
+ * chaos: a fault-injection soak. Arms the fault plan, runs the
+ * iperf traffic mix (every node streaming to the host) for the
+ * requested window, and reports what fired and what the recovery
+ * machinery did. Time-bounded by construction, so a wedged system
+ * shows up as zero throughput, not a hang. With --selfcheck the
+ * whole thing runs twice and the modeled end state (which includes
+ * every fault fire) must be byte-identical.
+ */
+int
+cmdChaos(const Args &a, std::string *digest = nullptr)
+{
+    if (!armFaultPlan(a))
+        return 1;
+    auto &plan = sim::FaultPlan::instance();
+
+    sim::Simulation s(seedOf(a));
+    auto sys = buildSystem(s, a);
+    if (!sys || sys->nodeCount() < 2) {
+        plan.clear();
+        return 1;
+    }
+    sim::Tick dur = static_cast<sim::Tick>(
+                        a.getInt("duration-ms", 10)) *
+                    sim::oneMs;
+    std::vector<std::size_t> clients;
+    for (std::size_t i = 1; i < sys->nodeCount(); ++i)
+        clients.push_back(i);
+
+    ObsSession obs(a, s);
+    auto r = runIperf(s, *sys, 0, clients, dur);
+
+    std::printf("chaos: %.2f Gbit/s across %d connections under "
+                "%zu armed spec(s), %llu fault(s) fired\n",
+                r.gbps, r.connections, plan.specs().size(),
+                static_cast<unsigned long long>(plan.totalFires()));
+    for (const auto &[site, fires] : plan.fireCounts())
+        std::printf("  %-48s %8llu\n", site.c_str(),
+                    static_cast<unsigned long long>(fires));
+
+    appendDigest(s, digest);
+    if (digest) {
+        // Fold the fault schedule into the digest too: a selfcheck
+        // rerun must replay the identical fires, not just land on
+        // the same stats.
+        std::ostringstream os;
+        os << "faultFires=" << plan.totalFires();
+        for (const auto &[site, fires] : plan.fireCounts())
+            os << " " << site << "=" << fires;
+        os << "\n";
+        *digest += os.str();
+    }
+    plan.clear();
+    int orc = obs.finish();
+    int src = dumpRequestedStats(a, s);
+    return orc ? orc : src;
+}
+
 int
 cmdDescribe(const Args &a)
 {
@@ -501,7 +628,8 @@ usage()
 {
     std::printf(
         "usage: mcnsim_cli <command> [flags]\n"
-        "commands: iperf | ping | workload | mapreduce | describe\n"
+        "commands: iperf | ping | workload | mapreduce | chaos | "
+        "describe\n"
         "flags: --system=mcn|cluster|scaleup --dimms=N --nodes=N\n"
         "       --cores=N --level=0..5 --duration-ms=N --size=N\n"
         "       --count=N --name=<workload|job> --iters=N --stats\n"
@@ -509,6 +637,15 @@ usage()
         "       --seed=N     simulation RNG seed (default 1)\n"
         "       --selfcheck  run twice, diff modeled state "
         "bit-for-bit\n"
+        "       --ping-timeout-us=N  per-probe timeout "
+        "(ping, default 100000)\n"
+        "       --ping-retries=N     re-sends per lost probe "
+        "(ping, default 0)\n"
+        "chaos (fault-injection soak; see DESIGN.md §8):\n"
+        "       --faults=GLOB:k=v[,k=v...][;SPEC...]  e.g.\n"
+        "         '*.tx-corrupt:p=0.01;mcn1.crash:at=2ms'\n"
+        "       --schedule=drop-heavy|corrupt-heavy|crash-recover\n"
+        "       spec keys: p= n= at= param= max= from= until=\n"
         "observability:\n"
         "       --timeline=PATH|-       Perfetto/chrome trace JSON\n"
         "       --stats-series=PATH|-   periodic stat snapshots\n"
@@ -518,7 +655,7 @@ usage()
         "       --profile-top=N         rows in that table\n"
         "       --trace-ring=N          flight-recorder capacity\n"
         "trace flags (also via MCNSIM_DEBUG): Event MCNDriver\n"
-        "       MCNDma NIC Switch TCP DRAM IRQ ALL\n");
+        "       MCNDma NIC Switch TCP DRAM IRQ Fault ALL\n");
 }
 
 } // namespace
@@ -550,6 +687,8 @@ main(int argc, char **argv)
             cmd = cmdWorkload;
         else if (a.command == "mapreduce")
             cmd = cmdMapReduce;
+        else if (a.command == "chaos")
+            cmd = cmdChaos;
         if (cmd)
             return a.has("selfcheck") ? runSelfcheck(a, cmd)
                                       : cmd(a, nullptr);

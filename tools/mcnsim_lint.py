@@ -24,6 +24,13 @@ this checker enforces them textually:
                  (Simulation's elapsed-time meta, the event profiler)
                  lives in an explicit allowlist.
 
+  fault-site     FAULT_POINT() declarations must pass a string
+                 literal matching [a-z][a-z0-9-]*: site names are
+                 the addressing scheme for fault specs ("mcn1.iface.
+                 rx-irq-lost"), so a computed or irregular point
+                 name silently makes a site unreachable from the
+                 documented spec grammar.
+
   this-capture   An event-queue schedule()/scheduleIn() callback
                  capturing [this] must belong to a SimObject (whose
                  lifetime the Simulation pins until after the queue
@@ -84,6 +91,10 @@ QUEUE_SCHED_RE = re.compile(
 )
 
 SIMOBJECT_RE = re.compile(r":\s*public\s+(?:sim::)?SimObject\b")
+
+# FAULT_POINT("point"): the argument must be a well-formed literal.
+FAULT_POINT_RE = re.compile(r"\bFAULT_POINT\s*\(\s*([^)]*)\)")
+FAULT_POINT_OK_RE = re.compile(r'^"[a-z][a-z0-9-]*"$')
 
 SUPPRESS_RE = re.compile(r"//\s*lint-ok:\s*([\w-]+)")
 
@@ -147,6 +158,19 @@ def check_file(path, rel, findings):
                     (rel, i + 1, "trace-gate",
                      "Trace::emit() without a Trace::anyActive()/"
                      "active() gate on the path"))
+
+        # fault-site: FAULT_POINT takes a literal, lint-able name.
+        if (in_src
+                and rel not in ("src/sim/fault.hh",
+                                "src/sim/fault.cc")
+                and not suppressed(lines, i, "fault-site")):
+            m = FAULT_POINT_RE.search(stripped)
+            if m and not FAULT_POINT_OK_RE.match(m.group(1).strip()):
+                findings.append(
+                    (rel, i + 1, "fault-site",
+                     f"FAULT_POINT({m.group(1).strip()}) must take "
+                     'a string literal matching "[a-z][a-z0-9-]*" '
+                     "so fault specs can address the site"))
 
         # this-capture: queue callbacks capturing this need a
         # SimObject owner (or an annotated cancel-in-destructor).

@@ -42,7 +42,7 @@ while [ $# -gt 0 ]; do
 done
 
 BENCHES="fig8a_iperf fig8bc_ping table3_breakdown fig9_bandwidth \
-fig10_energy fig11_npb ablation micro"
+fig10_energy fig11_npb ablation chaos micro"
 
 validate() {
     python3 - "$1" <<'EOF'
