@@ -34,6 +34,7 @@ pollPeriodSweep()
          {1 * sim::oneUs, 2 * sim::oneUs, 5 * sim::oneUs,
           10 * sim::oneUs, 20 * sim::oneUs}) {
         sim::Simulation s;
+        bench::applyThreads(s);
         McnSystemParams p;
         p.numDimms = 2;
         p.config = McnConfig::level(0);
@@ -67,6 +68,7 @@ sramSizeSweep(bool quick)
     sim::Tick duration = quick ? 3 * sim::oneMs : 10 * sim::oneMs;
     for (std::size_t kb : {32, 64, 96, 192}) {
         sim::Simulation s;
+        bench::applyThreads(s);
         McnSystemParams p;
         p.numDimms = 1;
         p.config = McnConfig::level(3);
@@ -88,6 +90,7 @@ ackOverhead(bool quick, bench::BenchReport &rep)
     std::printf("-- Ablation 3: TCP pure-ACK overhead (Sec. VII) "
                 "--\n");
     sim::Simulation s;
+    bench::applyThreads(s);
     McnSystemParams p;
     p.numDimms = 1;
     p.config = McnConfig::level(3);
@@ -130,7 +133,9 @@ int
 main(int argc, char **argv)
 {
     bool quick = bench::quickMode(argc, argv);
+    unsigned threads = bench::threadsArg(argc, argv);
     bench::BenchReport rep("ablation", quick);
+    rep.config("threads", threads ? threads : 1);
     std::printf("== Ablations (Secs. IV & VII design choices; %s) "
                 "==\n\n",
                 quick ? "quick" : "full");

@@ -70,6 +70,7 @@ soak(const Schedule &sched, sim::Tick duration)
     plan.resetRunState();
 
     sim::Simulation s(chaosSeed);
+    bench::applyThreads(s);
     McnSystemParams p;
     p.numDimms = 4;
     p.config = McnConfig::level(5);
@@ -108,7 +109,9 @@ main(int argc, char **argv)
         {"crash_recover", "mcn1.hang:at=2ms,param=1ms"},
     };
 
+    unsigned threads = bench::threadsArg(argc, argv);
     bench::BenchReport rep("chaos", quick);
+    rep.config("threads", threads ? threads : 1);
     rep.config("dimms", 4);
     rep.config("seed", static_cast<double>(chaosSeed));
     rep.config("duration_ms", sim::ticksToSeconds(duration) * 1e3);

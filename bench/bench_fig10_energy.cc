@@ -36,6 +36,7 @@ RunEnergy
 mcnRun(const WorkloadSpec &w, std::size_t dimms, int iters)
 {
     sim::Simulation s;
+    bench::applyThreads(s);
     McnSystemParams p;
     p.numDimms = dimms;
     p.config = McnConfig::level(5);
@@ -59,6 +60,7 @@ RunEnergy
 clusterRun(const WorkloadSpec &w, std::size_t nodes, int iters)
 {
     sim::Simulation s;
+    bench::applyThreads(s);
     ClusterSystemParams p;
     p.numNodes = nodes;
     ClusterSystem sys(s, p);
@@ -89,7 +91,11 @@ main(int argc, char **argv)
     const std::vector<std::pair<std::size_t, std::size_t>> pairs =
         {{2, 2}, {4, 3}, {6, 4}, {8, 5}};
 
+    bench::threadsArg(argc, argv);
+    unsigned threads = bench::refuseThreads(
+        "the MPI world shares coordinator state across nodes");
     bench::BenchReport rep("fig10_energy", quick);
+    rep.config("threads", threads);
     rep.config("iterations", iters);
 
     std::printf("== Fig. 10: MCN server energy vs core-matched "

@@ -25,6 +25,7 @@ double
 scaleUpTime(const WorkloadSpec &w, std::uint32_t cores, int iters)
 {
     sim::Simulation s;
+    bench::applyThreads(s);
     ScaleUpSystem sys(s, cores);
     std::vector<std::size_t> placement(cores, 0);
     auto spec = w.scaledTo(static_cast<int>(cores));
@@ -38,6 +39,7 @@ double
 mcnTime(const WorkloadSpec &w, std::size_t dimms, int iters)
 {
     sim::Simulation s;
+    bench::applyThreads(s);
     McnSystemParams p;
     p.numDimms = dimms;
     p.config = McnConfig::level(5);
@@ -59,7 +61,11 @@ main(int argc, char **argv)
     bool quick = bench::quickMode(argc, argv);
     int iters = quick ? 2 : 6;
 
+    bench::threadsArg(argc, argv);
+    unsigned threads = bench::refuseThreads(
+        "the MPI world shares coordinator state across nodes");
     bench::BenchReport rep("fig11_npb", quick);
+    rep.config("threads", threads);
     rep.config("iterations", iters);
     rep.config("host_cores", 4);
 

@@ -26,6 +26,7 @@ double
 baseline10GbE(sim::Tick duration)
 {
     sim::Simulation s;
+    bench::applyThreads(s);
     ClusterSystemParams p;
     p.numNodes = 5;
     ClusterSystem sys(s, p);
@@ -37,6 +38,7 @@ double
 mcnRun(int level, bool host_server, sim::Tick duration)
 {
     sim::Simulation s;
+    bench::applyThreads(s);
     McnSystemParams p;
     p.numDimms = 4;
     p.config = McnConfig::level(level);
@@ -65,7 +67,9 @@ main(int argc, char **argv)
     sim::Tick duration =
         quick ? 4 * sim::oneMs : 20 * sim::oneMs;
 
+    unsigned threads = bench::threadsArg(argc, argv);
     bench::BenchReport rep("fig8a_iperf", quick);
+    rep.config("threads", threads ? threads : 1);
     rep.config("dimms", 4);
     rep.config("duration_ms",
                sim::ticksToSeconds(duration) * 1e3);

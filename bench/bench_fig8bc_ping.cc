@@ -24,6 +24,7 @@ std::vector<dist::PingPoint>
 baselinePing()
 {
     sim::Simulation s;
+    bench::applyThreads(s);
     ClusterSystemParams p;
     p.numNodes = 2;
     p.net.mtu = 9000; // so large pings are not fragmented
@@ -35,6 +36,7 @@ std::vector<dist::PingPoint>
 mcnPing(int level, bool host_to_mcn)
 {
     sim::Simulation s;
+    bench::applyThreads(s);
     McnSystemParams p;
     p.numDimms = 2;
     p.config = McnConfig::level(level);
@@ -90,8 +92,10 @@ printSweep(const char *title, const char *prefix,
 int
 main(int argc, char **argv)
 {
+    unsigned threads = bench::threadsArg(argc, argv);
     bench::BenchReport rep("fig8bc_ping",
                            bench::quickMode(argc, argv));
+    rep.config("threads", threads ? threads : 1);
     rep.config("dimms", 2);
     rep.config("pings_per_size", 5);
 

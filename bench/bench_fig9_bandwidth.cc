@@ -62,7 +62,9 @@ main(int argc, char **argv)
     int iters = quick ? 2 : 6;
     const std::vector<std::size_t> dimm_counts = {2, 4, 6, 8};
 
+    unsigned threads = bench::threadsArg(argc, argv);
     bench::BenchReport rep("fig9_bandwidth", quick);
+    rep.config("threads", threads ? threads : 1);
     rep.config("iterations", iters);
     rep.config("conv_cores", 8);
 
@@ -91,6 +93,7 @@ main(int argc, char **argv)
         double conv;
         {
             sim::Simulation s;
+            bench::applyThreads(s);
             ScaleUpSystem sys(s, 8);
             conv = runAndMeasure(sys, s, w,
                                  {0, 0, 0, 0, 0, 0, 0, 0}, iters);
@@ -100,6 +103,7 @@ main(int argc, char **argv)
 
         for (std::size_t di = 0; di < dimm_counts.size(); ++di) {
             sim::Simulation s;
+            bench::applyThreads(s);
             McnSystemParams p;
             p.numDimms = dimm_counts[di];
             p.config = McnConfig::level(5);

@@ -205,7 +205,9 @@ main(int argc, char **argv)
 {
     using namespace mcnsim;
     bool quick = bench::quickMode(argc, argv);
+    unsigned threads = bench::threadsArg(argc, argv);
     bench::BenchReport rep("micro", quick);
+    rep.config("threads", threads ? threads : 1);
 
     // Strip our flags before handing argv to google-benchmark,
     // which rejects unknown arguments.

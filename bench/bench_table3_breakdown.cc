@@ -97,6 +97,7 @@ Breakdown
 run10GbE(std::size_t payload, std::uint32_t mtu)
 {
     sim::Simulation s;
+    bench::applyThreads(s);
     ClusterSystemParams p;
     p.numNodes = 2;
     p.net.mtu = mtu;
@@ -109,6 +110,7 @@ Breakdown
 runMcn0(std::size_t payload, std::uint32_t mtu)
 {
     sim::Simulation s;
+    bench::applyThreads(s);
     McnSystemParams p;
     p.numDimms = 1;
     p.config = McnConfig::level(0);
@@ -140,8 +142,10 @@ printRow(bench::Table &t, const char *size, const char *type,
 int
 main(int argc, char **argv)
 {
+    unsigned threads = bench::threadsArg(argc, argv);
     bench::BenchReport rep("table3_breakdown",
                            bench::quickMode(argc, argv));
+    rep.config("threads", threads ? threads : 1);
     rep.config("payload_1p5kb", 1400);
     rep.config("payload_9kb", 8800);
 

@@ -20,8 +20,10 @@
 #ifndef MCNSIM_BENCH_BENCH_UTIL_HH
 #define MCNSIM_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -29,6 +31,7 @@
 #include <vector>
 
 #include "sim/json.hh"
+#include "sim/simulation.hh"
 
 namespace mcnsim::bench {
 
@@ -107,6 +110,71 @@ quickMode(int argc, char **argv)
         if (std::strcmp(argv[i], "--full") == 0)
             return false;
     return true;
+}
+
+/** Worker count parsed from `--threads N` / `--threads=N`, kept in
+ *  a process-wide slot so bench helpers that build their own
+ *  Simulation can pick it up without threading a parameter through
+ *  every call chain. 0 = flag absent = classic engine. */
+inline unsigned benchThreads = 0;
+
+/** Parse `--threads` (0 when absent) and remember it for
+ *  applyThreads(). Record the result in the report's config block
+ *  (`rep.config("threads", ...)`) so tools/check_perf.py can refuse
+ *  to compare host-time metrics across differing worker counts. */
+inline unsigned
+threadsArg(int argc, char **argv)
+{
+    unsigned n = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            n = static_cast<unsigned>(
+                std::max(1l, std::strtol(argv[i + 1], nullptr, 10)));
+        else if (std::strncmp(argv[i], "--threads=", 10) == 0)
+            n = static_cast<unsigned>(
+                std::max(1l, std::strtol(argv[i] + 10, nullptr, 10)));
+    }
+    benchThreads = n;
+    return n;
+}
+
+/**
+ * Switch @p s to the sharded parallel engine when `--threads` was
+ * given. Call straight after constructing the Simulation, before
+ * any system builder runs (sharding must be enabled while the
+ * object list is still empty). Flag absent keeps the classic
+ * single-queue engine, so default bench runs -- and the perf
+ * baseline -- keep their exact event schedule. With the flag, the
+ * modeled output is identical for every N (see DESIGN.md §9); only
+ * wall clock changes.
+ */
+inline void
+applyThreads(sim::Simulation &s)
+{
+    if (benchThreads == 0)
+        return;
+    s.enableSharding();
+    s.setThreads(benchThreads);
+}
+
+/**
+ * For benches whose workloads cannot shard (the MPI world of
+ * fig10/fig11 shares coordinator state across all ranks' nodes):
+ * drop a requested `--threads` with a note, mirroring the CLI's
+ * shardable=false handling, and return the effective worker count
+ * (always 1) for the report's config block.
+ */
+inline unsigned
+refuseThreads(const char *why)
+{
+    if (benchThreads != 0) {
+        std::fprintf(stderr,
+                     "note: --threads ignored (%s; see DESIGN.md "
+                     "section 9)\n",
+                     why);
+        benchThreads = 0;
+    }
+    return 1;
 }
 
 /** Path given via `--json <path>` or `--json=<path>`; "" if absent. */

@@ -30,7 +30,10 @@ runIperf(sim::Simulation &s, System &sys, std::size_t server_node,
     auto server = sys.node(server_node);
     constexpr std::uint16_t port = 5201;
 
-    sim::spawnDetached(s.eventQueue(),
+    // Workload coroutines spawn on their node's own event queue so
+    // each runs on its node's shard in a sharded simulation (in an
+    // unsharded one every node queue is the primary queue).
+    sim::spawnDetached(server.kernel->eventQueue(),
                        dist::iperfServer(*server.stack, port,
                                          stats));
 
@@ -38,7 +41,7 @@ runIperf(sim::Simulation &s, System &sys, std::size_t server_node,
     for (std::size_t c : client_nodes) {
         auto client = sys.node(c);
         sim::spawnDetached(
-            s.eventQueue(),
+            client.kernel->eventQueue(),
             dist::iperfClient(*client.stack,
                               {server.addr, port}, until));
     }
@@ -67,7 +70,9 @@ runPingSweep(sim::Simulation &s, System &sys, std::size_t from,
                                  out, timeout, retries);
         finished = true;
     };
-    sim::spawnDetached(s.eventQueue(), task());
+    // Spawn on the pinging node's queue (= its shard); `finished`
+    // is only read between run slices, on the coordinating thread.
+    sim::spawnDetached(sys.node(from).kernel->eventQueue(), task());
     runUntil(
         s, [&] { return finished; },
         s.curTick() + 10 * sim::oneSec);

@@ -240,6 +240,10 @@ MpiWorld::MpiWorld(sim::Simulation &s,
     : sim_(s), basePort_(base_port)
 {
     MCNSIM_ASSERT(!nodes.empty(), "MPI world needs ranks");
+    MCNSIM_ASSERT(s.shardCount() <= 1,
+                  "MPI worlds share coordinator state across all "
+                  "ranks' nodes and must run single-queue; drop "
+                  "--threads (DESIGN.md 9)");
 
     std::map<os::Kernel *, std::uint32_t> ranks_on_node;
     for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -253,12 +257,18 @@ MpiWorld::MpiWorld(sim::Simulation &s,
         ranks_.push_back(std::move(r));
     }
     peers_.resize(ranks_.size());
-    for (auto &p : peers_) {
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+        auto &p = peers_[i];
         p.resize(ranks_.size());
+        // Bind each receive inbox to the receiving rank's node
+        // queue (identical to the primary queue when unsharded).
+        // MPI worlds still run on one queue overall -- senders
+        // touch receiver inboxes directly -- which is why the CLI
+        // refuses --threads for workload/mapreduce.
         for (std::size_t j = 0; j < ranks_.size(); ++j)
             p[j].inbox =
                 std::make_unique<sim::Mailbox<std::uint64_t>>(
-                    s.eventQueue());
+                    ranks_[i]->node_.kernel->eventQueue());
     }
 }
 

@@ -53,7 +53,10 @@ IcmpHeader::pull(Packet &pkt, bool verify_checksum)
 IcmpLayer::IcmpLayer(sim::Simulation &s, std::string name,
                      NetStack &stack)
     : sim::SimObject(s, std::move(name)), stack_(stack),
-      replyCv_(s.eventQueue())
+      // Bind to this node's own queue (the SimObject's shard), not
+      // s.eventQueue(): notifying a primary-queue condition from a
+      // node shard would be a cross-shard schedule.
+      replyCv_(eventQueue())
 {
     regStat(&statEchoReq_);
     regStat(&statEchoRep_);

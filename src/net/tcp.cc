@@ -207,9 +207,11 @@ TcpLayer::TcpLayer(sim::Simulation &s, std::string name,
 TcpSocketPtr
 TcpLayer::createSocket()
 {
-    static std::uint64_t next_sock = 0;
+    // Per-layer id: a process-global counter would be a data race
+    // between shards and would make names depend on cross-shard
+    // execution order.
     return std::make_shared<TcpSocket>(
-        *this, name() + ".sock" + std::to_string(next_sock++));
+        *this, name() + ".sock" + std::to_string(nextSockId_++));
 }
 
 std::uint16_t
@@ -391,9 +393,7 @@ TcpSocket::connect(Ipv4Addr dst, std::uint16_t port)
     tuple_.localIp = stack_.sourceAddrFor(dst);
     tuple_.localPort = layer_.allocEphemeralPort();
 
-    static std::uint32_t iss_seed = 0x1000;
-    iss_seed += 64007;
-    iss_ = iss_seed;
+    iss_ = layer_.nextIssActive();
     sndUna_ = sndNxt_ = iss_;
     state_ = TcpState::SynSent;
     layer_.bindConnection(tuple_, self);
@@ -809,9 +809,7 @@ TcpSocket::segmentArrived(const TcpHeader &h, Ipv4Addr src,
         child->tuple_.remotePort = h.srcPort;
         child->state_ = TcpState::SynRcvd;
         child->rcvNxt_ = h.seq + 1;
-        static std::uint32_t iss_seed = 0x8000;
-        iss_seed += 98561;
-        child->iss_ = iss_seed;
+        child->iss_ = layer_.nextIssPassive();
         child->sndUna_ = child->sndNxt_ = child->iss_;
         child->parent_ = shared_from_this();
         layer_.bindConnection(child->tuple_, child);

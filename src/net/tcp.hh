@@ -166,11 +166,24 @@ class TcpLayer : public sim::SimObject
         return static_cast<std::uint64_t>(statPureAcks_.value());
     }
 
+    /** Next initial sequence number for an active open. Per-layer
+     *  (not process-global) so concurrent shards never contend and
+     *  the stream a connection sees is a pure function of this
+     *  node's own history. */
+    std::uint32_t nextIssActive() { return issActive_ += 64007; }
+    /** Same, for passive opens (listener-spawned children). */
+    std::uint32_t nextIssPassive() { return issPassive_ += 98561; }
+
   private:
+    friend class TcpSocket;
+
     NetStack &stack_;
     std::map<TcpTuple, TcpSocketPtr> connections_;
     std::map<std::uint16_t, TcpSocketPtr> listeners_;
     std::uint16_t nextPort_ = 32768;
+    std::uint64_t nextSockId_ = 0;
+    std::uint32_t issActive_ = 0x1000;
+    std::uint32_t issPassive_ = 0x8000;
     std::function<void(const Packet &)> deliveryHook_;
 
     sim::Scalar statRx_{"segmentsIn", "TCP segments received"};

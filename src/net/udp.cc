@@ -101,9 +101,10 @@ UdpLayer::UdpLayer(sim::Simulation &s, std::string name,
 UdpSocketPtr
 UdpLayer::createSocket()
 {
-    static std::uint64_t next_sock = 0;
+    // Per-layer id, as in TcpLayer::createSocket: process-global
+    // counters are cross-shard data races.
     return std::make_shared<UdpSocket>(
-        *this, name() + ".sock" + std::to_string(next_sock++));
+        *this, name() + ".sock" + std::to_string(nextSockId_++));
 }
 
 void

@@ -81,6 +81,7 @@ class UdpLayer : public sim::SimObject
     NetStack &stack_;
     std::map<std::uint16_t, UdpSocketPtr> bound_;
     std::uint16_t nextPort_ = 40000;
+    std::uint64_t nextSockId_ = 0;
 
     sim::Scalar statRx_{"datagramsIn", "UDP datagrams received"};
     sim::Scalar statDrops_{"drops", "datagrams with no socket"};

@@ -27,6 +27,24 @@ EthernetLink::EthernetLink(sim::Simulation &s, std::string name,
     regStat(&statReordered_);
 }
 
+void
+EthernetLink::attachA(EtherEndpoint *ep)
+{
+    a_ = ep;
+    sim::EventQueue *q = ep ? ep->endpointQueue() : nullptr;
+    aQueue_ = q ? q : &eventQueue();
+    split_ = aQueue_ && bQueue_ && aQueue_ != bQueue_;
+}
+
+void
+EthernetLink::attachB(EtherEndpoint *ep)
+{
+    b_ = ep;
+    sim::EventQueue *q = ep ? ep->endpointQueue() : nullptr;
+    bQueue_ = q ? q : &eventQueue();
+    split_ = aQueue_ && bQueue_ && aQueue_ != bQueue_;
+}
+
 EthernetLink::Direction &
 EthernetLink::dirFor(const EtherEndpoint *src)
 {
@@ -39,10 +57,46 @@ EthernetLink::dirFor(const EtherEndpoint *src) const
     return src == a_ ? ab_ : ba_;
 }
 
+void
+EthernetLink::reconcile(const Direction &dir, sim::Tick now)
+{
+    while (!dir.inFlight.empty() &&
+           dir.inFlight.front().first <= now) {
+        dir.inFlightBytes -= dir.inFlight.front().second;
+        dir.inFlight.pop_front();
+    }
+}
+
 std::uint64_t
 EthernetLink::backlogBytes(const EtherEndpoint *src) const
 {
-    return dirFor(src).inFlightBytes;
+    const Direction &dir = dirFor(src);
+    if (split_) [[unlikely]]
+        reconcile(dir,
+                  (src == a_ ? aQueue_ : bQueue_)->curTick());
+    return dir.inFlightBytes;
+}
+
+void
+EthernetLink::syncStats()
+{
+    if (!split_)
+        return;
+    auto fold = [](sim::Scalar &s, std::uint64_t total,
+                   std::uint64_t &synced) {
+        s += static_cast<double>(total - synced);
+        synced = total;
+    };
+    fold(statFrames_, ab_.txFrames + ba_.txFrames, syncedFrames_);
+    fold(statBytes_, ab_.txBytes + ba_.txBytes, syncedBytes_);
+    fold(statDropped_, ab_.rxDropped + ba_.rxDropped,
+         syncedDropped_);
+    fold(statCorrupted_, ab_.rxCorrupted + ba_.rxCorrupted,
+         syncedCorrupted_);
+    fold(statDuplicated_, ab_.rxDuplicated + ba_.rxDuplicated,
+         syncedDuplicated_);
+    fold(statReordered_, ab_.rxReordered + ba_.rxReordered,
+         syncedReordered_);
 }
 
 void
@@ -53,43 +107,80 @@ EthernetLink::sendFrom(EtherEndpoint *src, net::PacketPtr pkt)
     MCNSIM_ASSERT(dst_ep, "link has a dangling end");
 
     Direction &dir = dirFor(src);
+    sim::EventQueue &srcQ = src == a_ ? *aQueue_ : *bQueue_;
     std::uint64_t bytes = pkt->size();
-    statFrames_ += 1;
-    statBytes_ += static_cast<double>(bytes);
 
-    // FIFO serialization at the line rate.
+    // FIFO serialization at the line rate. The sender's clock is
+    // authoritative: on the classic path it equals the link's own
+    // queue; on the split path it is the sending shard's clock.
     double ser_secs = static_cast<double>(bytes) * 8.0 /
                       bandwidthBps_;
     sim::Tick ser = std::max<sim::Tick>(
         1, sim::secondsToTicks(ser_secs));
-    sim::Tick start = std::max(curTick(), dir.busyUntil);
+    sim::Tick start = std::max(srcQ.curTick(), dir.busyUntil);
     dir.busyUntil = start + ser;
-    dir.inFlightBytes += bytes;
-
     sim::Tick arrive = dir.busyUntil + latency_;
-    eventQueue().schedule(
-        [this, dst_ep, pkt, bytes, src] {
-            dirFor(src).inFlightBytes -= bytes;
-            deliver(dst_ep, pkt);
-        },
-        arrive, "link.deliver");
+
+    if (!split_) {
+        // Same-queue path: identical to the serial engine -- eager
+        // Scalars, one delivery event doing decrement + delivery.
+        statFrames_ += 1;
+        statBytes_ += static_cast<double>(bytes);
+        dir.inFlightBytes += bytes;
+        srcQ.schedule(
+            [this, dst_ep, pkt, bytes, src] {
+                Direction &d = dirFor(src);
+                d.inFlightBytes -= bytes;
+                deliver(dst_ep, pkt, *aQueue_, d, false);
+            },
+            arrive, "link.deliver");
+        return;
+    }
+
+    // Cross-shard path: every mutation stays on the sender's shard
+    // (tx counters, the wire deque); delivery crosses through the
+    // deterministic mailbox. The propagation latency is >= the
+    // registered shard-edge latency, so `arrive` always clears the
+    // lookahead horizon.
+    dir.txFrames += 1;
+    dir.txBytes += bytes;
+    reconcile(dir, srcQ.curTick());
+    dir.inFlightBytes += bytes;
+    dir.inFlight.emplace_back(arrive, bytes);
+    sim::EventQueue &dstQ = src == a_ ? *bQueue_ : *aQueue_;
+    simulation().postCrossShard(
+        srcQ.shardIndex(), dstQ.shardIndex(), arrive,
+        sim::EventPriority::Default, "link.deliver",
+        [this, dst_ep, pkt, src] {
+            sim::EventQueue &q = src == a_ ? *bQueue_ : *aQueue_;
+            deliver(dst_ep, pkt, q, dirFor(src), true);
+        });
 }
 
 void
-EthernetLink::deliver(EtherEndpoint *dst_ep, net::PacketPtr pkt)
+EthernetLink::deliver(EtherEndpoint *dst_ep, net::PacketPtr pkt,
+                      sim::EventQueue &q, Direction &dir, bool split)
 {
     // Fault injection: transient loss and bit errors, the
     // physical-link hazards the paper contrasts with the
     // ECC/CRC-protected memory channel (Sec. IV-A). The legacy
-    // rate knobs draw from the simulation RNG; the FaultPlan
-    // sites use per-site streams so an armed-but-silent plan
-    // cannot perturb modeled timing.
+    // rate knobs draw from the simulation RNG (single-shard test
+    // tools; see the file comment); the FaultPlan sites use
+    // per-site streams so an armed-but-silent plan cannot perturb
+    // modeled timing. On the split path the stat increment lands in
+    // the receiver shard's plain counter instead of the Scalar.
     if (lossRate_ > 0.0 && simulation().rng().chance(lossRate_)) {
-        statDropped_ += 1;
+        if (split)
+            dir.rxDropped += 1;
+        else
+            statDropped_ += 1;
         return;
     }
     if (faultDrop_.fires()) {
-        statDropped_ += 1;
+        if (split)
+            dir.rxDropped += 1;
+        else
+            statDropped_ += 1;
         return;
     }
     const bool legacy_corrupt =
@@ -105,30 +196,39 @@ EthernetLink::deliver(EtherEndpoint *dst_ep, net::PacketPtr pkt)
                                        : faultCorrupt_.rng();
         std::size_t idx = rng.uniformInt(54, pkt->size() - 1);
         pkt->data()[idx] ^= 0x40;
-        statCorrupted_ += 1;
+        if (split)
+            dir.rxCorrupted += 1;
+        else
+            statCorrupted_ += 1;
     }
     if (faultReorder_.fires()) {
         // Bounded reorder: hold this frame back so frames behind
         // it overtake; redeliver after the spec's param (default
         // 5 us) without re-rolling the fault dice.
-        statReordered_ += 1;
+        if (split)
+            dir.rxReordered += 1;
+        else
+            statReordered_ += 1;
         sim::Tick delay = faultReorder_.param()
                               ? faultReorder_.param()
                               : 5 * sim::oneUs;
-        eventQueue().scheduleIn(
-            [this, dst_ep, pkt] {
-                pkt->trace.stamp(net::Stage::Phy, curTick());
+        q.scheduleIn(
+            [dst_ep, pkt, &q] {
+                pkt->trace.stamp(net::Stage::Phy, q.curTick());
                 dst_ep->receiveFrame(pkt);
             },
             delay, "link.reorder");
         return;
     }
     if (faultDup_.fires()) {
-        statDuplicated_ += 1;
-        pkt->trace.stamp(net::Stage::Phy, curTick());
+        if (split)
+            dir.rxDuplicated += 1;
+        else
+            statDuplicated_ += 1;
+        pkt->trace.stamp(net::Stage::Phy, q.curTick());
         dst_ep->receiveFrame(pkt->clone());
     }
-    pkt->trace.stamp(net::Stage::Phy, curTick());
+    pkt->trace.stamp(net::Stage::Phy, q.curTick());
     dst_ep->receiveFrame(pkt);
 }
 

@@ -3,6 +3,20 @@
  * Full-duplex point-to-point Ethernet link: per-direction
  * serialization at the line rate plus propagation latency. The
  * baseline cluster's NICs and switch hang off these.
+ *
+ * Sharding (DESIGN.md §9): a link whose two endpoints live on the
+ * same event queue delivers exactly as the serial engine always has
+ * (one "link.deliver" event). When the endpoints live on *different*
+ * shards the link becomes the shard boundary: delivery crosses via
+ * the Simulation::postCrossShard mailbox, per-direction counters
+ * stay shard-local (folded into the registered stats by
+ * syncStats()), and the propagation latency is what the builders
+ * register as the shard edge bounding the conservative lookahead.
+ * The legacy setLossRate()/setCorruptRate() knobs draw from the
+ * shared simulation RNG and are single-shard test tools only; the
+ * FaultPlan sites are the sharded-safe path (the ShardSet runs
+ * windows serially while a plan is armed, keeping per-site RNG draw
+ * order deterministic).
  */
 
 #ifndef MCNSIM_NETDEV_ETHERNET_LINK_HH
@@ -10,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <utility>
 
 #include "net/packet.hh"
 #include "sim/fault.hh"
@@ -25,6 +40,12 @@ class EtherEndpoint
 
     /** A frame finished arriving from the attached link. */
     virtual void receiveFrame(net::PacketPtr pkt) = 0;
+
+    /** Event queue this endpoint executes on, nullptr meaning "the
+     *  link's own queue" (the unsharded default). Links compare the
+     *  two ends' queues once at attach time to pick the same-shard
+     *  or cross-shard delivery path. */
+    virtual sim::EventQueue *endpointQueue() { return nullptr; }
 };
 
 /** A full-duplex link between two endpoints. */
@@ -34,8 +55,8 @@ class EthernetLink : public sim::SimObject
     EthernetLink(sim::Simulation &s, std::string name,
                  double bandwidth_bps, sim::Tick latency);
 
-    void attachA(EtherEndpoint *ep) { a_ = ep; }
-    void attachB(EtherEndpoint *ep) { b_ = ep; }
+    void attachA(EtherEndpoint *ep);
+    void attachB(EtherEndpoint *ep);
 
     /**
      * Transmit @p pkt from endpoint @p src toward the other end.
@@ -64,34 +85,74 @@ class EthernetLink : public sim::SimObject
 
     std::uint64_t framesDropped() const
     {
-        return static_cast<std::uint64_t>(statDropped_.value());
+        return static_cast<std::uint64_t>(statDropped_.value()) +
+               ab_.rxDropped + ba_.rxDropped - syncedDropped_;
     }
     std::uint64_t framesCorrupted() const
     {
-        return static_cast<std::uint64_t>(statCorrupted_.value());
+        return static_cast<std::uint64_t>(statCorrupted_.value()) +
+               ab_.rxCorrupted + ba_.rxCorrupted - syncedCorrupted_;
     }
 
-  private:
-    /** Arrival-side delivery: legacy loss/corrupt knobs plus the
-     *  FaultPlan drop/corrupt/dup/reorder sites. */
-    void deliver(EtherEndpoint *dst_ep, net::PacketPtr pkt);
+    /** Fold the shard-local split-path counters into the registered
+     *  Scalars (no-op on the classic same-queue path). */
+    void syncStats() override;
 
+    /** True when the two ends live on different event queues. */
+    bool crossShard() const { return split_; }
+
+  private:
     struct Direction
     {
         sim::Tick busyUntil = 0;
-        std::uint64_t inFlightBytes = 0;
+        /** Same-queue path: decremented by the delivery event.
+         *  Split path: reconciled lazily against the sender's clock
+         *  (mutable: reconciliation happens in const reads). */
+        mutable std::uint64_t inFlightBytes = 0;
+        /** Split path: (arrival tick, bytes) of frames on the wire.
+         *  Touched only by the sending endpoint's shard. */
+        mutable std::deque<std::pair<sim::Tick, std::uint64_t>>
+            inFlight;
+        // Split-path stat counters, single-writer by construction:
+        // tx* belong to the sending shard, rx* to the receiving
+        // shard. syncStats() folds them into the Scalars between
+        // windows.
+        std::uint64_t txFrames = 0;
+        std::uint64_t txBytes = 0;
+        std::uint64_t rxDropped = 0;
+        std::uint64_t rxCorrupted = 0;
+        std::uint64_t rxDuplicated = 0;
+        std::uint64_t rxReordered = 0;
     };
+
+    /** Arrival-side delivery: legacy loss/corrupt knobs plus the
+     *  FaultPlan drop/corrupt/dup/reorder sites. Runs on @p q (the
+     *  receiver's queue); @p dir is the direction of travel. */
+    void deliver(EtherEndpoint *dst_ep, net::PacketPtr pkt,
+                 sim::EventQueue &q, Direction &dir, bool split);
+
+    /** Retire wire entries that have arrived by @p now. */
+    static void reconcile(const Direction &dir, sim::Tick now);
 
     Direction &dirFor(const EtherEndpoint *src);
     const Direction &dirFor(const EtherEndpoint *src) const;
 
     EtherEndpoint *a_ = nullptr;
     EtherEndpoint *b_ = nullptr;
+    sim::EventQueue *aQueue_ = nullptr;
+    sim::EventQueue *bQueue_ = nullptr;
+    bool split_ = false;
     double bandwidthBps_;
     sim::Tick latency_;
     double lossRate_ = 0.0;
     double corruptRate_ = 0.0;
     Direction ab_, ba_;
+    std::uint64_t syncedFrames_ = 0;
+    std::uint64_t syncedBytes_ = 0;
+    std::uint64_t syncedDropped_ = 0;
+    std::uint64_t syncedCorrupted_ = 0;
+    std::uint64_t syncedDuplicated_ = 0;
+    std::uint64_t syncedReordered_ = 0;
 
     sim::Scalar statFrames_{"frames", "frames carried"};
     sim::Scalar statBytes_{"bytes", "bytes carried"};

@@ -63,6 +63,13 @@ class EthernetSwitch : public sim::SimObject
             sw_.frameIn(index_, std::move(pkt));
         }
 
+        /** Port logic executes on the switch's shard. */
+        sim::EventQueue *
+        endpointQueue() override
+        {
+            return &sw_.eventQueue();
+        }
+
         EthernetLink *link = nullptr;
 
       private:

@@ -48,6 +48,12 @@ class Nic : public os::NetDevice, public EtherEndpoint
     // EtherEndpoint
     void receiveFrame(net::PacketPtr pkt) override;
 
+    /** The NIC executes on its host node's shard. */
+    sim::EventQueue *endpointQueue() override
+    {
+        return &eventQueue();
+    }
+
     std::uint64_t rxDrops() const
     {
         return static_cast<std::uint64_t>(statRxDrops_.value());

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 #include <string_view>
 #include <unordered_set>
@@ -18,14 +19,19 @@
 
 namespace mcnsim::sim {
 
+thread_local EventQueue *EventQueue::currentQueue_ = nullptr;
+
 const char *
 internEventName(const std::string &name)
 {
     // Process-lifetime intern pool: node-based, so c_str() pointers
-    // stay stable across rehashes. The simulator is single-threaded
-    // by design (one EventQueue per Simulation, no cross-thread
-    // scheduling), so no lock is needed.
+    // stay stable across rehashes. Interning can happen from any
+    // shard worker (a dynamic event name in a window), so the pool
+    // is mutex-guarded; the fast path (string-literal names) never
+    // comes here.
+    static std::mutex mtx;
     static std::unordered_set<std::string> pool;
+    std::lock_guard<std::mutex> lk(mtx);
     return pool.insert(name).first->c_str();
 }
 
@@ -192,6 +198,18 @@ EventQueue::schedule(Event *ev, Tick when)
     if (ev->scheduled_) [[unlikely]]
         throw std::logic_error("event '" + std::string(ev->name()) +
                                "' already scheduled");
+    // Cross-shard lifetime rule (DESIGN.md §9): while some queue is
+    // dispatching on this thread, scheduling onto a different queue
+    // races with whatever thread owns that queue's shard. Legitimate
+    // cross-shard traffic goes through the ShardSet mailbox
+    // (Simulation::postCrossShard), which lands here only between
+    // windows, when current() is null.
+    MCNSIM_CHECK(currentQueue_ == nullptr || currentQueue_ == this,
+                 "cross-shard schedule: event '", ev->name(),
+                 "' scheduled on queue '", name_, "' while queue '",
+                 currentQueue_ ? currentQueue_->name_ : "?",
+                 "' is dispatching; route it through "
+                 "Simulation::postCrossShard (the mailbox API)");
     if (ev->queue_ != this && ev->queue_ && ev->staleRefs_ > 0)
         [[unlikely]] {
         // Moving to a new queue with stale entries left on the old
@@ -378,6 +396,7 @@ EventQueue::profileEntries() const
 Tick
 EventQueue::run(Tick until)
 {
+    CurrentScope scope(this);
     while (!heap_.empty() && heap_.front().when <= until)
         popAndRun();
     if (curTick_ < until && until != maxTick)
@@ -388,10 +407,45 @@ EventQueue::run(Tick until)
 std::uint64_t
 EventQueue::runEvents(std::uint64_t n)
 {
+    CurrentScope scope(this);
     std::uint64_t before = processed_;
     while (!heap_.empty() && processed_ - before < n)
         popAndRun();
     return processed_ - before;
+}
+
+Tick
+EventQueue::nextEventTick()
+{
+    // Drop stale heads (descheduled/rescheduled leftovers) so the
+    // reported tick belongs to a live event. popAndRun() on a stale
+    // head does exactly the bookkeeping run() would do, so this
+    // pruning never perturbs the schedule.
+    while (!heap_.empty()) {
+        const Entry &e = heap_.front();
+        if (e.ev && e.ev->scheduled_ && e.ev->seq_ == e.seq())
+            return e.when;
+        popAndRun();
+    }
+    return maxTick;
+}
+
+void
+EventQueue::runWindow(Tick endExclusive)
+{
+    CurrentScope scope(this);
+    while (!heap_.empty() && heap_.front().when < endExclusive)
+        popAndRun();
+}
+
+void
+EventQueue::setCurTick(Tick t)
+{
+    MCNSIM_ASSERT(t >= curTick_,
+                  "setCurTick would move time backwards");
+    assert((heap_.empty() || nextEventTick() >= t) &&
+           "setCurTick would jump over a pending event");
+    curTick_ = t;
 }
 
 } // namespace mcnsim::sim

@@ -328,6 +328,43 @@ class EventQueue
     /** Run at most @p n events. Returns events actually executed. */
     std::uint64_t runEvents(std::uint64_t n);
 
+    // Parallel-simulation hooks (see sim/shard.hh, DESIGN.md §9) ----
+
+    /**
+     * Tick of the earliest live pending event, maxTick when none.
+     * Prunes stale (lazily-descheduled) heap heads on the way --
+     * exactly the entries run() would skip, so the pruning is
+     * deterministic.
+     */
+    Tick nextEventTick();
+
+    /**
+     * Execute every event with tick < @p endExclusive -- one
+     * conservative-lookahead window. Unlike run() this never
+     * fast-forwards curTick past the last executed event; the
+     * ShardSet advances clocks once the whole run completes.
+     */
+    void runWindow(Tick endExclusive);
+
+    /** Fast-forward the clock. ShardSet-only: @p t must not move
+     *  time backwards or jump over a pending event. */
+    void setCurTick(Tick t);
+
+    /** Index of this queue's shard within its ShardSet; 0 when the
+     *  simulation is unsharded. */
+    std::size_t shardIndex() const { return shardIndex_; }
+    void setShardIndex(std::size_t i) { shardIndex_ = i; }
+
+    /**
+     * The queue dispatching an event on the *current thread*, or
+     * nullptr outside dispatch. The checked build uses this to
+     * enforce the cross-shard lifetime rule: while a queue is
+     * executing, scheduling onto a *different* queue is racy (the
+     * other shard may be running concurrently) and must go through
+     * the Simulation::postCrossShard mailbox instead.
+     */
+    static EventQueue *current() { return currentQueue_; }
+
     /** Total events processed since construction. */
     std::uint64_t eventsProcessed() const { return processed_; }
 
@@ -460,6 +497,19 @@ class EventQueue
 
     friend class Event;
 
+    /** RAII marker for current(): saves and restores the previous
+     *  thread-local queue so nested drives (a test running a second
+     *  simulation from inside an event) stay balanced. */
+    struct CurrentScope
+    {
+        explicit CurrentScope(EventQueue *q) : prev(currentQueue_)
+        {
+            currentQueue_ = q;
+        }
+        ~CurrentScope() { currentQueue_ = prev; }
+        EventQueue *prev;
+    };
+
     void popAndRun();
     void dispatchProfiled(Event *ev);
     void compact();
@@ -479,8 +529,11 @@ class EventQueue
      *  grows without relocating live events. */
     static constexpr std::size_t slabEvents = 64;
 
+    static thread_local EventQueue *currentQueue_;
+
     std::string name_;
     Tick curTick_ = 0;
+    std::size_t shardIndex_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t processed_ = 0;
     std::size_t staleEntries_ = 0;

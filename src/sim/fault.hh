@@ -31,6 +31,13 @@
  * component construction order, and FaultPlan::resetRunState()
  * rewinds every site (counters + RNG) so a --selfcheck rerun
  * replays the identical fault schedule.
+ *
+ * Threading / parallel engine (DESIGN.md §9): the plan registry and
+ * per-site RNG streams are process-wide mutable state, so the shard
+ * set clamps to one worker while a plan is armed
+ * (FaultPlan::active() is one of ShardSet::run's clamp conditions).
+ * The window *schedule* is unchanged -- chaos runs under --threads
+ * produce the same bytes as --threads=1, just without parallelism.
  */
 
 #ifndef MCNSIM_SIM_FAULT_HH

@@ -10,23 +10,13 @@
 namespace mcnsim::sim {
 
 SimObject::SimObject(Simulation &simulation, std::string name)
-    : sim_(simulation), name_(std::move(name)), statGroup_(name_),
+    : sim_(simulation), queue_(&simulation.constructionQueue()),
+      shard_(simulation.constructionShard()), name_(std::move(name)),
+      statGroup_(name_),
       tlTrack_(Timeline::instance().trackFor(name_))
 {
     sim_.registerObject(this);
     sim_.statRegistry().add(&statGroup_);
-}
-
-EventQueue &
-SimObject::eventQueue()
-{
-    return sim_.eventQueue();
-}
-
-Tick
-SimObject::curTick() const
-{
-    return sim_.curTick();
 }
 
 } // namespace mcnsim::sim

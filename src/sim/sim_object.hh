@@ -38,9 +38,24 @@ class SimObject
     /** Called once after the whole system is wired, before run. */
     virtual void startup() {}
 
+    /**
+     * Called before any stats dump/snapshot. Objects that keep
+     * shard-local plain counters (to avoid cross-thread Scalar
+     * writes during a parallel window) fold them into their
+     * registered stats here. Must be idempotent.
+     */
+    virtual void syncStats() {}
+
     Simulation &simulation() { return sim_; }
-    EventQueue &eventQueue();
-    Tick curTick() const;
+
+    /** This object's event queue: the shard queue it was
+     *  constructed under (the simulation's primary queue when
+     *  unsharded). Cached at construction -- hot path. */
+    EventQueue &eventQueue() const { return *queue_; }
+    Tick curTick() const { return queue_->curTick(); }
+
+    /** Shard this object was constructed on (0 when unsharded). */
+    std::size_t shardId() const { return shard_; }
 
     StatGroup &stats() { return statGroup_; }
 
@@ -97,6 +112,8 @@ class SimObject
 
   private:
     Simulation &sim_;
+    EventQueue *queue_;
+    std::size_t shard_;
     std::string name_;
     StatGroup statGroup_;
     Timeline::TrackId tlTrack_;

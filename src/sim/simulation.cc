@@ -6,6 +6,7 @@
 #include "sim/simulation.hh"
 
 #include "sim/json.hh"
+#include "sim/logging.hh"
 #include "sim/sim_object.hh"
 
 namespace mcnsim::sim {
@@ -13,15 +14,81 @@ namespace mcnsim::sim {
 Simulation::Simulation(std::uint64_t seed) : rng_(seed), seed_(seed)
 {}
 
+void
+Simulation::enableSharding()
+{
+    if (shards_)
+        return;
+    MCNSIM_ASSERT(objects_.empty(),
+                  "enableSharding() after components were built");
+    shards_ = std::make_unique<ShardSet>();
+    shards_->addQueue(&queue_);
+}
+
+std::size_t
+Simulation::newShard()
+{
+    if (!shards_)
+        return 0;
+    extraQueues_.push_back(std::make_unique<EventQueue>(
+        "shard" + std::to_string(extraQueues_.size() + 1)));
+    shards_->addQueue(extraQueues_.back().get());
+    return shards_->shardCount() - 1;
+}
+
+void
+Simulation::addShardEdge(std::size_t a, std::size_t b, Tick latency)
+{
+    if (shards_ && a != b)
+        shards_->addEdge(a, b, latency);
+}
+
+void
+Simulation::postCrossShard(std::size_t src, std::size_t dst,
+                           Tick when, EventPriority prio,
+                           const char *name,
+                           std::function<void()> fn)
+{
+    if (shards_) {
+        shards_->post(src, dst, when, prio, name, std::move(fn));
+        return;
+    }
+    queue_.schedule(std::move(fn), when, name, prio);
+}
+
+std::uint64_t
+Simulation::eventsProcessed() const
+{
+    std::uint64_t total = queue_.eventsProcessed();
+    for (const auto &q : extraQueues_)
+        total += q->eventsProcessed();
+    return total;
+}
+
+void
+Simulation::prepareStatsDump()
+{
+    for (std::size_t i = 0; i < objects_.size(); ++i)
+        objects_[i]->syncStats();
+}
+
 Tick
 Simulation::run(Tick until)
 {
     if (!started_) {
         started_ = true;
         // startup() hooks may construct more objects; index loop.
-        for (std::size_t i = 0; i < objects_.size(); ++i)
+        // Hooks run before any event dispatches, so scope each one
+        // to its object's shard: children built inside a hook must
+        // inherit the parent's shard, not whatever scope the
+        // builders last left.
+        for (std::size_t i = 0; i < objects_.size(); ++i) {
+            ShardScope scope(*this, objects_[i]->shardId());
             objects_[i]->startup();
+        }
     }
+    if (shards_ && shards_->shardCount() > 1)
+        return shards_->run(until, threads_);
     return queue_.run(until);
 }
 
@@ -36,6 +103,7 @@ Simulation::wallSeconds() const
 void
 Simulation::dumpStatsJson(std::ostream &os)
 {
+    prepareStatsDump();
     json::Writer w(os);
     w.beginObject();
     w.kv("schema_version", std::uint64_t{2});
@@ -44,7 +112,7 @@ Simulation::dumpStatsJson(std::ostream &os)
     w.kv("seed", seed_);
     w.kv("sim_ticks", curTick());
     w.kv("sim_seconds", ticksToSeconds(curTick()));
-    w.kv("events_processed", queue_.eventsProcessed());
+    w.kv("events_processed", eventsProcessed());
     w.kv("wall_seconds", wallSeconds());
     for (const auto &[k, v] : metadata_)
         w.kv(k, v);

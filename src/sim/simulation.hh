@@ -11,6 +11,22 @@
  *   s.dumpStats(std::cout);            // gem5-style text dump
  *   s.dumpStatsJson(out);              // machine-readable dump
  *
+ * Parallel runs (see sim/shard.hh and DESIGN.md §9): a builder may
+ * partition the system into shards, each with its own event queue:
+ *
+ *   s.enableSharding();
+ *   auto node = s.newShard();
+ *   {
+ *       Simulation::ShardScope scope(s, node);
+ *       // components constructed here live on shard `node`
+ *   }
+ *   s.addShardEdge(0, node, linkLatency);  // lookahead source
+ *   s.setThreads(4);
+ *   s.run(until);               // windowed parallel execution
+ *
+ * Results are byte-identical for every thread count; when sharding
+ * is never enabled, run() is exactly the classic single-queue loop.
+ *
  * Many Simulations may coexist in one process; nothing here is
  * global.
  */
@@ -20,6 +36,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -27,6 +45,7 @@
 
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -56,7 +75,12 @@ class Simulation
     Tick runFor(Tick delta) { return run(curTick() + delta); }
 
     /** Dump all registered statistics as text. */
-    void dumpStats(std::ostream &os) { statRegistry_.dump(os); }
+    void
+    dumpStats(std::ostream &os)
+    {
+        prepareStatsDump();
+        statRegistry_.dump(os);
+    }
 
     /**
      * Dump all registered statistics as one JSON document,
@@ -70,8 +94,14 @@ class Simulation
      */
     void dumpStatsJson(std::ostream &os);
 
-    /** Reset all statistics (e.g. after warmup). */
-    void resetStats() { statRegistry_.resetAll(); }
+    /** Reset all statistics (e.g. after warmup). Syncs pending
+     *  shard-local counters first so they don't survive the reset. */
+    void
+    resetStats()
+    {
+        prepareStatsDump();
+        statRegistry_.resetAll();
+    }
 
     /** RNG seed this simulation was constructed with. */
     std::uint64_t seed() const { return seed_; }
@@ -93,6 +123,121 @@ class Simulation
     /** Host wall-clock seconds since construction. */
     double wallSeconds() const;
 
+    // Sharding (parallel simulation; see sim/shard.hh) -------------
+
+    /**
+     * Scopes component construction to a shard: every SimObject
+     * built while a ShardScope is live caches that shard's event
+     * queue. Builders wrap each node's construction in one.
+     */
+    class ShardScope
+    {
+      public:
+        ShardScope(Simulation &s, std::size_t shard)
+            : sim_(s), prev_(s.constructionShard_)
+        {
+            sim_.constructionShard_ = shard;
+        }
+        ~ShardScope() { sim_.constructionShard_ = prev_; }
+
+        ShardScope(const ShardScope &) = delete;
+        ShardScope &operator=(const ShardScope &) = delete;
+
+      private:
+        Simulation &sim_;
+        std::size_t prev_;
+    };
+
+    /**
+     * Opt this simulation into sharded execution (call before any
+     * shard-aware components are built). The primary queue becomes
+     * shard 0; newShard() adds more. Without this call, newShard()
+     * degrades to shard 0 and run() is the classic serial loop.
+     */
+    void enableSharding();
+    bool shardingEnabled() const { return shards_ != nullptr; }
+
+    /** Create a new shard (its own event queue) and return its
+     *  index. Returns 0 when sharding is not enabled. */
+    std::size_t newShard();
+
+    /** Number of shards (1 when unsharded). */
+    std::size_t
+    shardCount() const
+    {
+        return shards_ ? shards_->shardCount() : 1;
+    }
+
+    /** Event queue of shard @p i (0 = the primary queue). */
+    EventQueue &
+    shardQueue(std::size_t i)
+    {
+        return i == 0 ? queue_ : *extraQueues_[i - 1];
+    }
+
+    /**
+     * Queue new SimObjects bind to. Objects created while an event
+     * is dispatching (lazy timers, runtime-spawned helpers) belong
+     * to the shard that is executing them -- another shard's worker
+     * may be running concurrently, so the build-time ShardScope
+     * cannot be trusted mid-run. Outside dispatch, the active
+     * ShardScope (or shard 0) decides.
+     */
+    EventQueue &
+    constructionQueue()
+    {
+        if (EventQueue *q = EventQueue::current())
+            return *q;
+        return shardQueue(constructionShard_);
+    }
+
+    std::size_t
+    constructionShard() const
+    {
+        if (EventQueue *q = EventQueue::current())
+            return q->shardIndex();
+        return constructionShard_;
+    }
+
+    /** Register an inter-shard wire; its latency bounds the
+     *  conservative lookahead. No-op when unsharded. */
+    void addShardEdge(std::size_t a, std::size_t b, Tick latency);
+
+    /** Minimum inter-shard edge latency (the lookahead); maxTick
+     *  when unsharded or no edges are registered. */
+    Tick
+    shardLookahead() const
+    {
+        return shards_ ? shards_->lookahead() : maxTick;
+    }
+
+    /**
+     * Deliver a cross-shard event through the deterministic mailbox
+     * (see ShardSet::post). Falls back to a direct schedule when
+     * sharding is off.
+     */
+    void postCrossShard(std::size_t src, std::size_t dst, Tick when,
+                        EventPriority prio, const char *name,
+                        std::function<void()> fn);
+
+    /** Worker threads used by sharded run() (default 1). Clamped to
+     *  the shard count; ignored when unsharded. */
+    void setThreads(unsigned n) { threads_ = n ? n : 1; }
+    unsigned threads() const { return threads_; }
+
+    /** Events processed across every shard queue. */
+    std::uint64_t eventsProcessed() const;
+
+    /**
+     * Fold per-shard counters into the registered stats (calls every
+     * object's syncStats()). dumpStats/dumpStatsJson call this;
+     * external snapshots (the stats time-series sampler) should too.
+     */
+    void prepareStatsDump();
+
+    /** The shard set, for tests; null when unsharded. */
+    ShardSet *shardSet() { return shards_.get(); }
+
   private:
     friend class SimObject;
     void registerObject(SimObject *obj) { objects_.push_back(obj); }
@@ -102,6 +247,12 @@ class Simulation
     Rng rng_;
     std::vector<SimObject *> objects_;
     std::vector<std::pair<std::string, std::string>> metadata_;
+    /** Queues of shards 1..N-1 (shard 0 is queue_). unique_ptrs so
+     *  queue addresses stay stable as shards are added. */
+    std::vector<std::unique_ptr<EventQueue>> extraQueues_;
+    std::unique_ptr<ShardSet> shards_;
+    std::size_t constructionShard_ = 0;
+    unsigned threads_ = 1;
     std::uint64_t seed_;
     std::chrono::steady_clock::time_point created_ =
         std::chrono::steady_clock::now();

@@ -80,6 +80,10 @@ StatSampler::stop()
 void
 StatSampler::sampleOnce()
 {
+    // Fold shard-local counters (split-link deltas, see DESIGN.md
+    // §9) into the registry before reading it; no-op when nothing
+    // is pending.
+    sim_.prepareStatsDump();
     ticks_.push_back(sim_.curTick());
     for (std::size_t i = 0; i < probes_.size(); ++i)
         data_[i].push_back(probes_[i].fn());

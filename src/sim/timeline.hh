@@ -32,6 +32,13 @@
  * them across Simulation instances. Event storage is bounded
  * (setCapacity); overflow drops new events and counts them, and the
  * export notes the drop count rather than lying by omission.
+ *
+ * Threading / parallel engine (DESIGN.md §9): the bump-append store
+ * is process-wide and unsynchronized, so the shard set clamps to
+ * one worker while the timeline is enabled (Timeline::active() is
+ * one of ShardSet::run's clamp conditions). Recording order -- and
+ * therefore the exported document -- stays identical to a
+ * --threads=1 run; only parallelism is given up.
  */
 
 #ifndef MCNSIM_SIM_TIMELINE_HH

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Parallel-simulation (PDES) tests: the sharded engine's results
+ * must be a pure function of the scenario, never of the worker
+ * count, and its guard rails must fire loudly.
+ *
+ * The determinism oracle is the same modeled-state digest the
+ * determinism suite and --selfcheck use: StatRegistry::dumpJson
+ * (no host-time meta) plus final tick and event count. A sharded
+ * run at N threads must byte-match the same run at 1 thread --
+ * window boundaries and mailbox merge order depend only on queue
+ * state, so thread scheduling can never reorder modeled events
+ * (DESIGN.md §9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/system_builder.hh"
+#include "sim/logging.hh"
+#include "sim/shard.hh"
+#include "sim/simulation.hh"
+
+using namespace mcnsim;
+using namespace mcnsim::core;
+
+namespace {
+
+/** Modeled end-state digest (see file comment). */
+std::string
+digestOf(sim::Simulation &s)
+{
+    std::ostringstream os;
+    s.prepareStatsDump();
+    s.statRegistry().dumpJson(os);
+    os << "tick=" << s.curTick() << " events=" << s.eventsProcessed();
+    return os.str();
+}
+
+/** Cluster iperf, sharded per node, on @p threads workers. */
+std::string
+clusterIperfDigest(std::uint64_t seed, unsigned threads)
+{
+    sim::Simulation s(seed);
+    s.enableSharding();
+    s.setThreads(threads);
+    ClusterSystemParams p;
+    p.numNodes = 4;
+    ClusterSystem sys(s, p);
+    runIperf(s, sys, 0, {1, 2, 3}, 300 * sim::oneUs);
+    return digestOf(s);
+}
+
+/** Multi-server MCN iperf, sharded per server. */
+std::string
+multiServerIperfDigest(std::uint64_t seed, unsigned threads)
+{
+    sim::Simulation s(seed);
+    s.enableSharding();
+    s.setThreads(threads);
+    McnMultiServerParams p;
+    p.numServers = 2;
+    p.dimmsPerServer = 1;
+    McnMultiServer sys(s, p);
+    std::vector<std::size_t> clients;
+    for (std::size_t i = 1; i < sys.nodeCount(); ++i)
+        clients.push_back(i);
+    runIperf(s, sys, 0, clients, 200 * sim::oneUs);
+    return digestOf(s);
+}
+
+} // namespace
+
+TEST(Pdes, ClusterIperfByteIdenticalAcrossThreadCounts)
+{
+    std::string one = clusterIperfDigest(42, 1);
+    ASSERT_FALSE(one.empty());
+    EXPECT_EQ(one, clusterIperfDigest(42, 2));
+    EXPECT_EQ(one, clusterIperfDigest(42, 4));
+}
+
+TEST(Pdes, MultiServerIperfByteIdenticalAcrossThreadCounts)
+{
+    std::string one = multiServerIperfDigest(7, 1);
+    ASSERT_FALSE(one.empty());
+    EXPECT_EQ(one, multiServerIperfDigest(7, 2));
+    EXPECT_EQ(one, multiServerIperfDigest(7, 4));
+}
+
+TEST(Pdes, LookaheadDerivedFromLinkLatency)
+{
+    sim::Simulation s;
+    s.enableSharding();
+    ClusterSystemParams p;
+    p.numNodes = 2;
+    ClusterSystem sys(s, p);
+    EXPECT_EQ(s.shardCount(), 3u); // switch shard + one per node
+    EXPECT_EQ(s.shardLookahead(), p.net.linkLatency);
+}
+
+TEST(Pdes, UnshardedSimulationDegradesToNoOps)
+{
+    sim::Simulation s;
+    EXPECT_FALSE(s.shardingEnabled());
+    EXPECT_EQ(s.newShard(), 0u);
+    EXPECT_EQ(s.shardCount(), 1u);
+    EXPECT_EQ(s.shardLookahead(), sim::maxTick);
+    // postCrossShard degrades to a plain schedule.
+    int fired = 0;
+    s.postCrossShard(0, 0, 10 * sim::oneNs,
+                     sim::EventPriority::Default, "test.post",
+                     [&] { fired++; });
+    s.run(1 * sim::oneUs);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Pdes, CrossShardPostAtLookaheadExecutesOnTime)
+{
+    sim::Simulation s;
+    s.enableSharding();
+    std::size_t other = s.newShard();
+    ASSERT_EQ(other, 1u);
+    s.addShardEdge(0, other, 1 * sim::oneUs);
+
+    sim::Tick fired = 0;
+    s.shardQueue(0).schedule(
+        [&] {
+            sim::Tick when =
+                s.shardQueue(0).curTick() + s.shardLookahead();
+            s.postCrossShard(0, other, when,
+                             sim::EventPriority::Default,
+                             "test.cross", [&] {
+                                 fired = s.shardQueue(other)
+                                             .curTick();
+                             });
+        },
+        100 * sim::oneNs, "test.src");
+    s.run(10 * sim::oneUs);
+    EXPECT_EQ(fired, 100 * sim::oneNs + 1 * sim::oneUs);
+}
+
+TEST(Pdes, CrossShardPostBelowHorizonPanics)
+{
+    sim::Simulation s;
+    s.enableSharding();
+    std::size_t other = s.newShard();
+    s.addShardEdge(0, other, 1 * sim::oneUs);
+
+    // An event that tries to deliver cross-shard *now*: below the
+    // lookahead horizon, which the engine must refuse loudly (the
+    // destination shard may already have run past this tick).
+    s.shardQueue(0).schedule(
+        [&] {
+            s.postCrossShard(0, other, s.shardQueue(0).curTick(),
+                             sim::EventPriority::Default,
+                             "test.early", [] {});
+        },
+        100 * sim::oneNs, "test.src");
+    try {
+        s.run(10 * sim::oneUs);
+        FAIL() << "expected a lookahead-violation panic";
+    } catch (const sim::PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("lookahead horizon"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Pdes, ShardSetRunsWindowsAndAgreesOnFinalTick)
+{
+    sim::Simulation s;
+    s.enableSharding();
+    s.setThreads(2);
+    ClusterSystemParams p;
+    p.numNodes = 2;
+    ClusterSystem sys(s, p);
+    runPingSweep(s, sys, 0, 1, {56}, 2);
+    ASSERT_NE(s.shardSet(), nullptr);
+    EXPECT_GT(s.shardSet()->windowsRun(), 0u);
+    // Every shard's clock agrees between run slices.
+    for (std::size_t i = 0; i < s.shardCount(); ++i)
+        EXPECT_EQ(s.shardQueue(i).curTick(), s.curTick());
+}
+
+#ifdef MCNSIM_CHECKED
+
+TEST(PdesChecked, CrossShardDirectScheduleTrips)
+{
+    // The cross-shard lifetime rule (DESIGN.md §7, §9): while a
+    // queue is dispatching, scheduling onto a *different* queue is
+    // a shard-safety bug -- it must go through the mailbox API.
+    sim::Simulation s;
+    s.enableSharding();
+    std::size_t other = s.newShard();
+    s.addShardEdge(0, other, 1 * sim::oneUs);
+
+    s.shardQueue(0).schedule(
+        [&] {
+            s.shardQueue(1).schedule([] {},
+                                     s.curTick() + 2 * sim::oneUs,
+                                     "test.direct");
+        },
+        100 * sim::oneNs, "test.src");
+    try {
+        s.run(10 * sim::oneUs);
+        FAIL() << "expected a cross-shard schedule panic";
+    } catch (const sim::PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("cross-shard"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+#endif // MCNSIM_CHECKED

@@ -15,6 +15,13 @@ micro artifact already keeps the fastest of several repetitions) and
 only an upper bound -- getting faster never fails. Modeled metrics
 are compared with a tight relative tolerance in both directions.
 
+Host-time metrics are additionally gated on the worker count: when
+an artifact's ``config.threads`` differs from the baseline's, they
+are skipped (with a note) rather than compared -- wall clock at
+``--threads=4`` says nothing about a regression against a
+``--threads=1`` baseline. Modeled metrics are thread-count
+independent (DESIGN.md §9) and stay checked.
+
 Usage:
   tools/check_perf.py [--baseline FILE] [--artifacts-dir DIR]
                       [--update] [BENCH ...]
@@ -48,6 +55,13 @@ WALL_KEY = "wall_seconds"
 
 def is_perf_metric(key):
     return key.endswith(PERF_SUFFIX) or key == WALL_KEY
+
+
+def threads_of(doc):
+    """Worker count an artifact was generated with (config block,
+    written by bench_util's --threads support). Artifacts predating
+    the field ran the classic single-queue engine."""
+    return int(doc.get("config", {}).get("threads", 1))
 
 
 def load_json(path):
@@ -89,6 +103,18 @@ def check_bench(bench, base_entry, art_dir, problems, notes):
     fresh = flatten(doc)
     base = base_entry.get("metrics", {})
 
+    # Host-time metrics are only comparable between runs with the
+    # same worker count: more threads shift work off the measured
+    # wall clock (or onto it, on an oversubscribed box). Modeled
+    # metrics are thread-count-independent by design (DESIGN.md §9)
+    # and stay gated.
+    skip_perf = threads_of(doc) != base_entry.get("threads", 1)
+    if skip_perf:
+        notes.append(
+            f"{bench}: artifact threads={threads_of(doc)} != "
+            f"baseline threads={base_entry.get('threads', 1)}; "
+            f"host-time metrics skipped")
+
     for key, base_val in sorted(base.items()):
         if key not in fresh:
             problems.append(f"{bench}.{key}: missing from artifact")
@@ -98,6 +124,8 @@ def check_bench(bench, base_entry, art_dir, problems, notes):
             problems.append(f"{bench}.{key}: not numeric: {val!r}")
             continue
         if is_perf_metric(key):
+            if skip_perf:
+                continue
             abs_slack = (PERF_ABS_WALL if key == WALL_KEY
                          else PERF_ABS_NS)
             limit = base_val * PERF_REL + abs_slack
@@ -134,6 +162,7 @@ def update_baseline(benches, art_dir, baseline_path):
             continue
         doc = load_json(path)
         out[bench] = {"mode": doc.get("mode"),
+                      "threads": threads_of(doc),
                       "metrics": flatten(doc)}
     with open(baseline_path, "w") as f:
         json.dump(out, f, indent=2, sort_keys=True)

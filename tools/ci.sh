@@ -11,6 +11,9 @@
 #   chaos    fault-injection soak: chaos selfcheck (determinism
 #            under every canned schedule x several seeds) plus the
 #            bench_chaos survival gates
+#   pdes     parallel-engine gate: multi-thread selfchecks on
+#            iperf/ping/chaos plus a byte-compare of the stat JSON
+#            across worker counts (DESIGN.md §9)
 #   checked  build with -DMCNSIM_CHECKED=ON, run ctest + the CLI
 #            determinism selfcheck across mcn levels 0-5
 #   asan     address+undefined sanitizers: ctest + CLI smoke
@@ -18,12 +21,12 @@
 #
 # Usage: tools/ci.sh [--build-dir DIR] [--skip-benches]
 #                    [--stages S1,S2,...]
-# Default stages: build,test,lint,benches,obs,chaos,checked,asan,ubsan
+# Default stages: build,test,lint,benches,obs,chaos,pdes,checked,asan,ubsan
 set -eu
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$REPO_ROOT/build"
-STAGES="build,test,lint,benches,obs,chaos,checked,asan,ubsan"
+STAGES="build,test,lint,benches,obs,chaos,pdes,checked,asan,ubsan"
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -32,7 +35,7 @@ while [ $# -gt 0 ]; do
             STAGES="$(echo "$STAGES" | sed 's/benches,//')" ;;
         --stages) STAGES="$2"; shift ;;
         -h|--help)
-            sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//'
             exit 0 ;;
         *) echo "unknown option: $1" >&2; exit 2 ;;
     esac
@@ -119,6 +122,47 @@ if want chaos; then
     # Survival gates: the soak bench fails on zero throughput or an
     # armed schedule that never fires.
     "$BUILD_DIR/bench/bench_chaos" --quick
+fi
+
+if want pdes; then
+    echo
+    echo "== stage: pdes =="
+    # Every worker count must replay byte-identically in-process
+    # (--selfcheck) on the shardable systems...
+    for t in 2 4; do
+        "$BUILD_DIR/tools/mcnsim_cli" iperf --system=cluster \
+            --nodes=4 --threads="$t" --selfcheck --duration-ms=1
+        "$BUILD_DIR/tools/mcnsim_cli" iperf --system=multi \
+            --servers=2 --threads="$t" --selfcheck --duration-ms=1
+        "$BUILD_DIR/tools/mcnsim_cli" ping --system=cluster \
+            --nodes=3 --threads="$t" --selfcheck
+        "$BUILD_DIR/tools/mcnsim_cli" chaos --system=cluster \
+            --nodes=4 --threads="$t" --schedule=drop-heavy \
+            --selfcheck --duration-ms=1
+    done
+    # ...and the full stat JSON must byte-match across worker
+    # counts for the same seed (meta.wall_seconds is host time and
+    # exempt).
+    PDES_DIR="$(mktemp -d)"
+    for t in 1 2 4; do
+        "$BUILD_DIR/tools/mcnsim_cli" iperf --system=multi \
+            --servers=4 --threads="$t" --duration-ms=2 --seed=42 \
+            --stats-json="$PDES_DIR/t$t.json" > /dev/null
+    done
+    python3 - "$PDES_DIR" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+docs = {}
+for t in (1, 2, 4):
+    with open(os.path.join(d, f"t{t}.json")) as f:
+        doc = json.load(f)
+    doc["meta"].pop("wall_seconds", None)
+    docs[t] = json.dumps(doc, sort_keys=True)
+assert docs[1] == docs[2] == docs[4], \
+    "stat JSON differs across --threads=1/2/4"
+print("pdes: stat JSON identical across threads 1/2/4")
+EOF
+    rm -rf "$PDES_DIR"
 fi
 
 if want checked; then

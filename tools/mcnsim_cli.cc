@@ -10,11 +10,16 @@
  *   mcnsim_cli describe  --system=mcn --dimms=8 --level=3
  *
  * Common flags:
- *   --system=mcn|cluster|scaleup   (default mcn)
- *   --dimms=N / --nodes=N / --cores=N
+ *   --system=mcn|cluster|multi|scaleup   (default mcn)
+ *   --dimms=N / --nodes=N / --servers=N / --cores=N
  *   --level=0..5                   (Table I optimisation level)
  *   --duration-ms=N                (iperf window)
  *   --seed=N                       (simulation RNG seed, default 1)
+ *   --threads=N                    (parallel event engine: shard the
+ *                                   system per node and run windows
+ *                                   on N worker threads; output is
+ *                                   byte-identical for every N --
+ *                                   see DESIGN.md §9)
  *   --selfcheck                    (determinism check: run the
  *                                   scenario twice with the same
  *                                   seed and diff the modeled state
@@ -122,9 +127,10 @@ appendDigest(sim::Simulation &s, std::string *digest)
     if (!digest)
         return;
     std::ostringstream os;
+    s.prepareStatsDump();
     s.statRegistry().dumpJson(os);
     os << "tick=" << s.curTick()
-       << " events=" << s.eventQueue().eventsProcessed() << "\n";
+       << " events=" << s.eventsProcessed() << "\n";
     *digest += os.str();
 }
 
@@ -133,6 +139,37 @@ std::uint64_t
 seedOf(const Args &a)
 {
     return static_cast<std::uint64_t>(a.getInt("seed", 1));
+}
+
+/**
+ * Honour --threads=N (call right after constructing the Simulation,
+ * before the system is built). Presence of the flag -- any value,
+ * including 1 -- selects the sharded engine: the builder partitions
+ * the system into per-node shards and run() executes conservative
+ * lookahead windows (DESIGN.md §9). The window schedule is a pure
+ * function of the partitioning, never of the worker count, so
+ * --threads=4 output byte-matches --threads=1; omitting the flag
+ * keeps the classic single-queue engine. Commands whose harness
+ * shares coordinator state across nodes (the MPI world of workload/
+ * mapreduce) pass shardable=false and stay single-queue.
+ */
+void
+applyThreads(sim::Simulation &s, const Args &a, bool shardable)
+{
+    if (!a.has("threads"))
+        return;
+    long n = std::max(1l, a.getInt("threads", 1));
+    if (!shardable) {
+        if (n > 1)
+            std::fprintf(stderr,
+                         "note: --threads ignored for '%s' (the MPI "
+                         "world shares cross-node state; runs on one "
+                         "queue)\n",
+                         a.command.c_str());
+        return;
+    }
+    s.enableSharding();
+    s.setThreads(static_cast<unsigned>(n));
 }
 
 /** Honour --stats / --stats-json after a run. */
@@ -180,8 +217,16 @@ class ObsSession
             sim::Timeline::instance().enable(true);
         }
         if (a_.has("profile"))
-            s_.eventQueue().setProfiling(true);
+            for (std::size_t i = 0; i < s_.shardCount(); ++i)
+                s_.shardQueue(i).setProfiling(true);
         if (a_.has("stats-series")) {
+            if (s_.threads() > 1) {
+                std::fprintf(stderr,
+                             "note: --stats-series forces "
+                             "--threads=1 (the sampler reads live "
+                             "stats mid-run)\n");
+                s_.setThreads(1);
+            }
             auto period = static_cast<sim::Tick>(a_.getInt(
                               "series-period-us", 50)) *
                           sim::oneUs;
@@ -243,7 +288,24 @@ class ObsSession
     void
     printProfile()
     {
-        auto rows = s_.eventQueue().profileEntries();
+        // Merge per-shard profiles by event name (one table whether
+        // the run was sharded or not).
+        std::map<std::string, sim::EventQueue::ProfileEntry> byName;
+        for (std::size_t i = 0; i < s_.shardCount(); ++i)
+            for (const auto &r : s_.shardQueue(i).profileEntries()) {
+                auto &m = byName[r.name];
+                m.name = r.name;
+                m.count += r.count;
+                m.hostNs += r.hostNs;
+            }
+        std::vector<sim::EventQueue::ProfileEntry> rows;
+        rows.reserve(byName.size());
+        for (auto &[name, row] : byName)
+            rows.push_back(row);
+        std::sort(rows.begin(), rows.end(),
+                  [](const auto &x, const auto &y) {
+                      return x.hostNs > y.hostNs;
+                  });
         auto top = static_cast<std::size_t>(
             a_.getInt("profile-top", 20));
         std::printf("---- event profile: top %zu of %zu event "
@@ -283,6 +345,16 @@ buildSystem(sim::Simulation &s, const Args &a)
         p.numNodes = static_cast<std::size_t>(a.getInt("nodes", 2));
         return std::make_unique<ClusterSystem>(s, p);
     }
+    if (kind == "multi") {
+        McnMultiServerParams p;
+        p.numServers =
+            static_cast<std::size_t>(a.getInt("servers", 2));
+        p.dimmsPerServer =
+            static_cast<std::size_t>(a.getInt("dimms", 2));
+        p.config =
+            McnConfig::level(static_cast<int>(a.getInt("level", 5)));
+        return std::make_unique<McnMultiServer>(s, p);
+    }
     if (kind == "scaleup")
         return std::make_unique<ScaleUpSystem>(
             s, static_cast<std::uint32_t>(a.getInt("cores", 8)));
@@ -311,6 +383,7 @@ int
 cmdIperf(const Args &a, std::string *digest = nullptr)
 {
     sim::Simulation s(seedOf(a));
+    applyThreads(s, a, true);
     auto sys = buildSystem(s, a);
     if (!sys)
         return 1;
@@ -341,6 +414,7 @@ int
 cmdPing(const Args &a, std::string *digest = nullptr)
 {
     sim::Simulation s(seedOf(a));
+    applyThreads(s, a, true);
     auto sys = buildSystem(s, a);
     if (!sys || sys->nodeCount() < 2)
         return 1;
@@ -374,6 +448,7 @@ int
 cmdWorkload(const Args &a, std::string *digest = nullptr)
 {
     sim::Simulation s(seedOf(a));
+    applyThreads(s, a, false);
     auto sys = buildSystem(s, a);
     if (!sys)
         return 1;
@@ -403,6 +478,7 @@ int
 cmdMapReduce(const Args &a, std::string *digest = nullptr)
 {
     sim::Simulation s(seedOf(a));
+    applyThreads(s, a, false);
     auto sys = buildSystem(s, a);
     if (!sys)
         return 1;
@@ -516,6 +592,7 @@ cmdChaos(const Args &a, std::string *digest = nullptr)
     auto &plan = sim::FaultPlan::instance();
 
     sim::Simulation s(seedOf(a));
+    applyThreads(s, a, true);
     auto sys = buildSystem(s, a);
     if (!sys || sys->nodeCount() < 2) {
         plan.clear();
@@ -630,11 +707,15 @@ usage()
         "usage: mcnsim_cli <command> [flags]\n"
         "commands: iperf | ping | workload | mapreduce | chaos | "
         "describe\n"
-        "flags: --system=mcn|cluster|scaleup --dimms=N --nodes=N\n"
-        "       --cores=N --level=0..5 --duration-ms=N --size=N\n"
-        "       --count=N --name=<workload|job> --iters=N --stats\n"
+        "flags: --system=mcn|cluster|multi|scaleup --dimms=N\n"
+        "       --nodes=N --servers=N --cores=N --level=0..5\n"
+        "       --duration-ms=N --size=N --count=N\n"
+        "       --name=<workload|job> --iters=N --stats\n"
         "       --stats-json=PATH|-  --trace-flags=FLAG1,FLAG2\n"
         "       --seed=N     simulation RNG seed (default 1)\n"
+        "       --threads=N  sharded parallel engine, N workers\n"
+        "                    (iperf/ping/chaos; output is identical\n"
+        "                    for every N -- see DESIGN.md §9)\n"
         "       --selfcheck  run twice, diff modeled state "
         "bit-for-bit\n"
         "       --ping-timeout-us=N  per-probe timeout "

@@ -31,6 +31,16 @@ this checker enforces them textually:
                  name silently makes a site unreachable from the
                  documented spec grammar.
 
+  cross-shard    Model code must not call schedule()/scheduleIn()
+                 on a queue fetched via shardQueue(): under the
+                 parallel engine that queue may belong to another
+                 shard's worker thread, and a direct schedule() is a
+                 data race plus a determinism hole. Cross-shard work
+                 goes through Simulation::postCrossShard (the
+                 mailbox API, DESIGN.md §9); the checked build traps
+                 violations at runtime, this rule catches them at
+                 review time.
+
   this-capture   An event-queue schedule()/scheduleIn() callback
                  capturing [this] must belong to a SimObject (whose
                  lifetime the Simulation pins until after the queue
@@ -91,6 +101,14 @@ QUEUE_SCHED_RE = re.compile(
 )
 
 SIMOBJECT_RE = re.compile(r":\s*public\s+(?:sim::)?SimObject\b")
+
+# A queue fetched by shard index, then scheduled on directly. The
+# engine (src/sim/) owns such calls; everything else must use the
+# postCrossShard mailbox.
+CROSS_SHARD_RE = re.compile(
+    r"\bshardQueue\s*\([^)]*\)\s*\.\s*"
+    r"(?:schedule|scheduleIn|reschedule)\s*\("
+)
 
 # FAULT_POINT("point"): the argument must be a well-formed literal.
 FAULT_POINT_RE = re.compile(r"\bFAULT_POINT\s*\(\s*([^)]*)\)")
@@ -171,6 +189,17 @@ def check_file(path, rel, findings):
                      f"FAULT_POINT({m.group(1).strip()}) must take "
                      'a string literal matching "[a-z][a-z0-9-]*" '
                      "so fault specs can address the site"))
+
+        # cross-shard: scheduling on a shard-indexed queue bypasses
+        # the mailbox ordering key (a race under --threads).
+        if (in_src and not rel.startswith("src/sim/")
+                and CROSS_SHARD_RE.search(stripped)
+                and not suppressed(lines, i, "cross-shard")):
+            findings.append(
+                (rel, i + 1, "cross-shard",
+                 "direct schedule() on shardQueue(...) races with "
+                 "that shard's worker; use "
+                 "Simulation::postCrossShard (DESIGN.md §9)"))
 
         # this-capture: queue callbacks capturing this need a
         # SimObject owner (or an annotated cancel-in-destructor).
