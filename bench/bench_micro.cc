@@ -20,10 +20,25 @@
 #include "net/ethernet.hh"
 #include "net/ipv4.hh"
 #include "net/tcp.hh"
+#include "netdev/ethernet_link.hh"
+#include "netdev/ethernet_switch.hh"
 #include "netdev/nic.hh"
 #include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+#include "sim/timer_wheel.hh"
 
 using namespace mcnsim;
+
+namespace {
+
+/** Frame sink for the link/switch datapath benches. */
+class NullEndpoint : public netdev::EtherEndpoint
+{
+  public:
+    void receiveFrame(net::PacketPtr) override {}
+};
+
+} // namespace
 
 static void
 BM_EventQueueScheduleRun(benchmark::State &state)
@@ -91,6 +106,116 @@ BM_PacketClone(benchmark::State &state)
 }
 // Copy-on-write: all sizes should cost the same (no byte copies).
 BENCHMARK(BM_PacketClone)->Arg(64)->Arg(1500)->Arg(9000);
+
+static void
+BM_PacketAlloc(benchmark::State &state)
+{
+    // Allocate-and-drop: steady state must run entirely from the
+    // buffer pool's thread-local free lists (zero malloc/free).
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto pkt = net::Packet::makePattern(n);
+        benchmark::DoNotOptimize(pkt);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        state.range(0));
+}
+BENCHMARK(BM_PacketAlloc)->Arg(64)->Arg(1500)->Arg(9000);
+
+static void
+BM_SwitchForward(benchmark::State &state)
+{
+    // Learned unicast through a P-port switch: FIB lookup + egress
+    // + link serialization, rotating the destination so the inline
+    // flow cache sees realistic (imperfect) locality.
+    using namespace netdev;
+    std::uint32_t ports = static_cast<std::uint32_t>(state.range(0));
+    sim::Simulation s;
+    EthernetSwitch sw(s, "sw", ports);
+    std::vector<std::unique_ptr<EthernetLink>> links;
+    std::vector<std::unique_ptr<NullEndpoint>> hosts;
+    for (std::uint32_t i = 0; i < ports; ++i) {
+        links.push_back(std::make_unique<EthernetLink>(
+            s, "l" + std::to_string(i), 100e9, 0));
+        hosts.push_back(std::make_unique<NullEndpoint>());
+        sw.attachLink(i, *links[i]);
+        links[i]->attachB(hosts[i].get());
+    }
+    auto frame = [](net::MacAddr dst, net::MacAddr src) {
+        auto pkt = net::Packet::makePattern(1500);
+        net::EthernetHeader eh;
+        eh.dst = dst;
+        eh.src = src;
+        eh.push(*pkt);
+        return pkt;
+    };
+    // Teach the FIB every station before timing.
+    for (std::uint32_t i = 0; i < ports; ++i) {
+        links[i]->sendFrom(hosts[i].get(),
+                           frame(net::MacAddr::broadcast(),
+                                 net::MacAddr::fromId(i)));
+        s.run();
+    }
+    std::uint32_t dst = 1;
+    for (auto _ : state) {
+        links[0]->sendFrom(hosts[0].get(),
+                           frame(net::MacAddr::fromId(dst),
+                                 net::MacAddr::fromId(0)));
+        s.run();
+        dst = (dst + 1 == ports) ? 1 : dst + 1;
+    }
+}
+BENCHMARK(BM_SwitchForward)->Arg(2)->Arg(16)->Arg(64);
+
+static void
+BM_LinkBurst(benchmark::State &state)
+{
+    // 64 back-to-back frames pile onto one busy direction, then the
+    // pump drains them: the heap holds one entry for the direction
+    // instead of 64.
+    sim::Simulation s;
+    netdev::EthernetLink link(s, "l", 10e9, sim::oneUs);
+    NullEndpoint a, b;
+    link.attachA(&a);
+    link.attachB(&b);
+    auto pkt = net::Packet::makePattern(1500);
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i)
+            link.sendFrom(&a, pkt->clone());
+        s.run();
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64 * 1500);
+}
+BENCHMARK(BM_LinkBurst);
+
+static void
+BM_TcpTimerChurn(benchmark::State &state)
+{
+    // The RTO lifecycle: every node is armed, re-armed (each ACK
+    // moves the deadline), and half are canceled before firing --
+    // the arm/cancel-heavy mix the wheel exists for.
+    sim::EventQueue q;
+    sim::TimerWheel w(q, "bench.timer");
+    constexpr int n = 64;
+    sim::TimerNode nodes[n];
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < n; ++i)
+            w.arm(nodes[i], q.curTick() + 1000 + i,
+                  [&] { sink++; });
+        for (int i = 0; i < n; ++i)
+            w.arm(nodes[i], q.curTick() + 2000 + i,
+                  [&] { sink++; });
+        for (int i = 0; i < n; ++i)
+            if (i & 1)
+                nodes[i].cancel();
+        q.run();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_TcpTimerChurn);
 
 static void
 BM_MessageRingRoundTrip(benchmark::State &state)

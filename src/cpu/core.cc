@@ -24,6 +24,7 @@ void
 Core::execute(Cycles cycles, std::function<void(Tick)> done, bool irq)
 {
     Slot slot{cycles, std::move(done)};
+    queuedTicks_ += clock_.cyclesToTicks(cycles);
     if (irq) {
         statIrqSlots_ += 1;
         queue_.push_front(std::move(slot));
@@ -59,9 +60,7 @@ Tick
 Core::backlogClearsAt() const
 {
     Tick at = running_ ? currentEndsAt_ : curTick();
-    for (const auto &s : queue_)
-        at += clock_.cyclesToTicks(s.cycles);
-    return at;
+    return at + queuedTicks_;
 }
 
 double
@@ -85,6 +84,7 @@ Core::startNext()
     running_ = true;
     statSlots_ += 1;
     Tick duration = clock_.cyclesToTicks(slot.cycles);
+    queuedTicks_ -= duration;
     busyTicks_ += duration;
     statBusy_ += static_cast<double>(duration);
     currentEndsAt_ = curTick() + duration;

@@ -83,6 +83,10 @@ class Core : public sim::SimObject
     bool running_ = false;
     Tick currentEndsAt_ = 0;
     Tick busyTicks_ = 0;
+    /// Sum of cyclesToTicks() over queue_: backlogClearsAt() is on
+    /// the per-segment CPU-charge path (CpuCluster::leastLoaded scans
+    /// every core), so it must not walk the slot deque.
+    Tick queuedTicks_ = 0;
 
     sim::Scalar statSlots_{"slots", "work slots executed"};
     sim::Scalar statBusy_{"busyTicks", "ticks spent busy"};

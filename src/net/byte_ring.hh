@@ -1,0 +1,141 @@
+/**
+ * @file
+ * ByteRing: a growable circular byte buffer for the TCP send and
+ * receive queues.
+ *
+ * The queues used to be std::deque<uint8_t>: every appended byte
+ * paid a deque emplace, and at iperf rates the per-byte bookkeeping
+ * dominated the whole simulation's host profile (the TX path showed
+ * up as ~60% deque operations). A ring keeps the bytes contiguous
+ * modulo one wrap seam, so every operation is one or two memcpys:
+ *
+ *  - append()/appendPattern(): bulk fill at the tail
+ *  - copyOut(): random-access read (segment payload extraction)
+ *  - popFront(): O(1) consume (ACKed bytes, recv drain)
+ *
+ * Capacity grows by doubling up to the caller's cap (the TCP buffer
+ * caps are 1 MiB; eager allocation would cost ~4 MiB per connection
+ * pair, so the ring starts small). Byte values and sizes are
+ * exactly what the deque held -- host-side container choice only,
+ * so modeled metrics are untouched (tools/check_perf.py pins that).
+ */
+
+#ifndef MCNSIM_NET_BYTE_RING_HH
+#define MCNSIM_NET_BYTE_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace mcnsim::net {
+
+/** Growable circular byte FIFO with random-access reads. */
+class ByteRing
+{
+  public:
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Append @p n bytes from @p p. */
+    void
+    append(const std::uint8_t *p, std::size_t n)
+    {
+        reserve(size_ + n);
+        std::size_t w = wrap(head_ + size_);
+        std::size_t first = std::min(n, cap_ - w);
+        std::memcpy(&buf_[w], p, first);
+        if (n > first)
+            std::memcpy(&buf_[0], p + first, n - first);
+        size_ += n;
+    }
+
+    /** Append the n-byte test pattern ((base + i) & 0xff). */
+    void
+    appendPattern(std::size_t base, std::size_t n)
+    {
+        reserve(size_ + n);
+        std::size_t w = wrap(head_ + size_);
+        std::size_t first = std::min(n, cap_ - w);
+        fillPattern(&buf_[w], base, first);
+        if (n > first)
+            fillPattern(&buf_[0], base + first, n - first);
+        size_ += n;
+    }
+
+    /** Copy bytes [off, off+n) into @p dst. */
+    void
+    copyOut(std::size_t off, std::size_t n, std::uint8_t *dst) const
+    {
+        MCNSIM_ASSERT(off + n <= size_, "ByteRing read past end");
+        std::size_t r = wrap(head_ + off);
+        std::size_t first = std::min(n, cap_ - r);
+        std::memcpy(dst, &buf_[r], first);
+        if (n > first)
+            std::memcpy(dst + first, &buf_[0], n - first);
+    }
+
+    /** Drop the first @p n bytes. O(1). */
+    void
+    popFront(std::size_t n)
+    {
+        MCNSIM_ASSERT(n <= size_, "ByteRing pop past end");
+        head_ = wrap(head_ + n);
+        size_ -= n;
+        if (size_ == 0)
+            head_ = 0;
+    }
+
+    /** Copy the first @p n bytes out and consume them. */
+    std::vector<std::uint8_t>
+    take(std::size_t n)
+    {
+        std::vector<std::uint8_t> out(n);
+        if (n) {
+            copyOut(0, n, out.data());
+            popFront(n);
+        }
+        return out;
+    }
+
+  private:
+    std::size_t wrap(std::size_t i) const { return i & (cap_ - 1); }
+
+    static void
+    fillPattern(std::uint8_t *dst, std::size_t base, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] = static_cast<std::uint8_t>((base + i) & 0xff);
+    }
+
+    /** Grow to a power-of-two capacity >= @p need, linearising the
+     *  live bytes into the new allocation. */
+    void
+    reserve(std::size_t need)
+    {
+        if (need <= cap_)
+            return;
+        std::size_t cap = cap_ ? cap_ : 1024;
+        while (cap < need)
+            cap *= 2;
+        // lint-ok: packet-alloc (socket stream ring, not packets)
+        auto fresh = std::make_unique<std::uint8_t[]>(cap);
+        if (size_)
+            copyOut(0, size_, fresh.get());
+        buf_ = std::move(fresh);
+        cap_ = cap;
+        head_ = 0;
+    }
+
+    std::unique_ptr<std::uint8_t[]> buf_;
+    std::size_t cap_ = 0;  ///< power of two (or 0 before first use)
+    std::size_t head_ = 0; ///< index of the first live byte
+    std::size_t size_ = 0; ///< live byte count
+};
+
+} // namespace mcnsim::net
+
+#endif // MCNSIM_NET_BYTE_RING_HH

@@ -5,6 +5,8 @@
 
 #include "net/packet.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace mcnsim::net {
@@ -34,46 +36,71 @@ to_string(Stage s)
 }
 
 PacketPtr
+Packet::wrap(BufRef buf, std::size_t head, std::size_t tail)
+{
+    return std::allocate_shared<Packet>(detail::PoolAlloc<Packet>{},
+                                        Priv{}, std::move(buf), head,
+                                        tail);
+}
+
+PacketPtr
 Packet::make(std::vector<std::uint8_t> payload, std::size_t headroom)
 {
-    auto buf = std::make_shared<Buf>(headroom + payload.size());
+    std::size_t total = headroom + payload.size();
+    BufRef buf{BufferPool::acquire(total)};
     if (!payload.empty())
-        std::memcpy(buf->data() + headroom, payload.data(),
+        std::memcpy(buf->bytes() + headroom, payload.data(),
                     payload.size());
-    std::size_t tail = buf->size();
-    return PacketPtr(new Packet(std::move(buf), headroom, tail));
+    return wrap(std::move(buf), headroom, total);
 }
 
 PacketPtr
 Packet::makePattern(std::size_t n, std::uint8_t seed,
                     std::size_t headroom)
 {
-    auto buf = std::make_shared<Buf>(headroom + n);
+    BufRef buf{BufferPool::acquire(headroom + n)};
+    std::uint8_t *p = buf->bytes() + headroom;
     for (std::size_t i = 0; i < n; ++i)
-        (*buf)[headroom + i] =
-            static_cast<std::uint8_t>(seed + (i & 0xff));
-    std::size_t tail = buf->size();
-    return PacketPtr(new Packet(std::move(buf), headroom, tail));
+        p[i] = static_cast<std::uint8_t>(seed + (i & 0xff));
+    return wrap(std::move(buf), headroom, headroom + n);
 }
 
 void
-Packet::unshare(std::size_t headroom, std::size_t tailroom)
+Packet::detach(std::size_t headroom, std::size_t tailroom)
 {
     std::size_t n = size();
-    auto fresh = std::make_shared<Buf>(headroom + n + tailroom);
+    BufRef fresh{BufferPool::acquire(headroom + n + tailroom)};
     if (n)
-        std::memcpy(fresh->data() + headroom, buf_->data() + head_,
+        std::memcpy(fresh->bytes() + headroom, buf_->bytes() + head_,
                     n);
     buf_ = std::move(fresh);
     head_ = headroom;
     tail_ = headroom + n;
 }
 
+void
+Packet::growTo(std::size_t newLen)
+{
+    if (newLen <= buf_->cap) {
+        // Room in the block: just extend the initialised prefix
+        // (zero-filled, exactly as vector::resize did).
+        std::memset(buf_->bytes() + buf_->len, 0,
+                    newLen - buf_->len);
+        buf_->len = static_cast<std::uint32_t>(newLen);
+        return;
+    }
+    BufRef fresh{BufferPool::acquire(newLen)};
+    if (buf_->len)
+        std::memcpy(fresh->bytes(), buf_->bytes(), buf_->len);
+    buf_ = std::move(fresh);
+}
+
 #ifdef MCNSIM_CHECKED
 void
 Packet::sealNow() const
 {
-    sealHash_ = sim::checked::hashBytes(buf_->data() + head_, size());
+    sealHash_ =
+        sim::checked::hashBytes(buf_->bytes() + head_, size());
     sealed_ = true;
 }
 
@@ -83,7 +110,7 @@ Packet::auditSeal() const
     if (!sealed_)
         return;
     const std::uint64_t now =
-        sim::checked::hashBytes(buf_->data() + head_, size());
+        sim::checked::hashBytes(buf_->bytes() + head_, size());
     if (now != sealHash_)
         sim::panic("checked: CoW packet aliasing: the bytes of a "
                    "sealed packet view changed without copy-on-write "
@@ -96,22 +123,28 @@ Packet::auditSeal() const
 std::uint8_t *
 Packet::push(std::size_t n)
 {
-    MCNSIM_IF_CHECKED(auditSeal(); sealed_ = false;)
+    MCNSIM_IF_CHECKED(BufferPool::auditLive(buf_.get());
+                      auditSeal(); sealed_ = false;)
     if (head_ < n) {
         // Grow headroom; rare if defaultHeadroom is sized right.
         // (Also covers the shared case: the copy detaches.)
-        unshare(n + defaultHeadroom, 0);
-    } else if (buf_.use_count() > 1) {
-        unshare(head_, 0); // copy-on-write, headroom preserved
+        detach(n + defaultHeadroom, 0);
+    } else if (buf_.shared()) {
+        // Copy-on-write. Copy only the live view, with enough slack
+        // for this push plus typical follow-on headers -- not the
+        // original headroom, which after deep pulls can approach
+        // the whole original capacity.
+        detach(std::min(head_, std::max(n, defaultHeadroom)), 0);
     }
     head_ -= n;
-    return buf_->data() + head_;
+    return buf_->bytes() + head_;
 }
 
 void
 Packet::pull(std::size_t n)
 {
-    MCNSIM_IF_CHECKED(auditSeal();)
+    MCNSIM_IF_CHECKED(BufferPool::auditLive(buf_.get());
+                      auditSeal();)
     MCNSIM_ASSERT(n <= size(), "pulling past end of packet");
     head_ += n;
     // The view changed; re-seal over the narrowed range so the
@@ -122,12 +155,15 @@ Packet::pull(std::size_t n)
 std::uint8_t *
 Packet::put(std::size_t n)
 {
-    MCNSIM_IF_CHECKED(auditSeal(); sealed_ = false;)
-    if (buf_.use_count() > 1)
-        unshare(head_, n); // copy-on-write with room for the tail
-    else if (tail_ + n > buf_->size())
-        buf_->resize(tail_ + n);
-    std::uint8_t *p = buf_->data() + tail_;
+    MCNSIM_IF_CHECKED(BufferPool::auditLive(buf_.get());
+                      auditSeal(); sealed_ = false;)
+    if (buf_.shared()) {
+        // Copy-on-write with room for the tail; live view only.
+        detach(std::min(head_, defaultHeadroom), n);
+    } else if (tail_ + n > buf_->len) {
+        growTo(tail_ + n);
+    }
+    std::uint8_t *p = buf_->bytes() + tail_;
     tail_ += n;
     return p;
 }
@@ -135,7 +171,8 @@ Packet::put(std::size_t n)
 void
 Packet::trim(std::size_t n)
 {
-    MCNSIM_IF_CHECKED(auditSeal();)
+    MCNSIM_IF_CHECKED(BufferPool::auditLive(buf_.get());
+                      auditSeal();)
     MCNSIM_ASSERT(n <= size(), "trim growing packet");
     tail_ = head_ + n;
     MCNSIM_IF_CHECKED(if (sealed_) sealNow();)
@@ -144,8 +181,9 @@ Packet::trim(std::size_t n)
 PacketPtr
 Packet::clone() const
 {
-    MCNSIM_IF_CHECKED(auditSeal();)
-    auto copy = PacketPtr(new Packet(buf_, head_, tail_));
+    MCNSIM_IF_CHECKED(BufferPool::auditLive(buf_.get());
+                      auditSeal();)
+    PacketPtr copy = wrap(buf_, head_, tail_);
     copy->trace = trace;
     copy->srcNode = srcNode;
     copy->dstNode = dstNode;

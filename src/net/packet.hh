@@ -5,18 +5,20 @@
  * does -- plus simulation metadata: a latency trace used to produce
  * the paper's Table III breakdown, and bookkeeping for TSO.
  *
- * Buffer ownership (see DESIGN.md "Hot paths & buffer ownership"):
- * the byte buffer is a shared, refcounted block with copy-on-write
- * semantics. clone() shares the block and is O(1); so are pull() and
- * trim(), which only move the [head, tail) view. The first mutation
- * of a shared packet -- push(), put(), or the non-const data() --
- * copies the live bytes into a private block. Metadata (the latency
+ * Buffer ownership (see DESIGN.md "Hot paths & buffer ownership"
+ * and §10): the byte buffer is a pooled, intrusively refcounted
+ * block (net/buffer_pool.hh) with copy-on-write semantics. clone()
+ * shares the block and is O(1); so are pull() and trim(), which
+ * only move the [head, tail) view. The first mutation of a shared
+ * packet -- push(), put(), or the non-const data() -- copies the
+ * live bytes into a private block (detach()). Metadata (the latency
  * trace, node ids, TSO state) is always per-clone, by value.
  */
 
 #ifndef MCNSIM_NET_PACKET_HH
 #define MCNSIM_NET_PACKET_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
@@ -24,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "net/buffer_pool.hh"
 #include "sim/checked.hh"
 #include "sim/types.hh"
 
@@ -99,6 +102,11 @@ using PacketPtr = std::shared_ptr<Packet>;
  */
 class Packet
 {
+    /** Construction token: keeps the ctor effectively private while
+     *  letting std::allocate_shared place the object. */
+    struct Priv
+    {};
+
   public:
     static constexpr std::size_t defaultHeadroom = 128;
 
@@ -111,12 +119,17 @@ class Packet
                                  std::size_t headroom =
                                      defaultHeadroom);
 
+    Packet(Priv, BufRef buf, std::size_t head, std::size_t tail)
+        : buf_(std::move(buf)), head_(head), tail_(tail)
+    {}
+
     /** Current bytes (headers pushed so far + payload). */
     const std::uint8_t *
     data() const
     {
-        MCNSIM_IF_CHECKED(auditSeal();)
-        return buf_->data() + head_;
+        MCNSIM_IF_CHECKED(BufferPool::auditLive(buf_.get());
+                          auditSeal();)
+        return buf_->bytes() + head_;
     }
 
     /**
@@ -127,18 +140,20 @@ class Packet
     std::uint8_t *
     data()
     {
-        MCNSIM_IF_CHECKED(auditSeal(); sealed_ = false;)
-        if (buf_.use_count() > 1)
-            unshare(head_, 0);
-        return buf_->data() + head_;
+        MCNSIM_IF_CHECKED(BufferPool::auditLive(buf_.get());
+                          auditSeal(); sealed_ = false;)
+        if (buf_.shared())
+            detach(std::min(head_, defaultHeadroom), 0);
+        return buf_->bytes() + head_;
     }
 
     /** Read-only view that never triggers a copy. */
     const std::uint8_t *
     cdata() const
     {
-        MCNSIM_IF_CHECKED(auditSeal();)
-        return buf_->data() + head_;
+        MCNSIM_IF_CHECKED(BufferPool::auditLive(buf_.get());
+                          auditSeal();)
+        return buf_->bytes() + head_;
     }
 
     std::size_t size() const { return tail_ - head_; }
@@ -170,6 +185,14 @@ class Packet
         return buf_ == o.buf_;
     }
 
+    /** Usable capacity of the underlying block (tests: detach()
+     *  must copy the live view, not the original capacity). */
+    std::size_t bufferCapacity() const { return buf_->cap; }
+
+    /** Initialised extent of the underlying block -- what the
+     *  pre-pool vector's size() was (tests). */
+    std::size_t bufferLen() const { return buf_->len; }
+
     /** Simulation metadata. */
     LatencyTrace trace;
 
@@ -186,17 +209,31 @@ class Packet
     /** Bytes currently in the packet, as a vector copy (tests). */
     std::vector<std::uint8_t> bytes() const;
 
-  private:
-    using Buf = std::vector<std::uint8_t>;
+#ifdef MCNSIM_CHECKED
+    /** Test hook: recycle the underlying block while this view is
+     *  still alive, so use-after-recycle poisoning can be exercised
+     *  deterministically. The packet must not be accessed (other
+     *  than destroyed) after a subsequent accessor panics. */
+    void
+    forceRecycleForTest()
+    {
+        BufferPool::forceRecycleForTest(buf_.get());
+    }
+#endif
 
-    Packet(std::shared_ptr<Buf> buf, std::size_t head,
-           std::size_t tail)
-        : buf_(std::move(buf)), head_(head), tail_(tail)
-    {}
+  private:
+    /** Place a Packet (plus its control block) in a pooled block. */
+    static PacketPtr wrap(BufRef buf, std::size_t head,
+                          std::size_t tail);
 
     /** Copy the live bytes into a private block with the given
      *  head/tail slack, detaching from any clones. */
-    void unshare(std::size_t headroom, std::size_t tailroom);
+    void detach(std::size_t headroom, std::size_t tailroom);
+
+    /** Unique-owner tail growth past the block: move to a larger
+     *  block preserving the whole initialised prefix (vector-resize
+     *  semantics; layout and len are unchanged). */
+    void growTo(std::size_t newLen);
 
 #ifdef MCNSIM_CHECKED
     /** Checked build: hash the live bytes and mark the view sealed.
@@ -213,7 +250,7 @@ class Packet
     mutable bool sealed_ = false;
 #endif
 
-    std::shared_ptr<Buf> buf_;
+    BufRef buf_;
     std::size_t head_; ///< offset of the first live byte
     std::size_t tail_; ///< offset one past the last live byte
 };

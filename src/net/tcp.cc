@@ -195,7 +195,8 @@ TcpHeader::checksumOk(const Packet &pkt, Ipv4Addr src,
 
 TcpLayer::TcpLayer(sim::Simulation &s, std::string name,
                    NetStack &stack)
-    : sim::SimObject(s, std::move(name)), stack_(stack)
+    : sim::SimObject(s, std::move(name)), stack_(stack),
+      timers_(eventQueue(), "tcp.timer")
 {
     regStat(&statRx_);
     regStat(&statTx_);
@@ -316,15 +317,10 @@ TcpSocket::TcpSocket(TcpLayer &layer, std::string name)
 
 TcpSocket::~TcpSocket()
 {
-    // Deschedule via the stored queue reference: when a socket held
-    // alive by a suspended task frame is reaped in ~EventQueue, the
-    // owning TcpLayer is already gone.
-    if (rtoEvent_)
-        queue_.deschedule(rtoEvent_);
-    if (delAckEvent_)
-        queue_.deschedule(delAckEvent_);
-    if (persistEvent_)
-        queue_.deschedule(persistEvent_);
+    // Timers disarm via their embedded TimerNode destructors. When
+    // a socket held alive by a suspended task frame is reaped after
+    // the owning TcpLayer (and its wheel) are gone, the wheel has
+    // already detached the nodes, so those cancels are no-ops.
 }
 
 std::uint32_t
@@ -441,8 +437,7 @@ TcpSocket::send(std::vector<std::uint8_t> data)
         // tcp_sendmsg: syscall + user->kernel copy.
         co_await stack_.kernel().cpus().leastLoaded().run(
             costs.syscallEntry + costs.copy(n));
-        sndBuf_.insert(sndBuf_.end(), data.begin() + off,
-                       data.begin() + off + n);
+        sndBuf_.append(data.data() + off, n);
         off += n;
         accepted += n;
         trySend();
@@ -473,9 +468,7 @@ TcpSocket::sendPattern(std::size_t n)
         std::size_t chunk = std::min(room, n - accepted);
         co_await stack_.kernel().cpus().leastLoaded().run(
             costs.syscallEntry + costs.copy(chunk));
-        for (std::size_t i = 0; i < chunk; ++i)
-            sndBuf_.push_back(
-                static_cast<std::uint8_t>((accepted + i) & 0xff));
+        sndBuf_.appendPattern(accepted, chunk);
         accepted += chunk;
         trySend();
     }
@@ -492,13 +485,9 @@ TcpSocket::recv(std::size_t max)
         co_await recvCv_.wait();
 
     std::size_t n = std::min(max, rcvBuf_.size());
-    std::vector<std::uint8_t> out(rcvBuf_.begin(),
-                                  rcvBuf_.begin() +
-                                      static_cast<std::ptrdiff_t>(n));
     bool was_starved =
         advertisedWindow() * TcpHeader::windowScale < effectiveMss();
-    rcvBuf_.erase(rcvBuf_.begin(),
-                  rcvBuf_.begin() + static_cast<std::ptrdiff_t>(n));
+    std::vector<std::uint8_t> out = rcvBuf_.take(n);
     if (n > 0) {
         co_await stack_.kernel().cpus().leastLoaded().run(
             costs.syscallEntry + costs.copy(n));
@@ -525,9 +514,7 @@ TcpSocket::recvDrain(std::size_t n)
         bool was_starved = advertisedWindow() *
                                TcpHeader::windowScale <
                            effectiveMss();
-        rcvBuf_.erase(rcvBuf_.begin(),
-                      rcvBuf_.begin() +
-                          static_cast<std::ptrdiff_t>(take));
+        rcvBuf_.popFront(take);
         co_await stack_.kernel().cpus().leastLoaded().run(
             costs.syscallEntry + costs.copy(take));
         drained += take;
@@ -605,7 +592,7 @@ TcpSocket::trySend()
     // and the peer advertises no space. Without probing, a lost
     // window update would deadlock the connection forever.
     if (peerWindow_ == 0 && flightSize() == 0 &&
-        sndBuf_.size() > 0 && !persistEvent_)
+        sndBuf_.size() > 0 && !persistTimer_.armed())
         armPersist();
 }
 
@@ -617,12 +604,9 @@ TcpSocket::armPersist()
                           : std::min(persistTimeout_ * 2,
                                      persistMax);
     auto self = shared_from_this();
-    persistEvent_ = layer_.eventQueue().scheduleIn(
-        [self] {
-            self->persistEvent_ = nullptr;
-            self->persistFired();
-        },
-        persistTimeout_, "tcp.persist");
+    layer_.timers().arm(persistTimer_,
+                        layer_.curTick() + persistTimeout_,
+                        [self] { self->persistFired(); });
 }
 
 void
@@ -662,18 +646,9 @@ TcpSocket::abortConnection(TcpError why)
                  ") in state ", to_string(state_));
     error_ = why;
     state_ = TcpState::Closed;
-    if (rtoEvent_) {
-        layer_.eventQueue().deschedule(rtoEvent_);
-        rtoEvent_ = nullptr;
-    }
-    if (delAckEvent_) {
-        layer_.eventQueue().deschedule(delAckEvent_);
-        delAckEvent_ = nullptr;
-    }
-    if (persistEvent_) {
-        layer_.eventQueue().deschedule(persistEvent_);
-        persistEvent_ = nullptr;
-    }
+    rtoTimer_.cancel();
+    delAckTimer_.cancel();
+    persistTimer_.cancel();
     connectCv_.notifyAll();
     recvCv_.notifyAll();
     sendCv_.notifyAll();
@@ -693,8 +668,8 @@ TcpSocket::emitSegment(std::uint32_t seq, std::uint32_t len,
         std::uint32_t off = seq - sndUna_;
         MCNSIM_ASSERT(off + len <= sndBuf_.size(),
                       "segment beyond send buffer");
-        payload.assign(sndBuf_.begin() + off,
-                       sndBuf_.begin() + off + len);
+        payload.resize(len);
+        sndBuf_.copyOut(off, len, payload.data());
     }
     auto pkt = Packet::make(std::move(payload));
     pkt->tsoMss = tso_mss;
@@ -750,10 +725,7 @@ TcpSocket::sendControl(std::uint8_t flags)
 void
 TcpSocket::sendAckNow()
 {
-    if (delAckEvent_) {
-        layer_.eventQueue().deschedule(delAckEvent_);
-        delAckEvent_ = nullptr;
-    }
+    delAckTimer_.cancel();
     unackedSegs_ = 0;
     sendControl(tcpAck);
 }
@@ -761,16 +733,14 @@ TcpSocket::sendAckNow()
 void
 TcpSocket::scheduleDelayedAck()
 {
-    if (delAckEvent_)
+    if (delAckTimer_.armed())
         return;
     auto self = shared_from_this();
-    delAckEvent_ = layer_.eventQueue().scheduleIn(
-        [self] {
-            self->delAckEvent_ = nullptr;
-            if (self->unackedSegs_ > 0)
-                self->sendAckNow();
-        },
-        delAckDelay, "tcp.delack");
+    layer_.timers().arm(delAckTimer_,
+                        layer_.curTick() + delAckDelay, [self] {
+                            if (self->unackedSegs_ > 0)
+                                self->sendAckNow();
+                        });
 }
 
 // ---------------------------------------------------------------------
@@ -785,9 +755,8 @@ TcpSocket::segmentArrived(const TcpHeader &h, Ipv4Addr src,
         static_cast<std::uint32_t>(h.window) * TcpHeader::windowScale;
 
     // A window update ends zero-window persist mode.
-    if (persistEvent_ && peerWindow_ > 0) {
-        layer_.eventQueue().deschedule(persistEvent_);
-        persistEvent_ = nullptr;
+    if (persistTimer_.armed() && peerWindow_ > 0) {
+        persistTimer_.cancel();
         persistTimeout_ = 0;
         trySend();
     }
@@ -824,10 +793,7 @@ TcpSocket::segmentArrived(const TcpHeader &h, Ipv4Addr src,
             h.ack == sndNxt_) {
             rcvNxt_ = h.seq + 1;
             sndUna_ = h.ack;
-            if (rtoEvent_) {
-                layer_.eventQueue().deschedule(rtoEvent_);
-                rtoEvent_ = nullptr;
-            }
+            rtoTimer_.cancel();
             becomeEstablished();
             sendAckNow();
         }
@@ -837,10 +803,7 @@ TcpSocket::segmentArrived(const TcpHeader &h, Ipv4Addr src,
       case TcpState::SynRcvd: {
         if ((h.flags & tcpAck) && h.ack == sndNxt_) {
             sndUna_ = h.ack;
-            if (rtoEvent_) {
-                layer_.eventQueue().deschedule(rtoEvent_);
-                rtoEvent_ = nullptr;
-            }
+            rtoTimer_.cancel();
             becomeEstablished();
             if (auto p = parent_.lock()) {
                 p->acceptQueue_.push_back(shared_from_this());
@@ -899,9 +862,7 @@ TcpSocket::processAck(const TcpHeader &h)
         // occupy sequence space but not buffer bytes).
         std::size_t drop =
             std::min<std::size_t>(acked, sndBuf_.size());
-        sndBuf_.erase(sndBuf_.begin(),
-                      sndBuf_.begin() +
-                          static_cast<std::ptrdiff_t>(drop));
+        sndBuf_.popFront(drop);
         sndUna_ = h.ack;
         dupAcks_ = 0;
         backoffCount_ = 0; // forward progress: sender is alive
@@ -998,7 +959,7 @@ TcpSocket::deliverData(const TcpHeader &h, PacketPtr pkt)
     }
 
     if (seq == rcvNxt_) {
-        rcvBuf_.insert(rcvBuf_.end(), data, data + len);
+        rcvBuf_.append(data, len);
         rcvNxt_ += static_cast<std::uint32_t>(len);
 
         // Merge any now-contiguous out-of-order segments.
@@ -1011,14 +972,15 @@ TcpSocket::deliverData(const TcpHeader &h, PacketPtr pkt)
             if (seqLt(s, rcvNxt_)) {
                 std::uint32_t skip = rcvNxt_ - s;
                 if (skip < seg.size()) {
-                    rcvBuf_.insert(rcvBuf_.end(),
-                                   seg.begin() + skip, seg.end());
+                    // lint-ok: packet-cdata (seg is a byte vector)
+                    rcvBuf_.append(seg.data() + skip,
+                                   seg.size() - skip);
                     rcvNxt_ += static_cast<std::uint32_t>(
                         seg.size() - skip);
                 }
             } else {
-                rcvBuf_.insert(rcvBuf_.end(), seg.begin(),
-                               seg.end());
+                // lint-ok: packet-cdata (seg is a byte vector)
+                rcvBuf_.append(seg.data(), seg.size());
                 rcvNxt_ += static_cast<std::uint32_t>(seg.size());
             }
             it = ooo_.erase(it);
@@ -1070,23 +1032,17 @@ TcpSocket::updateRtt(sim::Tick sample)
 void
 TcpSocket::armRto()
 {
-    if (rtoEvent_) {
-        layer_.eventQueue().deschedule(rtoEvent_);
-        rtoEvent_ = nullptr;
-    }
     bool outstanding = flightSize() > 0 ||
                        state_ == TcpState::SynSent ||
                        state_ == TcpState::SynRcvd;
-    if (!outstanding)
+    if (!outstanding) {
+        rtoTimer_.cancel();
         return;
+    }
     sim::Tick timeout = rto_ ? rto_ : initialRto;
     auto self = shared_from_this();
-    rtoEvent_ = layer_.eventQueue().scheduleIn(
-        [self] {
-            self->rtoEvent_ = nullptr;
-            self->rtoFired();
-        },
-        timeout, "tcp.rto");
+    layer_.timers().arm(rtoTimer_, layer_.curTick() + timeout,
+                        [self] { self->rtoFired(); });
 }
 
 void

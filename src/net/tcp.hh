@@ -21,10 +21,12 @@
 #include <optional>
 #include <vector>
 
+#include "net/byte_ring.hh"
 #include "net/ipv4.hh"
 #include "net/packet.hh"
 #include "sim/sim_object.hh"
 #include "sim/task.hh"
+#include "sim/timer_wheel.hh"
 
 namespace mcnsim::net {
 
@@ -127,6 +129,10 @@ class TcpLayer : public sim::SimObject
 
     NetStack &stack() { return stack_; }
 
+    /** Per-layer timing wheel carrying every socket's RTO, delayed
+     *  ACK, and zero-window persist timer (DESIGN.md §10). */
+    sim::TimerWheel &timers() { return timers_; }
+
     std::uint16_t allocEphemeralPort();
 
     // Registration (used by TcpSocket).
@@ -178,6 +184,7 @@ class TcpLayer : public sim::SimObject
     friend class TcpSocket;
 
     NetStack &stack_;
+    sim::TimerWheel timers_;
     std::map<TcpTuple, TcpSocketPtr> connections_;
     std::map<std::uint16_t, TcpSocketPtr> listeners_;
     std::uint16_t nextPort_ = 32768;
@@ -351,7 +358,7 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket>
     std::weak_ptr<TcpSocket> parent_; ///< listener that spawned us
 
     // Send side.
-    std::deque<std::uint8_t> sndBuf_; ///< front == sndUna_
+    ByteRing sndBuf_; ///< front == sndUna_
     std::uint32_t iss_ = 0;
     std::uint32_t sndUna_ = 0;
     std::uint32_t sndNxt_ = 0;
@@ -359,7 +366,7 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket>
     bool finSent_ = false;
 
     // Receive side.
-    std::deque<std::uint8_t> rcvBuf_; ///< in-order, undelivered
+    ByteRing rcvBuf_; ///< in-order, undelivered
     std::uint32_t rcvNxt_ = 0;
     std::map<std::uint32_t, std::vector<std::uint8_t>> ooo_;
     bool peerFin_ = false;
@@ -379,13 +386,17 @@ class TcpSocket : public std::enable_shared_from_this<TcpSocket>
     sim::Tick rto_ = 0;
     sim::Tick rttSampleSentAt_ = 0;
     std::uint32_t rttSampleSeq_ = 0;
-    sim::Event *rtoEvent_ = nullptr;
-    sim::Event *delAckEvent_ = nullptr;
+    /// Timers live on the owning layer's wheel; the nodes disarm
+    /// themselves on destruction, and the armed callback's
+    /// shared_ptr capture keeps this socket alive exactly as the
+    /// old per-timer managed events did.
+    sim::TimerNode rtoTimer_;
+    sim::TimerNode delAckTimer_;
     std::uint32_t unackedSegs_ = 0; ///< segments since last ACK sent
 
     // Resilience: abort-on-timeout and zero-window persist.
     unsigned backoffCount_ = 0; ///< consecutive RTOs without progress
-    sim::Event *persistEvent_ = nullptr;
+    sim::TimerNode persistTimer_;
     sim::Tick persistTimeout_ = 0;
     TcpError error_ = TcpError::None;
 

@@ -15,6 +15,7 @@ namespace mcnsim::netdev {
 EthernetLink::EthernetLink(sim::Simulation &s, std::string name,
                            double bandwidth_bps, sim::Tick latency)
     : sim::SimObject(s, std::move(name)),
+      burst_(burstDefault_),
       bandwidthBps_(bandwidth_bps), latency_(latency)
 {
     if (bandwidth_bps <= 0.0)
@@ -122,11 +123,21 @@ EthernetLink::sendFrom(EtherEndpoint *src, net::PacketPtr pkt)
     sim::Tick arrive = dir.busyUntil + latency_;
 
     if (!split_) {
-        // Same-queue path: identical to the serial engine -- eager
-        // Scalars, one delivery event doing decrement + delivery.
+        // Same-queue path: eager Scalars, then either the burst
+        // pump (one heap entry per busy direction) or the legacy
+        // one-event-per-frame delivery. Arrival ticks and per-link
+        // ordering are identical either way.
         statFrames_ += 1;
         statBytes_ += static_cast<double>(bytes);
         dir.inFlightBytes += bytes;
+        if (burst_) {
+            dir.burstQ.push_back(
+                Direction::BurstEntry{arrive, bytes,
+                                      std::move(pkt),
+                                      srcQ.reserveOrder()});
+            armPump(src == a_);
+            return;
+        }
         srcQ.schedule(
             [this, dst_ep, pkt, bytes, src] {
                 Direction &d = dirFor(src);
@@ -155,6 +166,45 @@ EthernetLink::sendFrom(EtherEndpoint *src, net::PacketPtr pkt)
             sim::EventQueue &q = src == a_ ? *bQueue_ : *aQueue_;
             deliver(dst_ep, pkt, q, dirFor(src), true);
         });
+}
+
+void
+EthernetLink::armPump(bool from_a)
+{
+    Direction &d = from_a ? ab_ : ba_;
+    if (d.pumpArmed || d.burstQ.empty())
+        return;
+    d.pumpArmed = true;
+    // Classic path only: both ends share one queue. The pump event
+    // occupies the front frame's reserved within-tick slot, so it
+    // fires exactly where that frame's own delivery event would
+    // have -- same tick, same order against unrelated events.
+    eventQueue().scheduleOrdered([this, from_a] { pump(from_a); },
+                                 d.burstQ.front().arrive,
+                                 d.burstQ.front().order,
+                                 "link.deliver");
+}
+
+void
+EthernetLink::pump(bool from_a)
+{
+    Direction &d = from_a ? ab_ : ba_;
+    EtherEndpoint *dst_ep = from_a ? b_ : a_;
+    sim::EventQueue &q = eventQueue();
+    d.pumpArmed = false;
+    sim::Tick now = q.curTick();
+    // Deliver the due burst in FIFO order. Per-direction arrivals
+    // are strictly increasing, so this is normally one frame; the
+    // loop is the burst-vector contract (everything due fires now,
+    // in order) and costs nothing when the burst is a singleton.
+    while (!d.burstQ.empty() && d.burstQ.front().arrive <= now) {
+        Direction::BurstEntry e = std::move(d.burstQ.front());
+        d.burstQ.pop_front();
+        d.inFlightBytes -= e.bytes;
+        burstDelivered_ += 1;
+        deliver(dst_ep, std::move(e.pkt), q, d, false);
+    }
+    armPump(from_a);
 }
 
 void

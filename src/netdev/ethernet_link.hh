@@ -101,6 +101,29 @@ class EthernetLink : public sim::SimObject
     /** True when the two ends live on different event queues. */
     bool crossShard() const { return split_; }
 
+    // --- Burst coalescing ------------------------------------------
+    /**
+     * Same-queue deliveries normally coalesce behind one pump event
+     * per direction: pending frames wait in a burst deque and the
+     * pump re-arms itself at the next arrival tick, so the event
+     * heap holds one entry per busy link direction instead of one
+     * per in-flight frame (an 8 MB switch egress backlog is ~5400
+     * frames). Arrival ticks and per-link ordering are exactly the
+     * per-frame path's. The singleton path is kept for the
+     * byte-identity regression tests.
+     */
+    void setBurstCoalescing(bool on) { burst_ = on; }
+    bool burstCoalescing() const { return burst_; }
+
+    /** Default for new links (tests flip it to compare paths). */
+    static void setBurstCoalescingDefault(bool on)
+    {
+        burstDefault_ = on;
+    }
+
+    /** Frames delivered by pump events (introspection). */
+    std::uint64_t burstDelivered() const { return burstDelivered_; }
+
   private:
     struct Direction
     {
@@ -123,7 +146,29 @@ class EthernetLink : public sim::SimObject
         std::uint64_t rxCorrupted = 0;
         std::uint64_t rxDuplicated = 0;
         std::uint64_t rxReordered = 0;
+
+        /** Same-queue burst path: frames awaiting delivery. Arrival
+         *  ticks are strictly increasing (busyUntil advances by the
+         *  serialization time, >= 1 tick, per frame), so the front
+         *  is always the next due. `order` is the within-tick slot
+         *  reserved at sendFrom() time (EventQueue::reserveOrder),
+         *  which is what keeps pump deliveries bit-identical to the
+         *  schedule-per-frame path against other same-tick events. */
+        struct BurstEntry
+        {
+            sim::Tick arrive;
+            std::uint64_t bytes;
+            net::PacketPtr pkt;
+            std::uint64_t order;
+        };
+        std::deque<BurstEntry> burstQ;
+        bool pumpArmed = false;
     };
+
+    /** Deliver every due frame in @p src-side direction, then re-arm
+     *  the pump at the next arrival tick. */
+    void pump(bool from_a);
+    void armPump(bool from_a);
 
     /** Arrival-side delivery: legacy loss/corrupt knobs plus the
      *  FaultPlan drop/corrupt/dup/reorder sites. Runs on @p q (the
@@ -146,6 +191,9 @@ class EthernetLink : public sim::SimObject
     sim::Tick latency_;
     double lossRate_ = 0.0;
     double corruptRate_ = 0.0;
+    bool burst_ = true;
+    static inline bool burstDefault_ = true;
+    std::uint64_t burstDelivered_ = 0;
     Direction ab_, ba_;
     std::uint64_t syncedFrames_ = 0;
     std::uint64_t syncedBytes_ = 0;

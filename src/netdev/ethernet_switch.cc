@@ -28,6 +28,10 @@ EthernetSwitch::EthernetSwitch(sim::Simulation &s, std::string name,
                                sim::Tick forwarding_latency,
                                std::uint64_t egress_queue_bytes)
     : sim::SimObject(s, std::move(name)),
+      // Sized so eviction never fires for sane topologies (16 MACs
+      // per port of slack); the committed benches stay bit-identical
+      // to the unbounded-map table.
+      fib_(std::size_t{ports} * 16),
       fwdLatency_(forwarding_latency), egressCap_(egress_queue_bytes)
 {
     for (std::uint32_t i = 0; i < ports; ++i)
@@ -56,10 +60,12 @@ EthernetSwitch::frameIn(std::uint32_t port, net::PacketPtr pkt)
         return;
     }
     auto eth = net::EthernetHeader::peek(*pkt);
-    macTable_[macKey(eth.src)] = port;
+    fib_.learn(macKey(eth.src), port);
 
-    auto it = macTable_.find(macKey(eth.dst));
-    if (eth.dst.isBroadcast() || it == macTable_.end()) {
+    std::uint32_t out = eth.dst.isBroadcast()
+                            ? MacFib::noPort
+                            : fib_.lookup(macKey(eth.dst));
+    if (out == MacFib::noPort) {
         // Flood to every other port.
         statFlooded_ += 1;
         trace("Switch", "flood ", pkt->size(), "B from port ",
@@ -71,9 +77,9 @@ EthernetSwitch::frameIn(std::uint32_t port, net::PacketPtr pkt)
         }
         return;
     }
-    if (it->second == port)
+    if (out == port)
         return; // destination is behind the source port; drop
-    egress(it->second, std::move(pkt));
+    egress(out, std::move(pkt));
 }
 
 void

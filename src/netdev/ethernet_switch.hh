@@ -10,12 +10,12 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "net/ethernet.hh"
 #include "netdev/ethernet_link.hh"
+#include "netdev/mac_fib.hh"
 #include "sim/fault.hh"
 #include "sim/sim_object.hh"
 
@@ -47,6 +47,9 @@ class EthernetSwitch : public sim::SimObject
     {
         return static_cast<std::uint64_t>(statForwarded_.value());
     }
+
+    /** Forwarding table (tests, diagnostics). */
+    const MacFib &fib() const { return fib_; }
 
   private:
     /** Per-port endpoint shim delivering frames into the switch. */
@@ -81,7 +84,7 @@ class EthernetSwitch : public sim::SimObject
     void egress(std::uint32_t port, net::PacketPtr pkt);
 
     std::vector<std::unique_ptr<Port>> ports_;
-    std::map<std::uint64_t, std::uint32_t> macTable_;
+    MacFib fib_;
     sim::Tick fwdLatency_;
     std::uint64_t egressCap_;
 

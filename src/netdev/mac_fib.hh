@@ -1,0 +1,150 @@
+/**
+ * @file
+ * MacFib: hashed MAC -> port forwarding table for the Ethernet
+ * switch, with an inline one-entry last-flow cache.
+ *
+ * The switch used to keep its MAC table in a std::map: every frame
+ * paid an O(log n) red-black-tree walk for the source learn plus
+ * another for the destination lookup, and ROADMAP's fat-tree /
+ * leaf-spine plans multiply both the frame rate and the table size.
+ * This table is open-addressed with linear probing over a
+ * power-of-two slot array:
+ *
+ *  - learn() and lookup() probe at most `probeWindow` slots; a learn
+ *    that finds its window full *deterministically* evicts the entry
+ *    in the window's last slot (real switches age entries out; ours
+ *    must do it reproducibly, so the victim is a pure function of
+ *    the insertion sequence). Slots are never emptied -- entries are
+ *    only replaced -- so probe chains stay intact and a lookup may
+ *    stop at the first never-used slot.
+ *  - The last successful destination lookup is cached inline
+ *    (steady-state traffic is long flows: the same dst MAC arrives
+ *    back-to-back); learn() keeps the cache coherent when it moves
+ *    or evicts the cached key.
+ *
+ * Capacity is sized by the switch so that eviction never fires for
+ * sane topologies (the committed benches are pinned bit-identical
+ * to the unbounded-map era); it exists so a MAC-flood scenario
+ * degrades to flooding instead of growing without bound.
+ */
+
+#ifndef MCNSIM_NETDEV_MAC_FIB_HH
+#define MCNSIM_NETDEV_MAC_FIB_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcnsim::netdev {
+
+/** Open-addressed MAC -> port table with deterministic eviction. */
+class MacFib
+{
+  public:
+    static constexpr std::uint32_t noPort = 0xffffffffu;
+    /** Linear-probe window; a full window forces an eviction. */
+    static constexpr std::size_t probeWindow = 8;
+
+    /** @param capacity_hint expected MAC population; the slot count
+     *  is the next power of two >= max(64, 2 * hint). */
+    explicit MacFib(std::size_t capacity_hint)
+    {
+        std::size_t want = capacity_hint * 2;
+        std::size_t cap = 64;
+        while (cap < want)
+            cap *= 2;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    /** Record @p key behind @p port (insert, move, or evict). */
+    void
+    learn(std::uint64_t key, std::uint32_t port)
+    {
+        std::size_t idx = home(key);
+        for (std::size_t i = 0; i < probeWindow; ++i) {
+            Slot &s = slots_[(idx + i) & mask_];
+            if (s.used && s.key == key) {
+                s.port = port;
+                if (cacheKey_ == key)
+                    cachePort_ = port;
+                return;
+            }
+            if (!s.used) {
+                s.used = true;
+                s.key = key;
+                s.port = port;
+                size_++;
+                return;
+            }
+        }
+        // Window full: replace its last slot, deterministically.
+        Slot &victim = slots_[(idx + probeWindow - 1) & mask_];
+        if (cacheKey_ == victim.key)
+            cacheKey_ = invalidKey;
+        victim.key = key;
+        victim.port = port;
+        evictions_++;
+    }
+
+    /** Port behind @p key, or noPort when unknown. */
+    std::uint32_t
+    lookup(std::uint64_t key) const
+    {
+        if (key == cacheKey_) {
+            cacheHits_++;
+            return cachePort_;
+        }
+        std::size_t idx = home(key);
+        for (std::size_t i = 0; i < probeWindow; ++i) {
+            const Slot &s = slots_[(idx + i) & mask_];
+            if (!s.used)
+                return noPort; // slots are never emptied
+            if (s.key == key) {
+                cacheKey_ = key;
+                cachePort_ = s.port;
+                return s.port;
+            }
+        }
+        return noPort;
+    }
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return slots_.size(); }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t cacheHits() const { return cacheHits_; }
+
+  private:
+    /** A real MAC key fits in 48 bits, so this can't collide. */
+    static constexpr std::uint64_t invalidKey = ~0ull;
+
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        std::uint32_t port = 0;
+        bool used = false;
+    };
+
+    /** Fibonacci hash: deterministic across platforms, spreads the
+     *  vendor-prefix-heavy MAC keyspace over the table. */
+    std::size_t
+    home(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(
+                   (key * 0x9e3779b97f4a7c15ull) >> 32) &
+               mask_;
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t evictions_ = 0;
+
+    mutable std::uint64_t cacheKey_ = invalidKey;
+    mutable std::uint32_t cachePort_ = noPort;
+    mutable std::uint64_t cacheHits_ = 0;
+};
+
+} // namespace mcnsim::netdev
+
+#endif // MCNSIM_NETDEV_MAC_FIB_HH

@@ -185,6 +185,17 @@ EventQueue::recycle(CallbackEvent *ev)
 void
 EventQueue::schedule(Event *ev, Tick when)
 {
+    schedule(ev, when, nextSeq_++);
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when, std::uint64_t order)
+{
+    MCNSIM_CHECK(order < nextSeq_,
+                 "schedule() of event '", ev->name(),
+                 "' with an unreserved order slot (order ", order,
+                 " >= next sequence ", nextSeq_,
+                 "): call reserveOrder() first");
     MCNSIM_CHECK(!MCNSIM_IF_CHECKED(ev->poisoned_),
                  "schedule() of a dead pooled Event* (last live "
                  "name '", ev->lastLiveName(), "', generation ",
@@ -218,7 +229,7 @@ EventQueue::schedule(Event *ev, Tick when)
     }
     ev->queue_ = this;
     ev->when_ = when;
-    ev->seq_ = nextSeq_++;
+    ev->seq_ = order;
     ev->scheduled_ = true;
     assert(ev->seq_ <= seqMask && "sequence numbers exhausted");
     heap_.push_back(Entry{when, entryKey(ev), ev});

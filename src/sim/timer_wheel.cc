@@ -1,0 +1,256 @@
+/**
+ * @file
+ * TimerWheel implementation. See the header for the determinism
+ * and lifetime contracts; the comments here cover the filing and
+ * cascading mechanics.
+ */
+
+#include "sim/timer_wheel.hh"
+
+#include <bit>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace mcnsim::sim {
+
+void
+TimerNode::cancel()
+{
+    if (wheel_)
+        wheel_->cancel(*this);
+}
+
+TimerWheel::TimerWheel(EventQueue &q, const char *name)
+    : q_(q), drive_(name, [this] { fire(); })
+{}
+
+TimerWheel::~TimerWheel()
+{
+    // Detach every armed node before the slot arrays die. Dropping
+    // a callback may release the last reference to its owner, whose
+    // destructor can re-enter cancel() for *other* nodes -- so the
+    // wheel must be consistent each time a callback is destroyed
+    // (the `fn` local dies at the bottom of each iteration, after
+    // the detach bookkeeping).
+    while (armedCount_ > 0) {
+        TimerNode *n = nullptr;
+        for (unsigned l = 0; l < levels && !n; ++l) {
+            if (!masks_[l])
+                continue;
+            unsigned s = static_cast<unsigned>(
+                std::countr_zero(masks_[l]));
+            n = slots_[l][s];
+        }
+        MCNSIM_ASSERT(n, "armed count does not match wheel slots");
+        detach(*n);
+        n->wheel_ = nullptr;
+        armedCount_--;
+        std::function<void()> fn = std::move(n->fn_);
+        n->fn_ = nullptr;
+    }
+    if (aimed_)
+        q_.deschedule(&drive_);
+}
+
+unsigned
+TimerWheel::levelFor(Tick deadline) const
+{
+    Tick diff = deadline ^ now_;
+    if (diff == 0)
+        return 0;
+    unsigned high = 63u - static_cast<unsigned>(
+                              std::countl_zero(diff));
+    unsigned level = high / levelBits;
+    MCNSIM_ASSERT(level < levels,
+                  "timer deadline beyond the wheel horizon");
+    return level;
+}
+
+void
+TimerWheel::insert(TimerNode &n)
+{
+    unsigned level = levelFor(n.deadline_);
+    unsigned slot = static_cast<unsigned>(
+        (n.deadline_ >> (level * levelBits)) &
+        (slotsPerLevel - 1));
+    n.level_ = static_cast<std::uint8_t>(level);
+    n.slot_ = static_cast<std::uint8_t>(slot);
+    n.prev_ = nullptr;
+    n.next_ = slots_[level][slot];
+    if (n.next_)
+        n.next_->prev_ = &n;
+    slots_[level][slot] = &n;
+    masks_[level] |= std::uint64_t{1} << slot;
+}
+
+void
+TimerWheel::detach(TimerNode &n)
+{
+    if (n.prev_)
+        n.prev_->next_ = n.next_;
+    else
+        slots_[n.level_][n.slot_] = n.next_;
+    if (n.next_)
+        n.next_->prev_ = n.prev_;
+    if (!slots_[n.level_][n.slot_])
+        masks_[n.level_] &= ~(std::uint64_t{1} << n.slot_);
+    n.prev_ = n.next_ = nullptr;
+}
+
+Tick
+TimerWheel::nextDeadline() const
+{
+    Front f = front();
+    return f.some ? f.tick : maxTick;
+}
+
+TimerWheel::Front
+TimerWheel::front() const
+{
+    // Per level, the lowest occupied slot holds that level's
+    // earliest deadlines (live deadlines never precede now_, which
+    // pins every level's occupied indices at or after now_'s own --
+    // see the header's invariant discussion). Walk that one slot
+    // for its (deadline, order) minimum and reduce across levels;
+    // the order tie-break is what makes same-tick firing follow arm
+    // order even when epoch drift filed equal deadlines at
+    // different levels.
+    Front best{0, 0, false};
+    for (unsigned l = 0; l < levels; ++l) {
+        if (!masks_[l])
+            continue;
+        unsigned s =
+            static_cast<unsigned>(std::countr_zero(masks_[l]));
+        for (TimerNode *n = slots_[l][s]; n; n = n->next_) {
+            if (!best.some || n->deadline_ < best.tick ||
+                (n->deadline_ == best.tick &&
+                 n->order_ < best.order)) {
+                best = Front{n->deadline_, n->order_, true};
+            }
+        }
+    }
+    return best;
+}
+
+void
+TimerWheel::reaim()
+{
+    Front f = front();
+    if (!f.some) {
+        if (aimed_) {
+            q_.deschedule(&drive_);
+            aimed_ = false;
+        }
+        return;
+    }
+    if (aimed_ && aimTick_ == f.tick && aimOrder_ == f.order)
+        return;
+    if (aimed_)
+        q_.deschedule(&drive_);
+    // The driving event borrows the front timer's reserved
+    // within-tick slot, landing at exactly the heap position that
+    // timer's own event would have had.
+    q_.schedule(&drive_, f.tick, f.order);
+    aimed_ = true;
+    aimTick_ = f.tick;
+    aimOrder_ = f.order;
+}
+
+void
+TimerWheel::fire()
+{
+    aimed_ = false;
+    Tick t = q_.curTick();
+    if (t != now_) {
+        now_ = t;
+        // Cascade: on every upper level, re-file the slot that
+        // contains the new now. Entries equal to now drop into
+        // level 0's due slot; later entries move to the level where
+        // they now diverge from now (never back into the slot being
+        // drained, so one pass suffices).
+        for (unsigned l = 1; l < levels; ++l) {
+            unsigned s = static_cast<unsigned>(
+                (t >> (l * levelBits)) & (slotsPerLevel - 1));
+            TimerNode *n = slots_[l][s];
+            if (!n)
+                continue;
+            slots_[l][s] = nullptr;
+            masks_[l] &= ~(std::uint64_t{1} << s);
+            while (n) {
+                TimerNode *next = n->next_;
+                insert(*n);
+                cascades_++;
+                n = next;
+            }
+        }
+    }
+
+    // The due slot holds only deadline == now entries (level-0
+    // filing pins all 64 high bit groups). Fire the arm-order
+    // minimum, re-aim -- possibly at this same tick for the next
+    // due timer -- then run the callback with the wheel already
+    // consistent (it may arm, cancel, or destroy timers freely).
+    unsigned s = static_cast<unsigned>(t & (slotsPerLevel - 1));
+    TimerNode *due = nullptr;
+    for (TimerNode *n = slots_[0][s]; n; n = n->next_) {
+        MCNSIM_ASSERT(n->deadline_ == t,
+                      "stale entry in the due slot");
+        if (!due || n->order_ < due->order_)
+            due = n;
+    }
+    MCNSIM_ASSERT(due, "timer wheel fired with an empty due slot");
+    detach(*due);
+    due->wheel_ = nullptr;
+    armedCount_--;
+    fires_++;
+    std::function<void()> fn = std::move(due->fn_);
+    due->fn_ = nullptr;
+    reaim();
+    fn();
+}
+
+void
+TimerWheel::arm(TimerNode &n, Tick deadline,
+                std::function<void()> fn)
+{
+    MCNSIM_ASSERT(deadline >= q_.curTick(),
+                  "arming a timer in the past");
+    MCNSIM_ASSERT(n.wheel_ == this || n.wheel_ == nullptr,
+                  "timer node is armed on a different wheel");
+    std::function<void()> old;
+    if (n.wheel_) {
+        detach(n);
+        old = std::move(n.fn_); // destroyed after state settles
+        armedCount_--;
+    }
+    n.deadline_ = deadline;
+    // Reserve the within-tick position *now*: this consumes exactly
+    // the sequence number a schedule-at-arm-time design would, so
+    // the fire interleaves with unrelated same-tick events
+    // identically (see the header).
+    n.order_ = q_.reserveOrder();
+    n.fn_ = std::move(fn);
+    n.wheel_ = this;
+    insert(n);
+    armedCount_++;
+    reaim();
+}
+
+void
+TimerWheel::cancel(TimerNode &n)
+{
+    if (n.wheel_ != this)
+        return;
+    detach(n);
+    n.wheel_ = nullptr;
+    armedCount_--;
+    std::function<void()> fn = std::move(n.fn_);
+    n.fn_ = nullptr;
+    reaim();
+    // `fn` dies here: dropping the keep-alive capture may destroy
+    // the owner, whose destructor may cancel other nodes -- the
+    // wheel is already consistent.
+}
+
+} // namespace mcnsim::sim

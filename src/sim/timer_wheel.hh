@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Hierarchical timing wheel for high-churn deadline timers.
+ *
+ * Protocol timers (TCP retransmit, delayed ACK, zero-window
+ * persist) are armed and canceled far more often than they fire:
+ * every ACKed segment re-arms the RTO, so the old
+ * one-managed-event-per-timer design fed the event heap a steady
+ * diet of lazily-descheduled entries and paid two O(log heap)
+ * operations per re-arm. This wheel keeps every armed timer in an
+ * intrusive doubly-linked slot list -- arm and cancel are O(1) list
+ * splices -- and presents the whole population to the EventQueue as
+ * ONE caller-owned driving event aimed at the earliest deadline.
+ *
+ * Determinism (the part that keeps modeled output bit-identical to
+ * the per-event design):
+ *
+ *  - arm() draws a within-tick order slot from
+ *    EventQueue::reserveOrder() at the *call site*, consuming
+ *    exactly the sequence number the old schedule-per-timer code
+ *    consumed at the same spot.
+ *  - The driving event is always scheduled *with the front timer's
+ *    reserved order* (EventQueue::schedule(ev, tick, order)), so it
+ *    pops at precisely the heap position the front timer's own
+ *    event would have occupied -- same tick, same interleaving with
+ *    unrelated same-tick events.
+ *  - Each dispatch fires exactly one timer (the (deadline, order)
+ *    minimum) and re-aims, so several timers due at one tick fire
+ *    in arm order with other events interleaving exactly as they
+ *    would have between separate timer events.
+ *
+ * Structure: `levels` levels of 64 slots. A node files at the level
+ * of the highest bit where its deadline differs from the wheel's
+ * notion of now (`levelBits` bits per level), in the slot indexed
+ * by the deadline's bits at that level. Firing advances now to the
+ * due tick and cascades the due tick's containing slot on every
+ * upper level down toward level 0. Two invariants make the min
+ * scans exact (no early/late fires, ever):
+ *
+ *  - live deadlines are always >= the wheel's now (the wheel only
+ *    advances to the global minimum), so within a level the lowest
+ *    occupied slot index holds that level's earliest deadlines even
+ *    though nodes were filed under different "now" epochs;
+ *  - a level-0 resident always has deadline == its slot's tick at
+ *    fire time, so firing never needs a deadline comparison loop
+ *    beyond the due slot's list walk.
+ *
+ * Lifetime: TimerNode is embedded in its owner (a TcpSocket). The
+ * callback is a std::function stored in the node while armed --
+ * captures (the keep-alive shared_ptr to the owner) are dropped on
+ * cancel and on fire, exactly like the captures of a recycled
+ * managed event. A wheel destroyed with timers still armed detaches
+ * every node first (dropping captures, which may destroy owners
+ * whose destructors re-enter cancel(); the node's null wheel back
+ * pointer makes that a no-op).
+ */
+
+#ifndef MCNSIM_SIM_TIMER_WHEEL_HH
+#define MCNSIM_SIM_TIMER_WHEEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace mcnsim::sim {
+
+class TimerWheel;
+
+/** One deadline timer, embedded in its owning object. */
+class TimerNode
+{
+  public:
+    TimerNode() = default;
+    ~TimerNode() { cancel(); }
+
+    TimerNode(const TimerNode &) = delete;
+    TimerNode &operator=(const TimerNode &) = delete;
+
+    /** True while waiting to fire. */
+    bool armed() const { return wheel_ != nullptr; }
+
+    /** Absolute fire tick (valid while armed). */
+    Tick deadline() const { return deadline_; }
+
+    /** Disarm; drops the callback and its captures. No-op when
+     *  idle, safe after the owning wheel is gone. */
+    void cancel();
+
+  private:
+    friend class TimerWheel;
+
+    TimerWheel *wheel_ = nullptr;
+    TimerNode *prev_ = nullptr;
+    TimerNode *next_ = nullptr;
+    Tick deadline_ = 0;
+    std::uint64_t order_ = 0;
+    std::uint8_t level_ = 0;
+    std::uint8_t slot_ = 0;
+    std::function<void()> fn_;
+};
+
+/** A hierarchical timing wheel bound to one EventQueue. */
+class TimerWheel
+{
+  public:
+    /** @p name labels the driving event in traces/profiles. */
+    TimerWheel(EventQueue &q, const char *name);
+    ~TimerWheel();
+
+    TimerWheel(const TimerWheel &) = delete;
+    TimerWheel &operator=(const TimerWheel &) = delete;
+
+    /**
+     * Arm @p n to invoke @p fn at absolute tick @p deadline
+     * (>= the queue's current tick). Re-arming an armed node moves
+     * it (the old deadline and callback are dropped). Same-tick
+     * timers fire in arm order.
+     */
+    void arm(TimerNode &n, Tick deadline, std::function<void()> fn);
+
+    /** Disarm @p n (no-op when idle). */
+    void cancel(TimerNode &n);
+
+    /** Timers currently armed. */
+    std::size_t armedCount() const { return armedCount_; }
+
+    /** Earliest armed deadline, maxTick when empty. */
+    Tick nextDeadline() const;
+
+    // Introspection (tests, diagnostics) -----------------------------
+    std::uint64_t fires() const { return fires_; }
+    std::uint64_t cascades() const { return cascades_; }
+
+    static constexpr unsigned levelBits = 6;
+    static constexpr unsigned slotsPerLevel = 1u << levelBits;
+    /** 8 levels x 6 bits = the queue's 48-bit usable tick horizon. */
+    static constexpr unsigned levels = 8;
+
+  private:
+    struct Front
+    {
+        Tick tick;
+        std::uint64_t order;
+        bool some;
+    };
+
+    void insert(TimerNode &n);
+    void detach(TimerNode &n);
+    Front front() const;
+    void reaim();
+    void fire();
+
+    /** Level whose slot granule distinguishes @p deadline from the
+     *  wheel's current epoch. */
+    unsigned levelFor(Tick deadline) const;
+
+    EventQueue &q_;
+    CallbackEvent drive_;
+    Tick now_ = 0;
+    std::size_t armedCount_ = 0;
+    std::uint64_t fires_ = 0;
+    std::uint64_t cascades_ = 0;
+
+    bool aimed_ = false;
+    Tick aimTick_ = 0;
+    std::uint64_t aimOrder_ = 0;
+
+    /** Slot occupancy bitmask per level (bit i == slot i in use). */
+    std::uint64_t masks_[levels] = {};
+    TimerNode *slots_[levels][slotsPerLevel] = {};
+};
+
+} // namespace mcnsim::sim
+
+#endif // MCNSIM_SIM_TIMER_WHEEL_HH

@@ -99,6 +99,31 @@ TEST(Checked, SealFollowsThePacketThroughPullAndTrim)
     EXPECT_THROW(clone->cdata(), sim::PanicError);
 }
 
+TEST(Checked, PacketUseAfterRecyclePanics)
+{
+    // Pool poisoning: once a block returns to a free list, any view
+    // still holding it must panic at the next byte access instead of
+    // silently reading whatever packet reuses the block.
+    auto pkt = net::Packet::makePattern(256);
+    EXPECT_NO_THROW(pkt->cdata());
+    pkt->forceRecycleForTest();
+    EXPECT_THROW(pkt->cdata(), sim::PanicError);
+    EXPECT_THROW(pkt->data(), sim::PanicError);
+    EXPECT_THROW(pkt->bytes(), sim::PanicError);
+}
+
+TEST(Checked, RecycledBlockReacquiresClean)
+{
+    // The poison is an allocator state, not a permanent scar: the
+    // same storage handed back out by acquire() audits live again.
+    auto pkt = net::Packet::makePattern(256);
+    pkt->forceRecycleForTest();
+    pkt.reset(); // dangling release absorbed by the hook's extra ref
+    auto fresh = net::Packet::makePattern(256, 9);
+    EXPECT_NO_THROW(fresh->cdata());
+    EXPECT_EQ(fresh->cdata()[0], 9);
+}
+
 TEST(Checked, RingCorruptionPanicsOnNextOperation)
 {
     mcn::MessageRing ring(4096);

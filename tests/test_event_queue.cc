@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/clock_domain.hh"
@@ -17,6 +19,7 @@
 #include "sim/logging.hh"
 #include "sim/random.hh"
 #include "sim/simulation.hh"
+#include "sim/timer_wheel.hh"
 
 using namespace mcnsim::sim;
 
@@ -298,6 +301,167 @@ TEST(EventQueue, RandomizedStressKeepsDispatchOrderAndPool)
     EXPECT_EQ(q.pendingEvents(), 0u);
     EXPECT_EQ(q.staleEntries(), 0u);
     EXPECT_EQ(q.poolOutstanding(), 0u) << "pooled-event leak";
+}
+
+// ---------------------------------------------------------------------
+// TimerWheel: O(1) protocol timers with event-queue determinism
+// ---------------------------------------------------------------------
+
+TEST(TimerWheel, FiresAtExactDeadlines)
+{
+    EventQueue q;
+    TimerWheel w(q, "test.timer");
+    TimerNode t1, t2, t3;
+    std::vector<std::pair<int, Tick>> fired;
+    w.arm(t2, 500, [&] { fired.emplace_back(2, q.curTick()); });
+    w.arm(t1, 100, [&] { fired.emplace_back(1, q.curTick()); });
+    w.arm(t3, 90'000, [&] { fired.emplace_back(3, q.curTick()); });
+    EXPECT_EQ(w.armedCount(), 3u);
+    EXPECT_EQ(w.nextDeadline(), 100u);
+    q.run();
+    ASSERT_EQ(fired.size(), 3u);
+    EXPECT_EQ(fired[0], (std::pair<int, Tick>{1, 100}));
+    EXPECT_EQ(fired[1], (std::pair<int, Tick>{2, 500}));
+    EXPECT_EQ(fired[2], (std::pair<int, Tick>{3, 90'000}));
+    EXPECT_EQ(w.armedCount(), 0u);
+    EXPECT_EQ(w.fires(), 3u);
+    // 90'000 files above level 0, so reaching it cascaded.
+    EXPECT_GT(w.cascades(), 0u);
+}
+
+TEST(TimerWheel, SameTickTimersFireInArmOrder)
+{
+    EventQueue q;
+    TimerWheel w(q, "test.timer");
+    TimerNode a, b, c;
+    std::vector<char> order;
+    // Arm out of alphabetical order; firing must follow *arm* order.
+    w.arm(b, 200, [&] { order.push_back('b'); });
+    w.arm(c, 200, [&] { order.push_back('c'); });
+    w.arm(a, 200, [&] { order.push_back('a'); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<char>{'b', 'c', 'a'}));
+}
+
+TEST(TimerWheel, InterleavesWithPlainEventsByScheduleOrder)
+{
+    // The wheel's determinism contract: a timer armed between two
+    // plain schedule() calls fires between them at a shared tick,
+    // exactly as a per-timer event would have.
+    EventQueue q;
+    TimerWheel w(q, "test.timer");
+    TimerNode t;
+    std::vector<int> order;
+    q.schedule([&] { order.push_back(1); }, 300);
+    w.arm(t, 300, [&] { order.push_back(2); });
+    q.schedule([&] { order.push_back(3); }, 300);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheel, CancelAndRearm)
+{
+    EventQueue q;
+    TimerWheel w(q, "test.timer");
+    TimerNode t, u;
+    int tFired = 0, uFired = 0;
+    Tick uAt = 0;
+    w.arm(t, 100, [&] { tFired++; });
+    w.arm(u, 100, [&] { uFired++; });
+    t.cancel();
+    EXPECT_FALSE(t.armed());
+    EXPECT_TRUE(u.armed());
+    EXPECT_EQ(w.armedCount(), 1u);
+    // Re-arming an armed node moves it: only the new deadline runs.
+    w.arm(u, 700, [&] {
+        uFired++;
+        uAt = q.curTick();
+    });
+    EXPECT_EQ(w.armedCount(), 1u);
+    q.run();
+    EXPECT_EQ(tFired, 0);
+    EXPECT_EQ(uFired, 1);
+    EXPECT_EQ(uAt, 700u);
+    EXPECT_EQ(q.curTick(), 700u); // canceled deadlines leave no event
+}
+
+TEST(TimerWheel, RearmFromInsideCallbackChains)
+{
+    // The RTO pattern: each fire re-arms the same node. Crossing
+    // many 64-tick slot boundaries exercises the cascade path.
+    EventQueue q;
+    TimerWheel w(q, "test.timer");
+    TimerNode t;
+    std::vector<Tick> at;
+    std::function<void()> tick = [&] {
+        at.push_back(q.curTick());
+        if (at.size() < 5)
+            w.arm(t, q.curTick() + 1000, tick);
+    };
+    w.arm(t, 1000, tick);
+    q.run();
+    EXPECT_EQ(at, (std::vector<Tick>{1000, 2000, 3000, 4000, 5000}));
+    EXPECT_EQ(w.armedCount(), 0u);
+}
+
+TEST(TimerWheel, CancelFromInsideAnotherCallback)
+{
+    // A firing timer may cancel a same-tick sibling; the sibling
+    // must not run even though it was already due.
+    EventQueue q;
+    TimerWheel w(q, "test.timer");
+    TimerNode killer, victim, bystander;
+    std::vector<char> order;
+    w.arm(killer, 50, [&] {
+        order.push_back('k');
+        victim.cancel();
+    });
+    w.arm(victim, 50, [&] { order.push_back('v'); });
+    w.arm(bystander, 50, [&] { order.push_back('b'); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<char>{'k', 'b'}));
+}
+
+TEST(TimerWheel, WheelTeardownDropsArmedTimers)
+{
+    // A layer dying with protocol timers outstanding (node removal,
+    // end of run) must not fire them or leak their captures.
+    EventQueue q;
+    TimerNode t1, t2;
+    int fired = 0;
+    {
+        TimerWheel w(q, "test.timer");
+        w.arm(t1, 100, [&] { fired++; });
+        w.arm(t2, 99'999, [&] { fired++; });
+    }
+    EXPECT_FALSE(t1.armed());
+    EXPECT_FALSE(t2.armed());
+    q.run();
+    EXPECT_EQ(fired, 0);
+    // Canceling against the dead wheel is a safe no-op.
+    t1.cancel();
+}
+
+TEST(TimerWheel, FarDeadlinesSurviveManyCascades)
+{
+    // Deadlines spread across several wheel levels all land exactly,
+    // including ones re-filed multiple times on the way down.
+    EventQueue q;
+    TimerWheel w(q, "test.timer");
+    constexpr int n = 32;
+    TimerNode nodes[n];
+    std::vector<Tick> want, got;
+    for (int i = 0; i < n; ++i) {
+        // Spread: 3^i mod a big range, covering levels 0..4.
+        Tick d = 1 + (static_cast<Tick>(i) * 2'654'435'761u) %
+                         10'000'000u;
+        want.push_back(d);
+        w.arm(nodes[i], d, [&got, &q] { got.push_back(q.curTick()); });
+    }
+    std::sort(want.begin(), want.end());
+    q.run();
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(w.fires(), static_cast<std::uint64_t>(n));
 }
 
 TEST(ClockDomain, PeriodAndConversions)

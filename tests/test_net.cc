@@ -94,6 +94,74 @@ TEST(PacketBuf, PushOnSharedCloneLeavesSiblingIntact)
     EXPECT_EQ(c->cdata()[14], 5);
 }
 
+TEST(PacketBuf, DetachCopiesLiveViewNotOriginalCapacity)
+{
+    // Regression: detach() used to size the private copy from the
+    // *original* buffer, so a cloned jumbo frame that had pulled its
+    // headers still paid a jumbo-sized copy on first write. The copy
+    // must cover only [head, tail) plus standard slack.
+    auto pkt = Packet::makePattern(8192, 3);
+    auto c = pkt->clone();
+    c->pull(8000); // live view is the 192-byte tail
+    ASSERT_TRUE(pkt->sharesBufferWith(*c));
+    c->data()[0] = 0xee; // CoW detach
+    EXPECT_FALSE(pkt->sharesBufferWith(*c));
+    // Initialised extent = headroom + live bytes, nowhere near the
+    // 8 KB original (the class capacity may round up; len may not).
+    EXPECT_LE(c->bufferLen(),
+              Packet::defaultHeadroom + 192 + 64);
+    EXPECT_GE(pkt->bufferLen(), 8192u);
+    // Bytes survived the copy; the sibling is untouched.
+    EXPECT_EQ(c->cdata()[0], 0xee);
+    EXPECT_EQ(c->cdata()[1],
+              static_cast<std::uint8_t>((8001 + 3) & 0xff));
+    EXPECT_EQ(pkt->cdata()[8000],
+              static_cast<std::uint8_t>((8000 + 3) & 0xff));
+}
+
+TEST(PacketBuf, PoolRecyclesBlocksAcrossPackets)
+{
+    auto classTotals = [] {
+        std::uint64_t acquires = 0, carves = 0, recycles = 0;
+        for (const auto &c : BufferPool::stats()) {
+            acquires += c.acquires;
+            carves += c.carves;
+            recycles += c.recycles;
+        }
+        return std::array<std::uint64_t, 3>{acquires, carves,
+                                            recycles};
+    };
+
+    auto before = classTotals();
+    { auto p = Packet::makePattern(1500); }
+    auto mid = classTotals();
+    // The packet took at least one block (payload; the Packet object
+    // itself rides in a class-0 block) and returned every one.
+    EXPECT_GT(mid[0], before[0]);
+    EXPECT_EQ(mid[2] - before[2], mid[0] - before[0]);
+
+    // An identical allocation right after runs entirely from the
+    // free lists: same classes were just recycled, so zero carves.
+    { auto p = Packet::makePattern(1500); }
+    auto fin = classTotals();
+    EXPECT_GT(fin[0], mid[0]);
+    EXPECT_EQ(fin[1], mid[1]) << "warm-cache alloc carved a block";
+}
+
+TEST(PacketBuf, PoolClassSelection)
+{
+    // Each traffic class lands in the intended size class: the
+    // chosen capacity is the smallest class >= headroom + payload.
+    auto cap = [](std::size_t payload) {
+        return Packet::makePattern(payload)->bufferCapacity();
+    };
+    EXPECT_EQ(cap(64), 256u);
+    EXPECT_EQ(cap(1500), 2048u);
+    EXPECT_EQ(cap(9000), 10240u);
+    // Beyond the largest class: exact heap block.
+    EXPECT_EQ(cap(100000), 100000u + Packet::defaultHeadroom);
+}
+
 TEST(LatencyTraceTest, SpansComputed)
 {
     LatencyTrace t;

@@ -12,6 +12,7 @@
 #include "netdev/ethernet_link.hh"
 #include "netdev/ethernet_switch.hh"
 #include "netdev/loopback.hh"
+#include "netdev/mac_fib.hh"
 #include "netdev/nic.hh"
 #include "os/kernel.hh"
 #include "sim/simulation.hh"
@@ -137,6 +138,155 @@ TEST(LinkTest, DirectionsAreIndependent)
     ASSERT_EQ(b.got.size(), 1u);
     EXPECT_EQ(a.when[0], oneUs);
     EXPECT_EQ(b.when[0], oneUs);
+}
+
+TEST(LinkTest, BurstPathMatchesSingletonDeliveries)
+{
+    // The burst pump must be an invisible optimisation: same
+    // arrival ticks, same order, same bytes as the one-event-per-
+    // frame path, across idle starts and busy pile-ups.
+    struct Arrival
+    {
+        Tick when;
+        std::size_t size;
+        std::uint8_t first;
+
+        bool
+        operator==(const Arrival &o) const
+        {
+            return when == o.when && size == o.size &&
+                   first == o.first;
+        }
+    };
+    auto runOnce = [](bool burst) {
+        Simulation s;
+        EthernetLink link(s, "link", 10e9, oneUs);
+        link.setBurstCoalescing(burst);
+        SinkEndpoint a, b;
+        b.sim = &s;
+        link.attachA(&a);
+        link.attachB(&b);
+        // Staggered sends: bursts of 4 back-to-back frames (the
+        // link is busy, arrivals queue) separated by idle gaps (the
+        // pump has to re-arm from scratch).
+        for (int g = 0; g < 5; ++g) {
+            s.eventQueue().schedule(
+                [&link, &a, g] {
+                    for (int i = 0; i < 4; ++i)
+                        link.sendFrom(
+                            &a, Packet::makePattern(
+                                    200 + 190 * i,
+                                    static_cast<std::uint8_t>(g)));
+                },
+                static_cast<Tick>(g) * 3 * oneUs);
+        }
+        s.run();
+        std::vector<Arrival> out;
+        for (std::size_t i = 0; i < b.got.size(); ++i)
+            out.push_back({b.when[i], b.got[i]->size(),
+                           b.got[i]->cdata()[0]});
+        return std::pair(out, link.burstDelivered());
+    };
+
+    auto [single, singlePumped] = runOnce(false);
+    auto [burst, burstPumped] = runOnce(true);
+    ASSERT_EQ(single.size(), 20u);
+    EXPECT_EQ(singlePumped, 0u);
+    EXPECT_EQ(burstPumped, 20u);
+    ASSERT_EQ(burst.size(), single.size());
+    for (std::size_t i = 0; i < single.size(); ++i)
+        EXPECT_TRUE(burst[i] == single[i])
+            << "delivery " << i << " diverged: tick "
+            << burst[i].when << " vs " << single[i].when;
+}
+
+TEST(FibTest, LearnsLooksUpAndUpdates)
+{
+    MacFib fib(16);
+    EXPECT_EQ(fib.lookup(42), MacFib::noPort);
+    fib.learn(42, 3);
+    fib.learn(77, 5);
+    EXPECT_EQ(fib.size(), 2u);
+    EXPECT_EQ(fib.lookup(42), 3u);
+    EXPECT_EQ(fib.lookup(77), 5u);
+    // A host moving ports updates in place, no growth.
+    fib.learn(42, 9);
+    EXPECT_EQ(fib.size(), 2u);
+    EXPECT_EQ(fib.lookup(42), 9u);
+    EXPECT_EQ(fib.evictions(), 0u);
+}
+
+TEST(FibTest, LastFlowCacheHitsAndStaysCoherent)
+{
+    MacFib fib(16);
+    fib.learn(42, 3);
+    EXPECT_EQ(fib.lookup(42), 3u); // miss: fills the cache
+    std::uint64_t h0 = fib.cacheHits();
+    EXPECT_EQ(fib.lookup(42), 3u); // back-to-back: cache hit
+    EXPECT_EQ(fib.cacheHits(), h0 + 1);
+    // learn() must keep the cached translation coherent.
+    fib.learn(42, 7);
+    EXPECT_EQ(fib.lookup(42), 7u);
+}
+
+TEST(FibTest, EvictionIsDeterministicAndRelearnable)
+{
+    // Flood a deliberately tiny table (hint 1 -> 64 slots) with far
+    // more MACs than it can hold: learns must stay bounded, evict
+    // deterministically, and evicted MACs must be relearnable.
+    constexpr std::uint64_t population = 1000;
+    auto flood = [] {
+        MacFib fib(1);
+        for (std::uint64_t k = 1; k <= population; ++k)
+            fib.learn(k, static_cast<std::uint32_t>(k & 0xf));
+        return fib;
+    };
+    MacFib fib = flood();
+    EXPECT_LE(fib.size(), fib.capacity());
+    EXPECT_GT(fib.evictions(), 0u);
+    // size + evictions accounts for every learn of a new key.
+    EXPECT_EQ(fib.size() + fib.evictions(), population);
+
+    std::vector<std::uint64_t> lost;
+    for (std::uint64_t k = 1; k <= population; ++k)
+        if (fib.lookup(k) == MacFib::noPort)
+            lost.push_back(k);
+    EXPECT_EQ(lost.size(), fib.evictions());
+    ASSERT_FALSE(lost.empty());
+
+    // Determinism: an identical insertion sequence loses the exact
+    // same set of keys.
+    MacFib fib2 = flood();
+    for (std::uint64_t k : lost)
+        EXPECT_EQ(fib2.lookup(k), MacFib::noPort) << k;
+
+    // Relearn: an evicted key becomes resolvable again.
+    fib.learn(lost[0], 11);
+    EXPECT_EQ(fib.lookup(lost[0]), 11u);
+}
+
+TEST(SwitchTest, FibRecordsLearnedStations)
+{
+    Simulation s;
+    EthernetSwitch sw(s, "sw", 3);
+    std::vector<std::unique_ptr<EthernetLink>> links;
+    std::vector<std::unique_ptr<SinkEndpoint>> hosts;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        links.push_back(std::make_unique<EthernetLink>(
+            s, "l" + std::to_string(i), 10e9, 0));
+        hosts.push_back(std::make_unique<SinkEndpoint>());
+        sw.attachLink(i, *links[i]);
+        links[i]->attachB(hosts[i].get());
+    }
+    EXPECT_EQ(sw.fib().size(), 0u);
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        links[i]->sendFrom(hosts[i].get(),
+                           framedPacket(64, MacAddr::broadcast(),
+                                        MacAddr::fromId(200 + i)));
+        s.run();
+    }
+    EXPECT_EQ(sw.fib().size(), 3u);
+    EXPECT_EQ(sw.fib().evictions(), 0u);
 }
 
 TEST(SwitchTest, LearnsAndForwards)

@@ -21,6 +21,7 @@
 
 #include "core/experiment.hh"
 #include "core/system_builder.hh"
+#include "netdev/ethernet_link.hh"
 #include "sim/logging.hh"
 #include "sim/shard.hh"
 #include "sim/simulation.hh"
@@ -73,7 +74,63 @@ multiServerIperfDigest(std::uint64_t seed, unsigned threads)
     return digestOf(s);
 }
 
+/** Cluster iperf on the classic single-queue engine. */
+std::string
+classicIperfDigest(std::uint64_t seed)
+{
+    sim::Simulation s(seed);
+    ClusterSystemParams p;
+    p.numNodes = 4;
+    ClusterSystem sys(s, p);
+    runIperf(s, sys, 0, {1, 2, 3}, 300 * sim::oneUs);
+    return digestOf(s);
+}
+
+/** Restore the process-wide link burst default on scope exit. */
+struct BurstDefaultGuard
+{
+    explicit BurstDefaultGuard(bool on)
+    {
+        netdev::EthernetLink::setBurstCoalescingDefault(on);
+    }
+
+    ~BurstDefaultGuard()
+    {
+        netdev::EthernetLink::setBurstCoalescingDefault(true);
+    }
+};
+
 } // namespace
+
+TEST(Pdes, BurstCoalescingInvisibleToModeledStateClassic)
+{
+    // The burst pump must not perturb the classic engine's modeled
+    // state *or its event count*: the digest covers both.
+    std::string off;
+    {
+        BurstDefaultGuard g(false);
+        off = classicIperfDigest(42);
+    }
+    ASSERT_FALSE(off.empty());
+    EXPECT_EQ(classicIperfDigest(42), off);
+}
+
+TEST(Pdes, BurstCoalescingInvisibleToModeledStateSharded)
+{
+    // Same claim on the sharded engine, where same-shard links pump
+    // and cross-shard links fall back to per-frame mailbox posts --
+    // across worker counts on both sides of the toggle.
+    std::string off1;
+    {
+        BurstDefaultGuard g(false);
+        off1 = clusterIperfDigest(42, 1);
+        ASSERT_FALSE(off1.empty());
+        EXPECT_EQ(clusterIperfDigest(42, 4), off1);
+    }
+    EXPECT_EQ(clusterIperfDigest(42, 1), off1);
+    EXPECT_EQ(clusterIperfDigest(42, 2), off1);
+    EXPECT_EQ(clusterIperfDigest(42, 4), off1);
+}
 
 TEST(Pdes, ClusterIperfByteIdenticalAcrossThreadCounts)
 {

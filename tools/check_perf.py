@@ -87,7 +87,8 @@ def flatten(doc):
     return metrics
 
 
-def check_bench(bench, base_entry, art_dir, problems, notes):
+def check_bench(bench, base_entry, art_dir, problems, notes,
+                deltas):
     path = artifact_path(art_dir, bench)
     if not os.path.exists(path):
         problems.append(f"{bench}: artifact {path} missing")
@@ -126,6 +127,7 @@ def check_bench(bench, base_entry, art_dir, problems, notes):
         if is_perf_metric(key):
             if skip_perf:
                 continue
+            deltas.append((bench, key, base_val, val))
             abs_slack = (PERF_ABS_WALL if key == WALL_KEY
                          else PERF_ABS_NS)
             limit = base_val * PERF_REL + abs_slack
@@ -150,6 +152,32 @@ def check_bench(bench, base_entry, art_dir, problems, notes):
     for key in sorted(set(fresh) - set(base)):
         notes.append(f"{bench}.{key}: not in baseline "
                      f"(new metric; --update to start tracking)")
+
+
+def print_delta_table(deltas):
+    """Per-metric host-time summary (baseline -> fresh, speedup) so a
+    passing run documents its deltas -- PR notes can paste this
+    instead of rerunning with a diff tool."""
+    if not deltas:
+        return
+    rows = []
+    for bench, key, base_val, val in deltas:
+        ratio = base_val / val if val > 0 else float("inf")
+        unit = "s" if key == WALL_KEY else "ns"
+        rows.append((f"{bench}.{key}",
+                     f"{base_val:,.2f} {unit}",
+                     f"{val:,.2f} {unit}",
+                     f"{ratio:.2f}x"))
+    hdr = ("metric", "baseline", "fresh", "speedup")
+    widths = [max(len(hdr[i]), max(len(r[i]) for r in rows))
+              for i in range(len(hdr))]
+    print("\nhost-time deltas (baseline -> fresh; >1x = faster):")
+    print("  " + "  ".join(h.ljust(w) for h, w in zip(hdr, widths)))
+    for r in rows:
+        print("  " + "  ".join(c.ljust(w) if i == 0 else c.rjust(w)
+                               for i, (c, w)
+                               in enumerate(zip(r, widths))))
+    print()
 
 
 def update_baseline(benches, art_dir, baseline_path):
@@ -209,14 +237,14 @@ def main():
     baseline = load_json(args.baseline)
 
     benches = args.benches or sorted(baseline)
-    problems, notes = [], []
+    problems, notes, deltas = [], [], []
     for bench in benches:
         if bench not in baseline:
             notes.append(f"{bench}: not in baseline; skipped "
                          f"(--update to add)")
             continue
         check_bench(bench, baseline[bench], args.artifacts_dir,
-                    problems, notes)
+                    problems, notes, deltas)
 
     for n in notes:
         print(f"note: {n}")
@@ -226,6 +254,7 @@ def main():
         for p in problems:
             print(f"  FAIL {p}", file=sys.stderr)
         return 1
+    print_delta_table(deltas)
     print(f"perf gate: OK ({len(benches)} bench(es) checked)")
     return 0
 

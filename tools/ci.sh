@@ -6,6 +6,11 @@
 #   lint     mcnsim_lint.py --check, plus clang-tidy when installed
 #   benches  regenerate bench artifacts (perf gate skipped -- CI
 #            boxes are too noisy; run tools/run_benches.sh locally)
+#   perf     regenerate bench artifacts AND run the
+#            tools/check_perf.py gate: host-time bands plus
+#            bit-identical modeled metrics. Off by default for the
+#            same noise reason; opt in with --stages ...,perf (or
+#            --with-perf) on a quiet box before merging perf work
 #   obs      validate observability artifacts from an instrumented
 #            iperf run (timeline trace, stats series, profile)
 #   chaos    fault-injection soak: chaos selfcheck (determinism
@@ -20,7 +25,7 @@
 #   ubsan    undefined-only sanitizer run
 #
 # Usage: tools/ci.sh [--build-dir DIR] [--skip-benches]
-#                    [--stages S1,S2,...]
+#                    [--with-perf] [--stages S1,S2,...]
 # Default stages: build,test,lint,benches,obs,chaos,pdes,checked,asan,ubsan
 set -eu
 
@@ -33,9 +38,10 @@ while [ $# -gt 0 ]; do
         --build-dir) BUILD_DIR="$2"; shift ;;
         --skip-benches)
             STAGES="$(echo "$STAGES" | sed 's/benches,//')" ;;
+        --with-perf) STAGES="$STAGES,perf" ;;
         --stages) STAGES="$2"; shift ;;
         -h|--help)
-            sed -n '2,21p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
             exit 0 ;;
         *) echo "unknown option: $1" >&2; exit 2 ;;
     esac
@@ -78,6 +84,18 @@ if want benches; then
     echo "== stage: benches (perf gate skipped) =="
     "$REPO_ROOT/tools/run_benches.sh" --quick \
         --build-dir "$BUILD_DIR" --skip-perf
+fi
+
+if want perf; then
+    echo
+    echo "== stage: perf =="
+    # Full perf gate: fresh artifacts (the benches stage's --quick
+    # artifacts are fine for the gate; host-time bands are wide and
+    # modeled metrics are mode-matched) checked against the
+    # committed baseline. A modeled-metric diff here means simulator
+    # behavior changed and must be reviewed before --update.
+    "$REPO_ROOT/tools/run_benches.sh" --quick \
+        --build-dir "$BUILD_DIR"
 fi
 
 if want obs; then

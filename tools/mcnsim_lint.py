@@ -41,6 +41,16 @@ this checker enforces them textually:
                  violations at runtime, this rule catches them at
                  review time.
 
+  packet-alloc   Packet byte storage must come from the slab pool
+                 (net/buffer_pool.hh): a raw `new uint8_t[]` /
+                 `make_unique<uint8_t[]>` / heap vector-of-bytes in
+                 model code bypasses the size-classed free lists and
+                 the checked-build recycle poisoning, reintroducing
+                 the per-packet malloc churn PR "hot-path round 2"
+                 removed. The pool's own carve path is allowlisted;
+                 non-packet byte storage (e.g. a socket stream ring)
+                 annotates the site.
+
   this-capture   An event-queue schedule()/scheduleIn() callback
                  capturing [this] must belong to a SimObject (whose
                  lifetime the Simulation pins until after the queue
@@ -108,6 +118,20 @@ SIMOBJECT_RE = re.compile(r":\s*public\s+(?:sim::)?SimObject\b")
 CROSS_SHARD_RE = re.compile(
     r"\bshardQueue\s*\([^)]*\)\s*\.\s*"
     r"(?:schedule|scheduleIn|reschedule)\s*\("
+)
+
+# Raw heap allocation of packet-style byte storage. The slab pool
+# owns the only legitimate carve sites.
+PACKET_ALLOC_ALLOW = {
+    "src/net/buffer_pool.hh",
+    "src/net/buffer_pool.cc",
+}
+
+PACKET_ALLOC_RE = re.compile(
+    r"\bnew\s+(?:std::)?uint8_t\s*\["
+    r"|make_unique\s*<\s*(?:std::)?uint8_t\s*\[\]"
+    r"|make_shared\s*<\s*(?:std::)?vector\s*<\s*(?:std::)?uint8_t"
+    r"|\bnew\s+(?:std::)?vector\s*<\s*(?:std::)?uint8_t"
 )
 
 # FAULT_POINT("point"): the argument must be a well-formed literal.
@@ -189,6 +213,16 @@ def check_file(path, rel, findings):
                      f"FAULT_POINT({m.group(1).strip()}) must take "
                      'a string literal matching "[a-z][a-z0-9-]*" '
                      "so fault specs can address the site"))
+
+        # packet-alloc: packet bytes come from the slab pool.
+        if (in_src and rel not in PACKET_ALLOC_ALLOW
+                and PACKET_ALLOC_RE.search(stripped)
+                and not suppressed(lines, i, "packet-alloc")):
+            findings.append(
+                (rel, i + 1, "packet-alloc",
+                 "raw heap allocation of packet byte storage; use "
+                 "BufferPool::acquire (net/buffer_pool.hh) or "
+                 "annotate a non-packet use"))
 
         # cross-shard: scheduling on a shard-indexed queue bypasses
         # the mailbox ordering key (a race under --threads).
