@@ -24,6 +24,7 @@
 #include "core/experiment.hh"
 #include "core/system_builder.hh"
 #include "sim/fault.hh"
+#include "sim/flow_stats.hh"
 
 using namespace mcnsim;
 using namespace mcnsim::core;
@@ -76,6 +77,13 @@ soak(const Schedule &sched, sim::Tick duration)
     p.config = McnConfig::level(5);
     McnSystem sys(s, p);
 
+    // Per-schedule flow telemetry: the caller folds the tables into
+    // the report right after soak() returns, so the artifact shows
+    // how each schedule moves the delivery-latency tail and which
+    // hop absorbs the damage. enable() resets the previous
+    // schedule's tables. Observe-only: fires/drops/Gbps and the
+    // fault RNG stream are identical with the gate off.
+    sim::FlowTelemetry::instance().enable();
     auto r = runIperf(s, sys, 0, {1, 2, 3, 4}, duration);
 
     SoakResult out;
@@ -127,6 +135,7 @@ main(int argc, char **argv)
     int rc = 0;
     for (const auto &sched : schedules) {
         auto r = soak(sched, duration);
+        bench::collectFlowMetrics(rep, sched.name);
         t.addRow({sched.name, fmt("%.2f", r.gbps),
                   std::to_string(r.faultFires),
                   std::to_string(r.ringCrcDrops),

@@ -16,6 +16,7 @@
 #include "bench_util.hh"
 #include "core/experiment.hh"
 #include "core/system_builder.hh"
+#include "sim/flow_stats.hh"
 
 using namespace mcnsim;
 using namespace mcnsim::core;
@@ -86,7 +87,16 @@ main(int argc, char **argv)
     bench::Table t({"config", "host-mcn Gbps", "host-mcn norm",
                     "mcn-mcn Gbps", "mcn-mcn norm"});
     for (int level = 0; level <= 5; ++level) {
+        // Instrument the headline configuration (mcn5 host-mcn)
+        // with flow telemetry: the artifact then carries per-flow
+        // delivery percentiles and the per-hop path breakdown next
+        // to the bandwidth number. Telemetry only observes, so the
+        // modeled Gbps is unchanged (the perf gate checks this).
+        if (level == 5)
+            sim::FlowTelemetry::instance().enable();
         double hm = mcnRun(level, true, duration);
+        if (level == 5)
+            bench::collectFlowMetrics(rep, "mcn5_host_mcn");
         double mm = mcnRun(level, false, duration);
         t.addRow({"mcn" + std::to_string(level),
                   fmt("%.2f", hm), fmt("%.2fx", hm / base),

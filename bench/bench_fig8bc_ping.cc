@@ -11,6 +11,7 @@
 #include "bench_util.hh"
 #include "core/experiment.hh"
 #include "core/system_builder.hh"
+#include "sim/flow_stats.hh"
 
 using namespace mcnsim;
 using namespace mcnsim::core;
@@ -70,7 +71,15 @@ printSweep(const char *title, const char *prefix,
     bool host_side = std::string(title).find("(b)") !=
                      std::string::npos;
     for (int level = 0; level <= 5; ++level) {
+        // Instrument the mcn5 sweep: echo flows give the artifact
+        // per-flow RTT percentiles and a per-hop breakdown of where
+        // the round trip goes (observe-only; RTTs are unchanged).
+        if (level == 5)
+            sim::FlowTelemetry::instance().enable();
         auto pts = mcnPing(level, host_side);
+        if (level == 5)
+            bench::collectFlowMetrics(
+                rep, std::string(prefix) + "_mcn5");
         std::vector<std::string> r = {"mcn" +
                                       std::to_string(level)};
         for (const auto &pt : pts)

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/flow_stats.hh"
 #include "sim/json.hh"
 #include "sim/simulation.hh"
 
@@ -282,6 +283,48 @@ class BenchReport
     std::chrono::steady_clock::time_point start_;
     Entries config_, metrics_, targets_;
 };
+
+/**
+ * Fold the process-wide FlowTelemetry tables into @p rep: aggregate
+ * end-to-end delivery-latency percentiles over every recorded flow
+ * plus a per-hop path-latency breakdown, all in microseconds under
+ * `<prefix>_` keys. Disables the telemetry gate. Pair with
+ * `sim::FlowTelemetry::instance().enable()` immediately before the
+ * one run the bench wants instrumented -- enable() resets the
+ * tables, so each enable/collect pair scopes one run.
+ */
+inline void
+collectFlowMetrics(BenchReport &rep, const std::string &prefix)
+{
+    auto &tel = sim::FlowTelemetry::instance();
+    tel.disable();
+    auto toUs = [](double ticks) {
+        return ticks / static_cast<double>(sim::oneUs);
+    };
+
+    auto flows = tel.foldFlows();
+    sim::LogBuckets e2e;
+    for (const auto &[key, rec] : flows)
+        e2e.merge(rec.latency);
+    rep.metric(prefix + "_flows",
+               static_cast<double>(flows.size()));
+    if (e2e.count() > 0) {
+        rep.metric(prefix + "_flow_p50_us",
+                   toUs(e2e.percentile(50)));
+        rep.metric(prefix + "_flow_p99_us",
+                   toUs(e2e.percentile(99)));
+        rep.metric(prefix + "_flow_p999_us",
+                   toUs(e2e.percentile(99.9)));
+    }
+    for (const auto &[hop, rec] : tel.foldHops()) {
+        if (rec.latency.count() == 0)
+            continue;
+        rep.metric(prefix + "_hop_" + hop + "_p50_us",
+                   toUs(rec.latency.percentile(50)));
+        rep.metric(prefix + "_hop_" + hop + "_p99_us",
+                   toUs(rec.latency.percentile(99)));
+    }
+}
 
 /** Standard bench epilogue: honour --json if present. Returns the
  *  process exit code. */

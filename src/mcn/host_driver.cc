@@ -6,6 +6,7 @@
 #include "mcn/host_driver.hh"
 
 #include "net/net_stack.hh"
+#include "sim/flow_stats.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -380,12 +381,16 @@ McnHostDriver::drainLoop(std::size_t idx)
     trace("MCNDriver", "drain dimm ", idx, ": ", bytes, "B from TX ring");
     auto pkt = net::Packet::make(std::move(msg->bytes));
     pkt->trace = msg->trace;
+    if (msg->path) [[unlikely]]
+        pkt->path = std::make_unique<net::PathTrace>(*msg->path);
 
     const auto &costs = kernel_.costs();
     const sim::Tick t0 = curTick();
     auto after_copy = [this, idx, pkt, t0](sim::Tick now) {
         tlSpan("hostRxCopy", t0, now);
         pkt->trace.stamp(net::Stage::DriverRx, now);
+        if (sim::FlowTelemetry::active()) [[unlikely]]
+            pkt->pathHop(name().c_str(), now);
         forward(idx, pkt);
         drainLoop(idx);
     };
@@ -444,10 +449,14 @@ McnHostDriver::xmitToDimm(std::size_t idx, net::PacketPtr pkt)
     auto finish = [this, idx, pkt, need, t0](sim::Tick now) {
         tlSpan("hostTxCopy", t0, now);
         pkt->trace.stamp(net::Stage::DriverTx, now);
+        if (sim::FlowTelemetry::active()) [[unlikely]]
+            pkt->pathHop(name().c_str(), now);
         Binding &bb = *dimms_[idx];
         bool ok = bb.dimm->iface().sram().rx().enqueue(
             pkt->cdata(), pkt->size(),
-            std::make_shared<net::LatencyTrace>(pkt->trace));
+            std::make_shared<net::LatencyTrace>(pkt->trace),
+            pkt->path ? std::make_shared<net::PathTrace>(*pkt->path)
+                      : nullptr);
         MCNSIM_ASSERT(ok, "RX ring enqueue failed after reserve");
         if (faultTxCorrupt_.fires())
             bb.dimm->iface().sram().rx().corruptNewest();

@@ -5,6 +5,7 @@
 
 #include "mcn/mcn_driver.hh"
 
+#include "sim/flow_stats.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -115,9 +116,13 @@ McnDriver::xmit(net::PacketPtr pkt)
     auto finish = [this, pkt, need, t0](sim::Tick now) {
         tlSpan("mcnTxCopy", t0, now);
         pkt->trace.stamp(net::Stage::DriverTx, now);
+        if (sim::FlowTelemetry::active()) [[unlikely]]
+            pkt->pathHop(name().c_str(), now);
         bool ok = iface_.sram().tx().enqueue(
             pkt->cdata(), pkt->size(),
-            std::make_shared<net::LatencyTrace>(pkt->trace));
+            std::make_shared<net::LatencyTrace>(pkt->trace),
+            pkt->path ? std::make_shared<net::PathTrace>(*pkt->path)
+                      : nullptr);
         MCNSIM_ASSERT(ok, "TX ring enqueue failed after reserve");
         if (faultTxCorrupt_.fires())
             iface_.sram().tx().corruptNewest();
@@ -181,12 +186,16 @@ McnDriver::drainRx()
     trace("MCNDriver", "drain RX ring: ", bytes, "B");
     auto pkt = net::Packet::make(std::move(msg->bytes));
     pkt->trace = msg->trace;
+    if (msg->path) [[unlikely]]
+        pkt->path = std::make_unique<net::PathTrace>(*msg->path);
 
     const auto &costs = kernel_.costs();
     const sim::Tick t0 = curTick();
     auto deliver = [this, pkt, t0](sim::Tick now) {
         tlSpan("mcnRxCopy", t0, now);
         pkt->trace.stamp(net::Stage::DriverRx, now);
+        if (sim::FlowTelemetry::active()) [[unlikely]]
+            pkt->pathHop(name().c_str(), now);
         deliverUp(pkt);
         drainRx();
     };

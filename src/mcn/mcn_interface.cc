@@ -22,6 +22,8 @@ McnInterface::McnInterface(sim::Simulation &s, std::string name,
     regStat(&statHostAccesses_);
     regStat(&statLost_);
     regStat(&statSpurious_);
+    regStat(&statTxRingQ_);
+    regStat(&statRxRingQ_);
 }
 
 void

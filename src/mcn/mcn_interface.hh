@@ -19,6 +19,7 @@
 #include "mem/bandwidth_arbiter.hh"
 #include "mem/mem_controller.hh"
 #include "sim/fault.hh"
+#include "sim/flow_stats.hh"
 #include "sim/sim_object.hh"
 
 namespace mcnsim::mcn {
@@ -88,9 +89,10 @@ class McnInterface : public sim::SimObject
     void mcnDepositedTx();
 
     /**
-     * Timeline hook: sample both ring fill levels as counters on
-     * this DIMM's track. Drivers call it after every enqueue or
-     * dequeue; a run without the timeline pays one branch.
+     * Observability hook: sample both ring fill levels as timeline
+     * counters and flow-telemetry queue watermarks. Drivers call it
+     * after every enqueue or dequeue; a run with neither feature
+     * active pays two branches.
      */
     void
     recordRingLevels()
@@ -100,6 +102,10 @@ class McnInterface : public sim::SimObject
                       static_cast<double>(sram_.tx().usedBytes()));
             tlCounter("rxRingBytes",
                       static_cast<double>(sram_.rx().usedBytes()));
+        }
+        if (sim::FlowTelemetry::active()) [[unlikely]] {
+            statTxRingQ_.update(curTick(), sram_.tx().usedBytes());
+            statRxRingQ_.update(curTick(), sram_.rx().usedBytes());
         }
     }
 
@@ -132,6 +138,12 @@ class McnInterface : public sim::SimObject
                           "injected lost IRQ/ALERT doorbells"};
     sim::Scalar statSpurious_{"doorbellsSpurious",
                               "injected spurious doorbells"};
+    sim::QueueStat statTxRingQ_{"txRing.usedBytes",
+                                "SRAM TX ring occupancy (flow "
+                                "telemetry)"};
+    sim::QueueStat statRxRingQ_{"rxRing.usedBytes",
+                                "SRAM RX ring occupancy (flow "
+                                "telemetry)"};
 
     // Fault sites: a doorbell edge that never reaches its handler
     // (flaky interrupt line); spurious-* are scheduled faults.

@@ -84,6 +84,10 @@ MessageRing::auditInvariants() const
                  "MCN ring CRC side channel out of sync (",
                  crcs_.size(), " CRCs vs ", traces_.size(),
                  " traces)");
+    MCNSIM_CHECK(paths_.size() == traces_.size(),
+                 "MCN ring path side channel out of sync (",
+                 paths_.size(), " paths vs ", traces_.size(),
+                 " traces)");
 }
 
 void
@@ -95,13 +99,15 @@ MessageRing::corruptForTest()
 
 bool
 MessageRing::enqueue(const std::uint8_t *data, std::size_t len,
-                     std::shared_ptr<net::LatencyTrace> trace)
+                     std::shared_ptr<net::LatencyTrace> trace,
+                     std::shared_ptr<net::PathTrace> path)
 {
     MCNSIM_IF_CHECKED(auditInvariants();)
     std::size_t need = footprint(len);
     if (need > freeBytes() || len == 0)
         return false;
     traces_.push_back(std::move(trace));
+    paths_.push_back(std::move(path));
     crcs_.push_back(sim::FaultPlan::active()
                         ? (crcValidBit | payloadCrc(data, len))
                         : 0);
@@ -151,6 +157,10 @@ MessageRing::dequeue()
         if (traces_.front())
             out.trace = *traces_.front();
         traces_.pop_front();
+    }
+    if (!paths_.empty()) {
+        out.path = std::move(paths_.front());
+        paths_.pop_front();
     }
     if (!crcs_.empty()) {
         const std::uint64_t rec = crcs_.front();

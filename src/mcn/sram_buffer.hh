@@ -36,6 +36,9 @@ struct McnMessage
 {
     std::vector<std::uint8_t> bytes;
     net::LatencyTrace trace;
+    /** Per-hop path telemetry riding the crossing (null unless flow
+     *  telemetry is active; metadata, not modelled bytes). */
+    std::shared_ptr<net::PathTrace> path;
     /** Ring-entry CRC verdict: false when the payload read back
      *  does not match the checksum computed at enqueue (in-SRAM
      *  corruption). The drivers drop such messages and count them
@@ -63,7 +66,8 @@ class MessageRing
      * breakdowns survive the ring crossing.
      */
     bool enqueue(const std::uint8_t *data, std::size_t len,
-                 std::shared_ptr<net::LatencyTrace> trace = nullptr);
+                 std::shared_ptr<net::LatencyTrace> trace = nullptr,
+                 std::shared_ptr<net::PathTrace> path = nullptr);
 
     /** Dequeue the oldest message, if any. */
     std::optional<McnMessage> dequeue();
@@ -122,6 +126,10 @@ class MessageRing
      *  therefore timing) is unchanged, and only computed under an
      *  armed fault plan so disarmed runs pay no per-byte hash. */
     std::deque<std::uint64_t> crcs_;
+    /** Per-hop path telemetry riding each message, parallel to
+     *  traces_; entries are null unless flow telemetry was active
+     *  at enqueue. */
+    std::deque<std::shared_ptr<net::PathTrace>> paths_;
     std::size_t start_ = 0; ///< first byte of the oldest message
     std::size_t end_ = 0;   ///< one past the newest message
     std::size_t used_ = 0;

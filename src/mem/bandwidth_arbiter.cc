@@ -10,6 +10,7 @@
 #include <cmath>
 #include <vector>
 
+#include "sim/flow_stats.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -30,6 +31,7 @@ BandwidthArbiter::BandwidthArbiter(sim::Simulation &s, std::string name,
         sim::fatal(this->name(), ": bad bandwidth parameters");
     regStat(&statBytes_);
     regStat(&statFlows_);
+    regStat(&statActiveQ_);
 }
 
 double
@@ -70,6 +72,8 @@ BandwidthArbiter::startTransfer(std::uint64_t bytes,
     f.done = std::move(done);
     flows_.emplace(id, std::move(f));
     statFlows_ += 1;
+    if (sim::FlowTelemetry::active()) [[unlikely]]
+        statActiveQ_.update(curTick(), flows_.size());
     replan();
     return id;
 }
@@ -79,6 +83,8 @@ BandwidthArbiter::cancel(FlowId id)
 {
     advance();
     flows_.erase(id);
+    if (sim::FlowTelemetry::active()) [[unlikely]]
+        statActiveQ_.update(curTick(), flows_.size());
     replan();
 }
 
@@ -109,6 +115,9 @@ BandwidthArbiter::advance()
             ++it;
         }
     }
+    if (!finished.empty() && sim::FlowTelemetry::active())
+        [[unlikely]]
+        statActiveQ_.update(now, flows_.size());
     for (auto &cb : finished)
         if (cb)
             cb(now);

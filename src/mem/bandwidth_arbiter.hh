@@ -100,6 +100,11 @@ class BandwidthArbiter : public sim::SimObject
     std::uint64_t bytesMoved_ = 0;
     sim::Scalar statBytes_{"bulkBytes", "bytes moved via arbiter"};
     sim::Scalar statFlows_{"bulkFlows", "bulk flows completed"};
+    /** Concurrent-flow occupancy (flow telemetry): time-weighted
+     *  mean + peak expose channel contention in queue reports. */
+    sim::QueueStat statActiveQ_{"arbiter.activeFlows",
+                                "concurrent bulk flows (flow "
+                                "telemetry)"};
 };
 
 } // namespace mcnsim::mem

@@ -8,9 +8,28 @@
 #include "net/checksum.hh"
 #include "net/net_stack.hh"
 #include "net/tcp.hh"
+#include "sim/flow_stats.hh"
 #include "sim/simulation.hh"
 
 namespace mcnsim::net {
+
+namespace {
+
+/** Flow-telemetry key for an echo flow: the ICMP identifier plays
+ *  the srcPort role (there are no ports). */
+sim::FlowTelemetry::FlowKey
+echoKey(Ipv4Addr src, Ipv4Addr dst, std::uint16_t id)
+{
+    sim::FlowTelemetry::FlowKey k;
+    k.srcIp = src.v;
+    k.dstIp = dst.v;
+    k.srcPort = id;
+    k.dstPort = 0;
+    k.proto = protoIcmp;
+    return k;
+}
+
+} // namespace
 
 void
 IcmpHeader::push(Packet &pkt, bool compute_checksum) const
@@ -99,6 +118,21 @@ IcmpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt,
         return;
     }
 
+    if (sim::FlowTelemetry::active() &&
+        (h->type == icmpEchoRequest || h->type == icmpEchoReply))
+        [[unlikely]] {
+        pkt->trace.stamp(Stage::Delivered, curTick());
+        sim::Tick e2e =
+            pkt->trace.reached(Stage::StackTx)
+                ? pkt->trace.span(Stage::StackTx, Stage::Delivered)
+                : sim::maxTick;
+        sim::FlowTelemetry::instance().recordRx(
+            shardId(), echoKey(src, dst, h->id), pkt->size(),
+            curTick(), e2e);
+        foldPathLatency(*pkt, shardId(), name().c_str(),
+                        curTick());
+    }
+
     if (h->type == icmpEchoRequest) {
         statEchoReq_ += 1;
         // Reflect the payload back to the sender.
@@ -107,6 +141,10 @@ IcmpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt,
         rh.type = icmpEchoReply;
         rh.push(*reply, !(stack_.checksumBypass() &&
                           stack_.trustedTowards(src)));
+        if (sim::FlowTelemetry::active()) [[unlikely]]
+            sim::FlowTelemetry::instance().recordTx(
+                shardId(), echoKey(dst, src, h->id),
+                reply->size(), curTick());
 
         const auto &costs = stack_.kernel().costs();
         stack_.kernel().cpus().leastLoaded().execute(
@@ -120,6 +158,10 @@ IcmpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt,
         if (it != pending_.end() && !it->second.done) {
             it->second.done = true;
             it->second.rtt = curTick() - it->second.sentAt;
+            if (sim::FlowTelemetry::active()) [[unlikely]]
+                sim::FlowTelemetry::instance().recordRtt(
+                    shardId(), echoKey(dst, src, h->id),
+                    it->second.rtt);
             replyCv_.notifyAll();
         }
     }
@@ -149,6 +191,10 @@ IcmpLayer::ping(Ipv4Addr dst, std::size_t payload_bytes,
                        stack_.trustedTowards(dst)));
 
         Ipv4Addr src = stack_.sourceAddrFor(dst);
+        if (sim::FlowTelemetry::active()) [[unlikely]]
+            sim::FlowTelemetry::instance().recordTx(
+                shardId(), echoKey(src, dst, id), pkt->size(),
+                curTick());
         stack_.kernel().cpus().leastLoaded().execute(
             costs.icmpPerPacket + costs.syscallEntry,
             [this, src, dst, pkt](sim::Tick) {

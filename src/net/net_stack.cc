@@ -10,6 +10,7 @@
 #include "net/icmp.hh"
 #include "net/tcp.hh"
 #include "net/udp.hh"
+#include "sim/flow_stats.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -283,6 +284,8 @@ NetStack::sendIp(Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto,
     eth.src = dev->mac();
     eth.push(*pkt);
     pkt->trace.stamp(Stage::StackTx, curTick());
+    if (sim::FlowTelemetry::active()) [[unlikely]]
+        pkt->pathHop(name().c_str(), curTick());
 
     qdiscXmit(dev, std::move(pkt));
     return true;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/flow_stats.hh"
 #include "sim/logging.hh"
 
 namespace mcnsim::net {
@@ -185,6 +186,8 @@ Packet::clone() const
                       auditSeal();)
     PacketPtr copy = wrap(buf_, head_, tail_);
     copy->trace = trace;
+    if (path) [[unlikely]]
+        copy->path = std::make_unique<PathTrace>(*path);
     copy->srcNode = srcNode;
     copy->dstNode = dstNode;
     copy->tsoMss = tsoMss;
@@ -199,6 +202,27 @@ std::vector<std::uint8_t>
 Packet::bytes() const
 {
     return {cdata(), cdata() + size()};
+}
+
+void
+foldPathLatency(const Packet &pkt, std::size_t shard,
+                const char *final_hop, Tick delivered)
+{
+    if (!pkt.path)
+        return;
+    const PathTrace &p = *pkt.path;
+    auto &tel = sim::FlowTelemetry::instance();
+    for (std::size_t i = 1; i < p.size(); ++i) {
+        const PathTrace::Hop &prev = p.at(i - 1);
+        const PathTrace::Hop &cur = p.at(i);
+        tel.recordHop(shard, cur.name,
+                      cur.t >= prev.t ? cur.t - prev.t : 0);
+    }
+    if (p.size() > 0 && final_hop) {
+        Tick last = p.at(p.size() - 1).t;
+        tel.recordHop(shard, final_hop,
+                      delivered >= last ? delivered - last : 0);
+    }
 }
 
 } // namespace mcnsim::net

@@ -93,6 +93,58 @@ class LatencyTrace
     std::array<Tick, static_cast<std::size_t>(Stage::kCount)> at_;
 };
 
+/**
+ * INT-style per-hop path telemetry: an ordered list of
+ * (hop-name, tick) pairs stamped as the packet crosses components
+ * (stack, NIC, link, switch, MCN ring crossings). Where
+ * LatencyTrace answers "when did the packet reach stage X" for a
+ * fixed stage set, PathTrace answers "which concrete components did
+ * it traverse and when" -- the per-hop latency histograms in
+ * sim/flow_stats.hh are folded from consecutive-entry deltas at
+ * delivery.
+ *
+ * Hop names are borrowed `const char *`s that must outlive the run
+ * (SimObject::name().c_str() qualifies: objects are pinned until
+ * teardown and folding happens at stats-dump time). The structure
+ * is heap-allocated per packet only while flow telemetry is active
+ * (Packet::path stays null otherwise), so the disabled-path cost is
+ * one null unique_ptr copy per clone.
+ */
+class PathTrace
+{
+  public:
+    static constexpr std::size_t kMaxHops = 16;
+
+    struct Hop
+    {
+        const char *name;
+        Tick t;
+    };
+
+    void
+    record(const char *name, Tick t)
+    {
+        if (n_ < kMaxHops)
+            hops_[n_++] = Hop{name, t};
+        else
+            truncated_ = true;
+    }
+
+    std::size_t size() const { return n_; }
+    bool truncated() const { return truncated_; }
+
+    const Hop &
+    at(std::size_t i) const
+    {
+        return hops_[i];
+    }
+
+  private:
+    std::array<Hop, kMaxHops> hops_;
+    std::uint8_t n_ = 0;
+    bool truncated_ = false;
+};
+
 class Packet;
 using PacketPtr = std::shared_ptr<Packet>;
 
@@ -196,6 +248,24 @@ class Packet
     /** Simulation metadata. */
     LatencyTrace trace;
 
+    /**
+     * Per-hop path telemetry; null unless flow telemetry is active
+     * (sim/flow_stats.hh). Deep-copied by clone()/TSO segmentation
+     * when present. Record hops through pathHop(), which allocates
+     * lazily -- call sites gate on FlowTelemetry::active().
+     */
+    std::unique_ptr<PathTrace> path;
+
+    /** Append a (hop, tick) pair, allocating the trace on first
+     *  use. Callers gate on FlowTelemetry::active(). */
+    void
+    pathHop(const char *hop, Tick t)
+    {
+        if (!path)
+            path = std::make_unique<PathTrace>();
+        path->record(hop, t);
+    }
+
     /** Source node id (diagnostics) and flow hint for stats. */
     int srcNode = -1;
     int dstNode = -1;
@@ -254,6 +324,18 @@ class Packet
     std::size_t head_; ///< offset of the first live byte
     std::size_t tail_; ///< offset one past the last live byte
 };
+
+/**
+ * Fold a delivered packet's PathTrace into the per-hop latency
+ * histograms (sim/flow_stats.hh): the delta between consecutive hop
+ * stamps is attributed to the later hop, and the tail from the last
+ * recorded hop to @p delivered is attributed to @p final_hop (the
+ * delivering stack/layer). No-op when the packet carries no trace.
+ * Callers gate on FlowTelemetry::active() and pass their owning
+ * SimObject's shardId().
+ */
+void foldPathLatency(const Packet &pkt, std::size_t shard,
+                     const char *final_hop, Tick delivered);
 
 } // namespace mcnsim::net
 

@@ -11,12 +11,34 @@
 
 #include "net/checksum.hh"
 #include "net/net_stack.hh"
+#include "sim/flow_stats.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
 namespace mcnsim::net {
 
 namespace {
+
+/** Flow-telemetry 5-tuple for this connection: outbound records
+ *  local -> remote, inbound (what the peer sent us) the reverse. */
+sim::FlowTelemetry::FlowKey
+flowKey(const TcpTuple &t, bool outbound)
+{
+    sim::FlowTelemetry::FlowKey k;
+    if (outbound) {
+        k.srcIp = t.localIp.v;
+        k.dstIp = t.remoteIp.v;
+        k.srcPort = t.localPort;
+        k.dstPort = t.remotePort;
+    } else {
+        k.srcIp = t.remoteIp.v;
+        k.dstIp = t.localIp.v;
+        k.srcPort = t.remotePort;
+        k.dstPort = t.localPort;
+    }
+    k.proto = protoTcp;
+    return k;
+}
 
 // Wrapping sequence-number comparisons (RFC 793).
 bool
@@ -702,6 +724,10 @@ TcpSocket::emitSegment(std::uint32_t seq, std::uint32_t len,
         bytesSent_ += len;
         unackedSegs_ = 0; // data segment carries our latest ack
     }
+    if (sim::FlowTelemetry::active()) [[unlikely]]
+        sim::FlowTelemetry::instance().recordTx(
+            layer_.shardId(), flowKey(tuple_, true), pkt->size(),
+            layer_.curTick());
 
     // Charge protocol processing then hand to IP.
     sim::Cycles cycles = costs.tcpTxPerPacket + costs.skbAlloc;
@@ -869,7 +895,12 @@ TcpSocket::processAck(const TcpHeader &h)
 
         // RTT sample.
         if (rttSampleSentAt_ && seqLe(rttSampleSeq_, h.ack)) {
-            updateRtt(layer_.curTick() - rttSampleSentAt_);
+            sim::Tick sample = layer_.curTick() - rttSampleSentAt_;
+            updateRtt(sample);
+            if (sim::FlowTelemetry::active()) [[unlikely]]
+                sim::FlowTelemetry::instance().recordRtt(
+                    layer_.shardId(), flowKey(tuple_, true),
+                    sample);
             rttSampleSentAt_ = 0;
         }
 
@@ -911,6 +942,9 @@ TcpSocket::processAck(const TcpHeader &h)
             ssthresh_ = std::max(flightSize() / 2, 2 * mss);
             retransmits_++;
             fastRetransmits_++;
+            if (sim::FlowTelemetry::active()) [[unlikely]]
+                sim::FlowTelemetry::instance().recordRetransmit(
+                    layer_.shardId(), flowKey(tuple_, true));
             sim::dprintf(layer_.curTick(), "TCP", name_,
                          ": fast retransmit at seq ", sndUna_,
                          ", ssthresh=", ssthresh_);
@@ -1006,6 +1040,17 @@ TcpSocket::deliverData(const TcpHeader &h, PacketPtr pkt)
 
     // Stamp delivery for latency traces.
     pkt->trace.stamp(Stage::Delivered, layer_.curTick());
+    if (sim::FlowTelemetry::active()) [[unlikely]] {
+        Tick e2e = pkt->trace.reached(Stage::StackTx)
+                       ? pkt->trace.span(Stage::StackTx,
+                                         Stage::Delivered)
+                       : sim::maxTick;
+        sim::FlowTelemetry::instance().recordRx(
+            layer_.shardId(), flowKey(tuple_, false), pkt->size(),
+            layer_.curTick(), e2e);
+        foldPathLatency(*pkt, layer_.shardId(),
+                        layer_.name().c_str(), layer_.curTick());
+    }
     if (layer_.deliveryHook())
         layer_.deliveryHook()(*pkt);
 }
@@ -1060,6 +1105,9 @@ TcpSocket::rtoFired()
     }
 
     retransmits_++;
+    if (sim::FlowTelemetry::active()) [[unlikely]]
+        sim::FlowTelemetry::instance().recordRetransmit(
+            layer_.shardId(), flowKey(tuple_, true));
     std::uint32_t mss = effectiveMss();
     sim::dprintf(layer_.curTick(), "TCP", name_,
                  ": RTO fired, state=", static_cast<int>(state_),

@@ -7,6 +7,7 @@
 
 #include "net/checksum.hh"
 #include "net/net_stack.hh"
+#include "sim/flow_stats.hh"
 #include "sim/simulation.hh"
 
 namespace mcnsim::net {
@@ -140,7 +141,8 @@ UdpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt,
         statDrops_ += 1;
         return;
     }
-    it->second->datagramArrived(src, h->srcPort, std::move(pkt));
+    it->second->datagramArrived(src, h->srcPort, dst,
+                                std::move(pkt));
 }
 
 UdpSocket::UdpSocket(UdpLayer &layer, std::string name)
@@ -180,6 +182,16 @@ UdpSocket::sendTo(Ipv4Addr dst, std::uint16_t port,
     h.push(*pkt, src, dst, sw_checksum);
 
     layer_.statTx_ += 1;
+    if (sim::FlowTelemetry::active()) [[unlikely]] {
+        sim::FlowTelemetry::FlowKey k;
+        k.srcIp = src.v;
+        k.dstIp = dst.v;
+        k.srcPort = localPort_;
+        k.dstPort = port;
+        k.proto = protoUdp;
+        sim::FlowTelemetry::instance().recordTx(
+            layer_.shardId(), k, pkt->size(), layer_.curTick());
+    }
     const auto &costs = stack_.kernel().costs();
     sim::Cycles cycles = costs.udpTxPerPacket + costs.skbAlloc +
                          costs.syscallEntry;
@@ -217,7 +229,7 @@ UdpSocket::close()
 
 void
 UdpSocket::datagramArrived(Ipv4Addr src, std::uint16_t src_port,
-                           PacketPtr pkt)
+                           Ipv4Addr dst, PacketPtr pkt)
 {
     if (rxQueue_.size() >= rxQueueCap)
         return; // tail drop
@@ -226,6 +238,23 @@ UdpSocket::datagramArrived(Ipv4Addr src, std::uint16_t src_port,
     d.srcPort = src_port;
     d.data = pkt->bytes();
     pkt->trace.stamp(Stage::Delivered, layer_.curTick());
+    if (sim::FlowTelemetry::active()) [[unlikely]] {
+        sim::FlowTelemetry::FlowKey k;
+        k.srcIp = src.v;
+        k.dstIp = dst.v;
+        k.srcPort = src_port;
+        k.dstPort = localPort_;
+        k.proto = protoUdp;
+        sim::Tick e2e =
+            pkt->trace.reached(Stage::StackTx)
+                ? pkt->trace.span(Stage::StackTx, Stage::Delivered)
+                : sim::maxTick;
+        sim::FlowTelemetry::instance().recordRx(
+            layer_.shardId(), k, pkt->size(), layer_.curTick(),
+            e2e);
+        foldPathLatency(*pkt, layer_.shardId(),
+                        layer_.name().c_str(), layer_.curTick());
+    }
     rxQueue_.push_back(std::move(d));
     rxCv_.notifyAll();
 }

@@ -125,9 +125,10 @@ class UdpSocket : public std::enable_shared_from_this<UdpSocket>
 
     std::uint16_t localPort() const { return localPort_; }
 
-    // Internal demux entry.
+    // Internal demux entry. @p dst is the local address the
+    // datagram was sent to (flow-telemetry key).
     void datagramArrived(Ipv4Addr src, std::uint16_t src_port,
-                         PacketPtr pkt);
+                         Ipv4Addr dst, PacketPtr pkt);
 
   private:
     UdpLayer &layer_;

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "sim/flow_stats.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -263,8 +264,10 @@ EthernetLink::deliver(EtherEndpoint *dst_ep, net::PacketPtr pkt,
                               ? faultReorder_.param()
                               : 5 * sim::oneUs;
         q.scheduleIn(
-            [dst_ep, pkt, &q] {
+            [this, dst_ep, pkt, &q] {
                 pkt->trace.stamp(net::Stage::Phy, q.curTick());
+                if (sim::FlowTelemetry::active()) [[unlikely]]
+                    pkt->pathHop(name().c_str(), q.curTick());
                 dst_ep->receiveFrame(pkt);
             },
             delay, "link.reorder");
@@ -279,6 +282,8 @@ EthernetLink::deliver(EtherEndpoint *dst_ep, net::PacketPtr pkt,
         dst_ep->receiveFrame(pkt->clone());
     }
     pkt->trace.stamp(net::Stage::Phy, q.curTick());
+    if (sim::FlowTelemetry::active()) [[unlikely]]
+        pkt->pathHop(name().c_str(), q.curTick());
     dst_ep->receiveFrame(pkt);
 }
 

@@ -5,6 +5,7 @@
 
 #include "netdev/ethernet_switch.hh"
 
+#include "sim/flow_stats.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -40,6 +41,13 @@ EthernetSwitch::EthernetSwitch(sim::Simulation &s, std::string name,
     regStat(&statFlooded_);
     regStat(&statDrops_);
     regStat(&statFaultDrops_);
+    for (std::uint32_t i = 0; i < ports; ++i) {
+        portBacklogQ_.push_back(std::make_unique<sim::QueueStat>(
+            "port" + std::to_string(i) + ".egressBacklog",
+            "egress queue bytes on port " + std::to_string(i) +
+                " (flow telemetry)"));
+        regStat(portBacklogQ_.back().get());
+    }
 }
 
 void
@@ -88,14 +96,19 @@ EthernetSwitch::egress(std::uint32_t port, net::PacketPtr pkt)
     EthernetLink *link = ports_[port]->link;
     if (!link)
         return;
-    if (link->backlogBytes(ports_[port].get()) + pkt->size() >
-        egressCap_) {
+    std::uint64_t backlog = link->backlogBytes(ports_[port].get());
+    if (backlog + pkt->size() > egressCap_) {
         statDrops_ += 1;
         trace("Switch", "drop ", pkt->size(),
               "B: egress queue full on port ", port);
         return;
     }
     statForwarded_ += 1;
+    if (sim::FlowTelemetry::active()) [[unlikely]] {
+        portBacklogQ_[port]->update(curTick(),
+                                    backlog + pkt->size());
+        pkt->pathHop(name().c_str(), curTick());
+    }
     // The forwarding pipeline occupies [now, now + fwdLatency_].
     tlSpan("fwd", curTick(), curTick() + fwdLatency_);
     Port *p = ports_[port].get();

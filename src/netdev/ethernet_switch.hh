@@ -88,6 +88,11 @@ class EthernetSwitch : public sim::SimObject
     sim::Tick fwdLatency_;
     std::uint64_t egressCap_;
 
+    /** Per-port egress backlog occupancy (flow telemetry): sampled
+     *  at each admit, so congested ports show up in the
+     *  hottest-queue report. */
+    std::vector<std::unique_ptr<sim::QueueStat>> portBacklogQ_;
+
     sim::Scalar statForwarded_{"forwarded", "frames forwarded"};
     sim::Scalar statFlooded_{"flooded", "frames flooded"};
     sim::Scalar statDrops_{"drops", "frames tail-dropped"};

@@ -9,6 +9,7 @@
 
 #include "net/checksum.hh"
 #include "net/tcp.hh"
+#include "sim/flow_stats.hh"
 #include "sim/logging.hh"
 #include "sim/simulation.hh"
 
@@ -27,6 +28,8 @@ Nic::Nic(sim::Simulation &s, std::string name, net::MacAddr mac,
     regStat(&statTsoSegs_);
     regStat(&statIrqs_);
     regStat(&statNapiPolls_);
+    regStat(&statTxRingQ_);
+    regStat(&statRxRingQ_);
 
     kernel_.irq().request(irqLine_, [this] { napiSchedule(); });
 }
@@ -52,6 +55,8 @@ Nic::xmit(net::PacketPtr pkt)
         return os::TxResult::Busy;
     }
     txInFlight_++;
+    if (sim::FlowTelemetry::active()) [[unlikely]]
+        statTxRingQ_.update(curTick(), txInFlight_);
     trace("NIC", "xmit ", pkt->size(), "B, ring doorbell");
 
     // Driver: write the descriptor, ring the doorbell.
@@ -59,6 +64,8 @@ Nic::xmit(net::PacketPtr pkt)
     kernel_.cpus().leastLoaded().execute(
         costs.nicDriverTx, [this, pkt](sim::Tick now) {
             pkt->trace.stamp(net::Stage::DriverTx, now);
+            if (sim::FlowTelemetry::active()) [[unlikely]]
+                pkt->pathHop(name().c_str(), now);
             dmaTxStart(pkt);
         });
     return os::TxResult::Ok;
@@ -87,6 +94,8 @@ void
 Nic::toWire(net::PacketPtr pkt)
 {
     txInFlight_--;
+    if (sim::FlowTelemetry::active()) [[unlikely]]
+        statTxRingQ_.update(curTick(), txInFlight_);
     // Doorbell -> wire, straight off the packet's latency stamps.
     if (sim::Timeline::active()) [[unlikely]] {
         sim::Tick t0 = pkt->trace.at(net::Stage::DriverTx);
@@ -143,6 +152,8 @@ Nic::segmentTso(const net::PacketPtr &pkt, bool fill_checksums)
         auto seg = Packet::make(std::vector<std::uint8_t>(
             payload + off, payload + off + chunk));
         seg->trace = pkt->trace;
+        if (pkt->path) [[unlikely]]
+            seg->path = std::make_unique<net::PathTrace>(*pkt->path);
         seg->srcNode = pkt->srcNode;
         seg->dstNode = pkt->dstNode;
 
@@ -182,6 +193,8 @@ Nic::receiveFrame(net::PacketPtr pkt)
     }
     rxRingUsed_++;
     tlCounter("rxRingUsed", static_cast<double>(rxRingUsed_));
+    if (sim::FlowTelemetry::active()) [[unlikely]]
+        statRxRingQ_.update(curTick(), rxRingUsed_);
     trace("NIC", "rx frame ", pkt->size(), "B -> DMA to host");
 
     // DMA the frame into the next RX ring buffer in host DRAM.
@@ -243,11 +256,15 @@ Nic::napiPoll()
                         tlSpan("nicRx", t0, now);
                 }
                 p->trace.stamp(net::Stage::DriverRx, now);
+                if (sim::FlowTelemetry::active()) [[unlikely]]
+                    p->pathHop(name().c_str(), now);
                 rxRingUsed_--;
                 deliverUp(p);
             }
             tlCounter("rxRingUsed",
                       static_cast<double>(rxRingUsed_));
+            if (sim::FlowTelemetry::active()) [[unlikely]]
+                statRxRingQ_.update(curTick(), rxRingUsed_);
             if (!rxCompleted_.empty()) {
                 napiSchedule(); // keep polling
             } else {

@@ -96,6 +96,12 @@ class Nic : public os::NetDevice, public EtherEndpoint
                              "wire frames produced by TSO"};
     sim::Scalar statIrqs_{"interrupts", "MSI interrupts raised"};
     sim::Scalar statNapiPolls_{"napiPolls", "NAPI poll rounds"};
+    sim::QueueStat statTxRingQ_{"txRing.occupancy",
+                                "TX descriptors awaiting DMA "
+                                "(flow telemetry)"};
+    sim::QueueStat statRxRingQ_{"rxRing.occupancy",
+                                "RX ring buffers in use "
+                                "(flow telemetry)"};
 };
 
 } // namespace mcnsim::netdev

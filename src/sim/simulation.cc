@@ -5,6 +5,7 @@
 
 #include "sim/simulation.hh"
 
+#include "sim/flow_stats.hh"
 #include "sim/json.hh"
 #include "sim/logging.hh"
 #include "sim/sim_object.hh"
@@ -106,7 +107,9 @@ Simulation::dumpStatsJson(std::ostream &os)
     prepareStatsDump();
     json::Writer w(os);
     w.beginObject();
-    w.kv("schema_version", std::uint64_t{2});
+    // v3: adds "flows" / "path_latency" blocks (present only when
+    // flow telemetry is active) and "queue"-typed stats.
+    w.kv("schema_version", std::uint64_t{3});
     w.key("meta");
     w.beginObject();
     w.kv("seed", seed_);
@@ -118,6 +121,8 @@ Simulation::dumpStatsJson(std::ostream &os)
         w.kv(k, v);
     w.endObject();
     statRegistry_.writeGroups(w);
+    if (FlowTelemetry::active() || FlowTelemetry::instance().hasData())
+        FlowTelemetry::instance().writeJsonBlocks(w);
     if (queue_.profilingEnabled()) {
         w.key("event_profile");
         w.beginArray();

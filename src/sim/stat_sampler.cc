@@ -61,6 +61,14 @@ StatSampler::start()
 {
     if (running_)
         return;
+    // The sampler reads live stats mid-run: prepareStatsDump() and
+    // the probe lambdas touch every shard's objects between
+    // windows. Clamp the sharded engine to one worker so those
+    // reads are race-free; the shard structure (and therefore the
+    // modeled output) is untouched -- --threads=N stays
+    // byte-identical, it just executes serially while sampling.
+    if (sim_.threads() > 1)
+        sim_.setThreads(1);
     running_ = true;
     sampleAndReschedule();
 }

@@ -92,15 +92,23 @@ Histogram::percentile(double p) const
 {
     if (count_ == 0)
         return 0.0;
-    auto target = static_cast<std::uint64_t>(
-        p / 100.0 * static_cast<double>(count_));
-    std::uint64_t seen = under_;
-    if (seen >= target && under_ > 0)
-        return lo_;
+    // Fractional target rank, then linear interpolation within the
+    // bucket that holds it: tail percentiles (p999) land between
+    // bucket edges instead of snapping to a midpoint. The result is
+    // clamped to the exact observed extremes so a sparsely filled
+    // bucket cannot report a value no sample ever had.
+    double target = p / 100.0 * static_cast<double>(count_);
+    if (static_cast<double>(under_) >= target && under_ > 0)
+        return std::min(lo_, max_);
+    double seen = static_cast<double>(under_);
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
-        seen += buckets_[i];
-        if (seen >= target)
-            return lo_ + width_ * (static_cast<double>(i) + 0.5);
+        double n = static_cast<double>(buckets_[i]);
+        if (n > 0.0 && seen + n >= target) {
+            double frac = (target - seen) / n;
+            double v = lo_ + width_ * (static_cast<double>(i) + frac);
+            return std::clamp(v, min_, max_);
+        }
+        seen += n;
     }
     return max_;
 }
@@ -149,6 +157,193 @@ Histogram::reset()
     std::fill(buckets_.begin(), buckets_.end(), 0);
     under_ = over_ = count_ = 0;
     sum_ = min_ = max_ = 0.0;
+}
+
+// ---------------------------------------------------------------------
+// LogBuckets / LogHistogram
+// ---------------------------------------------------------------------
+
+std::size_t
+LogBuckets::bucketIndex(std::uint64_t v)
+{
+    if (v < kSubBuckets)
+        return static_cast<std::size_t>(v);
+    // Highest set bit k >= kSubBits: range [2^k, 2^(k+1)) splits
+    // into kSubBuckets linear subbuckets of width 2^(k-kSubBits).
+    unsigned k = 63u - static_cast<unsigned>(__builtin_clzll(v));
+    std::uint64_t sub = (v - (std::uint64_t{1} << k)) >>
+                        (k - kSubBits);
+    return static_cast<std::size_t>(
+        (std::uint64_t{k - kSubBits + 1} << kSubBits) + sub);
+}
+
+std::uint64_t
+LogBuckets::bucketLow(std::size_t idx)
+{
+    if (idx < kSubBuckets)
+        return idx;
+    std::uint64_t major = (idx >> kSubBits) + kSubBits - 1;
+    std::uint64_t sub = idx & (kSubBuckets - 1);
+    return (std::uint64_t{1} << major) +
+           (sub << (major - kSubBits));
+}
+
+std::uint64_t
+LogBuckets::bucketHigh(std::size_t idx)
+{
+    if (idx < kSubBuckets)
+        return idx + 1;
+    std::uint64_t major = (idx >> kSubBits) + kSubBits - 1;
+    return bucketLow(idx) + (std::uint64_t{1} << (major - kSubBits));
+}
+
+void
+LogBuckets::sample(std::uint64_t v)
+{
+    std::size_t idx = bucketIndex(v);
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1, 0);
+    buckets_[idx]++;
+    count_++;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void
+LogBuckets::merge(const LogBuckets &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+LogBuckets::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    double target = p / 100.0 * static_cast<double>(count_);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double n = static_cast<double>(buckets_[i]);
+        if (n > 0.0 && seen + n >= target) {
+            double frac = (target - seen) / n;
+            double lo = static_cast<double>(bucketLow(i));
+            double hi = static_cast<double>(bucketHigh(i));
+            double v = lo + (hi - lo) * frac;
+            return std::clamp(v, static_cast<double>(min_),
+                              static_cast<double>(max_));
+        }
+        seen += n;
+    }
+    return static_cast<double>(max_);
+}
+
+void
+LogBuckets::reset()
+{
+    buckets_.clear();
+    count_ = sum_ = max_ = 0;
+    min_ = ~std::uint64_t{0};
+}
+
+std::vector<std::pair<std::size_t, std::uint64_t>>
+LogBuckets::nonzero() const
+{
+    std::vector<std::pair<std::size_t, std::uint64_t>> out;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        if (buckets_[i])
+            out.emplace_back(i, buckets_[i]);
+    return out;
+}
+
+void
+LogBuckets::writeJsonBody(json::Writer &w) const
+{
+    w.kv("count", count_);
+    w.kv("sum", sum_);
+    w.kv("min", minSample());
+    w.kv("max", max_);
+    w.kv("mean", mean());
+    w.key("percentiles");
+    w.beginObject();
+    w.kv("p50", percentile(50));
+    w.kv("p90", percentile(90));
+    w.kv("p99", percentile(99));
+    w.kv("p999", percentile(99.9));
+    w.endObject();
+    // Sparse encoding: [bucket-low, count] pairs; empty buckets are
+    // the common case in a log-bucketed 64-bit range.
+    w.key("buckets");
+    w.beginArray();
+    for (const auto &[idx, n] : nonzero()) {
+        w.beginArray();
+        w.value(bucketLow(idx));
+        w.value(n);
+        w.endArray();
+    }
+    w.endArray();
+}
+
+void
+LogHistogram::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(48) << (prefix + name())
+       << " mean=" << mean() << " min=" << minSample()
+       << " max=" << maxSample() << " p50=" << percentile(50)
+       << " p99=" << percentile(99) << " p999=" << percentile(99.9)
+       << " n=" << count() << " # " << desc() << "\n";
+}
+
+void
+LogHistogram::toJson(json::Writer &w) const
+{
+    w.beginObject();
+    jsonHeader(w, "log_histogram");
+    b_.writeJsonBody(w);
+    w.endObject();
+}
+
+// ---------------------------------------------------------------------
+// QueueStat
+// ---------------------------------------------------------------------
+
+void
+QueueStat::print(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(48) << (prefix + name())
+       << " twa=" << timeWeightedMean() << " peak=" << peak_
+       << " updates=" << updates_ << " # " << desc() << "\n";
+}
+
+void
+QueueStat::toJson(json::Writer &w) const
+{
+    w.beginObject();
+    jsonHeader(w, "queue");
+    w.kv("twa", timeWeightedMean());
+    w.kv("peak", peak_);
+    w.kv("updates", updates_);
+    w.kv("area", area_);
+    w.kv("last_level", lastLevel_);
+    w.kv("last_tick", lastTick_);
+    w.endObject();
+}
+
+void
+QueueStat::reset()
+{
+    area_ = 0.0;
+    lastTick_ = 0;
+    lastLevel_ = peak_ = updates_ = 0;
 }
 
 void

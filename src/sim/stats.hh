@@ -26,6 +26,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/json.hh"
@@ -155,6 +156,154 @@ class Histogram : public StatBase
     std::uint64_t under_ = 0, over_ = 0, count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0, max_ = 0.0;
+};
+
+/**
+ * Log-bucketed counting core shared by LogHistogram and the flow
+ * telemetry tables (sim/flow_stats.hh): HDR-histogram-style
+ * log-linear buckets over unsigned tick values. Values below
+ * kSubBuckets land in unit-width buckets; above that each power-of-
+ * two range splits into kSubBuckets linear subbuckets, so relative
+ * quantization error stays under 1/kSubBuckets across the full
+ * 64-bit range. Integer counts make merges commutative and
+ * percentiles bit-reproducible regardless of sample order -- the
+ * property the sharded engine's fold step relies on.
+ */
+class LogBuckets
+{
+  public:
+    static constexpr unsigned kSubBits = 4;
+    static constexpr unsigned kSubBuckets = 1u << kSubBits;
+
+    void sample(std::uint64_t v);
+
+    /** Fold @p other into this (integer adds; order-independent). */
+    void merge(const LogBuckets &other);
+
+    /** p-th percentile (0..100) with within-bucket linear
+     *  interpolation, clamped to the exact observed [min, max]. */
+    double percentile(double p) const;
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t minSample() const { return count_ ? min_ : 0; }
+    std::uint64_t maxSample() const { return max_; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    void reset();
+
+    /** Bucket index for @p v (test / report introspection). */
+    static std::size_t bucketIndex(std::uint64_t v);
+
+    /** Inclusive lower bound of bucket @p idx. */
+    static std::uint64_t bucketLow(std::size_t idx);
+
+    /** Exclusive upper bound of bucket @p idx. */
+    static std::uint64_t bucketHigh(std::size_t idx);
+
+    /** Sparse view: (bucket index, count) for non-empty buckets in
+     *  ascending index order. */
+    std::vector<std::pair<std::size_t, std::uint64_t>> nonzero() const;
+
+    /** Write the standard JSON body (count/sum/min/max/mean/
+     *  percentiles/sparse buckets) into an open object. */
+    void writeJsonBody(json::Writer &w) const;
+
+  private:
+    std::vector<std::uint64_t> buckets_; ///< grown to the max index
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * HDR-style log-bucketed histogram stat for long-tailed tick-valued
+ * distributions (latencies): p50/p90/p99/p999 with within-bucket
+ * interpolation, exact min/max, and a sparse JSON encoding. Unlike
+ * Histogram it needs no a-priori [min, max) range.
+ */
+class LogHistogram : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(std::uint64_t v) { b_.sample(v); }
+    void merge(const LogHistogram &o) { b_.merge(o.b_); }
+
+    std::uint64_t count() const { return b_.count(); }
+    double mean() const { return b_.mean(); }
+    std::uint64_t minSample() const { return b_.minSample(); }
+    std::uint64_t maxSample() const { return b_.maxSample(); }
+    double percentile(double p) const { return b_.percentile(p); }
+
+    const LogBuckets &buckets() const { return b_; }
+
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+    void toJson(json::Writer &w) const override;
+    void reset() override { b_.reset(); }
+
+  private:
+    LogBuckets b_;
+};
+
+/**
+ * Queue-occupancy stat: time-weighted-average level plus high
+ * watermark. Owners call update(now, level) at every enqueue/
+ * dequeue (gated behind FlowTelemetry::active() so disabled runs
+ * pay one load + branch); the TWA integrates level over the time it
+ * was held, so sparse updates are exact, not sampled. Exported as
+ * JSON type "queue" with the raw integral so tools can recompute.
+ */
+class QueueStat : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    update(Tick now, std::uint64_t level)
+    {
+        area_ += static_cast<double>(now - lastTick_) *
+                 static_cast<double>(lastLevel_);
+        lastTick_ = now;
+        lastLevel_ = level;
+        if (level > peak_)
+            peak_ = level;
+        updates_++;
+    }
+
+    std::uint64_t peak() const { return peak_; }
+    std::uint64_t updates() const { return updates_; }
+    std::uint64_t lastLevel() const { return lastLevel_; }
+    Tick lastTick() const { return lastTick_; }
+
+    /** Time-weighted mean level over [0, last update]. */
+    double
+    timeWeightedMean() const
+    {
+        return lastTick_ ? area_ / static_cast<double>(lastTick_)
+                         : 0.0;
+    }
+
+    void print(std::ostream &os,
+               const std::string &prefix) const override;
+    void toJson(json::Writer &w) const override;
+    void reset() override;
+
+  private:
+    double area_ = 0.0; ///< integral of level over time (level*ticks)
+    Tick lastTick_ = 0;
+    std::uint64_t lastLevel_ = 0;
+    std::uint64_t peak_ = 0;
+    std::uint64_t updates_ = 0;
 };
 
 /**

@@ -130,19 +130,23 @@ TEST(Histogram, PercentileEdgeCases)
     EXPECT_DOUBLE_EQ(empty.percentile(50), 0.0);
     EXPECT_DOUBLE_EQ(empty.percentile(99), 0.0);
 
-    // Single bucket: every sample lands at its midpoint.
+    // Single bucket: interpolation walks the bucket but the result
+    // is clamped to the observed extremes -- two samples cannot
+    // produce a value no sample ever had.
     Histogram one("h", "test", 0.0, 10.0, 1);
     one.sample(2.0);
     one.sample(9.0);
     EXPECT_DOUBLE_EQ(one.percentile(50), 5.0);
-    EXPECT_DOUBLE_EQ(one.percentile(99), 5.0);
+    EXPECT_DOUBLE_EQ(one.percentile(99), 9.0); // clamped to max
+    EXPECT_DOUBLE_EQ(one.percentile(99.9), 9.0);
 
-    // All samples below the range: percentile clamps to lo.
+    // All samples below the range: the observed extreme wins over
+    // the range edge (samples were <= 0, so p50 must not report 10).
     Histogram under("h", "test", 10.0, 20.0, 5);
     under.sample(-5.0);
     under.sample(0.0);
     EXPECT_EQ(under.underflow(), 2u);
-    EXPECT_DOUBLE_EQ(under.percentile(50), 10.0);
+    EXPECT_DOUBLE_EQ(under.percentile(50), 0.0);
 
     // All samples above the range: percentile reports the exact max.
     Histogram over("h", "test", 10.0, 20.0, 5);
@@ -150,6 +154,126 @@ TEST(Histogram, PercentileEdgeCases)
     over.sample(250.0);
     EXPECT_EQ(over.overflow(), 2u);
     EXPECT_DOUBLE_EQ(over.percentile(50), 250.0);
+
+    // p999 with fewer than 1000 samples: lands in the top bucket,
+    // clamped to the true maximum rather than the bucket edge.
+    Histogram few("h", "test", 0.0, 100.0, 10);
+    for (int i = 0; i < 10; ++i)
+        few.sample(10.0 * i + 5.0);
+    EXPECT_DOUBLE_EQ(few.percentile(99.9), 95.0);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket)
+{
+    // 100 uniform samples over [0,100) in 10 buckets: interpolation
+    // should track the true quantile to within one sample step,
+    // where midpoint snapping was off by up to half a bucket.
+    Histogram h("h", "test", 0.0, 100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.percentile(50), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(90), 90.0, 1.0);
+    EXPECT_NEAR(h.percentile(99), 99.0, 1.0);
+    // Monotone in p.
+    EXPECT_LE(h.percentile(50), h.percentile(90));
+    EXPECT_LE(h.percentile(90), h.percentile(99));
+    EXPECT_LE(h.percentile(99), h.percentile(99.9));
+}
+
+TEST(LogBuckets, BucketMathCoversTheRange)
+{
+    // Below kSubBuckets: unit-width buckets, index == value.
+    for (std::uint64_t v : {0ull, 1ull, 15ull}) {
+        EXPECT_EQ(LogBuckets::bucketIndex(v), v);
+        EXPECT_EQ(LogBuckets::bucketLow(v), v);
+        EXPECT_EQ(LogBuckets::bucketHigh(v), v + 1);
+    }
+    // At and above: each power-of-two range splits into kSubBuckets
+    // linear subbuckets; every value lands in [low, high).
+    const std::uint64_t probes[] = {16, 17, 31, 32, 1000,
+                                    std::uint64_t{1} << 20,
+                                    (std::uint64_t{1} << 40) + 12345,
+                                    ~std::uint64_t{0} >> 1};
+    for (std::uint64_t v : probes) {
+        std::size_t idx = LogBuckets::bucketIndex(v);
+        EXPECT_LE(LogBuckets::bucketLow(idx), v) << v;
+        EXPECT_GT(LogBuckets::bucketHigh(idx), v) << v;
+        // Relative bucket width stays under 1/kSubBuckets.
+        double width = static_cast<double>(
+            LogBuckets::bucketHigh(idx) - LogBuckets::bucketLow(idx));
+        EXPECT_LE(width / static_cast<double>(v),
+                  1.0 / LogBuckets::kSubBuckets + 1e-12)
+            << v;
+    }
+    // Bucket indices are monotone in the value.
+    EXPECT_LT(LogBuckets::bucketIndex(16), LogBuckets::bucketIndex(32));
+    EXPECT_LT(LogBuckets::bucketIndex(100),
+              LogBuckets::bucketIndex(1000));
+}
+
+TEST(LogBuckets, MergeIsOrderIndependent)
+{
+    // The sharded fold relies on commutative merges: A+B == B+A,
+    // bit for bit, including percentiles.
+    LogBuckets a, b, ab, ba;
+    for (std::uint64_t v : {3ull, 700ull, 1ull << 30})
+        a.sample(v);
+    for (std::uint64_t v : {5ull, 5ull, 90000ull})
+        b.sample(v);
+    ab.merge(a);
+    ab.merge(b);
+    ba.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab.count(), 6u);
+    EXPECT_EQ(ab.count(), ba.count());
+    EXPECT_EQ(ab.sum(), ba.sum());
+    EXPECT_EQ(ab.minSample(), 3u);
+    EXPECT_EQ(ab.maxSample(), std::uint64_t{1} << 30);
+    EXPECT_EQ(ab.nonzero(), ba.nonzero());
+    for (double p : {50.0, 90.0, 99.0, 99.9})
+        EXPECT_DOUBLE_EQ(ab.percentile(p), ba.percentile(p));
+}
+
+TEST(LogBuckets, PercentilesClampToObservedExtremes)
+{
+    LogBuckets lb;
+    EXPECT_DOUBLE_EQ(lb.percentile(50), 0.0); // empty
+    lb.sample(1000);
+    EXPECT_DOUBLE_EQ(lb.percentile(50), 1000.0);
+    EXPECT_DOUBLE_EQ(lb.percentile(99.9), 1000.0);
+    for (int i = 0; i < 99; ++i)
+        lb.sample(10);
+    // 99 fast samples, 1 slow: the tail percentile must surface the
+    // outlier, the median must stay inside the fast samples' unit
+    // bucket [10, 11).
+    EXPECT_GE(lb.percentile(50), 10.0);
+    EXPECT_LT(lb.percentile(50), 11.0);
+    EXPECT_DOUBLE_EQ(lb.percentile(99.9), 1000.0);
+}
+
+TEST(QueueStat, TimeWeightedAverageAndPeak)
+{
+    QueueStat q("q.depth", "test queue");
+    // Level 4 over [0,10), level 10 over [10,15), level 0 after.
+    q.update(0, 4);
+    q.update(10, 10);
+    q.update(15, 0);
+    q.update(20, 0);
+    // area = 10*4 + 5*10 + 5*0 = 90 over 20 ticks.
+    EXPECT_DOUBLE_EQ(q.timeWeightedMean(), 90.0 / 20.0);
+    EXPECT_EQ(q.peak(), 10u);
+    EXPECT_EQ(q.updates(), 4u);
+    EXPECT_EQ(q.lastLevel(), 0u);
+    EXPECT_EQ(q.lastTick(), 20u);
+
+    auto v = roundTrip(q);
+    EXPECT_EQ(v["type"].asString(), "queue");
+    EXPECT_DOUBLE_EQ(v["twa"].asNumber(), 4.5);
+    EXPECT_DOUBLE_EQ(v["peak"].asNumber(), 10.0);
+
+    q.reset();
+    EXPECT_DOUBLE_EQ(q.timeWeightedMean(), 0.0);
+    EXPECT_EQ(q.peak(), 0u);
 }
 
 TEST(JsonStats, ScalarRoundTrips)

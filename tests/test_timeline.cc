@@ -13,6 +13,8 @@
 #include <sstream>
 #include <utility>
 
+#include "core/experiment.hh"
+#include "core/system_builder.hh"
 #include "sim/event_queue.hh"
 #include "sim/json.hh"
 #include "sim/sim_object.hh"
@@ -299,6 +301,53 @@ TEST(StatSampler, ExportRoundTripsThroughJsonParser)
         2.5);
 }
 
+TEST(StatSampler, StartClampsShardedEngineToOneWorker)
+{
+    Simulation s;
+    s.enableSharding();
+    s.newShard();
+    s.setThreads(4);
+    StatSampler sampler(s, 10 * oneUs);
+    sampler.addProbe("tick", [&s] {
+        return static_cast<double>(s.curTick());
+    });
+    EXPECT_EQ(s.threads(), 4u);
+    sampler.start();
+    // The clamp lives in start(), not in any particular caller: the
+    // sampler reads live stats mid-run, so a sharded simulation
+    // must fall back to one worker the moment sampling begins.
+    EXPECT_EQ(s.threads(), 1u);
+    s.run(20 * oneUs);
+    sampler.stop();
+    EXPECT_GE(sampler.snapshotCount(), 2u);
+}
+
+TEST(StatSampler, SeriesByteIdenticalAcrossWorkerCounts)
+{
+    // The sampled series is modeled output: requesting --threads=2/4
+    // (clamped to 1 worker by start(), shard structure intact) must
+    // export byte-for-byte what --threads=1 exports.
+    auto run = [](unsigned threads) {
+        Simulation s(3);
+        s.enableSharding();
+        s.setThreads(threads);
+        mcnsim::core::ClusterSystemParams p;
+        p.numNodes = 3;
+        mcnsim::core::ClusterSystem sys(s, p);
+        StatSampler sampler(s, 50 * oneUs);
+        sampler.addRegistryStats("");
+        sampler.start();
+        runIperf(s, sys, 0, {1, 2}, oneMs);
+        sampler.stop();
+        std::ostringstream os;
+        sampler.exportJson(os, {{"command", "unit-test"}});
+        return os.str();
+    };
+    std::string t1 = run(1);
+    EXPECT_EQ(t1, run(2));
+    EXPECT_EQ(t1, run(4));
+}
+
 // ---------------------------------------------------------------------
 // Host-time event profiler
 // ---------------------------------------------------------------------
@@ -378,7 +427,7 @@ TEST(StatsDump, SimulationDumpCarriesRunMetadata)
     s.dumpStatsJson(os);
     json::Value doc = json::parse(os.str());
 
-    EXPECT_EQ(doc["schema_version"].asNumber(), 2.0);
+    EXPECT_EQ(doc["schema_version"].asNumber(), 3.0);
     EXPECT_EQ(doc["meta"]["seed"].asNumber(), 1234.0);
     EXPECT_EQ(doc["meta"]["sim_ticks"].asNumber(),
               static_cast<double>(5 * oneUs));

@@ -106,9 +106,31 @@ if want obs; then
     "$BUILD_DIR/tools/mcnsim_cli" iperf --duration-ms=1 \
         --timeline="$OBS_DIR/timeline.json" \
         --stats-series="$OBS_DIR/series.json" \
+        --flow-stats="$OBS_DIR/flow.json" \
+        --stats-json="$OBS_DIR/stats.json" \
         --profile --profile-top=5
     python3 "$REPO_ROOT/tools/timeline_summary.py" \
         "$OBS_DIR/timeline.json" --validate
+    # Flow telemetry: the standalone artifact and the embedded
+    # stats-JSON blocks must both pass schema + percentile
+    # monotonicity checks, and the report must render.
+    python3 "$REPO_ROOT/tools/flow_report.py" \
+        "$OBS_DIR/flow.json" --validate
+    python3 "$REPO_ROOT/tools/flow_report.py" \
+        "$OBS_DIR/stats.json" --validate
+    python3 "$REPO_ROOT/tools/flow_report.py" "$OBS_DIR/flow.json" \
+        --stats-json "$OBS_DIR/stats.json" --top 5 > /dev/null
+    # The flow artifact is a modeled result: byte-identical for
+    # every worker count on a shardable system.
+    for t in 1 2 4; do
+        "$BUILD_DIR/tools/mcnsim_cli" iperf --system=cluster \
+            --nodes=4 --threads="$t" --duration-ms=1 --seed=42 \
+            --flow-stats="$OBS_DIR/flow-t$t.json" > /dev/null
+    done
+    cmp "$OBS_DIR/flow-t1.json" "$OBS_DIR/flow-t2.json"
+    cmp "$OBS_DIR/flow-t1.json" "$OBS_DIR/flow-t4.json"
+    echo "flow stats: OK (validated, byte-identical across" \
+         "--threads=1/2/4)"
     python3 - "$OBS_DIR/series.json" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Render and validate mcnsim flow-telemetry artifacts.
+
+Reads the mcnsim-flow-stats JSON written by
+``mcnsim_cli <cmd> --flow-stats=PATH`` (or a schema-v3 ``--stats-json``
+document, which embeds the same ``flows`` / ``path_latency`` blocks
+when telemetry was on) and prints three tables:
+
+  top flows       per-5-tuple bytes/packets/retransmits/RTT and
+                  delivery-latency percentiles
+  per-hop path    where delivery time goes, hop by hop (INT-style:
+                  the delta between consecutive path stamps is
+                  attributed to the later hop)
+  hottest queues  time-weighted average + peak occupancy of every
+                  "queue"-typed stat (needs --stats-json)
+
+``--validate`` checks the artifact instead of rendering it: schema
+shape, bucket-count consistency, and per-flow/per-hop percentile
+monotonicity (min <= p50 <= p90 <= p99 <= p999 <= max). CI runs this
+against a freshly generated artifact (tools/ci.sh, obs stage).
+
+Usage:
+    tools/flow_report.py FLOW.json [--stats-json STATS.json] [--top N]
+    tools/flow_report.py FLOW.json --validate
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def ticks_per_us(doc):
+    """Tick-to-microsecond scale of the artifact. The standalone flow
+    artifact carries it; a --stats-json document derives it from the
+    run meta; anything else renders raw ticks (scale 1)."""
+    if "ticks_per_us" in doc:
+        return float(doc["ticks_per_us"])
+    meta = doc.get("meta", {})
+    ticks, secs = meta.get("sim_ticks"), meta.get("sim_seconds")
+    if ticks and secs:
+        return float(ticks) / (float(secs) * 1e6)
+    return 1.0
+
+
+def flow_name(f):
+    return (f"{f['src_ip']}:{f['src_port']} -> "
+            f"{f['dst_ip']}:{f['dst_port']}/{f['proto']}")
+
+
+def fmt_table(headers, rows):
+    width = [len(h) for h in headers]
+    for r in rows:
+        for c, cell in enumerate(r):
+            width[c] = max(width[c], len(cell))
+    out = []
+    line = " | ".join(h.ljust(width[c])
+                      for c, h in enumerate(headers))
+    out.append(line)
+    out.append("-+-".join("-" * w for w in width))
+    for r in rows:
+        out.append(" | ".join(cell.ljust(width[c])
+                              for c, cell in enumerate(r)))
+    return "\n".join(out)
+
+
+def pct_us(lat, key, scale):
+    return lat.get("percentiles", {}).get(key, 0.0) / scale
+
+
+def render(doc, stats_doc, top):
+    meta = doc.get("meta", {})
+    scale = ticks_per_us(doc)
+    print("flow report: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(meta.items())))
+
+    flows = doc.get("flows", [])
+    flows = sorted(flows,
+                   key=lambda f: f["tx_bytes"] + f["rx_bytes"],
+                   reverse=True)
+    rows = []
+    for f in flows[:top]:
+        rtt = f.get("rtt", {})
+        avg = (rtt["sum_ticks"] / rtt["samples"] / scale
+               if rtt.get("samples") else 0.0)
+        lat = f.get("latency", {})
+        rows.append([
+            flow_name(f),
+            f"{f['tx_bytes'] / 1e6:.2f}",
+            f"{f['rx_bytes'] / 1e6:.2f}",
+            str(f["tx_packets"] + f["rx_packets"]),
+            str(f["retransmits"]),
+            f"{avg:.1f}",
+            f"{pct_us(lat, 'p50', scale):.1f}",
+            f"{pct_us(lat, 'p99', scale):.1f}",
+            f"{pct_us(lat, 'p999', scale):.1f}",
+        ])
+    print(f"\n== top {min(top, len(flows))} of {len(flows)} flows "
+          f"by bytes ==")
+    print(fmt_table(["flow", "tx_MB", "rx_MB", "pkts", "rexmit",
+                     "rtt_us", "p50_us", "p99_us", "p999_us"], rows))
+
+    hops = doc.get("path_latency", [])
+    hops = sorted(hops, key=lambda h: h["latency"].get("sum", 0),
+                  reverse=True)
+    rows = []
+    for h in hops:
+        lat = h["latency"]
+        rows.append([
+            h["hop"],
+            str(lat.get("count", 0)),
+            f"{lat.get('mean', 0.0) / scale:.2f}",
+            f"{pct_us(lat, 'p50', scale):.2f}",
+            f"{pct_us(lat, 'p90', scale):.2f}",
+            f"{pct_us(lat, 'p99', scale):.2f}",
+            f"{pct_us(lat, 'p999', scale):.2f}",
+        ])
+    print("\n== per-hop path latency (by total time) ==")
+    print(fmt_table(["hop", "count", "mean_us", "p50_us", "p90_us",
+                     "p99_us", "p999_us"], rows))
+
+    if stats_doc is not None:
+        rows = []
+        for g in stats_doc.get("groups", []):
+            for s in g.get("stats", []):
+                if s.get("type") != "queue":
+                    continue
+                rows.append((s.get("twa", 0.0), [
+                    f"{g['name']}.{s['name']}",
+                    f"{s.get('twa', 0.0):.1f}",
+                    str(int(s.get("peak", 0))),
+                    str(int(s.get("updates", 0))),
+                ]))
+        rows.sort(key=lambda r: r[0], reverse=True)
+        print(f"\n== hottest queues (time-weighted avg) ==")
+        print(fmt_table(["queue", "twa", "peak", "updates"],
+                        [r for _, r in rows[:top]]))
+
+
+def check_latency(where, lat, problems):
+    for key in ("count", "sum", "min", "max", "mean", "percentiles",
+                "buckets"):
+        if key not in lat:
+            problems.append(f"{where}: latency block missing {key!r}")
+            return
+    total = sum(n for _, n in lat["buckets"])
+    if total != lat["count"]:
+        problems.append(
+            f"{where}: bucket counts sum to {total}, "
+            f"count says {lat['count']}")
+    bounds = [b for b, _ in lat["buckets"]]
+    if bounds != sorted(bounds):
+        problems.append(f"{where}: bucket bounds not ascending")
+    p = lat["percentiles"]
+    seq = [("min", lat["min"]), ("p50", p.get("p50")),
+           ("p90", p.get("p90")), ("p99", p.get("p99")),
+           ("p999", p.get("p999")), ("max", lat["max"])]
+    for (an, av), (bn, bv) in zip(seq, seq[1:]):
+        if av is None or bv is None:
+            problems.append(f"{where}: missing percentile")
+            return
+        if av > bv + 1e-9:
+            problems.append(
+                f"{where}: non-monotone {an}={av} > {bn}={bv}")
+
+
+def validate(doc):
+    problems = []
+    for key in ("flows", "path_latency"):
+        if key not in doc:
+            problems.append(f"top level: missing {key!r}")
+    for i, f in enumerate(doc.get("flows", [])):
+        where = f"flow[{i}]"
+        for key in ("src_ip", "dst_ip", "src_port", "dst_port",
+                    "proto", "tx_bytes", "tx_packets", "rx_bytes",
+                    "rx_packets", "retransmits", "first_tick",
+                    "last_tick", "rtt", "latency"):
+            if key not in f:
+                problems.append(f"{where}: missing {key!r}")
+                break
+        else:
+            where = flow_name(f)
+            if f["first_tick"] > f["last_tick"]:
+                problems.append(
+                    f"{where}: first_tick {f['first_tick']} > "
+                    f"last_tick {f['last_tick']}")
+            rtt = f["rtt"]
+            if (rtt.get("samples", 0) > 0
+                    and rtt["min_ticks"] > rtt["max_ticks"]):
+                problems.append(f"{where}: rtt min > max")
+            if f["latency"].get("count", 0) > 0:
+                check_latency(where, f["latency"], problems)
+    for h in doc.get("path_latency", []):
+        if "hop" not in h or "latency" not in h:
+            problems.append("path_latency entry missing hop/latency")
+            continue
+        if h["latency"].get("count", 0) > 0:
+            check_latency(f"hop {h['hop']}", h["latency"], problems)
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    ap.add_argument("flow_json",
+                    help="mcnsim-flow-stats artifact (or a schema-v3 "
+                         "--stats-json document)")
+    ap.add_argument("--stats-json",
+                    help="stats JSON for the hottest-queue table")
+    ap.add_argument("--top", type=int, default=10,
+                    help="rows per table (default 10)")
+    ap.add_argument("--validate", action="store_true",
+                    help="check schema + percentile monotonicity "
+                         "instead of rendering")
+    args = ap.parse_args()
+
+    doc = load(args.flow_json)
+    if args.validate:
+        problems = validate(doc)
+        for p in problems:
+            print(f"flow_report: {p}", file=sys.stderr)
+        n_flows = len(doc.get("flows", []))
+        n_hops = len(doc.get("path_latency", []))
+        print(f"flow_report: {args.flow_json}: {n_flows} flows, "
+              f"{n_hops} hops, {len(problems)} problem"
+              f"{'' if len(problems) == 1 else 's'}")
+        return 1 if problems else 0
+
+    stats_doc = load(args.stats_json) if args.stats_json else None
+    render(doc, stats_doc, args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,11 @@
  *   --profile-top=N                (rows in that table, default 20)
  *   --trace-ring=N                 (flight-recorder ring capacity,
  *                                   also via MCNSIM_TRACE_RING)
+ *   --flow-stats[=PATH]            (per-flow tables + per-hop path
+ *                                   latency histograms as JSON;
+ *                                   - = stdout. Also unlocks the
+ *                                   flows/path_latency blocks and
+ *                                   queue watermarks in --stats-json)
  */
 
 #include <algorithm>
@@ -61,6 +66,7 @@
 #include "dist/mapreduce.hh"
 #include "dist/npb.hh"
 #include "sim/fault.hh"
+#include "sim/flow_stats.hh"
 #include "sim/stat_sampler.hh"
 #include "sim/timeline.hh"
 #include "sim/trace_ring.hh"
@@ -219,21 +225,31 @@ class ObsSession
         if (a_.has("profile"))
             for (std::size_t i = 0; i < s_.shardCount(); ++i)
                 s_.shardQueue(i).setProfiling(true);
+        if (a_.has("flow-stats"))
+            sim::FlowTelemetry::instance().enable();
         if (a_.has("stats-series")) {
-            if (s_.threads() > 1) {
+            if (s_.threads() > 1)
                 std::fprintf(stderr,
                              "note: --stats-series forces "
                              "--threads=1 (the sampler reads live "
                              "stats mid-run)\n");
-                s_.setThreads(1);
-            }
             auto period = static_cast<sim::Tick>(a_.getInt(
                               "series-period-us", 50)) *
                           sim::oneUs;
             sampler_ =
                 std::make_unique<sim::StatSampler>(s_, period);
             sampler_->addRegistryStats(a_.get("series-filter", ""));
-            sampler_->start();
+            if (sim::FaultPlan::active()) {
+                // Chaos visibility: the armed plan's fire count and
+                // the recovery counters (rxCsumDrops, resyncs,
+                // ringCrcDrops -- registry stats, captured above)
+                // turn the degradation story into a time series.
+                auto &plan = sim::FaultPlan::instance();
+                sampler_->addProbe("fault.fires", [&plan] {
+                    return static_cast<double>(plan.totalFires());
+                });
+            }
+            sampler_->start(); // clamps a sharded run to 1 worker
         }
     }
 
@@ -252,6 +268,14 @@ class ObsSession
             rc |= writeTo(a_.get("stats-series", "-"),
                           [&](std::ostream &os) {
                               sampler_->exportJson(os, meta);
+                          });
+        }
+        if (a_.has("flow-stats")) {
+            auto &tel = sim::FlowTelemetry::instance();
+            tel.disable();
+            rc |= writeTo(a_.get("flow-stats", "-"),
+                          [&](std::ostream &os) {
+                              tel.exportJson(os, meta);
                           });
         }
         if (a_.has("timeline")) {
@@ -735,6 +759,11 @@ usage()
         "       --profile               host-time profile table\n"
         "       --profile-top=N         rows in that table\n"
         "       --trace-ring=N          flight-recorder capacity\n"
+        "       --flow-stats[=PATH|-]   per-flow tables + per-hop\n"
+        "                               path-latency histograms;\n"
+        "                               also adds flows/path_latency\n"
+        "                               blocks and queue watermarks\n"
+        "                               to --stats-json\n"
         "trace flags (also via MCNSIM_DEBUG): Event MCNDriver\n"
         "       MCNDma NIC Switch TCP DRAM IRQ Fault ALL\n");
 }

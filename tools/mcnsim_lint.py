@@ -51,6 +51,17 @@ this checker enforces them textually:
                  non-packet byte storage (e.g. a socket stream ring)
                  annotates the site.
 
+  stat-name      Stat constructor names (Scalar / Average /
+                 Histogram / LogHistogram / QueueStat) must be
+                 literal, lowerCamel, optionally dotted:
+                 "txBytes", "txRing.usedBytes". The registry
+                 qualifies them as <group>.<stat>, and every
+                 downstream consumer (--series-filter substring
+                 match, check_perf keys, flow_report queue table)
+                 addresses stats by that dotted path -- an
+                 irregular or computed name breaks the addressing
+                 silently.
+
   this-capture   An event-queue schedule()/scheduleIn() callback
                  capturing [this] must belong to a SimObject (whose
                  lifetime the Simulation pins until after the queue
@@ -138,6 +149,17 @@ PACKET_ALLOC_RE = re.compile(
 FAULT_POINT_RE = re.compile(r"\bFAULT_POINT\s*\(\s*([^)]*)\)")
 FAULT_POINT_OK_RE = re.compile(r'^"[a-z][a-z0-9-]*"$')
 
+# A stat being constructed: type, member/variable name, then the
+# first constructor argument. Captures a literal first argument, or
+# whatever non-literal expression sits there (group 2) so computed
+# names are flagged too.
+STAT_CTOR_RE = re.compile(
+    r"\b(?:Scalar|Average|Histogram|LogHistogram|QueueStat)\s+"
+    r"\w+\s*[({]\s*(?:\"([^\"]*)\"|([^,)}]+))"
+)
+STAT_NAME_OK_RE = re.compile(
+    r"^[a-z][a-zA-Z0-9]*(\.[a-z][a-zA-Z0-9]*)*$")
+
 SUPPRESS_RE = re.compile(r"//\s*lint-ok:\s*([\w-]+)")
 
 
@@ -223,6 +245,29 @@ def check_file(path, rel, findings):
                  "raw heap allocation of packet byte storage; use "
                  "BufferPool::acquire (net/buffer_pool.hh) or "
                  "annotate a non-packet use"))
+
+        # stat-name: registry stats are addressed as <group>.<stat>
+        # by substring filters and report tools; names must be
+        # literal and dotted-lowerCamel so that addressing works.
+        if (in_src
+                and rel not in ("src/sim/stats.hh",
+                                "src/sim/stats.cc")
+                and not suppressed(lines, i, "stat-name")):
+            m = STAT_CTOR_RE.search(stripped)
+            if m:
+                literal, expr = m.group(1), m.group(2)
+                if literal is None:
+                    findings.append(
+                        (rel, i + 1, "stat-name",
+                         f"stat name {expr.strip()!r} is not a "
+                         "string literal; computed names hide the "
+                         "stat from filters and report tools"))
+                elif not STAT_NAME_OK_RE.match(literal):
+                    findings.append(
+                        (rel, i + 1, "stat-name",
+                         f'stat name "{literal}" must match '
+                         "lowerCamel[.lowerCamel...] (e.g. "
+                         '"txBytes", "txRing.usedBytes")'))
 
         # cross-shard: scheduling on a shard-indexed queue bypasses
         # the mailbox ordering key (a race under --threads).
