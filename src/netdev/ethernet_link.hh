@@ -27,6 +27,7 @@
 #include <utility>
 
 #include "net/packet.hh"
+#include "sim/annotate.hh"
 #include "sim/fault.hh"
 #include "sim/sim_object.hh"
 
@@ -192,6 +193,10 @@ class EthernetLink : public sim::SimObject
     double lossRate_ = 0.0;
     double corruptRate_ = 0.0;
     bool burst_ = true;
+    MCNSIM_SHARD_SAFE("construction-time default: written only by "
+                      "tests/CLI before a system is built, read "
+                      "once per link constructor; never mutated "
+                      "while an event loop runs");
     static inline bool burstDefault_ = true;
     std::uint64_t burstDelivered_ = 0;
     Direction ab_, ba_;

@@ -15,14 +15,11 @@
 
 namespace mcnsim::netdev {
 
-namespace {
-std::uint32_t nextIrqLine = 100;
-} // namespace
-
 Nic::Nic(sim::Simulation &s, std::string name, net::MacAddr mac,
          os::Kernel &kernel, NicParams params)
     : os::NetDevice(s, std::move(name), mac, 1500),
-      kernel_(kernel), params_(params), irqLine_(nextIrqLine++)
+      kernel_(kernel), params_(params),
+      irqLine_(kernel.irq().allocateLine())
 {
     regStat(&statRxDrops_);
     regStat(&statTsoSegs_);

@@ -30,6 +30,17 @@ class IrqController : public sim::SimObject
     void request(std::uint32_t irq, Handler handler);
 
     /**
+     * Allocate the next free dynamic IRQ line on this controller.
+     * Lines are a per-node resource: allocating from a per-node
+     * counter keeps a node's line numbers a pure function of its
+     * own device construction order -- independent of other nodes,
+     * other Simulations in the process, and (under --threads) other
+     * shards' workers. (A process-global counter here was the
+     * shard-static analyzer's first real find.)
+     */
+    std::uint32_t allocateLine() { return nextDynamicLine_++; }
+
+    /**
      * Raise IRQ @p irq: after the interrupt entry cost on the
      * least-loaded core, the handler runs (in "hardirq context").
      */
@@ -43,6 +54,9 @@ class IrqController : public sim::SimObject
   private:
     cpu::CpuCluster &cpus_;
     std::map<std::uint32_t, Handler> handlers_;
+    /** First dynamic line; low numbers stay for fixed assignments
+     *  like mcnRxIrqLine. */
+    std::uint32_t nextDynamicLine_ = 100;
 
     sim::Scalar statRaised_{"irqsRaised", "interrupts raised"};
     sim::Scalar statSpurious_{"irqsSpurious",

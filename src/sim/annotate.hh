@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shard-safety annotations for the static analyzer
+ * (tools/mcnsim_analyze.py, DESIGN.md §11 "Determinism contract").
+ *
+ * The parallel engine (DESIGN.md §9) promises byte-identical output
+ * for any --threads=N. That promise dies quietly the moment model
+ * code grows mutable process-global state whose value or access
+ * order depends on thread scheduling -- the exact bug class that hit
+ * the TCP ISS generators during the PDES bring-up. The analyzer
+ * therefore rejects every mutable namespace-scope or function-local
+ * static/thread_local reachable from model code (rule R1) unless
+ * the site carries an MCNSIM_SHARD_SAFE annotation stating *why* it
+ * cannot leak thread scheduling into modeled behaviour.
+ *
+ * Usage -- the annotation goes on the line of, or directly above,
+ * the declaration it blesses:
+ *
+ *   MCNSIM_SHARD_SAFE("mutex-guarded registry; stats-only, never "
+ *                     "read by modeled decisions");
+ *   static Registry r;
+ *
+ * The reason must be a non-empty string literal: it is the safety
+ * argument of record (greppable: `git grep MCNSIM_SHARD_SAFE`), and
+ * tools/mcnsim_analyze.py refuses annotations without one. Valid
+ * arguments are things like:
+ *
+ *  - single-writer: only written before/after run windows, or only
+ *    by the owning shard's worker;
+ *  - synchronized: mutex/atomic-guarded AND the value never feeds a
+ *    modeled decision (stats, interning, host-side observability);
+ *  - clamped: the feature forces ShardSet::run to one worker while
+ *    active (trace ring, timeline, fault plan).
+ *
+ * "It has a mutex" alone is NOT sufficient -- a mutex serializes
+ * access but does not make the access *order* deterministic; state
+ * that modeled code reads back must also be order-independent.
+ *
+ * The macro compiles to a static_assert over the literal -- zero
+ * bytes, zero branches, usable at namespace, class, and function
+ * scope -- so annotating a site can never perturb modeled metrics
+ * (the perf gate pins this).
+ */
+
+#ifndef MCNSIM_SIM_ANNOTATE_HH
+#define MCNSIM_SIM_ANNOTATE_HH
+
+/**
+ * Declare that the mutable static on this or the next declaration
+ * cannot leak thread scheduling into modeled behaviour. @p reason
+ * must be a non-empty string literal carrying the safety argument.
+ */
+#define MCNSIM_SHARD_SAFE(reason)                                      \
+    static_assert(sizeof(reason) > 1,                                  \
+                  "MCNSIM_SHARD_SAFE needs a non-empty reason")
+
+#endif // MCNSIM_SIM_ANNOTATE_HH

@@ -5,6 +5,7 @@
  * callback events.
  */
 
+#include "sim/annotate.hh"
 #include "sim/event_queue.hh"
 
 #include <algorithm>
@@ -19,6 +20,8 @@
 
 namespace mcnsim::sim {
 
+MCNSIM_SHARD_SAFE("thread_local dispatch context; see the matching "
+                  "annotation on the declaration in event_queue.hh");
 thread_local EventQueue *EventQueue::currentQueue_ = nullptr;
 
 const char *
@@ -29,6 +32,10 @@ internEventName(const std::string &name)
     // shard worker (a dynamic event name in a window), so the pool
     // is mutex-guarded; the fast path (string-literal names) never
     // comes here.
+    MCNSIM_SHARD_SAFE("mutex-guarded intern pool: insertion order "
+                      "varies across runs/threads but only the "
+                      "interned bytes are ever read back, and equal "
+                      "strings intern to equal bytes");
     static std::mutex mtx;
     static std::unordered_set<std::string> pool;
     std::lock_guard<std::mutex> lk(mtx);
@@ -392,6 +399,9 @@ EventQueue::profileEntries() const
 {
     std::vector<ProfileEntry> out;
     out.reserve(profile_.size());
+    // analyze-ok: ptr-unordered-iter (sorted by (hostNs, name)
+    // below before anything is emitted; host-time observability
+    // only, never feeds modeled state)
     for (const auto &[name, row] : profile_)
         out.push_back(ProfileEntry{name, row.first, row.second});
     std::sort(out.begin(), out.end(),

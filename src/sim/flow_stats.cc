@@ -3,6 +3,7 @@
  * FlowTelemetry implementation.
  */
 
+#include "sim/annotate.hh"
 #include "sim/flow_stats.hh"
 
 #include <algorithm>
@@ -16,6 +17,8 @@ namespace mcnsim::sim {
 FlowTelemetry &
 FlowTelemetry::instance()
 {
+    MCNSIM_SHARD_SAFE("per-shard single-writer tables inside; the "
+                      "enable gate flips only outside run windows");
     static FlowTelemetry t;
     return t;
 }

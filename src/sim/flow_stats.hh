@@ -51,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/annotate.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -60,6 +61,10 @@ namespace detail {
 /** Mirror of "flow telemetry enabled", inline so record-site gates
  *  compile to one load + branch. Maintained by FlowTelemetry::
  *  enable()/disable(). */
+MCNSIM_SHARD_SAFE("config gate: toggled by enable()/disable() "
+                  "outside run windows only; read-only during a "
+                  "window, and the tables it gates are per-shard "
+                  "single-writer");
 inline bool flowTelemetryActive = false;
 } // namespace detail
 

@@ -3,6 +3,7 @@
  * Logging implementation: trace-flag registry and status output.
  */
 
+#include "sim/annotate.hh"
 #include "sim/logging.hh"
 
 #include <cstdlib>
@@ -15,11 +16,17 @@ namespace mcnsim::sim {
 
 namespace {
 
+MCNSIM_SHARD_SAFE("trace-echo toggle: flipped by tests/CLI outside "
+                  "run windows; traces force one worker anyway");
 bool echoTraces = true;
 
 std::set<std::string> &
 flagSet()
 {
+    MCNSIM_SHARD_SAFE("debug-flag set: parsed once during static "
+                      "init, mutated by setFlag() outside run "
+                      "windows only; any active flag clamps the "
+                      "ShardSet to one worker");
     static std::set<std::string> flags = [] {
         std::set<std::string> s;
         if (const char *env = std::getenv("MCNSIM_DEBUG")) {
@@ -42,6 +49,8 @@ flagSet()
     return flags;
 }
 
+MCNSIM_SHARD_SAFE("CLI-set output toggle: written during argument "
+                  "parsing before any event loop runs");
 bool quietMode = false;
 
 /** Force the one-time MCNSIM_DEBUG parse during static init so

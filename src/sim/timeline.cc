@@ -4,6 +4,7 @@
  * trace-event JSON export.
  */
 
+#include "sim/annotate.hh"
 #include "sim/timeline.hh"
 
 #include <algorithm>
@@ -17,6 +18,10 @@ namespace mcnsim::sim {
 Timeline &
 Timeline::instance()
 {
+    MCNSIM_SHARD_SAFE("process-wide recorder, but ShardSet::run "
+                      "clamps to one worker while the timeline is "
+                      "active; start()/stop() happen outside run "
+                      "windows");
     static Timeline tl;
     return tl;
 }

@@ -3,6 +3,7 @@
  * Flight-recorder trace ring implementation.
  */
 
+#include "sim/annotate.hh"
 #include "sim/trace_ring.hh"
 
 #include <cstdlib>
@@ -14,6 +15,9 @@ TraceRing::instance()
 {
     // MCNSIM_TRACE_RING=N sizes the process-wide ring at first use
     // (the CLI's --trace-ring flag calls setCapacity() instead).
+    MCNSIM_SHARD_SAFE("process-wide trace ring, but tracing clamps "
+                      "the ShardSet to one worker; capacity is set "
+                      "during static init or CLI parsing");
     static TraceRing ring = [] {
         std::size_t cap = defaultCapacity;
         if (const char *env = std::getenv("MCNSIM_TRACE_RING")) {

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Analyzer fixture: R1 shard-static violations. Every line carrying
+ * an expect-tag comment must be flagged by tools/mcnsim_analyze.py
+ * --self-test; every other line must stay clean. These files are
+ * classified only, never compiled.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace mcnsim::fixture {
+
+// Namespace-scope mutable state: the classic determinism leak.
+std::uint64_t packetsSeen = 0; // expect: shard-static
+
+// `static` at namespace scope is still process-global.
+static int retryBudget = 3; // expect: shard-static
+
+// Header-style inline variable: one object per process.
+inline bool warmedUp = false; // expect: shard-static
+
+// thread_local is per-*worker*, not per-shard: a shard migrating
+// between workers reads a different copy.
+thread_local int lastShardHint = -1; // expect: shard-static
+
+// Multi-line declaration: flagged at its first line.
+static std::string // expect: shard-static
+    lastErrorText;
+
+int
+nextSequence()
+{
+    // Function-local static: survives across calls and across
+    // Simulations in one process.
+    static std::uint32_t seq = 0; // expect: shard-static
+    return static_cast<int>(++seq);
+}
+
+} // namespace mcnsim::fixture

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Analyzer fixture: R2 clean counterpart. Ordered containers,
+ * value-keyed unordered containers, and a justified suppression.
+ */
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace mcnsim::fixture {
+
+struct Conn;
+
+struct FlowTableOrdered
+{
+    // Ordered by a stable value key: iteration order is a pure
+    // function of the modeled flow IDs.
+    std::map<std::uint64_t, std::uint64_t> byFlowId;
+    // Unordered is fine when the key is a value, not an address.
+    std::unordered_map<std::uint32_t, std::uint64_t> byNodeId;
+    std::unordered_map<Conn *, std::uint64_t> scratch;
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &[id, n] : byFlowId)
+            sum += n;
+        for (const auto &[id, n] : byNodeId)
+            sum += n;
+        // analyze-ok: ptr-unordered-iter (order-independent sum)
+        for (const auto &[c, n] : scratch)
+            sum += n;
+        return sum;
+    }
+};
+
+} // namespace mcnsim::fixture

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Analyzer fixture: R2 ptr-unordered-iter violations. Iterating an
+ * unordered container keyed on pointers visits entries in allocator
+ * -address order, i.e. in thread-scheduling order.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mcnsim::fixture {
+
+struct Conn;
+
+struct FlowTable
+{
+    std::unordered_map<Conn *, std::uint64_t> bytesByConn;
+    std::unordered_set<const Conn *> active;
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &[c, n] : bytesByConn) // expect: ptr-unordered-iter
+            sum += n;
+        return sum;
+    }
+
+    std::size_t
+    walkActive() const
+    {
+        std::size_t hops = 0;
+        for (auto it = active.begin(); it != active.end(); ++it) // expect: ptr-unordered-iter
+            ++hops;
+        return hops;
+    }
+};
+
+} // namespace mcnsim::fixture

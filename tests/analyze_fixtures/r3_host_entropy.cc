@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Analyzer fixture: R3 host-entropy violations. Host randomness and
+ * host wall-clock reads make modeled behaviour a function of the
+ * machine the simulation runs on.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace mcnsim::fixture {
+
+int
+jitteredBackoff(int base)
+{
+    return base + rand() % 7; // expect: host-entropy
+}
+
+unsigned
+seedFromHardware()
+{
+    std::random_device rd; // expect: host-entropy
+    srand(rd()); // expect: host-entropy
+    return 0;
+}
+
+long
+wrongTimestamp()
+{
+    auto t0 = std::chrono::steady_clock::now(); // expect: host-entropy
+    (void)t0;
+    long stamp = std::time(nullptr); // expect: host-entropy
+    return stamp;
+}
+
+} // namespace mcnsim::fixture

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Analyzer fixture: R4 clean counterpart. Cross-shard work rides
+ * the mailbox; same-shard work schedules on the caller's own queue.
+ */
+
+#include <cstddef>
+
+namespace mcnsim::fixture {
+
+struct Simulation; // stands in for sim::Simulation
+struct EventQueue;
+
+EventQueue &ownQueue();
+
+void
+rightMailbox(Simulation &simu, std::size_t peer)
+{
+    // The mailbox merges by (tick, priority, srcShard, seq), so
+    // delivery order is deterministic regardless of worker timing.
+    simu.postCrossShard(peer, nullptr, 10);
+}
+
+void
+rightOwnQueue()
+{
+    // Scheduling on the queue this code executes on is the normal,
+    // race-free path.
+    ownQueue().scheduleIn(nullptr, 10, "fixture.evt");
+}
+
+void
+rightInspection(Simulation &simu, std::size_t peer)
+{
+    // Reading a peer queue's clock is fine; only mutation races.
+    (void)simu.shardQueue(peer).curTick();
+}
+
+} // namespace mcnsim::fixture

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Analyzer fixture: R4 cross-shard-schedule violations. Directly
+ * scheduling on another shard's queue races with that shard's
+ * worker; the mailbox (Simulation::postCrossShard) is the only safe
+ * cross-shard edge.
+ */
+
+#include <cstddef>
+
+namespace mcnsim::fixture {
+
+struct Simulation; // stands in for sim::Simulation
+
+void
+wrongDirectSchedule(Simulation &simu, std::size_t peer)
+{
+    simu.shardQueue(peer).schedule(nullptr); // expect: cross-shard-schedule
+}
+
+void
+wrongAliasedSchedule(Simulation &simu, std::size_t peer)
+{
+    auto &q = simu.shardQueue(peer);
+    q.scheduleIn(nullptr, 10, "fixture.evt"); // expect: cross-shard-schedule
+}
+
+void
+wrongTypedAlias(Simulation &simu, std::size_t peer)
+{
+    EventQueue &dst = simu.shardQueue(peer);
+    dst.reschedule(nullptr, 20); // expect: cross-shard-schedule
+}
+
+} // namespace mcnsim::fixture

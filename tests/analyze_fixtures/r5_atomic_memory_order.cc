@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Analyzer fixture: R5 atomic-memory-order violations. Default
+ * (seq-cst) atomic operations hide the intended ordering contract
+ * and cost fences the barrier protocol avoids on ARM.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace mcnsim::fixture {
+
+struct Engine
+{
+    std::atomic<std::uint64_t> generation{0};
+    std::atomic<bool> stopFlag{false};
+
+    void
+    publish()
+    {
+        generation.store(1); // expect: atomic-memory-order
+    }
+
+    std::uint64_t
+    observe() const
+    {
+        return generation.load(); // expect: atomic-memory-order
+    }
+
+    void
+    operatorForms()
+    {
+        ++generation; // expect: atomic-memory-order
+        stopFlag = true; // expect: atomic-memory-order
+    }
+
+    void
+    rmw()
+    {
+        generation.fetch_add(1); // expect: atomic-memory-order
+    }
+};
+
+} // namespace mcnsim::fixture

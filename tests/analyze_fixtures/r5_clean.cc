@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Analyzer fixture: R5 clean counterpart. Every operation names its
+ * memory order; one deliberate seq-cst op carries a justification.
+ */
+
+#include <atomic>
+#include <cstdint>
+
+namespace mcnsim::fixture {
+
+struct Engine
+{
+    std::atomic<std::uint64_t> generation{0};
+    std::atomic<bool> stopFlag{false};
+    std::atomic<bool> initDone{false};
+
+    void
+    publish()
+    {
+        generation.store(1, std::memory_order_release);
+    }
+
+    std::uint64_t
+    observe() const
+    {
+        return generation.load(std::memory_order_acquire);
+    }
+
+    void
+    rmw()
+    {
+        generation.fetch_add(1, std::memory_order_acq_rel);
+        std::uint64_t expect = 2;
+        generation.compare_exchange_strong(
+            expect, 3, std::memory_order_acq_rel,
+            std::memory_order_acquire);
+    }
+
+    void
+    oneShot()
+    {
+        // analyze-ok: atomic-memory-order (one-shot init flag)
+        initDone.store(true);
+    }
+};
+
+} // namespace mcnsim::fixture

@@ -135,6 +135,24 @@ TEST(IrqTest, UnknownIrqCountedSpurious)
     EXPECT_EQ(irq.raisedCount(), 1u);
 }
 
+TEST(IrqTest, DynamicLinesArePerControllerNotPerProcess)
+{
+    // allocateLine() draws from a per-controller counter: a node's
+    // line numbers are a pure function of its own device
+    // construction order. A process-global counter here (the
+    // shard-static analyzer's first real find) made them depend on
+    // how many controllers the process had already built.
+    Simulation s;
+    CpuCluster cpus(s, "cpus", 1, 1e9);
+    os::IrqController first(s, "irq0", cpus);
+    EXPECT_EQ(first.allocateLine(), 100u);
+    EXPECT_EQ(first.allocateLine(), 101u);
+
+    os::IrqController second(s, "irq1", cpus);
+    EXPECT_EQ(second.allocateLine(), 100u);
+    EXPECT_EQ(first.allocateLine(), 102u);
+}
+
 TEST(SoftirqTest, TaskletsSerialise)
 {
     Simulation s;

@@ -132,6 +132,21 @@ TEST(Pdes, BurstCoalescingInvisibleToModeledStateSharded)
     EXPECT_EQ(clusterIperfDigest(42, 4), off1);
 }
 
+TEST(Pdes, RepeatedConstructionByteIdenticalAcrossThreadCounts)
+{
+    // The digest must be a pure function of (scenario, seed): a
+    // second Simulation built in the same process -- at any worker
+    // count -- must reproduce the first byte for byte. This is the
+    // regression net for process-global construction-time state
+    // (e.g. the NIC IRQ-line counter that moved into
+    // os::IrqController::allocateLine).
+    std::string first = clusterIperfDigest(42, 1);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(clusterIperfDigest(42, 1), first);
+    EXPECT_EQ(clusterIperfDigest(42, 2), first);
+    EXPECT_EQ(clusterIperfDigest(42, 4), first);
+}
+
 TEST(Pdes, ClusterIperfByteIdenticalAcrossThreadCounts)
 {
     std::string one = clusterIperfDigest(42, 1);

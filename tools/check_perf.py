@@ -22,6 +22,12 @@ are skipped (with a note) rather than compared -- wall clock at
 ``--threads=1`` baseline. Modeled metrics are thread-count
 independent (DESIGN.md §9) and stay checked.
 
+The modeled-metric bit-identity check doubles as the proof that the
+determinism-contract annotations (MCNSIM_SHARD_SAFE,
+sim/annotate.hh) compile to nothing: the shard-safety sweep that
+seeded tools/analyze_baseline.json left every modeled metric
+byte-for-byte unchanged, and this gate keeps it that way.
+
 Usage:
   tools/check_perf.py [--baseline FILE] [--artifacts-dir DIR]
                       [--update] [BENCH ...]

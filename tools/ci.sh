@@ -3,7 +3,9 @@
 #
 #   build    configure + build the default tree
 #   test     tier-1 ctest suite
-#   lint     mcnsim_lint.py --check, plus clang-tidy when installed
+#   lint     mcnsim_lint.py --check and mcnsim_analyze.py --check
+#            (the shard-safety analyzer: baseline drift + fixture
+#            self-test), plus clang-tidy when installed
 #   benches  regenerate bench artifacts (perf gate skipped -- CI
 #            boxes are too noisy; run tools/run_benches.sh locally)
 #   perf     regenerate bench artifacts AND run the
@@ -23,15 +25,19 @@
 #            determinism selfcheck across mcn levels 0-5
 #   asan     address+undefined sanitizers: ctest + CLI smoke
 #   ubsan    undefined-only sanitizer run
+#   tsan     ThreadSanitizer run of the concurrency surface: PDES
+#            engine tests, multi-threaded CLI selfchecks, and a
+#            cross-thread-count flow-stats byte-compare
+#            (tools/run_sanitizers.sh --matrix thread)
 #
 # Usage: tools/ci.sh [--build-dir DIR] [--skip-benches]
 #                    [--with-perf] [--stages S1,S2,...]
-# Default stages: build,test,lint,benches,obs,chaos,pdes,checked,asan,ubsan
+# Default stages: build,test,lint,benches,obs,chaos,pdes,checked,asan,ubsan,tsan
 set -eu
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$REPO_ROOT/build"
-STAGES="build,test,lint,benches,obs,chaos,pdes,checked,asan,ubsan"
+STAGES="build,test,lint,benches,obs,chaos,pdes,checked,asan,ubsan,tsan"
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -66,6 +72,7 @@ if want lint; then
     echo
     echo "== stage: lint =="
     python3 "$REPO_ROOT/tools/mcnsim_lint.py" --check
+    python3 "$REPO_ROOT/tools/mcnsim_analyze.py" --check
     if command -v clang-tidy > /dev/null 2>&1; then
         cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
             -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
@@ -236,6 +243,13 @@ if want ubsan; then
     echo "== stage: ubsan =="
     "$REPO_ROOT/tools/run_sanitizers.sh" \
         --build-root "$BUILD_DIR-san" --matrix "undefined"
+fi
+
+if want tsan; then
+    echo
+    echo "== stage: tsan =="
+    "$REPO_ROOT/tools/run_sanitizers.sh" \
+        --build-root "$BUILD_DIR-san" --matrix "thread"
 fi
 
 echo

@@ -16,30 +16,12 @@ this checker enforces them textually:
                  disabled-tracing hot path costs a single predictable
                  branch (see EventQueue::popAndRun for the pattern).
 
-  wall-clock     Model code must not read host wall-clock time
-                 (steady_clock, system_clock, gettimeofday, ...):
-                 simulated behaviour must depend only on the event
-                 queue and the seeded RNG, or --selfcheck and the
-                 determinism tests break. Host-time observability
-                 (Simulation's elapsed-time meta, the event profiler)
-                 lives in an explicit allowlist.
-
   fault-site     FAULT_POINT() declarations must pass a string
                  literal matching [a-z][a-z0-9-]*: site names are
                  the addressing scheme for fault specs ("mcn1.iface.
                  rx-irq-lost"), so a computed or irregular point
                  name silently makes a site unreachable from the
                  documented spec grammar.
-
-  cross-shard    Model code must not call schedule()/scheduleIn()
-                 on a queue fetched via shardQueue(): under the
-                 parallel engine that queue may belong to another
-                 shard's worker thread, and a direct schedule() is a
-                 data race plus a determinism hole. Cross-shard work
-                 goes through Simulation::postCrossShard (the
-                 mailbox API, DESIGN.md §9); the checked build traps
-                 violations at runtime, this rule catches them at
-                 review time.
 
   packet-alloc   Packet byte storage must come from the slab pool
                  (net/buffer_pool.hh): a raw `new uint8_t[]` /
@@ -69,6 +51,12 @@ this checker enforces them textually:
                  callback fires. Non-SimObject owners that cancel
                  their event in the destructor annotate the site.
 
+The determinism-contract rules that used to live here (wall-clock
+host-time reads, cross-shard schedule()) moved to the shard-safety
+analyzer, tools/mcnsim_analyze.py (rules host-entropy and
+cross-shard-schedule), which owns them with scope tracking and a
+reviewed baseline -- one owner per rule.
+
 Suppress a finding with a comment on the line or the line above:
 
     // lint-ok: <rule> (<why this site is safe>)
@@ -85,20 +73,6 @@ import re
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-
-# Files allowed to read host wall-clock time: run-elapsed metadata in
-# the stats header and the host-time event profiler.
-WALL_CLOCK_ALLOW = {
-    "src/sim/simulation.hh",
-    "src/sim/simulation.cc",
-    "src/sim/event_queue.cc",
-}
-
-WALL_CLOCK_RE = re.compile(
-    r"steady_clock|system_clock|high_resolution_clock"
-    r"|gettimeofday|clock_gettime|std::time\s*\(|\btime\s*\(\s*NULL"
-    r"|\btime\s*\(\s*nullptr"
-)
 
 # A packet-ish receiver calling the mutable data() overload.
 PACKET_DATA_RE = re.compile(
@@ -122,14 +96,6 @@ QUEUE_SCHED_RE = re.compile(
 )
 
 SIMOBJECT_RE = re.compile(r":\s*public\s+(?:sim::)?SimObject\b")
-
-# A queue fetched by shard index, then scheduled on directly. The
-# engine (src/sim/) owns such calls; everything else must use the
-# postCrossShard mailbox.
-CROSS_SHARD_RE = re.compile(
-    r"\bshardQueue\s*\([^)]*\)\s*\.\s*"
-    r"(?:schedule|scheduleIn|reschedule)\s*\("
-)
 
 # Raw heap allocation of packet-style byte storage. The slab pool
 # owns the only legitimate carve sites.
@@ -187,15 +153,6 @@ def check_file(path, rel, findings):
 
     for i, line in enumerate(lines):
         stripped = line.split("//", 1)[0]
-
-        # wall-clock: model code must be host-time free.
-        if (in_src and rel not in WALL_CLOCK_ALLOW
-                and WALL_CLOCK_RE.search(stripped)
-                and not suppressed(lines, i, "wall-clock")):
-            findings.append(
-                (rel, i + 1, "wall-clock",
-                 "host wall-clock read in model code (breaks "
-                 "determinism; allowlist: tools/mcnsim_lint.py)"))
 
         # packet-cdata: reads must not trigger copy-on-write.
         if in_src and not suppressed(lines, i, "packet-cdata"):
@@ -268,17 +225,6 @@ def check_file(path, rel, findings):
                          f'stat name "{literal}" must match '
                          "lowerCamel[.lowerCamel...] (e.g. "
                          '"txBytes", "txRing.usedBytes")'))
-
-        # cross-shard: scheduling on a shard-indexed queue bypasses
-        # the mailbox ordering key (a race under --threads).
-        if (in_src and not rel.startswith("src/sim/")
-                and CROSS_SHARD_RE.search(stripped)
-                and not suppressed(lines, i, "cross-shard")):
-            findings.append(
-                (rel, i + 1, "cross-shard",
-                 "direct schedule() on shardQueue(...) races with "
-                 "that shard's worker; use "
-                 "Simulation::postCrossShard (DESIGN.md §9)"))
 
         # this-capture: queue callbacks capturing this need a
         # SimObject owner (or an annotated cancel-in-destructor).

@@ -6,6 +6,14 @@
 # iperf + ping CLI smoke, and fails on the first finding
 # (-fno-sanitize-recover=all aborts on any error).
 #
+# The `thread` set is special-cased: TSan is incompatible with ASan
+# and serializes execution ~10x, so instead of the full ctest suite
+# it runs the concurrency surface -- the PDES engine tests plus
+# multi-threaded CLI selfchecks and a --threads=1/2/4 flow-stats
+# byte-compare -- with TSAN_OPTIONS pinned to tools/tsan.supp and
+# halt_on_error=1. It is not in the default matrix (run it via
+# `--matrix thread` or ci.sh's tsan stage).
+#
 # Usage: tools/run_sanitizers.sh [--build-root DIR] [--no-leaks]
 #                                [--matrix SET1;SET2]
 #   --build-root DIR   where the per-sanitizer trees go
@@ -41,6 +49,42 @@ for san in "${SETS[@]}"; do
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DMCNSIM_SANITIZE="$san" > /dev/null
     cmake --build "$tree" -j "$(nproc)"
+
+    if [ "$san" = "thread" ]; then
+        # TSan: pin the suppressions file so a run without it (and
+        # thus without its reviewed justifications) cannot pass by
+        # accident; halt on the first report.
+        export TSAN_OPTIONS="suppressions=$REPO_ROOT/tools/tsan.supp:halt_on_error=1:second_deadlock_stack=1"
+
+        echo "-- PDES engine tests under tsan"
+        ctest --test-dir "$tree" --output-on-failure \
+            -R '^Pdes\.' -j "$(nproc)"
+
+        echo "-- multi-threaded CLI selfchecks under tsan"
+        for t in 2 4; do
+            "$tree/tools/mcnsim_cli" iperf --system=cluster \
+                --nodes=4 --threads="$t" --selfcheck --duration-ms=1
+            "$tree/tools/mcnsim_cli" ping --system=cluster \
+                --nodes=3 --threads="$t" --selfcheck
+            "$tree/tools/mcnsim_cli" chaos --system=cluster \
+                --nodes=4 --threads="$t" --schedule=drop-heavy \
+                --selfcheck --duration-ms=1
+        done
+
+        echo "-- flow-stats byte-compare across threads under tsan"
+        TSAN_TMP="$(mktemp -d)"
+        for t in 1 2 4; do
+            "$tree/tools/mcnsim_cli" iperf --system=cluster \
+                --nodes=4 --threads="$t" --duration-ms=1 --seed=42 \
+                --flow-stats="$TSAN_TMP/flow-t$t.json" > /dev/null
+        done
+        cmp "$TSAN_TMP/flow-t1.json" "$TSAN_TMP/flow-t2.json"
+        cmp "$TSAN_TMP/flow-t1.json" "$TSAN_TMP/flow-t4.json"
+        rm -rf "$TSAN_TMP"
+        echo "-- '$san' clean"
+        echo
+        continue
+    fi
 
     export ASAN_OPTIONS="detect_leaks=$DETECT_LEAKS"
     export UBSAN_OPTIONS="print_stacktrace=1"
