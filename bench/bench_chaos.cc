@@ -14,6 +14,16 @@
  *  - the zero-cost gate holds: the clean run arms nothing, and its
  *    modeled result must match the plain iperf path bit-for-bit
  *    (the fig8a baseline catches drift there).
+ *
+ * The second half is the rack-scale graceful-degradation gate
+ * (DESIGN.md §12): the same traffic mix on multi-switch fabrics
+ * (leaf-spine and fat-tree) under a spine kill and a rack
+ * partition, with declared SLOs -- a goodput floor, a reconvergence
+ * ceiling (worst liveness-detection lag <= one hello interval),
+ * readmission on recovery (port-up events match port-down events),
+ * fail-fast partition aborts only when the fabric is actually
+ * partitioned, and zero post-recovery stragglers (a cross-rack ping
+ * after the fault window must succeed).
  */
 
 #include <cstdio>
@@ -48,13 +58,13 @@ struct SoakResult
     std::uint64_t dimmsDegraded = 0;
 };
 
-SoakResult
-soak(const Schedule &sched, sim::Tick duration)
+void
+armPlan(const char *raw)
 {
     auto &plan = sim::FaultPlan::instance();
     plan.clear();
     plan.setSeed(chaosSeed);
-    std::string specs = sched.specs;
+    std::string specs = raw;
     std::size_t pos = 0;
     while (pos < specs.size()) {
         std::size_t semi = specs.find(';', pos);
@@ -69,6 +79,13 @@ soak(const Schedule &sched, sim::Tick duration)
         pos = semi + 1;
     }
     plan.resetRunState();
+}
+
+SoakResult
+soak(const Schedule &sched, sim::Tick duration)
+{
+    auto &plan = sim::FaultPlan::instance();
+    armPlan(sched.specs);
 
     sim::Simulation s(chaosSeed);
     bench::applyThreads(s);
@@ -98,6 +115,115 @@ soak(const Schedule &sched, sim::Tick duration)
     }
     plan.clear();
     return out;
+}
+
+// --- Rack-scale graceful-degradation gate (DESIGN.md §12) ----------
+
+struct RackResult
+{
+    double gbps = 0.0;
+    std::uint64_t faultFires = 0;
+    /** TCP connections aborted by fabric partition notices, summed
+     *  over every node. */
+    std::uint64_t partitionAborts = 0;
+    /** Port liveness edges, summed over every switch. */
+    std::uint64_t portDown = 0;
+    std::uint64_t portUp = 0;
+    std::uint64_t unroutableDrops = 0;
+    /** Worst liveness-detection lag over every switch. */
+    sim::Tick worstLag = 0;
+    /** Post-recovery cross-rack probes lost (straggler check). */
+    int pingLost = 0;
+    sim::Tick helloInterval = 0;
+};
+
+/**
+ * One fabric soak: 2 racks x 2 nodes, 2 spines; node 0 (rack 0)
+ * serves, nodes 1..3 stream to it, so client 1 is intra-rack and
+ * clients 2, 3 cross the spines. After the traffic window a
+ * cross-rack ping (node 2 -> node 0) probes for post-recovery
+ * stragglers. Fault windows run 1 ms..2 ms inside a 4 ms soak, so
+ * every run covers failure, degraded operation and readmission.
+ */
+RackResult
+rackSoak(FabricTopology topo, const char *specs, sim::Tick duration)
+{
+    auto &plan = sim::FaultPlan::instance();
+    armPlan(specs);
+
+    sim::Simulation s(chaosSeed);
+    bench::applyThreads(s);
+    FabricSystemParams p;
+    p.topology = topo;
+    FabricSystem sys(s, p);
+
+    sim::FlowTelemetry::instance().enable();
+    auto r = runIperf(s, sys, 0, {1, 2, 3}, duration);
+
+    RackResult out;
+    out.gbps = r.gbps;
+    out.faultFires = plan.totalFires();
+    out.helloInterval = p.fabric.helloInterval;
+    for (std::size_t i = 0; i < sys.nodeCount(); ++i)
+        out.partitionAborts +=
+            sys.node(i).stack->tcp().partitionAborts();
+    auto fold = [&out](netdev::EthernetSwitch &sw) {
+        out.portDown += sw.portDownEvents();
+        out.portUp += sw.portUpEvents();
+        out.unroutableDrops += sw.unroutableDrops();
+        out.worstLag = std::max(out.worstLag, sw.worstDetectLag());
+    };
+    for (std::size_t i = 0; i < sys.leafCount(); ++i)
+        fold(sys.leaf(i));
+    for (std::size_t j = 0; j < sys.spineCount(); ++j)
+        fold(sys.spine(j));
+
+    // Straggler probe: by now every fault window is long over, so a
+    // cross-rack ping must get through (sim::maxTick RTT = lost).
+    auto pts = runPingSweep(s, sys, 2, 0, {56}, 3);
+    out.pingLost = pts.empty() ? 3 : pts[0].lost;
+
+    plan.clear();
+    return out;
+}
+
+/** Declared SLOs for one rack scenario; returns nonzero on a miss
+ *  and prints which SLO failed. */
+int
+checkRackSlo(const char *topo, const char *sched,
+             const RackResult &r, double clean_gbps,
+             bool expect_partition)
+{
+    int rc = 0;
+    auto fail = [&](const char *msg) {
+        std::fprintf(stderr, "FAIL: %s/%s: %s\n", topo, sched, msg);
+        rc = 1;
+    };
+    if (r.faultFires == 0)
+        fail("armed schedule never fired");
+    // Goodput floor: the access links are the bottleneck, so ECMP
+    // rerouting around a dead spine must hold >= half the clean
+    // goodput; even a partition leaves the intra-rack client alive.
+    if (expect_partition ? r.gbps <= 0.0
+                         : r.gbps < 0.5 * clean_gbps)
+        fail("goodput floor missed");
+    // Reconvergence ceiling: the liveness sweep may trail an
+    // observable failure by at most one hello interval.
+    if (r.worstLag > r.helloInterval)
+        fail("detection lag exceeded one hello interval");
+    // Readmission: every port seen dead must be seen back alive.
+    if (r.portDown == 0 || r.portDown != r.portUp)
+        fail("port down/up events unbalanced (no readmission)");
+    // Fail-fast is reserved for true partitions: a spine kill must
+    // reroute without aborting anybody; a rack partition must abort
+    // both cross-rack client connections.
+    if (expect_partition ? r.partitionAborts < 2
+                         : r.partitionAborts != 0)
+        fail("partition-abort count out of spec");
+    // Zero post-recovery stragglers.
+    if (r.pingLost != 0)
+        fail("post-recovery cross-rack ping lost probes");
+    return rc;
 }
 
 } // namespace
@@ -170,6 +296,88 @@ main(int argc, char **argv)
     std::printf("\nexpected shape: clean fastest; corrupt-heavy "
                 "slowest (every corrupt costs a retransmit); all "
                 "schedules complete and fire faults\n");
+
+    // --- Rack-scale graceful degradation ---------------------------
+    const sim::Tick rack_dur = 4 * sim::oneMs;
+    const struct
+    {
+        const char *name;
+        FabricTopology topo;
+    } topos[] = {
+        {"leafspine", FabricTopology::LeafSpine},
+        {"fattree", FabricTopology::FatTree},
+    };
+    // 2 racks x 2 nodes, 2 spines: rack0's leaf uplinks are ports
+    // 2 and 3 on both topologies (uplinksPerSpine = 1).
+    const Schedule rack_scheds[] = {
+        {"spine_kill", "spine0.crash:at=1ms,param=1ms"},
+        {"rack_partition",
+         "rack0.leaf.port2.down:at=1ms,param=1ms;"
+         "rack0.leaf.port3.down:at=1ms,param=1ms"},
+    };
+
+    std::printf("\n== rack-scale degradation: fabric soaks with "
+                "SLO gates (duration %.0f ms, seed %llu) ==\n",
+                sim::ticksToSeconds(rack_dur) * 1e3,
+                static_cast<unsigned long long>(chaosSeed));
+    bench::Table rt({"topology", "scenario", "Gbps", "aborts",
+                     "portDn", "portUp", "lag_us", "pingLost"});
+    for (const auto &topo : topos) {
+        auto clean = rackSoak(topo.topo, "", rack_dur);
+        bench::collectFlowMetrics(
+            rep, std::string(topo.name) + "_clean");
+        rep.metric(std::string(topo.name) + "_clean_gbps",
+                   clean.gbps);
+        rt.addRow({topo.name, "clean", fmt("%.2f", clean.gbps), "0",
+                   std::to_string(clean.portDown),
+                   std::to_string(clean.portUp), "-", "0"});
+        if (clean.gbps <= 0.0 || clean.partitionAborts != 0 ||
+            clean.pingLost != 0) {
+            std::fprintf(stderr,
+                         "FAIL: %s/clean: fabric baseline "
+                         "unhealthy\n",
+                         topo.name);
+            rc = 1;
+        }
+        for (const auto &sched : rack_scheds) {
+            bool partition =
+                std::string(sched.name) == "rack_partition";
+            auto r = rackSoak(topo.topo, sched.specs, rack_dur);
+            bench::collectFlowMetrics(
+                rep,
+                std::string(topo.name) + "_" + sched.name);
+            std::string n =
+                std::string(topo.name) + "_" + sched.name;
+            rep.metric(n + "_gbps", r.gbps);
+            rep.metric(n + "_fault_fires",
+                       static_cast<double>(r.faultFires));
+            rep.metric(n + "_partition_aborts",
+                       static_cast<double>(r.partitionAborts));
+            rep.metric(n + "_port_down_events",
+                       static_cast<double>(r.portDown));
+            rep.metric(n + "_port_up_events",
+                       static_cast<double>(r.portUp));
+            rep.metric(n + "_unroutable_drops",
+                       static_cast<double>(r.unroutableDrops));
+            rep.metric(n + "_worst_detect_lag_us",
+                       sim::ticksToUs(r.worstLag));
+            rt.addRow({topo.name, sched.name, fmt("%.2f", r.gbps),
+                       std::to_string(r.partitionAborts),
+                       std::to_string(r.portDown),
+                       std::to_string(r.portUp),
+                       fmt("%.1f", sim::ticksToUs(r.worstLag)),
+                       std::to_string(r.pingLost)});
+            rc |= checkRackSlo(topo.name, sched.name, r, clean.gbps,
+                               partition);
+        }
+    }
+    rt.print();
+    std::printf("\nSLOs: goodput >= 0.5x clean on a spine kill "
+                "(intra-rack survivors on a partition), detection "
+                "lag <= one hello interval, port-up == port-down "
+                "(readmission), fail-fast aborts only on true "
+                "partitions, zero post-recovery stragglers\n");
+
     if (rc)
         return rc;
     return bench::writeReport(rep, argc, argv);

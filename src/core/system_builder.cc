@@ -179,6 +179,227 @@ ClusterSystem::node(std::size_t i)
 }
 
 // ---------------------------------------------------------------------
+// FabricSystem
+// ---------------------------------------------------------------------
+
+namespace {
+
+net::MacAddr
+fabricMac(std::size_t rack, std::size_t member)
+{
+    return net::MacAddr::fromId(
+        0x500000u + static_cast<std::uint32_t>(rack) * 256u +
+        static_cast<std::uint32_t>(member));
+}
+
+} // namespace
+
+FabricSystem::FabricSystem(sim::Simulation &s,
+                           const FabricSystemParams &params)
+    : params_(params)
+{
+    MCNSIM_ASSERT(params.racks > 0 && params.nodesPerRack > 0 &&
+                      params.spines > 0,
+                  "fabric needs racks, nodes and spines");
+    upf_ = params.topology == FabricTopology::FatTree
+               ? (params.nodesPerRack + params.spines - 1) /
+                     params.spines
+               : 1;
+
+    // Every switch gets its own shard (ROADMAP item 1): the access
+    // and trunk link latencies become the lookahead edges. The
+    // construction order below is part of the determinism contract
+    // -- shard ids and names are a pure function of the params.
+    const std::uint32_t leaf_ports = static_cast<std::uint32_t>(
+        params.nodesPerRack + params.spines * upf_);
+    for (std::size_t r = 0; r < params.racks; ++r) {
+        Switch lf;
+        lf.shard = s.newShard();
+        sim::Simulation::ShardScope scope(s, lf.shard);
+        lf.sw = std::make_unique<netdev::EthernetSwitch>(
+            s, "rack" + std::to_string(r) + ".leaf", leaf_ports);
+        lf.sw->enableFabric(params.fabric);
+        for (std::size_t u = 0; u < uplinkPortCount(); ++u)
+            lf.sw->markTrunk(static_cast<std::uint32_t>(
+                params.nodesPerRack + u));
+        leaves_.push_back(std::move(lf));
+    }
+
+    const std::uint32_t spine_ports =
+        static_cast<std::uint32_t>(params.racks * upf_);
+    for (std::size_t j = 0; j < params.spines; ++j) {
+        Switch sp;
+        sp.shard = s.newShard();
+        sim::Simulation::ShardScope scope(s, sp.shard);
+        sp.sw = std::make_unique<netdev::EthernetSwitch>(
+            s, "spine" + std::to_string(j), spine_ports);
+        sp.sw->enableFabric(params.fabric);
+        for (std::uint32_t p = 0; p < spine_ports; ++p)
+            sp.sw->markTrunk(p);
+        spines_.push_back(std::move(sp));
+    }
+
+    // Trunks: leaf r's uplink (j, k) <-> spine j's port (r, k).
+    for (std::size_t r = 0; r < params.racks; ++r) {
+        for (std::size_t j = 0; j < params.spines; ++j) {
+            for (std::size_t k = 0; k < upf_; ++k) {
+                sim::Simulation::ShardScope scope(s,
+                                                 leaves_[r].shard);
+                const std::size_t t = j * upf_ + k;
+                auto link = std::make_unique<netdev::EthernetLink>(
+                    s,
+                    "rack" + std::to_string(r) + ".trunk" +
+                        std::to_string(t),
+                    params.trunk.linkBps, params.trunk.linkLatency);
+                leaves_[r].sw->attachLink(
+                    static_cast<std::uint32_t>(
+                        params.nodesPerRack + t),
+                    *link);
+                spines_[j].sw->attachLink(
+                    static_cast<std::uint32_t>(r * upf_ + k), *link,
+                    /*b_side=*/true);
+                s.addShardEdge(leaves_[r].shard, spines_[j].shard,
+                               params.trunk.linkLatency);
+                trunks_.push_back(std::move(link));
+            }
+        }
+    }
+
+    // Nodes: one shard each, hanging off their rack's leaf.
+    for (std::size_t r = 0; r < params.racks; ++r) {
+        for (std::size_t m = 0; m < params.nodesPerRack; ++m) {
+            auto n = std::make_unique<Node>();
+            n->shard = s.newShard();
+            sim::Simulation::ShardScope scope(s, n->shard);
+            const std::string nm = "rack" + std::to_string(r) +
+                                   ".node" + std::to_string(m);
+            n->kernel = std::make_unique<os::Kernel>(
+                s, nm,
+                static_cast<int>(r * params.nodesPerRack + m),
+                params.node);
+            n->stack = std::make_unique<net::NetStack>(
+                s, nm + ".net", *n->kernel);
+            n->nic = std::make_unique<netdev::Nic>(
+                s, nm + ".nic", fabricMac(r, m), *n->kernel);
+            n->nic->setMtu(params.net.mtu);
+            n->nic->features().tso = params.net.nicTso;
+            n->nic->features().checksumOffload =
+                params.net.nicChecksumOffload;
+            n->link = std::make_unique<netdev::EthernetLink>(
+                s, nm + ".link", params.net.linkBps,
+                params.net.linkLatency);
+            n->nic->attachLink(*n->link);
+            leaves_[r].sw->attachLink(
+                static_cast<std::uint32_t>(m), *n->link);
+            s.addShardEdge(leaves_[r].shard, n->shard,
+                           params.net.linkLatency);
+            n->addr = net::Ipv4Addr(
+                10, 32, static_cast<std::uint8_t>(r),
+                static_cast<std::uint8_t>(1 + m));
+            n->stack->addInterface(*n->nic, n->addr,
+                                   net::SubnetMask{0xffff0000});
+            nodes_.push_back(std::move(n));
+        }
+    }
+
+    // Static ECMP routes. Leaf: local members on their access
+    // port, everything remote over the whole uplink group. Spine:
+    // each rack's members over that rack's trunk group.
+    std::vector<std::uint32_t> uplinks;
+    for (std::size_t u = 0; u < uplinkPortCount(); ++u)
+        uplinks.push_back(
+            static_cast<std::uint32_t>(params.nodesPerRack + u));
+    for (std::size_t r = 0; r < params.racks; ++r) {
+        for (std::size_t r2 = 0; r2 < params.racks; ++r2) {
+            for (std::size_t m = 0; m < params.nodesPerRack; ++m) {
+                if (r2 == r)
+                    leaves_[r].sw->addFabricRoute(
+                        fabricMac(r2, m),
+                        {static_cast<std::uint32_t>(m)});
+                else
+                    leaves_[r].sw->addFabricRoute(fabricMac(r2, m),
+                                                  uplinks);
+            }
+        }
+    }
+    for (std::size_t j = 0; j < params.spines; ++j) {
+        for (std::size_t r = 0; r < params.racks; ++r) {
+            std::vector<std::uint32_t> group;
+            for (std::size_t k = 0; k < upf_; ++k)
+                group.push_back(
+                    static_cast<std::uint32_t>(r * upf_ + k));
+            for (std::size_t m = 0; m < params.nodesPerRack; ++m)
+                spines_[j].sw->addFabricRoute(fabricMac(r, m),
+                                              group);
+        }
+    }
+
+    // Static neighbour tables (no ARP): one /16, so every node
+    // resolves every other node's MAC directly.
+    for (auto &a : nodes_)
+        for (auto &b : nodes_)
+            if (a != b)
+                a->stack->addNeighbor(b->addr, b->nic->mac());
+
+    // Partition detection: a switch with no live next hop toward a
+    // destination tells the traffic source, which fails its pings
+    // and sockets toward that destination fast (DESIGN.md §12).
+    for (auto &lf : leaves_)
+        wireNotifier(*lf.sw, lf.shard);
+    for (auto &sp : spines_)
+        wireNotifier(*sp.sw, sp.shard);
+}
+
+void
+FabricSystem::wireNotifier(netdev::EthernetSwitch &sw,
+                           std::size_t sw_shard)
+{
+    sw.setUnreachableNotifier([this, &sw, sw_shard](
+                                  net::Ipv4Addr src,
+                                  net::Ipv4Addr dead) {
+        for (auto &n : nodes_) {
+            if (!(n->addr == src))
+                continue;
+            net::NetStack *stack = n->stack.get();
+            // Model the notice as one access-link hop back to the
+            // source; the latency is a registered shard edge, so
+            // the post always clears the lookahead horizon.
+            sw.simulation().postCrossShard(
+                sw_shard, n->shard,
+                sw.curTick() + params_.net.linkLatency,
+                sim::EventPriority::Default, "fabric.unreach",
+                [stack, dead] {
+                    stack->icmp().notifyUnreachable(dead);
+                });
+            return;
+        }
+    });
+}
+
+net::Ipv4Addr
+FabricSystem::addrOf(std::size_t i) const
+{
+    return nodes_[i]->addr;
+}
+
+net::MacAddr
+FabricSystem::macOf(std::size_t i) const
+{
+    return fabricMac(i / params_.nodesPerRack,
+                     i % params_.nodesPerRack);
+}
+
+NodeRef
+FabricSystem::node(std::size_t i)
+{
+    NodeRef r;
+    r.kernel = nodes_[i]->kernel.get();
+    r.stack = nodes_[i]->stack.get();
+    r.addr = nodes_[i]->addr;
+    return r;
+}
+
+// ---------------------------------------------------------------------
 // McnMultiServer
 // ---------------------------------------------------------------------
 

@@ -143,6 +143,114 @@ class ClusterSystem : public System
     std::vector<std::unique_ptr<Node>> nodes_;
 };
 
+/** Multi-switch fabric shapes (FabricSystem). */
+enum class FabricTopology {
+    /** One leaf per rack, one uplink from each leaf to each spine. */
+    LeafSpine,
+    /** 2-level fat tree: ceil(nodesPerRack / spines) parallel
+     *  uplinks from each leaf to each spine, i.e. one uplink per
+     *  access port (full bisection) spread over the spines. */
+    FatTree,
+};
+
+/** Parameters for a rack-scale multi-switch fabric. */
+struct FabricSystemParams
+{
+    FabricTopology topology = FabricTopology::LeafSpine;
+    std::size_t racks = 2;
+    std::size_t nodesPerRack = 2;
+    std::size_t spines = 2;
+    os::KernelParams node = hostKernelParams();
+    BaselineNetParams net;   ///< node-to-leaf access links
+    BaselineNetParams trunk; ///< leaf-to-spine trunk links
+    netdev::FabricParams fabric;
+};
+
+/**
+ * Rack-scale cluster: racks x nodesPerRack conventional nodes, one
+ * leaf switch per rack, @p spines spine switches, every switch in
+ * fabric mode (ECMP + hello liveness, DESIGN.md §12). Node i =
+ * rack (i / nodesPerRack), member (i % nodesPerRack). PDES: every
+ * node and every switch gets its own shard; the access and trunk
+ * link latencies are the lookahead edges.
+ */
+class FabricSystem : public System
+{
+  public:
+    FabricSystem(sim::Simulation &s,
+                 const FabricSystemParams &params);
+
+    std::size_t nodeCount() const override
+    {
+        return params_.racks * params_.nodesPerRack;
+    }
+    NodeRef node(std::size_t i) override;
+
+    netdev::EthernetSwitch &leaf(std::size_t r)
+    {
+        return *leaves_[r].sw;
+    }
+    netdev::EthernetSwitch &spine(std::size_t j)
+    {
+        return *spines_[j].sw;
+    }
+    std::size_t leafCount() const { return leaves_.size(); }
+    std::size_t spineCount() const { return spines_.size(); }
+
+    net::Ipv4Addr addrOf(std::size_t i) const;
+    net::MacAddr macOf(std::size_t i) const;
+
+    /** Parallel uplinks from each leaf to each spine. */
+    std::size_t uplinksPerSpine() const { return upf_; }
+
+    /** Leaf port range carrying uplinks:
+     *  [nodesPerRack, nodesPerRack + spines * uplinksPerSpine). */
+    std::size_t uplinkPortBase() const
+    {
+        return params_.nodesPerRack;
+    }
+    std::size_t uplinkPortCount() const
+    {
+        return params_.spines * upf_;
+    }
+
+    /** Longest node-to-node path, counted in PathTrace stamps:
+     *  stack tx, source NIC, access link, leaf, trunk, spine,
+     *  trunk, remote leaf, access link, destination NIC = 10 for
+     *  cross-rack traffic (intra-rack is 6). A delivered packet
+     *  with more stamps than this means a forwarding loop. */
+    std::size_t diameterHops() const { return 10; }
+
+    const FabricSystemParams &params() const { return params_; }
+
+  private:
+    struct Node
+    {
+        std::unique_ptr<os::Kernel> kernel;
+        std::unique_ptr<net::NetStack> stack;
+        std::unique_ptr<netdev::Nic> nic;
+        std::unique_ptr<netdev::EthernetLink> link;
+        net::Ipv4Addr addr;
+        std::size_t shard = 0;
+    };
+
+    struct Switch
+    {
+        std::unique_ptr<netdev::EthernetSwitch> sw;
+        std::size_t shard = 0;
+    };
+
+    void wireNotifier(netdev::EthernetSwitch &sw,
+                      std::size_t sw_shard);
+
+    FabricSystemParams params_;
+    std::size_t upf_ = 1;
+    std::vector<Switch> leaves_;
+    std::vector<Switch> spines_;
+    std::vector<std::unique_ptr<netdev::EthernetLink>> trunks_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
 /** Parameters for a multi-server MCN deployment. */
 struct McnMultiServerParams
 {

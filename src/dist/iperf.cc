@@ -59,8 +59,13 @@ iperfClient(net::NetStack &stack, net::SockAddr server, Tick until,
     auto sock = co_await net::tcpConnect(stack, server);
     if (!sock)
         co_return;
-    while (stack.curTick() < until)
-        co_await sock->sendPattern(chunk_bytes);
+    while (stack.curTick() < until) {
+        // sendPattern returns 0 without advancing time once the
+        // connection dies (e.g. aborted by a partition notice);
+        // looping on it would spin forever at the same tick.
+        if (co_await sock->sendPattern(chunk_bytes) == 0)
+            break;
+    }
     co_await sock->close();
 }
 

@@ -40,6 +40,9 @@ struct MacAddr
 /** EtherType values the simulator uses. */
 enum : std::uint16_t {
     ethTypeIpv4 = 0x0800,
+    /** Fabric liveness hellos between switches (the LLDP
+     *  ethertype: link-local, never forwarded). */
+    ethTypeFabricHello = 0x88cc,
 };
 
 /** Ethernet II header. */

@@ -81,6 +81,33 @@ IcmpLayer::IcmpLayer(sim::Simulation &s, std::string name,
     regStat(&statEchoRep_);
     regStat(&statUnreachRx_);
     regStat(&statUnreachTx_);
+    regStat(&statUnreachLocal_);
+}
+
+void
+IcmpLayer::failPingsToward(Ipv4Addr about)
+{
+    bool woke = false;
+    for (auto &[id, ping] : pending_) {
+        if (ping.dst == about && !ping.done) {
+            ping.done = true;
+            ping.unreachable = true;
+            woke = true;
+        }
+    }
+    if (woke)
+        replyCv_.notifyAll();
+}
+
+void
+IcmpLayer::notifyUnreachable(Ipv4Addr about)
+{
+    statUnreachLocal_ += 1;
+    trace("IRQ", "partition notice for ", about.str());
+    failPingsToward(about);
+    // Established connections too: the fabric says there is no path
+    // at all, so waiting out the retransmission backoff is futile.
+    stack_.tcp().peerPartitioned(about);
 }
 
 void
@@ -103,16 +130,7 @@ IcmpLayer::rx(Ipv4Addr src, Ipv4Addr dst, PacketPtr pkt,
             (std::uint32_t(p[2]) << 8) | p[3]));
         trace("IRQ", "dest-unreachable for ", about.str(),
               " from ", src.str());
-        bool woke = false;
-        for (auto &[id, ping] : pending_) {
-            if (ping.dst == about && !ping.done) {
-                ping.done = true;
-                ping.unreachable = true;
-                woke = true;
-            }
-        }
-        if (woke)
-            replyCv_.notifyAll();
+        failPingsToward(about);
         // Hard error for connections still in handshake.
         stack_.tcp().remoteUnreachable(about);
         return;

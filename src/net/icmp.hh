@@ -70,6 +70,16 @@ class IcmpLayer : public sim::SimObject
      */
     void sendUnreachable(Ipv4Addr to, Ipv4Addr about);
 
+    /**
+     * Locally-delivered unreachable notice (no wire round trip): a
+     * fabric switch on this node's path found every next hop toward
+     * @p about dead (a partition). Fails pending pings toward
+     * @p about and aborts established TCP connections with it
+     * (TcpLayer::peerPartitioned) so applications fail fast instead
+     * of waiting out retransmission timeouts.
+     */
+    void notifyUnreachable(Ipv4Addr about);
+
     std::uint64_t echoRequestsSeen() const
     {
         return static_cast<std::uint64_t>(statEchoReq_.value());
@@ -77,6 +87,11 @@ class IcmpLayer : public sim::SimObject
     std::uint64_t unreachablesSeen() const
     {
         return static_cast<std::uint64_t>(statUnreachRx_.value());
+    }
+    std::uint64_t partitionNotices() const
+    {
+        return static_cast<std::uint64_t>(
+            statUnreachLocal_.value());
     }
 
   private:
@@ -89,6 +104,10 @@ class IcmpLayer : public sim::SimObject
         bool unreachable = false;
     };
 
+    /** Fail pending pings toward @p about (shared by the wire and
+     *  local unreachable paths). */
+    void failPingsToward(Ipv4Addr about);
+
     NetStack &stack_;
     std::uint16_t nextId_ = 1;
     std::map<std::uint16_t, PendingPing> pending_;
@@ -100,6 +119,9 @@ class IcmpLayer : public sim::SimObject
                                "destination-unreachables received"};
     sim::Scalar statUnreachTx_{"unreachablesOut",
                                "destination-unreachables sent"};
+    sim::Scalar statUnreachLocal_{
+        "unreachablesLocal",
+        "local partition notices from fabric switches"};
 };
 
 } // namespace mcnsim::net

@@ -223,6 +223,7 @@ foldPathLatency(const Packet &pkt, std::size_t shard,
         tel.recordHop(shard, final_hop,
                       delivered >= last ? delivered - last : 0);
     }
+    tel.recordPathLen(shard, p.size());
 }
 
 } // namespace mcnsim::net

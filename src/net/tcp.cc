@@ -278,6 +278,23 @@ TcpLayer::remoteUnreachable(Ipv4Addr addr)
 }
 
 void
+TcpLayer::peerPartitioned(Ipv4Addr addr)
+{
+    // Collect first: abortConnection() unbinds, mutating the map.
+    std::vector<TcpSocketPtr> victims;
+    for (auto &[t, sock] : connections_) {
+        if (t.remoteIp == addr &&
+            sock->state() != TcpState::Closed &&
+            sock->state() != TcpState::Listen)
+            victims.push_back(sock);
+    }
+    statPartitionAborts_ +=
+        static_cast<std::int64_t>(victims.size());
+    for (auto &sock : victims)
+        sock->abortConnection(TcpError::Unreachable);
+}
+
+void
 TcpLayer::countTx(bool pure_ack)
 {
     statTx_ += 1;

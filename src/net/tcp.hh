@@ -123,6 +123,22 @@ class TcpLayer : public sim::SimObject
      */
     void remoteUnreachable(Ipv4Addr addr);
 
+    /**
+     * React to a fabric partition notice about @p addr: EVERY
+     * connection with that peer -- not just handshakes -- aborts
+     * with TcpError::Unreachable. Stronger than
+     * remoteUnreachable() because the fabric asserts there is no
+     * path at all, so established connections cannot make progress
+     * either (DESIGN.md §12).
+     */
+    void peerPartitioned(Ipv4Addr addr);
+
+    std::uint64_t partitionAborts() const
+    {
+        return static_cast<std::uint64_t>(
+            statPartitionAborts_.value());
+    }
+
     /** Called by sockets when they discard an out-of-window or
      *  over-budget out-of-order segment. */
     void countOutOfWindow() { statOowDrops_ += 1; }
@@ -201,6 +217,9 @@ class TcpLayer : public sim::SimObject
                                "segments dropped on checksum"};
     sim::Scalar statOowDrops_{"outOfWindowDrops",
                               "segments beyond the receive window"};
+    sim::Scalar statPartitionAborts_{
+        "partitionAborts",
+        "connections aborted on fabric partition notices"};
 };
 
 /** TCP connection states (simplified RFC 793 set). */

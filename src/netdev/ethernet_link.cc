@@ -170,6 +170,73 @@ EthernetLink::sendFrom(EtherEndpoint *src, net::PacketPtr pkt)
 }
 
 void
+EthernetLink::startup()
+{
+    if (!sim::FaultPlan::active())
+        return;
+    auto &plan = sim::FaultPlan::instance();
+    for (const auto &hit : plan.scheduledFor(name() + ".down")) {
+        const sim::Tick dur =
+            hit.param ? hit.param : 500 * sim::oneUs;
+        downWindows_.emplace_back(hit.at, hit.at + dur);
+        // The window itself is checked passively in deliver(); this
+        // event only reports the fire so chaos accounting sees it.
+        eventQueue().schedule(
+            [this] { sim::reportScheduledFault(*this, "down"); },
+            hit.at, "fault.down");
+    }
+}
+
+bool
+EthernetLink::downAtSlow(sim::Tick now) const
+{
+    for (const auto &[from, until] : downWindows_)
+        if (now >= from && now < until)
+            return true;
+    return false;
+}
+
+void
+EthernetLink::sendControl(EtherEndpoint *src, net::PacketPtr pkt)
+{
+    MCNSIM_ASSERT(src == a_ || src == b_, "unattached sender");
+    EtherEndpoint *dst_ep = src == a_ ? b_ : a_;
+    MCNSIM_ASSERT(dst_ep, "link has a dangling end");
+
+    Direction &dir = dirFor(src);
+    sim::EventQueue &srcQ = src == a_ ? *aQueue_ : *bQueue_;
+    std::uint64_t bytes = pkt->size();
+    double ser_secs = static_cast<double>(bytes) * 8.0 /
+                      bandwidthBps_;
+    sim::Tick ser = std::max<sim::Tick>(
+        1, sim::secondsToTicks(ser_secs));
+    // Strict priority: one frame's serialization plus propagation,
+    // independent of the data FIFO's busyUntil/backlog state.
+    sim::Tick arrive = srcQ.curTick() + ser + latency_;
+
+    if (!split_) {
+        statFrames_ += 1;
+        statBytes_ += static_cast<double>(bytes);
+        srcQ.schedule(
+            [this, dst_ep, pkt, src] {
+                deliver(dst_ep, pkt, *aQueue_, dirFor(src), false);
+            },
+            arrive, "link.ctrl");
+        return;
+    }
+    dir.txFrames += 1;
+    dir.txBytes += bytes;
+    sim::EventQueue &dstQ = src == a_ ? *bQueue_ : *aQueue_;
+    simulation().postCrossShard(
+        srcQ.shardIndex(), dstQ.shardIndex(), arrive,
+        sim::EventPriority::Default, "link.ctrl",
+        [this, dst_ep, pkt, src] {
+            sim::EventQueue &q = src == a_ ? *bQueue_ : *aQueue_;
+            deliver(dst_ep, pkt, q, dirFor(src), true);
+        });
+}
+
+void
 EthernetLink::armPump(bool from_a)
 {
     Direction &d = from_a ? ab_ : ba_;
@@ -220,6 +287,16 @@ EthernetLink::deliver(EtherEndpoint *dst_ep, net::PacketPtr pkt,
     // per-site streams so an armed-but-silent plan cannot perturb
     // modeled timing. On the split path the stat increment lands in
     // the receiver shard's plain counter instead of the Scalar.
+    if (downAt(q.curTick())) [[unlikely]] {
+        // Scheduled outage window: the cable is unplugged, so
+        // everything in flight -- data and fabric hellos alike --
+        // is lost until the window closes.
+        if (split)
+            dir.rxDropped += 1;
+        else
+            statDropped_ += 1;
+        return;
+    }
     if (lossRate_ > 0.0 && simulation().rng().chance(lossRate_)) {
         if (split)
             dir.rxDropped += 1;

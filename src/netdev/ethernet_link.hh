@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <utility>
+#include <vector>
 
 #include "net/packet.hh"
 #include "sim/annotate.hh"
@@ -65,6 +66,18 @@ class EthernetLink : public sim::SimObject
      * happens serialization + latency later.
      */
     void sendFrom(EtherEndpoint *src, net::PacketPtr pkt);
+
+    /**
+     * Strict-priority control-frame path (802.1p-style): the frame
+     * bypasses the data FIFO and backlog accounting and arrives one
+     * frame-serialization plus the propagation latency from now, so
+     * fabric liveness probes cannot be starved behind a congested
+     * egress queue. Control frames still cross the deliver() fault
+     * cascade: a downed or lossy link loses them like any other
+     * frame, which is exactly what the dead-interval detector needs
+     * to observe.
+     */
+    void sendControl(EtherEndpoint *src, net::PacketPtr pkt);
 
     /** Bytes queued-or-in-flight in @p src's direction. */
     std::uint64_t backlogBytes(const EtherEndpoint *src) const;
@@ -125,6 +138,19 @@ class EthernetLink : public sim::SimObject
     /** Frames delivered by pump events (introspection). */
     std::uint64_t burstDelivered() const { return burstDelivered_; }
 
+    /** Cache scheduled "<name>.down" outage windows from the armed
+     *  FaultPlan (spec: `at=` start, `param=` duration). */
+    void startup() override;
+
+    /** True while a scheduled link outage window covers @p now. */
+    bool
+    downAt(sim::Tick now) const
+    {
+        if (downWindows_.empty()) [[likely]]
+            return false;
+        return downAtSlow(now);
+    }
+
   private:
     struct Direction
     {
@@ -180,6 +206,8 @@ class EthernetLink : public sim::SimObject
     /** Retire wire entries that have arrived by @p now. */
     static void reconcile(const Direction &dir, sim::Tick now);
 
+    bool downAtSlow(sim::Tick now) const;
+
     Direction &dirFor(const EtherEndpoint *src);
     const Direction &dirFor(const EtherEndpoint *src) const;
 
@@ -199,6 +227,10 @@ class EthernetLink : public sim::SimObject
                       "while an event loop runs");
     static inline bool burstDefault_ = true;
     std::uint64_t burstDelivered_ = 0;
+    /** Scheduled outage windows [start, end), cached at startup()
+     *  from the plan's "<name>.down" hits. Empty in clean runs, so
+     *  the deliver() check is one branch. */
+    std::vector<std::pair<sim::Tick, sim::Tick>> downWindows_;
     Direction ab_, ba_;
     std::uint64_t syncedFrames_ = 0;
     std::uint64_t syncedBytes_ = 0;

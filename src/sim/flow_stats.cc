@@ -29,6 +29,7 @@ FlowTelemetry::enable()
     for (auto &sh : shards_) {
         sh.flows.clear();
         sh.hops.clear();
+        sh.pathLen.fill(0);
     }
     detail::flowTelemetryActive = true;
 }
@@ -116,6 +117,14 @@ FlowTelemetry::recordHop(std::size_t shard_id, const char *hop,
     it->second.latency.sample(delta);
 }
 
+void
+FlowTelemetry::recordPathLen(std::size_t shard_id,
+                             std::size_t hops)
+{
+    shard(shard_id)
+        .pathLen[std::min(hops, kMaxPathLen - 1)] += 1;
+}
+
 std::map<FlowTelemetry::FlowKey, FlowTelemetry::FlowRecord>
 FlowTelemetry::foldFlows() const
 {
@@ -133,6 +142,16 @@ FlowTelemetry::foldHops() const
     for (const auto &sh : shards_)
         for (const auto &[name, rec] : sh.hops)
             out[name].merge(rec);
+    return out;
+}
+
+std::array<std::uint64_t, FlowTelemetry::kMaxPathLen>
+FlowTelemetry::foldPathLens() const
+{
+    std::array<std::uint64_t, kMaxPathLen> out{};
+    for (const auto &sh : shards_)
+        for (std::size_t i = 0; i < kMaxPathLen; ++i)
+            out[i] += sh.pathLen[i];
     return out;
 }
 
@@ -209,6 +228,19 @@ FlowTelemetry::writeJsonBlocks(json::Writer &w) const
         w.beginObject();
         r.latency.writeJsonBody(w);
         w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("path_hops");
+    w.beginArray();
+    const auto lens = foldPathLens();
+    for (std::size_t n = 0; n < kMaxPathLen; ++n) {
+        if (!lens[n])
+            continue;
+        w.beginObject();
+        w.kv("hops", std::uint64_t{n});
+        w.kv("packets", lens[n]);
         w.endObject();
     }
     w.endArray();

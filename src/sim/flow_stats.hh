@@ -124,6 +124,10 @@ class FlowTelemetry
         void merge(const HopRecord &o) { latency.merge(o.latency); }
     };
 
+    /** Upper bound on counted path lengths (PathTrace stamps per
+     *  packet); longer paths clamp into the last bin. */
+    static constexpr std::size_t kMaxPathLen = 32;
+
     static FlowTelemetry &instance();
 
     /** One-branch gate for record sites (process-wide). */
@@ -157,11 +161,18 @@ class FlowTelemetry
      *  Simulation, and every SimObject name in it, is gone). */
     void recordHop(std::size_t shard, const char *hop, Tick delta);
 
+    /** Count one delivered packet whose PathTrace carried @p hops
+     *  stamps (a path-length histogram: multi-switch fabrics show
+     *  their diameter here, and a packet seen with more stamps than
+     *  the topology diameter means a forwarding loop). */
+    void recordPathLen(std::size_t shard, std::size_t hops);
+
     // --- Fold / export ------------------------------------------------
 
     /** Merge every shard table (deterministic order). */
     std::map<FlowKey, FlowRecord> foldFlows() const;
     std::map<std::string, HopRecord> foldHops() const;
+    std::array<std::uint64_t, kMaxPathLen> foldPathLens() const;
 
     /** True when any shard recorded anything. */
     bool hasData() const;
@@ -191,6 +202,8 @@ class FlowTelemetry
          *  without allocating); map order is name order, which
          *  makes the fold and the JSON deterministic. */
         std::map<std::string, HopRecord, std::less<>> hops;
+        /** pathLen[n] = delivered packets with n PathTrace stamps. */
+        std::array<std::uint64_t, kMaxPathLen> pathLen{};
     };
 
     Shard &shard(std::size_t idx);

@@ -15,6 +15,7 @@
 #include "netdev/mac_fib.hh"
 #include "netdev/nic.hh"
 #include "os/kernel.hh"
+#include "sim/fault.hh"
 #include "sim/simulation.hh"
 
 using namespace mcnsim;
@@ -549,4 +550,97 @@ TEST(NicTest, RxRingOverflowDrops)
                                       MacAddr::fromId(9)));
     s.run();
     EXPECT_GT(nic.rxDrops(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Fabric liveness (DESIGN.md §12)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Scope armed fault specs so later tests start disarmed. */
+struct FabricPlanGuard
+{
+    FaultPlan &plan = FaultPlan::instance();
+
+    explicit FabricPlanGuard(const std::vector<std::string> &specs)
+    {
+        plan.clear();
+        plan.setSeed(1);
+        for (const auto &t : specs) {
+            FaultPlan::Spec sp;
+            std::string err;
+            if (!FaultPlan::parseSpec(t, &sp, &err))
+                ADD_FAILURE() << t << ": " << err;
+            else
+                plan.arm(sp);
+        }
+        plan.resetRunState();
+    }
+
+    ~FabricPlanGuard() { plan.clear(); }
+};
+
+} // namespace
+
+TEST(FabricLiveness, ReconvergenceWindowBoundsDetectionLag)
+{
+    // Two fabric switches on one trunk. Holding b.port0 admin-down
+    // (200..700 us) suppresses b's hellos, so a must declare the
+    // trunk dead exactly one dead interval after the last hello it
+    // heard -- and readmit it within a hello interval of recovery.
+    FabricPlanGuard g({"b.port0.down:at=200us,param=500us"});
+    Simulation s;
+    EthernetSwitch a(s, "a", 1), b(s, "b", 1);
+    FabricParams fp; // hello 50 us, dead 150 us
+    a.enableFabric(fp);
+    b.enableFabric(fp);
+    a.markTrunk(0);
+    b.markTrunk(0);
+    EthernetLink trunk(s, "trunk", 10e9, oneUs);
+    a.attachLink(0, trunk);
+    b.attachLink(0, trunk, /*b_side=*/true);
+
+    // Steady state: hellos keep both ends live.
+    s.run(200 * oneUs);
+    EXPECT_TRUE(a.portLive(0));
+    EXPECT_EQ(a.portDownEvents(), 0u);
+
+    // b's last hello lands just before 200 us; a's port must be
+    // dead once the 150 us dead interval expires (and not before:
+    // at 300 us the port is still within the window).
+    s.run(300 * oneUs);
+    EXPECT_TRUE(a.portLive(0));
+    s.run(450 * oneUs);
+    EXPECT_FALSE(a.portLive(0));
+    EXPECT_EQ(a.portDownEvents(), 1u);
+    EXPECT_EQ(a.portUpEvents(), 0u);
+
+    // The admin-down window closes at 700 us; b's next hello
+    // readmits the trunk, with the up edge swept within one hello
+    // interval.
+    s.run(850 * oneUs);
+    EXPECT_TRUE(a.portLive(0));
+    EXPECT_EQ(a.portUpEvents(), 1u);
+    EXPECT_EQ(a.portDownEvents(), 1u);
+
+    // The reconvergence SLO: the sweep acted on the failure within
+    // one hello interval of it becoming observable.
+    EXPECT_LE(a.worstDetectLag(), fp.helloInterval);
+}
+
+TEST(FabricLiveness, PlainSwitchIgnoresFabricMachinery)
+{
+    // A switch that never calls enableFabric() must not probe, not
+    // time out, and route by MAC learning exactly as before.
+    Simulation s;
+    EthernetSwitch sw(s, "tor", 2);
+    EXPECT_FALSE(sw.fabricEnabled());
+    EXPECT_TRUE(sw.liveEcmpPorts(MacAddr::fromId(1)).empty());
+    const auto before = s.eventsProcessed();
+    s.run(oneMs);
+    // No hello pump: an idle plain switch schedules nothing.
+    EXPECT_EQ(s.eventsProcessed(), before);
+    EXPECT_EQ(sw.portDownEvents(), 0u);
+    EXPECT_EQ(sw.portUpEvents(), 0u);
 }

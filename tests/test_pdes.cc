@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "core/experiment.hh"
 #include "core/system_builder.hh"
 #include "netdev/ethernet_link.hh"
+#include "sim/flow_stats.hh"
 #include "sim/logging.hh"
 #include "sim/shard.hh"
 #include "sim/simulation.hh"
@@ -84,6 +86,45 @@ classicIperfDigest(std::uint64_t seed)
     ClusterSystem sys(s, p);
     runIperf(s, sys, 0, {1, 2, 3}, 300 * sim::oneUs);
     return digestOf(s);
+}
+
+/** Multi-switch fabric iperf (ECMP + hello liveness), sharded per
+ *  node and per switch. 0 threads = classic engine. */
+std::string
+fabricIperfDigest(std::uint64_t seed, unsigned threads,
+                  FabricTopology topo = FabricTopology::LeafSpine)
+{
+    sim::Simulation s(seed);
+    if (threads > 0) {
+        s.enableSharding();
+        s.setThreads(threads);
+    }
+    FabricSystemParams p;
+    p.topology = topo;
+    FabricSystem sys(s, p);
+    runIperf(s, sys, 0, {1, 2, 3}, 300 * sim::oneUs);
+    return digestOf(s);
+}
+
+/** Flow-telemetry artifact of a fabric iperf run (fixed meta, so
+ *  classic and sharded engines must emit identical bytes). */
+std::string
+fabricFlowJson(std::uint64_t seed, unsigned threads)
+{
+    auto &tel = sim::FlowTelemetry::instance();
+    sim::Simulation s(seed);
+    if (threads > 0) {
+        s.enableSharding();
+        s.setThreads(threads);
+    }
+    FabricSystemParams p;
+    FabricSystem sys(s, p);
+    tel.enable();
+    runIperf(s, sys, 0, {1, 2, 3}, 300 * sim::oneUs);
+    tel.disable();
+    std::ostringstream os;
+    tel.exportJson(os, {{"scenario", "fabric-iperf"}});
+    return os.str();
 }
 
 /** Restore the process-wide link burst default on scope exit. */
@@ -161,6 +202,50 @@ TEST(Pdes, MultiServerIperfByteIdenticalAcrossThreadCounts)
     ASSERT_FALSE(one.empty());
     EXPECT_EQ(one, multiServerIperfDigest(7, 2));
     EXPECT_EQ(one, multiServerIperfDigest(7, 4));
+}
+
+TEST(Pdes, FabricIperfByteIdenticalAcrossThreadCounts)
+{
+    // The multi-switch fabric (per-switch shards, hello control
+    // plane, ECMP) is subject to the same oracle: worker count must
+    // be invisible.
+    std::string one = fabricIperfDigest(7, 1);
+    ASSERT_FALSE(one.empty());
+    EXPECT_EQ(one, fabricIperfDigest(7, 2));
+    EXPECT_EQ(one, fabricIperfDigest(7, 4));
+
+    std::string ft = fabricIperfDigest(7, 1, FabricTopology::FatTree);
+    ASSERT_FALSE(ft.empty());
+    EXPECT_EQ(ft, fabricIperfDigest(7, 2, FabricTopology::FatTree));
+    EXPECT_EQ(ft, fabricIperfDigest(7, 4, FabricTopology::FatTree));
+}
+
+TEST(Pdes, FabricFlowTelemetryAgreesClassicVsSharded)
+{
+    // Event *counts* differ between the classic and sharded engines
+    // (mailbox hops), so digests are not comparable -- but the
+    // modeled traffic is: the flow-telemetry artifact (per-flow
+    // bytes, RTTs, per-hop latency, path-length histogram) must be
+    // byte-identical between the classic engine and a 4-worker
+    // sharded run.
+    std::string classic = fabricFlowJson(7, 0);
+    ASSERT_FALSE(classic.empty());
+    EXPECT_EQ(classic, fabricFlowJson(7, 4));
+}
+
+TEST(Pdes, FabricLookaheadDerivedFromAccessLinkLatency)
+{
+    sim::Simulation s;
+    s.enableSharding();
+    FabricSystemParams p; // 2 racks x 2 nodes + 2 leaves + 2 spines
+    FabricSystem sys(s, p);
+    // Default shard + one per switch (2 leaves, 2 spines) and one
+    // per node (4).
+    EXPECT_EQ(s.shardCount(), 9u);
+    // The min edge is the lookahead; access and trunk links share
+    // the default latency here.
+    EXPECT_EQ(s.shardLookahead(),
+              std::min(p.net.linkLatency, p.trunk.linkLatency));
 }
 
 TEST(Pdes, LookaheadDerivedFromLinkLatency)

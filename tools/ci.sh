@@ -18,6 +18,11 @@
 #   chaos    fault-injection soak: chaos selfcheck (determinism
 #            under every canned schedule x several seeds) plus the
 #            bench_chaos survival gates
+#   rack-chaos  rack-scale failure domains (DESIGN.md §12): the
+#            canned spine-kill / rack-partition schedules on both
+#            fabric topologies, selfchecked across seeds and worker
+#            counts, plus a path-hop sanity check on the fabric's
+#            flow telemetry
 #   pdes     parallel-engine gate: multi-thread selfchecks on
 #            iperf/ping/chaos plus a byte-compare of the stat JSON
 #            across worker counts (DESIGN.md §9)
@@ -32,12 +37,12 @@
 #
 # Usage: tools/ci.sh [--build-dir DIR] [--skip-benches]
 #                    [--with-perf] [--stages S1,S2,...]
-# Default stages: build,test,lint,benches,obs,chaos,pdes,checked,asan,ubsan,tsan
+# Default stages: build,test,lint,benches,obs,chaos,rack-chaos,pdes,checked,asan,ubsan,tsan
 set -eu
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$REPO_ROOT/build"
-STAGES="build,test,lint,benches,obs,chaos,pdes,checked,asan,ubsan,tsan"
+STAGES="build,test,lint,benches,obs,chaos,rack-chaos,pdes,checked,asan,ubsan,tsan"
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -169,6 +174,56 @@ if want chaos; then
     # Survival gates: the soak bench fails on zero throughput or an
     # armed schedule that never fires.
     "$BUILD_DIR/bench/bench_chaos" --quick
+fi
+
+if want rack-chaos; then
+    echo
+    echo "== stage: rack-chaos =="
+    # Failure-domain determinism: each canned rack scenario on each
+    # fabric topology must replay byte-identically across seeds and
+    # worker counts (the modeled state digest covers every fault
+    # fire, reroute and partition abort).
+    for topo in leafspine fattree; do
+        for sched in spine-kill rack-partition; do
+            for seed in 1 1234; do
+                "$BUILD_DIR/tools/mcnsim_cli" chaos --selfcheck \
+                    --topology="$topo" --schedule="$sched" \
+                    --seed="$seed" --duration-ms=4
+            done
+        done
+    done
+    # Cross-worker-count byte-identity of the full stat JSON on a
+    # faulted fabric (meta.wall_seconds is host time and exempt).
+    RACK_DIR="$(mktemp -d)"
+    for t in 1 2 4; do
+        "$BUILD_DIR/tools/mcnsim_cli" chaos --topology=fattree \
+            --nodes-per-rack=4 --schedule=rack-partition \
+            --threads="$t" --duration-ms=4 --seed=7 \
+            --stats-json="$RACK_DIR/t$t.json" > /dev/null
+    done
+    python3 - "$RACK_DIR" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+docs = {}
+for t in (1, 2, 4):
+    with open(os.path.join(d, f"t{t}.json")) as f:
+        doc = json.load(f)
+    doc["meta"].pop("wall_seconds", None)
+    docs[t] = json.dumps(doc, sort_keys=True)
+assert docs[1] == docs[2] == docs[4], \
+    "faulted-fabric stat JSON differs across --threads=1/2/4"
+print("rack-chaos: stat JSON identical across threads 1/2/4")
+EOF
+    # Path-hop telemetry: on a 2-level fabric no delivered packet
+    # may carry more stamps than the topology diameter (10) -- more
+    # means a forwarding loop.
+    "$BUILD_DIR/tools/mcnsim_cli" iperf --topology=leafspine \
+        --duration-ms=1 --flow-stats="$RACK_DIR/flow.json" \
+        > /dev/null
+    python3 "$REPO_ROOT/tools/flow_report.py" \
+        "$RACK_DIR/flow.json" --validate --max-path-hops 10
+    rm -rf "$RACK_DIR"
+    # The SLO gates themselves run in bench_chaos (chaos stage).
 fi
 
 if want pdes; then

@@ -18,10 +18,14 @@ when telemetry was on) and prints three tables:
 shape, bucket-count consistency, and per-flow/per-hop percentile
 monotonicity (min <= p50 <= p90 <= p99 <= p999 <= max). CI runs this
 against a freshly generated artifact (tools/ci.sh, obs stage).
+``--max-path-hops N`` additionally fails validation if any entry of
+the ``path_hops`` histogram records a delivered packet with more
+than N path stamps -- on a fixed-diameter fabric that means a
+forwarding loop (tools/ci.sh, rack-chaos stage).
 
 Usage:
     tools/flow_report.py FLOW.json [--stats-json STATS.json] [--top N]
-    tools/flow_report.py FLOW.json --validate
+    tools/flow_report.py FLOW.json --validate [--max-path-hops N]
 """
 
 import argparse
@@ -123,6 +127,15 @@ def render(doc, stats_doc, top):
     print(fmt_table(["hop", "count", "mean_us", "p50_us", "p90_us",
                      "p99_us", "p999_us"], rows))
 
+    lens = doc.get("path_hops", [])
+    if lens:
+        total = sum(e["packets"] for e in lens)
+        rows = [[str(e["hops"]), str(e["packets"]),
+                 f"{100.0 * e['packets'] / total:.1f}"]
+                for e in sorted(lens, key=lambda e: e["hops"])]
+        print("\n== path length distribution (stamps/packet) ==")
+        print(fmt_table(["hops", "packets", "%"], rows))
+
     if stats_doc is not None:
         rows = []
         for g in stats_doc.get("groups", []):
@@ -168,7 +181,7 @@ def check_latency(where, lat, problems):
                 f"{where}: non-monotone {an}={av} > {bn}={bv}")
 
 
-def validate(doc):
+def validate(doc, max_path_hops=None):
     problems = []
     for key in ("flows", "path_latency"):
         if key not in doc:
@@ -200,6 +213,19 @@ def validate(doc):
             continue
         if h["latency"].get("count", 0) > 0:
             check_latency(f"hop {h['hop']}", h["latency"], problems)
+    for e in doc.get("path_hops", []):
+        if "hops" not in e or "packets" not in e:
+            problems.append("path_hops entry missing hops/packets")
+            continue
+        if e["packets"] < 0 or e["hops"] < 0:
+            problems.append(
+                f"path_hops[{e['hops']}]: negative field")
+        if (max_path_hops is not None and e["packets"] > 0
+                and e["hops"] > max_path_hops):
+            problems.append(
+                f"path_hops: {e['packets']} packet(s) carried "
+                f"{e['hops']} path stamps, over the topology "
+                f"diameter {max_path_hops} -- forwarding loop?")
     return problems
 
 
@@ -216,11 +242,16 @@ def main():
     ap.add_argument("--validate", action="store_true",
                     help="check schema + percentile monotonicity "
                          "instead of rendering")
+    ap.add_argument("--max-path-hops", type=int, metavar="N",
+                    help="with --validate: fail if any delivered "
+                         "packet carried more than N path stamps "
+                         "(loop detection against the topology "
+                         "diameter)")
     args = ap.parse_args()
 
     doc = load(args.flow_json)
     if args.validate:
-        problems = validate(doc)
+        problems = validate(doc, args.max_path_hops)
         for p in problems:
             print(f"flow_report: {p}", file=sys.stderr)
         n_flows = len(doc.get("flows", []))

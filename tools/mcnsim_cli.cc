@@ -10,8 +10,11 @@
  *   mcnsim_cli describe  --system=mcn --dimms=8 --level=3
  *
  * Common flags:
- *   --system=mcn|cluster|multi|scaleup   (default mcn)
+ *   --system=mcn|cluster|multi|scaleup|fabric   (default mcn)
  *   --dimms=N / --nodes=N / --servers=N / --cores=N
+ *   --topology=leafspine|fattree   (multi-switch fabric; implies
+ *                                   --system=fabric)
+ *   --racks=N / --nodes-per-rack=N / --spines=N
  *   --level=0..5                   (Table I optimisation level)
  *   --duration-ms=N                (iperf window)
  *   --seed=N                       (simulation RNG seed, default 1)
@@ -178,6 +181,16 @@ applyThreads(sim::Simulation &s, const Args &a, bool shardable)
     s.setThreads(static_cast<unsigned>(n));
 }
 
+/** The system label for metadata/diagnostics: --topology implies
+ *  the fabric system regardless of --system (buildSystem agrees). */
+std::string
+systemKind(const Args &a)
+{
+    if (a.has("topology") || a.get("system", "mcn") == "fabric")
+        return "fabric-" + a.get("topology", "leafspine");
+    return a.get("system", "mcn");
+}
+
 /** Honour --stats / --stats-json after a run. */
 int
 dumpRequestedStats(const Args &a, sim::Simulation &s)
@@ -213,7 +226,7 @@ class ObsSession
     ObsSession(const Args &a, sim::Simulation &s) : a_(a), s_(s)
     {
         s_.setMetadata("command", a_.command);
-        s_.setMetadata("system", a_.get("system", "mcn"));
+        s_.setMetadata("system", systemKind(a_));
         if (a_.has("trace-ring"))
             sim::TraceRing::instance().setCapacity(
                 static_cast<std::size_t>(
@@ -260,7 +273,7 @@ class ObsSession
         int rc = 0;
         std::vector<std::pair<std::string, std::string>> meta = {
             {"command", a_.command},
-            {"system", a_.get("system", "mcn")},
+            {"system", systemKind(a_)},
             {"seed", std::to_string(s_.seed())},
         };
         if (sampler_) {
@@ -352,11 +365,44 @@ class ObsSession
     std::unique_ptr<sim::StatSampler> sampler_;
 };
 
+/** upf: parallel uplinks per (leaf, spine) pair -- must match
+ *  FabricSystem::uplinksPerSpine() so the canned rack-partition
+ *  schedule addresses the real uplink ports. */
+std::size_t
+fabricUplinksPerSpine(const Args &a)
+{
+    auto nodes_per_rack =
+        static_cast<std::size_t>(a.getInt("nodes-per-rack", 2));
+    auto spines = static_cast<std::size_t>(a.getInt("spines", 2));
+    return a.get("topology", "leafspine") == "fattree"
+               ? (nodes_per_rack + spines - 1) / spines
+               : 1;
+}
+
 /** Build the system the flags describe. */
 std::unique_ptr<System>
 buildSystem(sim::Simulation &s, const Args &a)
 {
     std::string kind = a.get("system", "mcn");
+    // --topology implies the multi-switch fabric system.
+    if (kind == "fabric" || a.has("topology")) {
+        FabricSystemParams p;
+        std::string topo = a.get("topology", "leafspine");
+        if (topo == "fattree")
+            p.topology = FabricTopology::FatTree;
+        else if (topo != "leafspine") {
+            std::fprintf(stderr,
+                         "unknown --topology=%s (leafspine | "
+                         "fattree)\n",
+                         topo.c_str());
+            return nullptr;
+        }
+        p.racks = static_cast<std::size_t>(a.getInt("racks", 2));
+        p.nodesPerRack = static_cast<std::size_t>(
+            a.getInt("nodes-per-rack", 2));
+        p.spines = static_cast<std::size_t>(a.getInt("spines", 2));
+        return std::make_unique<FabricSystem>(s, p);
+    }
     if (kind == "mcn") {
         McnSystemParams p;
         p.numDimms = static_cast<std::size_t>(a.getInt("dimms", 4));
@@ -556,10 +602,34 @@ armFaultPlan(const Args &a)
             specs = "*.tx-corrupt:p=0.02";
         else if (schedule == "crash-recover")
             specs = "mcn1.hang:at=2ms,param=1ms";
-        else {
+        else if (schedule == "spine-kill")
+            // Fabric scenario (pass --topology=...): spine0 goes
+            // dark for 1 ms; the leaves must reroute around it and
+            // readmit it on recovery.
+            specs = "spine0.crash:at=1ms,param=1ms";
+        else if (schedule == "rack-partition") {
+            // Fabric scenario: every uplink of rack0's leaf held
+            // down for 1 ms -- rack0 is partitioned from the rest
+            // of the fabric and its cross-rack sockets must fail
+            // fast, then traffic resumes on recovery.
+            auto nodes_per_rack = static_cast<std::size_t>(
+                a.getInt("nodes-per-rack", 2));
+            auto uplinks = static_cast<std::size_t>(
+                               a.getInt("spines", 2)) *
+                           fabricUplinksPerSpine(a);
+            specs.clear();
+            for (std::size_t u = 0; u < uplinks; ++u) {
+                if (!specs.empty())
+                    specs += ";";
+                specs += "rack0.leaf.port" +
+                         std::to_string(nodes_per_rack + u) +
+                         ".down:at=1ms,param=1ms";
+            }
+        } else {
             std::fprintf(stderr,
                          "unknown --schedule=%s (drop-heavy | "
-                         "corrupt-heavy | crash-recover)\n",
+                         "corrupt-heavy | crash-recover | "
+                         "spine-kill | rack-partition)\n",
                          schedule.c_str());
             return false;
         }
@@ -665,8 +735,8 @@ cmdDescribe(const Args &a)
     auto sys = buildSystem(s, a);
     if (!sys)
         return 1;
-    std::printf("system: %s, %zu nodes\n",
-                a.get("system", "mcn").c_str(), sys->nodeCount());
+    std::printf("system: %s, %zu nodes\n", systemKind(a).c_str(),
+                sys->nodeCount());
     for (std::size_t i = 0; i < sys->nodeCount(); ++i) {
         auto n = sys->node(i);
         std::printf("  node %zu: %s, %u cores @ %.2f GHz, %u mem "
@@ -731,8 +801,11 @@ usage()
         "usage: mcnsim_cli <command> [flags]\n"
         "commands: iperf | ping | workload | mapreduce | chaos | "
         "describe\n"
-        "flags: --system=mcn|cluster|multi|scaleup --dimms=N\n"
+        "flags: --system=mcn|cluster|multi|scaleup|fabric --dimms=N\n"
         "       --nodes=N --servers=N --cores=N --level=0..5\n"
+        "       --topology=leafspine|fattree  multi-switch fabric\n"
+        "                    (implies --system=fabric)\n"
+        "       --racks=N --nodes-per-rack=N --spines=N\n"
         "       --duration-ms=N --size=N --count=N\n"
         "       --name=<workload|job> --iters=N --stats\n"
         "       --stats-json=PATH|-  --trace-flags=FLAG1,FLAG2\n"
@@ -750,6 +823,8 @@ usage()
         "       --faults=GLOB:k=v[,k=v...][;SPEC...]  e.g.\n"
         "         '*.tx-corrupt:p=0.01;mcn1.crash:at=2ms'\n"
         "       --schedule=drop-heavy|corrupt-heavy|crash-recover\n"
+        "                  |spine-kill|rack-partition (fabric; pass\n"
+        "                  --topology=... so the ports resolve)\n"
         "       spec keys: p= n= at= param= max= from= until=\n"
         "observability:\n"
         "       --timeline=PATH|-       Perfetto/chrome trace JSON\n"
